@@ -1,0 +1,30 @@
+//! # `dinefd-apps` — applications of (extracted) failure detectors
+//!
+//! The paper's introduction motivates ◇P by what it enables: "consensus \[3\],
+//! stable leader election \[1\], and crash-locality-1 dining \[11\]". This crate
+//! builds the first two on top of the same `FdQuery` interface the rest of
+//! the repository uses — which means they run equally well over an injected
+//! oracle, over the real heartbeat detector, or over the **output of the
+//! paper's reduction** (via [`replay::ReplayOracle`], which turns a recorded
+//! extracted suspicion history back into a queryable module).
+//!
+//! * [`omega`] — stable leader election: each process's leader is the
+//!   smallest currently-trusted id; with ◇P every correct process eventually
+//!   permanently elects the same correct leader.
+//! * [`consensus`] — Chandra–Toueg rotating-coordinator consensus (majority
+//!   quorums): ◇P's eventual accuracy guarantees termination, majorities
+//!   guarantee agreement under any minority of crashes.
+//! * [`replay`] — an `FdQuery` backed by a recorded `SuspicionHistory`,
+//!   closing the loop: dining black box → extracted ◇P → leader election /
+//!   consensus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod omega;
+pub mod replay;
+
+pub use consensus::{ConsensusNode, ConsensusObs};
+pub use omega::{check_stable_leader, LeaderElection, LeaderObs};
+pub use replay::ReplayOracle;

@@ -1,0 +1,185 @@
+//! Stable leader election (the Ω abstraction) from any ◇P-class module.
+//!
+//! Each process's current leader is the smallest id its local module
+//! currently trusts (itself included). With a ◇P module, there is a time
+//! after which every correct process's suspect set equals the crashed set,
+//! so all correct processes permanently agree on the smallest correct id —
+//! the classical "◇P is sufficient for stable leader election" argument the
+//! paper cites as its reference \[1\].
+
+use std::rc::Rc;
+
+use dinefd_fd::FdQuery;
+use dinefd_sim::{Context, CrashPlan, Node, ProcessId, Time, TimerId, Trace};
+
+/// Observation: this process's leader changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderObs {
+    /// The newly elected leader.
+    pub leader: ProcessId,
+}
+
+const POLL: TimerId = TimerId(0);
+
+/// One process's leader-election module: polls its failure detector and
+/// demotes/promotes leaders as suspicions change.
+pub struct LeaderElection {
+    n: usize,
+    fd: Rc<dyn FdQuery>,
+    poll_every: u64,
+    current: Option<ProcessId>,
+}
+
+impl std::fmt::Debug for LeaderElection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderElection").field("current", &self.current).finish()
+    }
+}
+
+impl LeaderElection {
+    /// New module over `n` processes with the given detector handle.
+    pub fn new(n: usize, fd: Rc<dyn FdQuery>) -> Self {
+        LeaderElection { n, fd, poll_every: 4, current: None }
+    }
+
+    /// The currently elected leader (after the first poll).
+    pub fn leader(&self) -> Option<ProcessId> {
+        self.current
+    }
+
+    fn elect(&mut self, ctx: &mut Context<'_, (), LeaderObs>) {
+        let me = ctx.me();
+        let now = ctx.now();
+        let leader = ProcessId::all(self.n)
+            .find(|&q| q == me || !self.fd.suspected(me, q, now))
+            // A module that suspects everyone else still trusts itself.
+            .unwrap_or(me);
+        if self.current != Some(leader) {
+            self.current = Some(leader);
+            ctx.observe(LeaderObs { leader });
+        }
+    }
+}
+
+impl Node for LeaderElection {
+    type Msg = ();
+    type Obs = LeaderObs;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, (), LeaderObs>) {
+        self.elect(ctx);
+        ctx.set_timer(self.poll_every, POLL);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, (), LeaderObs>, _from: ProcessId, _msg: ()) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, (), LeaderObs>, timer: TimerId) {
+        debug_assert_eq!(timer, POLL);
+        self.elect(ctx);
+        ctx.set_timer(self.poll_every, POLL);
+    }
+}
+
+/// Checks the Ω property on a recorded run: every correct process's last
+/// elected leader is the same **correct** process, and reports the instant
+/// from which all of them agreed for good. Errors describe the violation.
+pub fn check_stable_leader(
+    n: usize,
+    trace: &Trace<(), LeaderObs>,
+    plan: &CrashPlan,
+) -> Result<(ProcessId, Time), String> {
+    let mut last: Vec<Option<(Time, ProcessId)>> = vec![None; n];
+    let mut settled: Vec<Time> = vec![Time::ZERO; n];
+    for (at, pid, obs) in trace.observations() {
+        last[pid.index()] = Some((at, obs.leader));
+        settled[pid.index()] = at;
+    }
+    let correct = plan.correct(n);
+    let mut final_leader: Option<ProcessId> = None;
+    let mut agreed_from = Time::ZERO;
+    for &p in &correct {
+        let Some((at, leader)) = last[p.index()] else {
+            return Err(format!("{p} never elected a leader"));
+        };
+        match final_leader {
+            None => final_leader = Some(leader),
+            Some(l) if l != leader => {
+                return Err(format!("{p} ends with {leader}, others with {l}"));
+            }
+            _ => {}
+        }
+        agreed_from = agreed_from.max(at);
+    }
+    let leader = final_leader.ok_or("no correct processes")?;
+    if plan.is_faulty(leader) {
+        return Err(format!("final leader {leader} is faulty"));
+    }
+    Ok((leader, agreed_from))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinefd_fd::InjectedOracle;
+    use dinefd_sim::{DelayModel, SplitMix64, World, WorldConfig};
+
+    fn run(n: usize, seed: u64, crashes: CrashPlan, horizon: Time) -> (Trace<(), LeaderObs>, CrashPlan) {
+        let mut rng = SplitMix64::new(seed);
+        let oracle = InjectedOracle::diamond_p(
+            n,
+            crashes.clone(),
+            40,
+            Time(2_000),
+            3,
+            200,
+            &mut rng,
+        );
+        let fd: Rc<dyn FdQuery> = Rc::new(oracle);
+        let nodes: Vec<LeaderElection> =
+            (0..n).map(|_| LeaderElection::new(n, Rc::clone(&fd))).collect();
+        let cfg = WorldConfig::new(seed).crashes(crashes.clone()).delays(DelayModel::Fixed(2));
+        let mut world = World::new(nodes, cfg);
+        world.run_until(horizon);
+        (world.into_trace(), crashes)
+    }
+
+    #[test]
+    fn failure_free_elects_p0_forever() {
+        let (trace, plan) = run(4, 1, CrashPlan::none(), Time(10_000));
+        let (leader, _) = check_stable_leader(4, &trace, &plan).unwrap();
+        assert_eq!(leader, ProcessId(0));
+    }
+
+    #[test]
+    fn leader_crash_promotes_next_smallest() {
+        let plan = CrashPlan::one(ProcessId(0), Time(3_000));
+        let (trace, plan) = run(4, 2, plan, Time(20_000));
+        let (leader, from) = check_stable_leader(4, &trace, &plan).unwrap();
+        assert_eq!(leader, ProcessId(1));
+        assert!(from >= Time(3_000), "promotion cannot precede the crash permanently");
+    }
+
+    #[test]
+    fn double_crash_cascades() {
+        let plan = CrashPlan::one(ProcessId(0), Time(2_000)).and(ProcessId(1), Time(5_000));
+        let (trace, plan) = run(5, 3, plan, Time(30_000));
+        let (leader, _) = check_stable_leader(5, &trace, &plan).unwrap();
+        assert_eq!(leader, ProcessId(2));
+    }
+
+    #[test]
+    fn wrongful_suspicions_only_destabilize_finitely() {
+        // Count leader changes: they must be finite and stop after the
+        // oracle converges (+ detection of any crash).
+        let plan = CrashPlan::one(ProcessId(0), Time(4_000));
+        let (trace, plan) = run(4, 4, plan, Time(40_000));
+        let changes: Vec<(Time, ProcessId)> = trace
+            .observations()
+            .filter(|&(_, pid, _)| pid == ProcessId(1))
+            .map(|(t, _, o)| (t, o.leader))
+            .collect();
+        assert!(!changes.is_empty());
+        let last_change = changes.last().unwrap().0;
+        assert!(last_change < Time(10_000), "leader still flapping at {last_change:?}");
+        let _ = check_stable_leader(4, &trace, &plan).unwrap();
+    }
+}

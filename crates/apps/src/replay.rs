@@ -1,0 +1,93 @@
+//! Replaying a recorded suspicion history as a live oracle.
+//!
+//! The reduction's output is recorded as a [`SuspicionHistory`]; wrapping it
+//! in a [`ReplayOracle`] lets any `FdQuery` consumer (the dining algorithms,
+//! leader election, consensus) run against *exactly* the detector the
+//! reduction produced in some earlier run — the cleanest way to demonstrate
+//! that the extracted oracle is usable, without entangling two simulations.
+
+use dinefd_fd::{FdQuery, SuspicionHistory};
+use dinefd_sim::{ProcessId, Time};
+
+/// An `FdQuery` that answers from a recorded suspicion history.
+#[derive(Clone, Debug)]
+pub struct ReplayOracle {
+    history: SuspicionHistory,
+}
+
+impl ReplayOracle {
+    /// Wraps a recorded history.
+    pub fn new(history: SuspicionHistory) -> Self {
+        ReplayOracle { history }
+    }
+
+    /// The wrapped history.
+    pub fn history(&self) -> &SuspicionHistory {
+        &self.history
+    }
+
+    /// Serializes the recorded detector to JSON — e.g. to archive the
+    /// output of an expensive extraction run.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.history).expect("history is serializable")
+    }
+
+    /// Restores a detector from [`ReplayOracle::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        Ok(ReplayOracle { history: serde_json::from_str(json)? })
+    }
+}
+
+impl FdQuery for ReplayOracle {
+    fn suspected(&self, watcher: ProcessId, subject: ProcessId, now: Time) -> bool {
+        if watcher == subject {
+            return false;
+        }
+        self.history.timeline(watcher, subject).value_at(now)
+    }
+
+    fn len(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_answers() {
+        let mut h = SuspicionHistory::new(3, true);
+        h.record(Time(10), ProcessId(0), ProcessId(1), false);
+        h.record(Time(50), ProcessId(0), ProcessId(2), false);
+        h.record(Time(90), ProcessId(0), ProcessId(2), true);
+        let original = ReplayOracle::new(h);
+        let restored = ReplayOracle::from_json(&original.to_json()).unwrap();
+        for w in 0..3u32 {
+            for s in 0..3u32 {
+                for t in [0u64, 10, 49, 50, 89, 90, 1000] {
+                    assert_eq!(
+                        original.suspected(ProcessId(w), ProcessId(s), Time(t)),
+                        restored.suspected(ProcessId(w), ProcessId(s), Time(t)),
+                        "mismatch at ({w},{s},{t})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_matches_recorded_timeline() {
+        let mut h = SuspicionHistory::new(2, true);
+        h.record(Time(10), ProcessId(0), ProcessId(1), false);
+        h.record(Time(50), ProcessId(0), ProcessId(1), true);
+        h.record(Time(60), ProcessId(0), ProcessId(1), false);
+        let o = ReplayOracle::new(h);
+        assert!(o.suspected(ProcessId(0), ProcessId(1), Time(0)));
+        assert!(!o.suspected(ProcessId(0), ProcessId(1), Time(10)));
+        assert!(o.suspected(ProcessId(0), ProcessId(1), Time(55)));
+        assert!(!o.suspected(ProcessId(0), ProcessId(1), Time(100)));
+        assert!(!o.suspected(ProcessId(1), ProcessId(1), Time(0)), "never self-suspects");
+        assert_eq!(o.len(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! The full chain: a WF-◇WX dining black box → the paper's reduction →
+//! an extracted ◇P → leader election and consensus running on it.
+//!
+//! This is the strongest executable form of the paper's thesis: the
+//! synchronism encapsulated by wait-free eventually-exclusive dining is
+//! enough to elect stable leaders and to reach consensus.
+
+use std::rc::Rc;
+
+use dinefd_apps::{check_stable_leader, ConsensusNode, LeaderElection, ReplayOracle};
+use dinefd_core::{run_extraction, BlackBox, Scenario};
+use dinefd_fd::FdQuery;
+use dinefd_sim::{CrashPlan, DelayModel, ProcessId, Time, World, WorldConfig};
+
+/// Runs the reduction over `n` processes (all ordered pairs) and returns the
+/// extracted detector as a replayable oracle.
+fn extract_oracle(n: usize, seed: u64, crashes: CrashPlan, horizon: Time) -> ReplayOracle {
+    let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, seed);
+    sc.crashes = crashes;
+    sc.horizon = horizon;
+    let res = run_extraction(sc);
+    ReplayOracle::new(res.history)
+}
+
+#[test]
+fn leader_election_over_the_extracted_detector() {
+    let n = 4;
+    let crashes = CrashPlan::one(ProcessId(0), Time(6_000));
+    let oracle = extract_oracle(n, 101, crashes.clone(), Time(60_000));
+    let fd: Rc<dyn FdQuery> = Rc::new(oracle);
+    let nodes: Vec<LeaderElection> =
+        (0..n).map(|_| LeaderElection::new(n, Rc::clone(&fd))).collect();
+    let cfg = WorldConfig::new(101).crashes(crashes.clone()).delays(DelayModel::Fixed(2));
+    let mut world = World::new(nodes, cfg);
+    world.run_until(Time(60_000));
+    let trace = world.into_trace();
+    let (leader, agreed_from) = check_stable_leader(n, &trace, &crashes)
+        .expect("extracted ◇P must yield a stable leader");
+    // p0 crashed, so the stable leader is the smallest survivor.
+    assert_eq!(leader, ProcessId(1));
+    assert!(agreed_from > Time(6_000), "promotion follows the crash");
+}
+
+#[test]
+fn consensus_over_the_extracted_detector() {
+    let n = 5;
+    let crashes = CrashPlan::one(ProcessId(2), Time(4_000));
+    let oracle = extract_oracle(n, 103, crashes.clone(), Time(60_000));
+    let fd: Rc<dyn FdQuery> = Rc::new(oracle);
+    let inputs = [11u64, 22, 33, 44, 55];
+    let nodes: Vec<ConsensusNode> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ConsensusNode::new(ProcessId::from_index(i), n, v, Rc::clone(&fd)))
+        .collect();
+    let cfg = WorldConfig::new(103).crashes(crashes.clone()).delays(DelayModel::default_async());
+    let mut world = World::new(nodes, cfg);
+    world.run_until(Time(60_000));
+    let mut value = None;
+    for p in crashes.correct(n) {
+        let d = world.node(p).decision().unwrap_or_else(|| panic!("{p} undecided"));
+        match value {
+            None => value = Some(d),
+            Some(v) => assert_eq!(v, d, "disagreement over extracted oracle"),
+        }
+    }
+    assert!(inputs.contains(&value.unwrap()));
+}
+
+#[test]
+fn extracted_detector_from_pathological_box_still_powers_consensus() {
+    // Even the §3 delayed-convergence black box yields a usable ◇P.
+    let n = 3;
+    let crashes = CrashPlan::none();
+    let mut sc =
+        Scenario::all_pairs(n, BlackBox::Delayed { convergence: Time(2_000) }, 107);
+    sc.oracle = dinefd_core::OracleSpec::Perfect { lag: 20 };
+    sc.horizon = Time(50_000);
+    let res = run_extraction(sc);
+    let fd: Rc<dyn FdQuery> = Rc::new(ReplayOracle::new(res.history));
+    let inputs = [3u64, 1, 2];
+    let nodes: Vec<ConsensusNode> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ConsensusNode::new(ProcessId::from_index(i), n, v, Rc::clone(&fd)))
+        .collect();
+    let cfg = WorldConfig::new(107).crashes(crashes).delays(DelayModel::default_async());
+    let mut world = World::new(nodes, cfg);
+    world.run_until(Time(50_000));
+    let decisions: Vec<u64> =
+        (0..n).map(|i| world.node(ProcessId::from_index(i)).decision().expect("decided")).collect();
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
+    assert!(inputs.contains(&decisions[0]));
+}

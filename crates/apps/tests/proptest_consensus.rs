@@ -1,0 +1,80 @@
+//! Property-based testing of consensus: uniform agreement and validity must
+//! hold for ANY inputs, ANY minority crash set, ANY delay severity and seed.
+//! (Termination within the horizon is asserted for correct processes.)
+
+use std::rc::Rc;
+
+use dinefd_apps::ConsensusNode;
+use dinefd_fd::{FdQuery, InjectedOracle};
+use dinefd_sim::{CrashPlan, DelayModel, ProcessId, SplitMix64, Time, World, WorldConfig};
+use proptest::prelude::*;
+
+fn run_consensus(
+    inputs: &[u64],
+    seed: u64,
+    plan: &CrashPlan,
+    harsh: bool,
+    horizon: Time,
+) -> Vec<Option<u64>> {
+    let n = inputs.len();
+    let mut rng = SplitMix64::new(seed);
+    let oracle =
+        InjectedOracle::diamond_p(n, plan.clone(), 40, Time(1_500), 2, 120, &mut rng);
+    let fd: Rc<dyn FdQuery> = Rc::new(oracle);
+    let nodes: Vec<ConsensusNode> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ConsensusNode::new(ProcessId::from_index(i), n, v, Rc::clone(&fd)))
+        .collect();
+    let delays = if harsh { DelayModel::harsh() } else { DelayModel::default_async() };
+    let cfg = WorldConfig::new(seed).crashes(plan.clone()).delays(delays);
+    let mut world = World::new(nodes, cfg);
+    world.run_until(horizon);
+    (0..n).map(|i| world.node(ProcessId::from_index(i)).decision()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_agreement_validity_termination(
+        seed in any::<u64>(),
+        inputs in prop::collection::vec(0u64..1000, 3..8),
+        crash_pick in any::<u64>(),
+        crash_count in 0usize..3,
+        harsh in any::<bool>(),
+    ) {
+        let n = inputs.len();
+        let f = (n - 1) / 2; // tolerated crashes
+        let crash_count = crash_count.min(f);
+        let mut plan = CrashPlan::none();
+        let mut pick = crash_pick;
+        let mut chosen: Vec<usize> = Vec::new();
+        while chosen.len() < crash_count {
+            let idx = (pick % n as u64) as usize;
+            pick = pick.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if !chosen.contains(&idx) {
+                chosen.push(idx);
+                plan.add(ProcessId::from_index(idx), Time(100 + 700 * chosen.len() as u64));
+            }
+        }
+        let decisions = run_consensus(&inputs, seed, &plan, harsh, Time(120_000));
+        // Termination: every correct process decided.
+        let mut value: Option<u64> = None;
+        for p in plan.correct(n) {
+            let d = decisions[p.index()];
+            prop_assert!(d.is_some(), "{p} undecided (plan {:?})", plan);
+            match value {
+                None => value = d,
+                Some(v) => prop_assert_eq!(Some(v), d, "disagreement"),
+            }
+        }
+        let v = value.expect("some correct process");
+        // Validity.
+        prop_assert!(inputs.contains(&v), "decided {} not in {:?}", v, inputs);
+        // Uniform agreement: even crashed deciders agree.
+        for d in decisions.iter().flatten() {
+            prop_assert_eq!(*d, v);
+        }
+    }
+}

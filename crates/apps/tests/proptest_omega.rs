@@ -1,0 +1,48 @@
+//! Property-based leader election: for any crash pattern leaving at least
+//! one correct process and any seed, the run stabilizes on the smallest
+//! correct id.
+
+use std::rc::Rc;
+
+use dinefd_apps::{check_stable_leader, LeaderElection};
+use dinefd_fd::{FdQuery, InjectedOracle};
+use dinefd_sim::{CrashPlan, DelayModel, ProcessId, SplitMix64, Time, World, WorldConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stable_leader_is_smallest_correct_process(
+        seed in any::<u64>(),
+        n in 2usize..7,
+        crash_mask in any::<u8>(),
+    ) {
+        // Derive a crash set that leaves at least one correct process.
+        let mut plan = CrashPlan::none();
+        let mut crashed = Vec::new();
+        for i in 0..n {
+            if crash_mask & (1 << i) != 0 && crashed.len() + 1 < n {
+                crashed.push(i);
+                plan.add(ProcessId::from_index(i), Time(500 + 400 * crashed.len() as u64));
+            }
+        }
+        let mut rng = SplitMix64::new(seed);
+        let oracle = InjectedOracle::diamond_p(
+            n, plan.clone(), 40, Time(1_500), 2, 150, &mut rng,
+        );
+        let fd: Rc<dyn FdQuery> = Rc::new(oracle);
+        let nodes: Vec<LeaderElection> =
+            (0..n).map(|_| LeaderElection::new(n, Rc::clone(&fd))).collect();
+        let cfg = WorldConfig::new(seed)
+            .crashes(plan.clone())
+            .delays(DelayModel::Fixed(2));
+        let mut world = World::new(nodes, cfg);
+        world.run_until(Time(20_000));
+        let trace = world.into_trace();
+        let (leader, _) = check_stable_leader(n, &trace, &plan)
+            .map_err(TestCaseError::fail)?;
+        let expected = plan.correct(n).into_iter().min().expect("someone correct");
+        prop_assert_eq!(leader, expected);
+    }
+}

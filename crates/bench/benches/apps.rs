@@ -1,0 +1,57 @@
+//! Criterion bench: the applications layer — consensus rounds to decision
+//! and leader-election stabilization, per system size.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinefd_apps::{ConsensusNode, LeaderElection};
+use dinefd_fd::{FdQuery, InjectedOracle};
+use dinefd_sim::{CrashPlan, ProcessId, Time, World, WorldConfig};
+
+fn run_consensus(n: usize, seed: u64) -> u64 {
+    let plan = CrashPlan::one(ProcessId(0), Time(500));
+    let fd: Rc<dyn FdQuery> = Rc::new(InjectedOracle::perfect(n, plan.clone(), 40));
+    let nodes: Vec<ConsensusNode> = (0..n)
+        .map(|i| ConsensusNode::new(ProcessId::from_index(i), n, i as u64 * 7, Rc::clone(&fd)))
+        .collect();
+    let mut world = World::new(nodes, WorldConfig::new(seed).crashes(plan));
+    world.run_until(Time(30_000));
+    (0..n)
+        .map(|i| world.node(ProcessId::from_index(i)).decision().expect("decided"))
+        .max()
+        .unwrap()
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_with_crash");
+    for n in [3usize, 5, 9] {
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_consensus(n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_leader_election(c: &mut Criterion) {
+    c.bench_function("leader_election_n8_crash", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let n = 8;
+            let plan = CrashPlan::one(ProcessId(0), Time(1_000));
+            let fd: Rc<dyn FdQuery> = Rc::new(InjectedOracle::perfect(n, plan.clone(), 40));
+            let nodes: Vec<LeaderElection> =
+                (0..n).map(|_| LeaderElection::new(n, Rc::clone(&fd))).collect();
+            let mut world = World::new(nodes, WorldConfig::new(seed).crashes(plan));
+            world.run_until(Time(5_000));
+            world.trace().observations().count()
+        });
+    });
+}
+
+criterion_group!(benches, bench_consensus, bench_leader_election);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench: standalone dining throughput by algorithm and graph —
+//! the substrate cost underneath every extraction experiment.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinefd_dining::driver::{DiningDriverNode, Workload};
+use dinefd_dining::fair::FairWfDxDining;
+use dinefd_dining::hygienic::HygienicDining;
+use dinefd_dining::participant::NoOracle;
+use dinefd_dining::wfdx::WfDxDining;
+use dinefd_dining::{ConflictGraph, DiningParticipant};
+use dinefd_fd::{FdQuery, InjectedOracle};
+use dinefd_sim::{CrashPlan, ProcessId, Time, World, WorldConfig};
+
+type Factory = fn(ProcessId, &[ProcessId]) -> Box<dyn DiningParticipant>;
+
+fn run_dining(graph: &ConflictGraph, mk: Factory, use_oracle: bool, seed: u64) -> u64 {
+    let n = graph.len();
+    let fd: Rc<dyn FdQuery> = if use_oracle {
+        Rc::new(InjectedOracle::perfect(n, CrashPlan::none(), 20))
+    } else {
+        Rc::new(NoOracle(n))
+    };
+    let nodes: Vec<DiningDriverNode> = ProcessId::all(n)
+        .map(|p| DiningDriverNode::new(mk(p, graph.neighbors(p)), Rc::clone(&fd), Workload::busy()))
+        .collect();
+    let mut world = World::new(nodes, WorldConfig::new(seed));
+    world.run_until(Time(5_000));
+    (0..n).map(|i| world.node(ProcessId::from_index(i)).meals_eaten()).sum()
+}
+
+fn bench_dining_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dining_ring8_5k_ticks");
+    let algos: [(&str, Factory, bool); 3] = [
+        ("hygienic", |p, nbrs| Box::new(HygienicDining::new(p, nbrs)), false),
+        ("wfdx", |p, nbrs| Box::new(WfDxDining::new(p, nbrs)), true),
+        ("fair", |p, nbrs| Box::new(FairWfDxDining::new(p, nbrs)), true),
+    ];
+    let graph = ConflictGraph::ring(8);
+    for (name, mk, oracle) in algos {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_dining(&graph, mk, oracle, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dining_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wfdx_by_graph_5k_ticks");
+    let graphs = [
+        ("ring8", ConflictGraph::ring(8)),
+        ("clique6", ConflictGraph::clique(6)),
+        ("grid3x3", ConflictGraph::grid(3, 3)),
+    ];
+    for (name, graph) in graphs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_dining(&graph, |p, nbrs| Box::new(WfDxDining::new(p, nbrs)), true, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dining_algorithms, bench_dining_graphs);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: cost of running the ◇P-extraction reduction (E1/E2/E8
+//! companion). One iteration = one complete deterministic simulation run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinefd_core::{run_extraction, BlackBox, OracleSpec, Scenario};
+use dinefd_sim::{CrashPlan, ProcessId, Time};
+
+fn pair_scenario(black_box: BlackBox, seed: u64, horizon: Time) -> Scenario {
+    let mut sc = Scenario::pair(black_box, seed);
+    sc.oracle =
+        OracleSpec::DiamondP { lag: 20, convergence: Time(1_000), max_mistakes: 2, max_len: 100 };
+    sc.horizon = horizon;
+    sc
+}
+
+fn bench_pair_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_extraction_10k_ticks");
+    let boxes = [
+        ("wfdx", BlackBox::WfDx),
+        ("abstract", BlackBox::Abstract { convergence: Time(1_000) }),
+        ("delayed", BlackBox::Delayed { convergence: Time(1_000) }),
+        ("ftme", BlackBox::Ftme),
+    ];
+    for (name, bb) in boxes {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_extraction(pair_scenario(bb, seed, Time(10_000))).steps
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_extraction_4k_ticks");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, seed);
+                sc.oracle = OracleSpec::Perfect { lag: 20 };
+                sc.horizon = Time(4_000);
+                sc.crashes = CrashPlan::one(ProcessId::from_index(n - 1), Time(2_000));
+                run_extraction(sc).steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_extraction, bench_all_pairs_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: raw event throughput of the simulation substrate
+//! (heartbeat-◇P system — a message-heavy, timer-heavy workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dinefd_fd::{HeartbeatConfig, HeartbeatFd};
+use dinefd_sim::{DelayModel, Time, World, WorldConfig};
+
+fn run_heartbeats(n: usize, seed: u64, horizon: Time) -> u64 {
+    let cfg = HeartbeatConfig::new(n);
+    let nodes: Vec<HeartbeatFd> = (0..n).map(|_| HeartbeatFd::new(cfg)).collect();
+    let wcfg = WorldConfig::new(seed).delays(DelayModel::default_async());
+    let mut world = World::new(nodes, wcfg);
+    world.run_until(horizon);
+    world.steps()
+}
+
+fn bench_heartbeat_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heartbeat_world_5k_ticks");
+    for n in [4usize, 8, 16, 32] {
+        // Report throughput in dispatched atomic steps.
+        let steps = run_heartbeats(n, 1, Time(5_000));
+        group.throughput(Throughput::Elements(steps));
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_heartbeats(n, seed, Time(5_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heartbeat_world);
+criterion_main!(benches);

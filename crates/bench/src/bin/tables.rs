@@ -1,0 +1,42 @@
+//! Regenerates every experiment table in `EXPERIMENTS.md`.
+//!
+//! Usage: `tables [--quick] [--json] [e1 e2 …]` — no ids = run everything;
+//! `--json` emits one JSON document with every report instead of markdown.
+
+use dinefd_bench::experiments::{run_by_id, ALL};
+use dinefd_bench::ExperimentConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let ids: Vec<&str> = if ids.is_empty() { ALL.to_vec() } else { ids };
+    if !json {
+        println!(
+            "# dinefd experiment tables ({} profile, {} seeds/config)\n",
+            if quick { "quick" } else { "full" },
+            cfg.seeds
+        );
+    }
+    let mut reports = Vec::new();
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_by_id(id, &cfg) {
+            Some(report) => {
+                if json {
+                    reports.push((id, report));
+                } else {
+                    println!("{report}");
+                }
+                eprintln!("[{id} done in {:.1?}]", started.elapsed());
+            }
+            None => eprintln!("unknown experiment id: {id}"),
+        }
+    }
+    if json {
+        let doc: std::collections::BTreeMap<&str, _> = reports.into_iter().collect();
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    }
+}

@@ -1,0 +1,173 @@
+//! E10 — substrate characterization: failure locality of the dining
+//! algorithms, and quality of the real heartbeat ◇P under partial synchrony.
+//!
+//! Neither table corresponds to a paper table (the paper has none); both
+//! quantify claims its introduction leans on: that crash-oblivious dining
+//! has unbounded failure locality (a crash starves whole waiting chains),
+//! that a ◇P-driven scheduler confines a crash's damage, and that partially
+//! synchronous environments "are often" sufficient to implement ◇P.
+
+use std::rc::Rc;
+
+use dinefd_dining::driver::{collect_history, DiningDriverNode, Workload};
+use dinefd_dining::hygienic::HygienicDining;
+use dinefd_dining::wfdx::WfDxDining;
+use dinefd_dining::{ConflictGraph, DiningParticipant};
+use dinefd_fd::{FdQuery, HeartbeatConfig, HeartbeatFd, InjectedOracle, SuspicionHistory};
+use dinefd_sim::{CrashPlan, DelayModel, ProcessId, SplitMix64, Time, World, WorldConfig};
+
+use crate::table::{Report, Table};
+use crate::{parallel_map, ExperimentConfig};
+
+fn run_locality(
+    algo: &'static str,
+    crash_idx: usize,
+    seed: u64,
+) -> (usize, Option<usize>) {
+    let n = 8;
+    let graph = ConflictGraph::path(n);
+    let plan = CrashPlan::one(ProcessId::from_index(crash_idx), Time(2_000));
+    let mut rng = SplitMix64::new(seed);
+    let oracle =
+        InjectedOracle::diamond_p(n, plan.clone(), 50, Time(1_500), 2, 100, &mut rng);
+    let fd: Rc<dyn FdQuery> = Rc::new(oracle);
+    let mk = |p: ProcessId, nbrs: &[ProcessId]| -> Box<dyn DiningParticipant> {
+        match algo {
+            "hygienic" => Box::new(HygienicDining::new(p, nbrs)),
+            "wfdx" => Box::new(WfDxDining::new(p, nbrs)),
+            _ => unreachable!(),
+        }
+    };
+    let nodes: Vec<DiningDriverNode> = ProcessId::all(n)
+        .map(|p| DiningDriverNode::new(mk(p, graph.neighbors(p)), Rc::clone(&fd), Workload::busy()))
+        .collect();
+    let cfg = WorldConfig::new(seed).crashes(plan.clone());
+    let mut world = World::new(nodes, cfg);
+    world.run_until(Time(40_000));
+    let mut h = collect_history(n, world.trace(), 0);
+    h.set_horizon(Time(40_000));
+    let starved = h.starved(&plan, 8_000).len();
+    let locality = h.failure_locality(&graph, &plan, 8_000);
+    (starved, locality)
+}
+
+fn run_heartbeat(gst: Time, bound: u64, seed: u64) -> (usize, bool, bool) {
+    let n = 4;
+    let plan = CrashPlan::one(ProcessId(3), Time(20_000));
+    let cfg = HeartbeatConfig::new(n);
+    let nodes: Vec<HeartbeatFd> = (0..n).map(|_| HeartbeatFd::new(cfg)).collect();
+    let delays = DelayModel::PartialSync {
+        gst,
+        pre: Box::new(DelayModel::harsh()),
+        bound,
+    };
+    let wcfg = WorldConfig::new(seed).delays(delays).crashes(plan.clone());
+    let mut world = World::new(nodes, wcfg);
+    world.run_until(Time(80_000));
+    let mut hist = SuspicionHistory::new(n, false);
+    for (at, pid, obs) in world.trace().observations() {
+        hist.record(at, pid, obs.subject, obs.suspected);
+    }
+    let mut mistakes = 0;
+    for w in ProcessId::all(n) {
+        for s in ProcessId::all(n) {
+            if w != s && !plan.is_faulty(s) {
+                mistakes += hist.mistake_intervals(w, s);
+            }
+        }
+    }
+    let accurate = hist.eventual_strong_accuracy(&plan).is_ok();
+    let complete = hist.strong_completeness(&plan).is_ok();
+    (mistakes, accurate, complete)
+}
+
+/// Runs E10 and returns the report.
+pub fn run(cfg: &ExperimentConfig) -> Report {
+    let mut locality = Table::new(
+        "Failure locality on a path of 8 diners (crash at t=2000)",
+        &["algorithm", "crash at", "runs", "starved (mean)", "locality (max hops)"],
+    );
+    for algo in ["hygienic", "wfdx"] {
+        for crash_idx in [0usize, 3] {
+            let results = parallel_map(0..cfg.seeds, move |seed| {
+                run_locality(algo, crash_idx, 10_000 + seed)
+            });
+            let starved =
+                results.iter().map(|&(s, _)| s as f64).sum::<f64>() / results.len() as f64;
+            let loc = results.iter().filter_map(|&(_, l)| l).max();
+            locality.row(vec![
+                algo.to_string(),
+                format!("p{crash_idx}"),
+                results.len().to_string(),
+                format!("{starved:.1}"),
+                loc.map_or("-".into(), |l| l.to_string()),
+            ]);
+        }
+    }
+
+    let mut heartbeat = Table::new(
+        "Heartbeat ◇P quality vs partial synchrony (4 processes, crash at 20k)",
+        &["GST", "post-GST bound", "runs", "wrongful intervals (mean)", "◇P-accurate", "complete"],
+    );
+    for gst in [Time(0), Time(4_000), Time(16_000)] {
+        for bound in [4u64, 12] {
+            let results =
+                parallel_map(0..cfg.seeds, move |seed| run_heartbeat(gst, bound, 11_000 + seed));
+            let mistakes =
+                results.iter().map(|&(m, _, _)| m as f64).sum::<f64>() / results.len() as f64;
+            let acc = results.iter().filter(|&&(_, a, _)| a).count();
+            let comp = results.iter().filter(|&&(_, _, c)| c).count();
+            heartbeat.row(vec![
+                gst.ticks().to_string(),
+                bound.to_string(),
+                results.len().to_string(),
+                format!("{mistakes:.1}"),
+                format!("{acc}/{}", results.len()),
+                format!("{comp}/{}", results.len()),
+            ]);
+        }
+    }
+
+    Report {
+        title: "E10 — substrate characterization: failure locality & heartbeat ◇P".into(),
+        preamble: "Left: a crash on a path graph starves waiting chains under the \
+                   crash-oblivious baseline (unbounded failure locality), while the \
+                   ◇P-driven algorithm starves nobody — the property family the \
+                   paper's intro cites via 'crash-locality-1 dining [11]'. Right: the \
+                   heartbeat implementation really is ◇P under every partial-synchrony \
+                   regime — earlier stabilization and looser pre-GST chaos only move \
+                   the (finite) wrongful-suspicion count."
+            .into(),
+        tables: vec![locality, heartbeat],
+        notes: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_wfdx_is_local_and_heartbeat_is_diamond_p() {
+        let cfg = ExperimentConfig { seeds: 2 };
+        let report = run(&cfg);
+        for row in &report.tables[0].rows {
+            if row[0] == "wfdx" {
+                assert_eq!(row[4], "-", "wfdx should starve nobody: {row:?}");
+            }
+        }
+        // Hygienic starves someone in at least one configuration.
+        let hygienic_starves = report.tables[0]
+            .rows
+            .iter()
+            .filter(|r| r[0] == "hygienic")
+            .any(|r| r[4] != "-");
+        assert!(hygienic_starves, "baseline should exhibit non-local starvation");
+        for row in &report.tables[1].rows {
+            let (a, t) = row[4].split_once('/').unwrap();
+            assert_eq!(a, t, "heartbeat accuracy failed: {row:?}");
+            let (c, t) = row[5].split_once('/').unwrap();
+            assert_eq!(c, t, "heartbeat completeness failed: {row:?}");
+        }
+    }
+}

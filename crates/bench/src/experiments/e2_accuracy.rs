@@ -1,0 +1,102 @@
+//! E2 — Theorem 2 (eventual strong accuracy): with a correct subject, the
+//! extracted detector makes finitely many mistakes and then trusts forever;
+//! its convergence tracks the black box's own convergence.
+
+use dinefd_core::{run_extraction, BlackBox, OracleSpec, Scenario};
+use dinefd_sim::{ProcessId, Summary, Time};
+
+use crate::table::{Report, Table};
+use crate::{parallel_map, ExperimentConfig};
+
+/// Runs E2 and returns the report.
+pub fn run(cfg: &ExperimentConfig) -> Report {
+    let convergences = [Time(500), Time(2_000), Time(8_000)];
+    let boxes = |t_wx: Time| {
+        [
+            ("wfdx", BlackBox::WfDx),
+            ("abstract", BlackBox::Abstract { convergence: t_wx }),
+            ("delayed", BlackBox::Delayed { convergence: t_wx }),
+        ]
+    };
+    let mut table = Table::new(
+        "Extracted-◇P accuracy vs black-box convergence time t_wx (failure-free)",
+        &[
+            "black box",
+            "t_wx",
+            "runs",
+            "accurate",
+            "mistakes (mean/max)",
+            "trusted from (mean/p95)",
+            "lag after t_wx (mean)",
+        ],
+    );
+    for t_wx in convergences {
+        for (bname, bb) in boxes(t_wx) {
+            let results = parallel_map(0..cfg.seeds, move |seed| {
+                let mut sc = Scenario::pair(bb, 2_000 + seed);
+                // The underlying oracle converges at t_wx too: for the WfDx
+                // box that IS its convergence driver; the coordinator boxes
+                // take t_wx directly.
+                sc.oracle = OracleSpec::DiamondP {
+                    lag: 20,
+                    convergence: t_wx,
+                    max_mistakes: 4,
+                    max_len: 200,
+                };
+                sc.horizon = Time(60_000);
+                let crashes = sc.crashes.clone();
+                let res = run_extraction(sc);
+                let mistakes = res.history.mistake_intervals(ProcessId(0), ProcessId(1)) as u64;
+                res.history
+                    .eventual_strong_accuracy(&crashes)
+                    .ok()
+                    .map(|acc| (mistakes, acc[0].trusted_from))
+            });
+            let ok: Vec<(u64, Time)> = results.iter().filter_map(|r| *r).collect();
+            let mistakes: Vec<u64> = ok.iter().map(|&(m, _)| m).collect();
+            let trusted: Vec<u64> = ok.iter().map(|&(_, t)| t.ticks()).collect();
+            let lags: Vec<f64> = ok
+                .iter()
+                .map(|&(_, t)| t.ticks() as f64 - t_wx.ticks() as f64)
+                .collect();
+            let ms = Summary::of_u64(&mistakes);
+            let ts = Summary::of_u64(&trusted);
+            let ls = Summary::of(&lags);
+            table.row(vec![
+                bname.to_string(),
+                t_wx.ticks().to_string(),
+                results.len().to_string(),
+                format!("{}/{}", ok.len(), results.len()),
+                ms.map_or("-".into(), |s| format!("{:.1}/{:.0}", s.mean, s.max)),
+                ts.map_or("-".into(), |s| format!("{:.0}/{:.0}", s.mean, s.p95)),
+                ls.map_or("-".into(), |s| format!("{:+.0}", s.mean)),
+            ]);
+        }
+    }
+    Report {
+        title: "E2 — eventual strong accuracy (Theorem 2)".into(),
+        preamble: "Paper claim: with a correct subject, the extracted detector makes \
+                   finitely many wrongful suspicions and then permanently trusts; \
+                   convergence happens after the black box's own exclusive suffix \
+                   begins (t_wx) plus a bounded settling period. Measured: mistake \
+                   counts and trust-stabilization instants as t_wx is swept."
+            .into(),
+        tables: vec![table],
+        notes: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_always_accurate_and_mistakes_finite() {
+        let cfg = ExperimentConfig { seeds: 3 };
+        let report = run(&cfg);
+        for row in &report.tables[0].rows {
+            let (got, total) = row[3].split_once('/').unwrap();
+            assert_eq!(got, total, "accuracy failed in config {row:?}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! E6 — Section 8: extracting ◇P from a black box and feeding it to a
+//! \[13\]-style algorithm yields eventually 2-fair WF-◇WX dining.
+
+use dinefd_core::fairness::run_fair_over_extraction;
+use dinefd_core::{BlackBox, OracleSpec};
+use dinefd_dining::driver::Workload;
+use dinefd_dining::ConflictGraph;
+use dinefd_sim::{CrashPlan, DelayModel, ProcessId, Time};
+
+use crate::table::{Report, Table};
+use crate::{parallel_map, ExperimentConfig};
+
+#[derive(Clone, Copy)]
+enum Graph {
+    Ring(usize),
+    Clique(usize),
+}
+
+impl Graph {
+    fn build(self) -> ConflictGraph {
+        match self {
+            Graph::Ring(n) => ConflictGraph::ring(n),
+            Graph::Clique(n) => ConflictGraph::clique(n),
+        }
+    }
+
+    fn name(self) -> String {
+        match self {
+            Graph::Ring(n) => format!("ring({n})"),
+            Graph::Clique(n) => format!("clique({n})"),
+        }
+    }
+}
+
+/// Runs E6 and returns the report.
+pub fn run(cfg: &ExperimentConfig) -> Report {
+    let configs: Vec<(Graph, Option<Time>)> = vec![
+        (Graph::Ring(4), None),
+        (Graph::Ring(4), Some(Time(6_000))),
+        (Graph::Clique(4), None),
+    ];
+    let mut table = Table::new(
+        "Eventual 2-fairness of dining driven by the *extracted* ◇P",
+        &[
+            "graph",
+            "crash",
+            "runs",
+            "wait-free",
+            "wx converged by (max)",
+            "suffix overtaking (max)",
+            "min meals",
+        ],
+    );
+    for (graph, crash) in configs {
+        let results = parallel_map(0..cfg.seeds, move |seed| {
+            let g = graph.build();
+            let crashes = match crash {
+                Some(t) => CrashPlan::one(ProcessId(1), t),
+                None => CrashPlan::none(),
+            };
+            let res = run_fair_over_extraction(
+                &g,
+                BlackBox::WfDx,
+                OracleSpec::DiamondP {
+                    lag: 20,
+                    convergence: Time(1_500),
+                    max_mistakes: 2,
+                    max_len: 100,
+                },
+                6_000 + seed,
+                DelayModel::default_async(),
+                crashes.clone(),
+                Time(50_000),
+                Workload::relaxed(),
+            );
+            let wait_free = res.dining.wait_freedom(&crashes, 10_000).is_ok();
+            let converged = res.dining.wx_converged_from(&g, &crashes);
+            let suffix = converged.max(Time(12_000));
+            let overtaking = res.dining.max_overtaking(&g, &crashes, suffix);
+            let min_meals = crashes
+                .correct(g.len())
+                .into_iter()
+                .map(|p| res.dining.session_count(p))
+                .min()
+                .unwrap_or(0);
+            (wait_free, converged, overtaking, min_meals)
+        });
+        let wf = results.iter().filter(|r| r.0).count();
+        let conv = results.iter().map(|r| r.1.ticks()).max().unwrap_or(0);
+        let k = results.iter().map(|r| r.2).max().unwrap_or(0);
+        let meals = results.iter().map(|r| r.3).min().unwrap_or(0);
+        table.row(vec![
+            graph.name(),
+            crash.map_or("-".into(), |t| t.ticks().to_string()),
+            results.len().to_string(),
+            format!("{wf}/{}", results.len()),
+            conv.to_string(),
+            k.to_string(),
+            meals.to_string(),
+        ]);
+    }
+    Report {
+        title: "E6 — eventual 2-fairness via the extracted ◇P (§8)".into(),
+        preamble: "Paper claim: any WF-◇WX solution can be upgraded to eventual \
+                   2-fairness by extracting ◇P (this reduction) and running the [13] \
+                   construction on it. Measured: the composed system stays wait-free, \
+                   its exclusion violations end early, and in the suffix no diner \
+                   overtakes a hungry neighbor more than 2 times (one extra overtake \
+                   of announcement-latency slack can appear at a spell boundary; the \
+                   client think/eat cycle must exceed the channel latency for the \
+                   bound to be crisp, hence the relaxed workload)."
+            .into(),
+        tables: vec![table],
+        notes: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_composition_is_fair_and_live() {
+        let cfg = ExperimentConfig { seeds: 2 };
+        let report = run(&cfg);
+        for row in &report.tables[0].rows {
+            let (wf, total) = row[3].split_once('/').unwrap();
+            assert_eq!(wf, total, "wait-freedom failed: {row:?}");
+            let k: usize = row[5].parse().unwrap();
+            assert!(k <= 3, "overtaking too high: {row:?}");
+        }
+    }
+}

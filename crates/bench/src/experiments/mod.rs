@@ -1,0 +1,36 @@
+//! The experiment suite (E1–E10). Each module's `run` produces the report for
+//! one EXPERIMENTS.md entry.
+
+pub mod e1_completeness;
+pub mod e2_accuracy;
+pub mod e3_handoff;
+pub mod e4_flawed;
+pub mod e5_trusting;
+pub mod e6_fairness;
+pub mod e7_explore;
+pub mod e8_scale;
+pub mod e9_ablation;
+pub mod e10_substrates;
+
+use crate::table::Report;
+use crate::ExperimentConfig;
+
+/// Runs the experiment with the given id ("e1".."e8").
+pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Report> {
+    match id {
+        "e1" => Some(e1_completeness::run(cfg)),
+        "e2" => Some(e2_accuracy::run(cfg)),
+        "e3" => Some(e3_handoff::run(cfg)),
+        "e4" => Some(e4_flawed::run(cfg)),
+        "e5" => Some(e5_trusting::run(cfg)),
+        "e6" => Some(e6_fairness::run(cfg)),
+        "e7" => Some(e7_explore::run(cfg)),
+        "e8" => Some(e8_scale::run(cfg)),
+        "e9" => Some(e9_ablation::run(cfg)),
+        "e10" => Some(e10_substrates::run(cfg)),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

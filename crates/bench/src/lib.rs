@@ -1,0 +1,97 @@
+//! # `dinefd-bench` — the experiment harness
+//!
+//! One module per experiment in `EXPERIMENTS.md` (E1–E10), each producing a
+//! [`table::Report`] that the `tables` binary prints. Experiments sweep
+//! seeds/parameters in parallel across OS threads (each run builds its own
+//! single-threaded deterministic world, so parallelism never affects
+//! results — only wall-clock).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+use crossbeam::thread;
+
+/// Knobs shared by all experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Seeds (= independent runs) per configuration point.
+    pub seeds: u64,
+}
+
+impl ExperimentConfig {
+    /// Quick profile for CI / smoke runs.
+    pub fn quick() -> Self {
+        ExperimentConfig { seeds: 3 }
+    }
+
+    /// Full profile for the published tables.
+    pub fn full() -> Self {
+        ExperimentConfig { seeds: 10 }
+    }
+}
+
+/// Maps `f` over `items` in parallel (bounded by the machine's parallelism),
+/// preserving order. Each invocation is independent and owns its inputs, so
+/// determinism is untouched — parallelism only buys wall-clock.
+pub fn parallel_map<I, T, F>(items: I, f: F) -> Vec<T>
+where
+    I: IntoIterator,
+    I::Item: Send,
+    T: Send,
+    F: Fn(I::Item) -> T + Sync,
+{
+    let items: Vec<I::Item> = items.into_iter().collect();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers =
+        std::thread::available_parallelism().map_or(4, |p| p.get()).min(items.len());
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let work: std::sync::Mutex<Vec<(usize, I::Item)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect());
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let next = work.lock().expect("work queue").pop();
+                match next {
+                    Some((i, item)) => {
+                        let value = f(item);
+                        *results[i].lock().expect("result slot") = Some(value);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("missing result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(0..32u64, |x| x * x);
+        assert_eq!(out, (0..32u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty() {
+        let out: Vec<u64> = parallel_map(std::iter::empty::<u64>(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        assert_eq!(parallel_map([7u32], |x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal markdown table rendering for the experiment harness.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// A titled markdown table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows (each row must match the column count).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {:<w$} |", cell, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One experiment's full report: tables plus free-form notes (e.g. rendered
+/// timelines).
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id + name, e.g. "E1 — strong completeness".
+    pub title: String,
+    /// What the paper claims and what the experiment does.
+    pub preamble: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Extra text blocks (timelines, violation lists).
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.preamble)?;
+        writeln!(f)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "{n}")?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["k", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-key".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| long-key | 22    |"));
+        assert!(s.lines().filter(|l| l.starts_with('|')).count() == 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

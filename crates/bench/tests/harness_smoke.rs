@@ -1,0 +1,38 @@
+//! End-to-end smoke test of the experiment harness: every experiment id in
+//! `ALL` must run in the quick profile, produce at least one non-empty
+//! table, and render to markdown.
+
+use dinefd_bench::experiments::{run_by_id, ALL};
+use dinefd_bench::ExperimentConfig;
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    let cfg = ExperimentConfig { seeds: 2 };
+    for &id in ALL {
+        let report = run_by_id(id, &cfg).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(!report.tables.is_empty(), "{id}: no tables");
+        for t in &report.tables {
+            assert!(!t.is_empty(), "{id}: empty table '{}'", t.title);
+            let rendered = t.to_string();
+            assert!(rendered.starts_with("### "), "{id}: bad rendering");
+        }
+        let md = report.to_string();
+        assert!(md.contains(&report.title), "{id}: report rendering lost its title");
+    }
+}
+
+#[test]
+fn unknown_experiment_id_is_rejected() {
+    let cfg = ExperimentConfig::quick();
+    assert!(run_by_id("e999", &cfg).is_none());
+    assert!(run_by_id("", &cfg).is_none());
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let cfg = ExperimentConfig { seeds: 2 };
+    let report = run_by_id("e3", &cfg).unwrap();
+    let json = serde_json::to_string(&report).expect("serializable");
+    assert!(json.contains("\"title\""));
+    assert!(json.contains("Fig. 1"));
+}

@@ -1,0 +1,400 @@
+//! The earlier ◇P-extraction of the paper's reference \[8\] (Guerraoui et al.,
+//! "boosting obstruction-freedom"), reproduced faithfully so its
+//! vulnerability can be demonstrated (the paper's Section 3, experiment E4).
+//!
+//! Construction, per ordered pair `(p, q)`:
+//!
+//! * `q` sends heartbeats to `p` at regular intervals; at start-up `q`
+//!   requests permission from a **single** wait-free contention-manager
+//!   instance (here: any [`dinefd_dining::DiningParticipant`] black box) and,
+//!   once granted, enters its critical section and **never exits**;
+//! * `p`, upon receiving a heartbeat, trusts `q` and requests permission
+//!   itself; once granted, it enters and immediately exits its critical
+//!   section, **suspects** `q`, and waits for the next heartbeat.
+//!
+//! The intended argument: if `q` is correct, the CM eventually serializes
+//! access, `q` occupies the critical section forever, `p` is locked out
+//! forever and trusts forever; if `q` crashes, heartbeats stop and
+//! wait-freedom lets `p` in, so `p` suspects permanently.
+//!
+//! The flaw the paper identifies: a legal WF-◇WX service only promises an
+//! exclusive suffix under conditions a never-exiting `q` can defeat. Against
+//! [`dinefd_dining::delayed::DelayedConvergenceDining`] — whose exclusivity
+//! additionally waits for every pre-convergence eater to exit — a correct
+//! `q` that entered during the prefix and never exits keeps the service
+//! non-exclusive forever, `p` keeps being granted, and `p` suspects a
+//! correct process infinitely often: the extracted oracle is **not** ◇P.
+//! The paper's two-instance reduction is immune (its subjects always exit;
+//! the hand-off is what throttles the witness instead).
+
+use std::rc::Rc;
+
+use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
+use dinefd_fd::FdQuery;
+use dinefd_sim::{Context, Node, ProcessId, Time, TimerId};
+
+use crate::host::{DxEndpoint, RedObs, Role};
+
+/// Messages of the flawed construction.
+#[derive(Clone, Debug)]
+pub enum CmMsg {
+    /// Contention-manager traffic of pair `(watcher, subject)`.
+    Dx {
+        /// The pair's watcher.
+        watcher: ProcessId,
+        /// The pair's subject.
+        subject: ProcessId,
+        /// The black-box dining message.
+        inner: DiningMsg,
+    },
+    /// `q`'s heartbeat to `p`.
+    Heartbeat {
+        /// The destination watcher.
+        watcher: ProcessId,
+        /// The origin subject.
+        subject: ProcessId,
+    },
+}
+
+struct FlawedWitness {
+    watcher: ProcessId,
+    subject: ProcessId,
+    cm: Box<dyn DiningParticipant>,
+    suspect: bool,
+    last_phase: DinerPhase,
+}
+
+struct FlawedSubject {
+    watcher: ProcessId,
+    subject: ProcessId,
+    cm: Box<dyn DiningParticipant>,
+    requested: bool,
+    last_phase: DinerPhase,
+}
+
+#[derive(Default)]
+struct Out {
+    sends: Vec<(ProcessId, CmMsg)>,
+    obs: Vec<RedObs>,
+}
+
+fn emit_phase(
+    out: &mut Out,
+    watcher: ProcessId,
+    subject: ProcessId,
+    role: Role,
+    last: &mut DinerPhase,
+    now_phase: DinerPhase,
+) {
+    let cycle =
+        [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating, DinerPhase::Exiting];
+    let pos = |ph: DinerPhase| cycle.iter().position(|&c| c == ph).expect("phase");
+    let (mut i, target) = (pos(*last), pos(now_phase));
+    while i != target {
+        i = (i + 1) % cycle.len();
+        out.obs.push(RedObs::DxPhase { watcher, subject, role, instance: 0, phase: cycle[i] });
+    }
+    *last = now_phase;
+}
+
+impl FlawedWitness {
+    fn invoke(
+        &mut self,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+        f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
+    ) {
+        let mut io = DiningIo::new(self.watcher, now, fd);
+        f(&mut *self.cm, &mut io);
+        for (to, msg) in io.finish().sends {
+            out.sends
+                .push((to, CmMsg::Dx { watcher: self.watcher, subject: self.subject, inner: msg }));
+        }
+        let ph = self.cm.phase();
+        emit_phase(out, self.watcher, self.subject, Role::Witness, &mut self.last_phase, ph);
+    }
+
+    fn set_suspect(&mut self, v: bool, out: &mut Out) {
+        if self.suspect != v {
+            self.suspect = v;
+            out.obs.push(RedObs::Suspicion { subject: self.subject, suspected: v });
+        }
+    }
+
+    /// If the CM granted us the critical section, leave immediately and
+    /// suspect `q` (the \[8\] cycle).
+    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        if self.cm.phase() == DinerPhase::Eating {
+            self.invoke(now, fd, out, |p, io| p.exit_eating(io));
+            self.set_suspect(true, out);
+        }
+    }
+
+    fn on_heartbeat(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        self.set_suspect(false, out);
+        if self.cm.phase() == DinerPhase::Thinking {
+            self.invoke(now, fd, out, |p, io| p.hungry(io));
+        }
+        self.pump(now, fd, out);
+    }
+}
+
+impl FlawedSubject {
+    fn invoke(
+        &mut self,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+        f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
+    ) {
+        let mut io = DiningIo::new(self.subject, now, fd);
+        f(&mut *self.cm, &mut io);
+        for (to, msg) in io.finish().sends {
+            out.sends
+                .push((to, CmMsg::Dx { watcher: self.watcher, subject: self.subject, inner: msg }));
+        }
+        let ph = self.cm.phase();
+        emit_phase(out, self.watcher, self.subject, Role::Subject, &mut self.last_phase, ph);
+    }
+
+    /// Request once; once eating, never exit.
+    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        if !self.requested && self.cm.phase() == DinerPhase::Thinking {
+            self.requested = true;
+            self.invoke(now, fd, out, |p, io| p.hungry(io));
+        }
+    }
+}
+
+const TICK: TimerId = TimerId(0);
+const HEARTBEAT: TimerId = TimerId(1);
+
+/// One physical process of the flawed construction.
+pub struct FlawedCmNode {
+    me: ProcessId,
+    witnesses: Vec<FlawedWitness>,
+    subjects: Vec<FlawedSubject>,
+    fd: Rc<dyn FdQuery>,
+    heartbeat_every: u64,
+    tick_every: u64,
+}
+
+impl std::fmt::Debug for FlawedCmNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlawedCmNode")
+            .field("me", &self.me)
+            .field("witnesses", &self.witnesses.len())
+            .field("subjects", &self.subjects.len())
+            .finish()
+    }
+}
+
+impl FlawedCmNode {
+    /// Builds the node for `me` over the given ordered pairs and CM factory
+    /// (one dining instance per pair — `instance` is always 0).
+    pub fn new(
+        me: ProcessId,
+        pairs: &[(ProcessId, ProcessId)],
+        factory: &(dyn Fn(DxEndpoint) -> Box<dyn DiningParticipant> + '_),
+        fd: Rc<dyn FdQuery>,
+    ) -> Self {
+        let witnesses = pairs
+            .iter()
+            .filter(|&&(w, s)| w == me && s != me)
+            .map(|&(w, s)| FlawedWitness {
+                watcher: w,
+                subject: s,
+                cm: factory(DxEndpoint { me: w, peer: s, watcher: w, subject: s, instance: 0 }),
+                suspect: true,
+                last_phase: DinerPhase::Thinking,
+            })
+            .collect();
+        let subjects = pairs
+            .iter()
+            .filter(|&&(w, s)| s == me && w != me)
+            .map(|&(w, s)| FlawedSubject {
+                watcher: w,
+                subject: s,
+                cm: factory(DxEndpoint { me: s, peer: w, watcher: w, subject: s, instance: 0 }),
+                requested: false,
+                last_phase: DinerPhase::Thinking,
+            })
+            .collect();
+        FlawedCmNode { me, witnesses, subjects, fd, heartbeat_every: 16, tick_every: 4 }
+    }
+
+    fn flush(out: Out, ctx: &mut Context<'_, CmMsg, RedObs>) {
+        for (to, msg) in out.sends {
+            ctx.send(to, msg);
+        }
+        for obs in out.obs {
+            ctx.observe(obs);
+        }
+    }
+}
+
+impl Node for FlawedCmNode {
+    type Msg = CmMsg;
+    type Obs = RedObs;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CmMsg, RedObs>) {
+        let mut out = Out::default();
+        let (now, fd) = (ctx.now(), Rc::clone(&self.fd));
+        for s in &mut self.subjects {
+            s.pump(now, &*fd, &mut out);
+        }
+        Self::flush(out, ctx);
+        ctx.set_timer(self.tick_every, TICK);
+        if !self.subjects.is_empty() {
+            ctx.set_timer(self.heartbeat_every, HEARTBEAT);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, CmMsg, RedObs>, from: ProcessId, msg: CmMsg) {
+        let mut out = Out::default();
+        let (now, fd) = (ctx.now(), Rc::clone(&self.fd));
+        match msg {
+            CmMsg::Dx { watcher, subject, inner } => {
+                if watcher == self.me {
+                    let w = self
+                        .witnesses
+                        .iter_mut()
+                        .find(|w| w.subject == subject)
+                        .expect("unknown pair");
+                    w.invoke(now, &*fd, &mut out, |p, io| p.on_message(io, from, inner));
+                    w.pump(now, &*fd, &mut out);
+                } else {
+                    let s = self
+                        .subjects
+                        .iter_mut()
+                        .find(|s| s.watcher == watcher)
+                        .expect("unknown pair");
+                    s.invoke(now, &*fd, &mut out, |p, io| p.on_message(io, from, inner));
+                    s.pump(now, &*fd, &mut out);
+                }
+            }
+            CmMsg::Heartbeat { watcher, subject } => {
+                debug_assert_eq!(watcher, self.me);
+                let w = self
+                    .witnesses
+                    .iter_mut()
+                    .find(|w| w.subject == subject)
+                    .expect("unknown pair");
+                w.on_heartbeat(now, &*fd, &mut out);
+            }
+        }
+        Self::flush(out, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, CmMsg, RedObs>, timer: TimerId) {
+        let mut out = Out::default();
+        let (now, fd) = (ctx.now(), Rc::clone(&self.fd));
+        match timer {
+            TICK => {
+                for w in &mut self.witnesses {
+                    w.invoke(now, &*fd, &mut out, |p, io| p.on_tick(io));
+                    w.pump(now, &*fd, &mut out);
+                }
+                for s in &mut self.subjects {
+                    s.invoke(now, &*fd, &mut out, |p, io| p.on_tick(io));
+                    s.pump(now, &*fd, &mut out);
+                }
+                ctx.set_timer(self.tick_every, TICK);
+            }
+            HEARTBEAT => {
+                for s in &self.subjects {
+                    out.sends.push((
+                        s.watcher,
+                        CmMsg::Heartbeat { watcher: s.watcher, subject: s.subject },
+                    ));
+                }
+                ctx.set_timer(self.heartbeat_every, HEARTBEAT);
+            }
+            other => debug_assert!(false, "unknown timer {other:?}"),
+        }
+        Self::flush(out, ctx);
+    }
+}
+
+/// Runs the flawed construction over one monitored pair `(p0, p1)` on the
+/// given black box; returns the extracted suspicion history.
+pub fn run_flawed_pair(
+    black_box: crate::scenario::BlackBox,
+    seed: u64,
+    crashes: dinefd_sim::CrashPlan,
+    horizon: Time,
+) -> dinefd_fd::SuspicionHistory {
+    use dinefd_sim::{World, WorldConfig};
+    let pairs = vec![(ProcessId(0), ProcessId(1))];
+    let mut rng = dinefd_sim::SplitMix64::new(seed ^ 0xBAD);
+    let oracle: Rc<dyn FdQuery> = Rc::new(
+        crate::scenario::OracleSpec::Perfect { lag: 20 }.build(2, crashes.clone(), &mut rng),
+    );
+    let factory = crate::scenario::factory_for(black_box);
+    let nodes: Vec<FlawedCmNode> = ProcessId::all(2)
+        .map(|me| FlawedCmNode::new(me, &pairs, &factory, Rc::clone(&oracle)))
+        .collect();
+    let cfg = WorldConfig::new(seed).crashes(crashes);
+    let mut world = World::new(nodes, cfg);
+    world.run_until(horizon);
+    let trace = world.into_trace();
+    crate::detector::suspicion_history(2, &trace, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::BlackBox;
+    use dinefd_sim::CrashPlan;
+
+    #[test]
+    fn flawed_construction_works_on_benign_box() {
+        // Against the Abstract box (exclusive after convergence, stragglers
+        // block), the [8] construction behaves: q locks the CS and p is
+        // locked out, trusting forever.
+        let h = run_flawed_pair(
+            BlackBox::Abstract { convergence: Time(1_500) },
+            3,
+            CrashPlan::none(),
+            Time(40_000),
+        );
+        let acc = h.eventual_strong_accuracy(&CrashPlan::none());
+        assert!(acc.is_ok(), "accuracy violated on benign box: {:?}", acc.err());
+    }
+
+    #[test]
+    fn flawed_construction_detects_crash() {
+        let plan = CrashPlan::one(ProcessId(1), Time(5_000));
+        let h = run_flawed_pair(
+            BlackBox::Abstract { convergence: Time(1_500) },
+            4,
+            plan.clone(),
+            Time(40_000),
+        );
+        assert!(h.strong_completeness(&plan).is_ok());
+    }
+
+    #[test]
+    fn flawed_construction_breaks_on_delayed_convergence_box() {
+        // The Section 3 counterexample: q enters during the non-exclusive
+        // prefix and never exits ⇒ exclusivity never starts ⇒ p is granted,
+        // and hence suspects correct q, over and over.
+        let h = run_flawed_pair(
+            BlackBox::Delayed { convergence: Time(1_500) },
+            5,
+            CrashPlan::none(),
+            Time(40_000),
+        );
+        let mistakes = h.mistake_intervals(ProcessId(0), ProcessId(1));
+        assert!(
+            mistakes > 50,
+            "expected unbounded flapping, saw only {mistakes} mistake intervals"
+        );
+        // And the flapping persists to the end of the recording: the run is
+        // NOT consistent with eventual strong accuracy having converged.
+        let last_change = h.timeline(ProcessId(0), ProcessId(1)).changes().last().copied();
+        let (t, _) = last_change.expect("output changed");
+        assert!(t > Time(35_000), "suspicion flapping stopped early at {t:?}");
+    }
+}

@@ -1,0 +1,546 @@
+//! Event-driven hosts that run the witness/subject machines over black-box
+//! dining instances inside the simulator.
+//!
+//! For every ordered monitoring pair `(p, q)` the reduction instantiates two
+//! dining instances `DX_0`, `DX_1`, each a 2-diner conflict graph between
+//! `p`'s witness thread `w_i` and `q`'s subject thread `s_i`. A single
+//! physical process may simultaneously host many witness components (one per
+//! process it watches) and many subject components (one per process watching
+//! it); a [`ReductionNode`] bundles them and routes the tagged messages.
+
+use std::rc::Rc;
+
+use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
+use dinefd_fd::FdQuery;
+use dinefd_sim::{Context, Node, ProcessId, Time, TimerId};
+
+use crate::machines::{
+    SubjectAction, SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine,
+};
+
+/// Which side of a monitoring pair a dining endpoint belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The watcher's side (`p.w_i`).
+    Witness,
+    /// The monitored side (`q.s_i`).
+    Subject,
+}
+
+/// Messages of the reduction layer, tagged with their monitoring pair.
+#[derive(Clone, Debug)]
+pub enum RedMsg {
+    /// Traffic of dining instance `DX_instance` of pair `(watcher, subject)`.
+    Dx {
+        /// The pair's watcher.
+        watcher: ProcessId,
+        /// The pair's subject.
+        subject: ProcessId,
+        /// 0 or 1.
+        instance: u8,
+        /// The black-box dining message.
+        inner: DiningMsg,
+    },
+    /// A subject's ping (Alg. 2, action `S_p`).
+    Ping {
+        /// The pair's watcher (the destination).
+        watcher: ProcessId,
+        /// The pair's subject (the origin).
+        subject: ProcessId,
+        /// Which instance's subject thread pinged.
+        instance: u8,
+        /// Hardening sequence number.
+        seq: u64,
+    },
+    /// A witness's ack (Alg. 1, action `W_p`).
+    Ack {
+        /// The pair's watcher (the origin).
+        watcher: ProcessId,
+        /// The pair's subject (the destination).
+        subject: ProcessId,
+        /// Which instance is being acked.
+        instance: u8,
+        /// Echoed sequence number.
+        seq: u64,
+    },
+}
+
+/// Observations emitted by reduction nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedObs {
+    /// The extracted detector output of this (watcher) node changed.
+    Suspicion {
+        /// The monitored process.
+        subject: ProcessId,
+        /// New output.
+        suspected: bool,
+    },
+    /// A witness/subject thread changed dining phase (Fig. 1 material).
+    DxPhase {
+        /// The pair's watcher.
+        watcher: ProcessId,
+        /// The pair's subject.
+        subject: ProcessId,
+        /// Which side of the pair this thread is.
+        role: Role,
+        /// 0 or 1.
+        instance: u8,
+        /// The new phase.
+        phase: DinerPhase,
+    },
+}
+
+/// Identity of one dining endpoint handed to a [`DiningFactory`].
+#[derive(Clone, Copy, Debug)]
+pub struct DxEndpoint {
+    /// The process hosting this endpoint.
+    pub me: ProcessId,
+    /// The instance peer (the other endpoint's process).
+    pub peer: ProcessId,
+    /// The pair's watcher.
+    pub watcher: ProcessId,
+    /// The pair's subject.
+    pub subject: ProcessId,
+    /// 0 or 1.
+    pub instance: u8,
+}
+
+/// Builds the local participant of one dining instance — this closure *is*
+/// the black box the reduction quantifies over.
+pub type DiningFactory<'a> = dyn Fn(DxEndpoint) -> Box<dyn DiningParticipant> + 'a;
+
+/// Effect collector shared by the components of one node invocation.
+#[derive(Debug, Default)]
+pub struct Out {
+    /// Outgoing reduction messages.
+    pub sends: Vec<(ProcessId, RedMsg)>,
+    /// Observations (suspicion changes, thread phases).
+    pub obs: Vec<RedObs>,
+}
+
+/// Maximum machine actions fired per pump. Grant-immediately black boxes can
+/// keep a witness cycling hungry→eating→exit endlessly; bounding the pump
+/// turns that cycle into one action per atomic step, exactly as the paper's
+/// interleaving semantics intend.
+const PUMP_BUDGET: usize = 4;
+
+/// Emits the observation chain implied by a phase jump (a participant can
+/// cross several phases inside one invocation).
+fn emit_phase_chain(
+    out: &mut Out,
+    watcher: ProcessId,
+    subject: ProcessId,
+    role: Role,
+    instance: u8,
+    from: DinerPhase,
+    to: DinerPhase,
+) {
+    if from == to {
+        return;
+    }
+    let cycle =
+        [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating, DinerPhase::Exiting];
+    let pos = |ph: DinerPhase| cycle.iter().position(|&c| c == ph).expect("phase");
+    let (mut i, target) = (pos(from), pos(to));
+    while i != target {
+        i = (i + 1) % cycle.len();
+        out.obs.push(RedObs::DxPhase { watcher, subject, role, instance, phase: cycle[i] });
+    }
+}
+
+/// The watcher-side component of one monitoring pair.
+pub struct WitnessComponent {
+    watcher: ProcessId,
+    subject: ProcessId,
+    machine: WitnessMachine,
+    dx: [Box<dyn DiningParticipant>; 2],
+    last_phase: [DinerPhase; 2],
+    last_suspect: bool,
+}
+
+impl std::fmt::Debug for WitnessComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WitnessComponent")
+            .field("subject", &self.subject)
+            .field("machine", &self.machine)
+            .finish()
+    }
+}
+
+impl WitnessComponent {
+    fn new(watcher: ProcessId, subject: ProcessId, factory: &DiningFactory<'_>) -> Self {
+        let mk = |instance: u8| {
+            factory(DxEndpoint { me: watcher, peer: subject, watcher, subject, instance })
+        };
+        WitnessComponent {
+            watcher,
+            subject,
+            machine: WitnessMachine::new(),
+            dx: [mk(0), mk(1)],
+            last_phase: [DinerPhase::Thinking; 2],
+            last_suspect: true,
+        }
+    }
+
+    /// Current extracted output for this pair.
+    pub fn suspects(&self) -> bool {
+        self.machine.suspects()
+    }
+
+    fn invoke_dx(
+        &mut self,
+        i: usize,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+        f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
+    ) {
+        let mut io = DiningIo::new(self.watcher, now, fd);
+        f(&mut *self.dx[i], &mut io);
+        let (watcher, subject) = (self.watcher, self.subject);
+        for (to, msg) in io.finish().sends {
+            debug_assert_eq!(to, subject);
+            out.sends.push((to, RedMsg::Dx { watcher, subject, instance: i as u8, inner: msg }));
+        }
+        let ph = self.dx[i].phase();
+        emit_phase_chain(out, watcher, subject, Role::Witness, i as u8, self.last_phase[i], ph);
+        self.last_phase[i] = ph;
+    }
+
+    fn note_suspicion(&mut self, out: &mut Out) {
+        let s = self.machine.suspects();
+        if s != self.last_suspect {
+            self.last_suspect = s;
+            out.obs.push(RedObs::Suspicion { subject: self.subject, suspected: s });
+        }
+    }
+
+    /// Fires enabled witness actions (bounded) and applies their commands.
+    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        for _ in 0..PUMP_BUDGET {
+            let phases = [self.dx[0].phase(), self.dx[1].phase()];
+            let Some(&action) = self.machine.enabled(phases).first() else {
+                break;
+            };
+            match self.machine.fire(action, phases) {
+                WitnessCmd::BecomeHungry(i) => {
+                    self.invoke_dx(i, now, fd, out, |p, io| p.hungry(io));
+                }
+                WitnessCmd::Exit(i) => {
+                    self.invoke_dx(i, now, fd, out, |p, io| p.exit_eating(io));
+                }
+                WitnessCmd::SendAck(..) => unreachable!("acks are message-triggered"),
+            }
+            self.note_suspicion(out);
+        }
+    }
+
+    fn on_dx_message(
+        &mut self,
+        instance: u8,
+        from: ProcessId,
+        inner: DiningMsg,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+    ) {
+        self.invoke_dx(instance as usize, now, fd, out, |p, io| p.on_message(io, from, inner));
+        self.pump(now, fd, out);
+    }
+
+    fn on_ping(&mut self, instance: u8, seq: u64, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        let WitnessCmd::SendAck(i, seq) = self.machine.on_ping(instance as usize, seq) else {
+            unreachable!()
+        };
+        out.sends.push((
+            self.subject,
+            RedMsg::Ack { watcher: self.watcher, subject: self.subject, instance: i as u8, seq },
+        ));
+        self.pump(now, fd, out);
+    }
+
+    fn on_tick(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        for i in 0..2 {
+            self.invoke_dx(i, now, fd, out, |p, io| p.on_tick(io));
+        }
+        self.pump(now, fd, out);
+    }
+}
+
+/// The monitored-side component of one monitoring pair.
+pub struct SubjectComponent {
+    watcher: ProcessId,
+    subject: ProcessId,
+    machine: SubjectMachine,
+    dx: [Box<dyn DiningParticipant>; 2],
+    last_phase: [DinerPhase; 2],
+}
+
+impl std::fmt::Debug for SubjectComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubjectComponent")
+            .field("watcher", &self.watcher)
+            .field("machine", &self.machine)
+            .finish()
+    }
+}
+
+impl SubjectComponent {
+    fn new(
+        watcher: ProcessId,
+        subject: ProcessId,
+        strict_seq: bool,
+        factory: &DiningFactory<'_>,
+    ) -> Self {
+        let mk = |instance: u8| {
+            factory(DxEndpoint { me: subject, peer: watcher, watcher, subject, instance })
+        };
+        SubjectComponent {
+            watcher,
+            subject,
+            machine: SubjectMachine::new(strict_seq),
+            dx: [mk(0), mk(1)],
+            last_phase: [DinerPhase::Thinking; 2],
+        }
+    }
+
+    fn invoke_dx(
+        &mut self,
+        i: usize,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+        f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
+    ) {
+        let mut io = DiningIo::new(self.subject, now, fd);
+        f(&mut *self.dx[i], &mut io);
+        let (watcher, subject) = (self.watcher, self.subject);
+        for (to, msg) in io.finish().sends {
+            debug_assert_eq!(to, watcher);
+            out.sends.push((to, RedMsg::Dx { watcher, subject, instance: i as u8, inner: msg }));
+        }
+        let ph = self.dx[i].phase();
+        emit_phase_chain(out, watcher, subject, Role::Subject, i as u8, self.last_phase[i], ph);
+        self.last_phase[i] = ph;
+    }
+
+    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        for _ in 0..PUMP_BUDGET {
+            let phases = [self.dx[0].phase(), self.dx[1].phase()];
+            let enabled = self.machine.enabled(phases);
+            // Prefer pings over hunger so a lone eater's ping is never
+            // starved by the other thread's bookkeeping.
+            let Some(&action) = enabled
+                .iter()
+                .find(|a| matches!(a, SubjectAction::Ping(_)))
+                .or_else(|| enabled.first())
+            else {
+                break;
+            };
+            match self.machine.fire(action, phases) {
+                SubjectCmd::BecomeHungry(i) => {
+                    self.invoke_dx(i, now, fd, out, |p, io| p.hungry(io));
+                }
+                SubjectCmd::Exit(i) => {
+                    self.invoke_dx(i, now, fd, out, |p, io| p.exit_eating(io));
+                }
+                SubjectCmd::SendPing(i, seq) => {
+                    out.sends.push((
+                        self.watcher,
+                        RedMsg::Ping {
+                            watcher: self.watcher,
+                            subject: self.subject,
+                            instance: i as u8,
+                            seq,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    fn on_dx_message(
+        &mut self,
+        instance: u8,
+        from: ProcessId,
+        inner: DiningMsg,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+    ) {
+        self.invoke_dx(instance as usize, now, fd, out, |p, io| p.on_message(io, from, inner));
+        self.pump(now, fd, out);
+    }
+
+    fn on_ack(&mut self, instance: u8, seq: u64, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        self.machine.on_ack(instance as usize, seq);
+        self.pump(now, fd, out);
+    }
+
+    fn on_tick(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        for i in 0..2 {
+            self.invoke_dx(i, now, fd, out, |p, io| p.on_tick(io));
+        }
+        self.pump(now, fd, out);
+    }
+}
+
+const TICK: TimerId = TimerId(0);
+
+/// One physical process of the reduction: all of its witness and subject
+/// components plus message routing.
+pub struct ReductionNode {
+    me: ProcessId,
+    witnesses: Vec<WitnessComponent>,
+    subjects: Vec<SubjectComponent>,
+    fd: Rc<dyn FdQuery>,
+    tick_every: u64,
+}
+
+impl std::fmt::Debug for ReductionNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReductionNode")
+            .field("me", &self.me)
+            .field("witnesses", &self.witnesses.len())
+            .field("subjects", &self.subjects.len())
+            .finish()
+    }
+}
+
+impl ReductionNode {
+    /// Builds the node for `me` given the full list of ordered monitoring
+    /// pairs, the black-box dining factory, and the oracle handle consumed by
+    /// the dining implementations (NOT by the reduction itself — the
+    /// reduction is oracle-free, that is the whole point).
+    pub fn new(
+        me: ProcessId,
+        pairs: &[(ProcessId, ProcessId)],
+        factory: &DiningFactory<'_>,
+        fd: Rc<dyn FdQuery>,
+        strict_seq: bool,
+    ) -> Self {
+        let witnesses = pairs
+            .iter()
+            .filter(|&&(w, s)| w == me && s != me)
+            .map(|&(w, s)| WitnessComponent::new(w, s, factory))
+            .collect();
+        let subjects = pairs
+            .iter()
+            .filter(|&&(w, s)| s == me && w != me)
+            .map(|&(w, s)| SubjectComponent::new(w, s, strict_seq, factory))
+            .collect();
+        ReductionNode { me, witnesses, subjects, fd, tick_every: 4 }
+    }
+
+    /// Overrides the self-tick period (scheduling-granularity ablation).
+    pub fn set_tick_every(&mut self, ticks: u64) {
+        self.tick_every = ticks.max(1);
+    }
+
+    /// The extracted detector output of this node: does `me` suspect `q`?
+    /// `true` for pairs this node does not watch (matching the reduction's
+    /// pessimistic initialization).
+    pub fn suspects(&self, q: ProcessId) -> bool {
+        self.witnesses.iter().find(|w| w.subject == q).is_none_or(|w| w.suspects())
+    }
+
+    fn witness_mut(&mut self, subject: ProcessId) -> &mut WitnessComponent {
+        self.witnesses
+            .iter_mut()
+            .find(|w| w.subject == subject)
+            .expect("message for unknown witness pair")
+    }
+
+    fn subject_mut(&mut self, watcher: ProcessId) -> &mut SubjectComponent {
+        self.subjects
+            .iter_mut()
+            .find(|s| s.watcher == watcher)
+            .expect("message for unknown subject pair")
+    }
+
+    /// Context-free start step (for composition with other layers). The
+    /// caller is responsible for scheduling the recurring tick.
+    pub fn handle_start(&mut self, now: Time) -> Out {
+        let mut out = Out::default();
+        let fd = Rc::clone(&self.fd);
+        for w in &mut self.witnesses {
+            w.pump(now, &*fd, &mut out);
+        }
+        for s in &mut self.subjects {
+            s.pump(now, &*fd, &mut out);
+        }
+        out
+    }
+
+    /// Context-free message step.
+    pub fn handle_message(&mut self, from: ProcessId, msg: RedMsg, now: Time) -> Out {
+        let mut out = Out::default();
+        let fd = Rc::clone(&self.fd);
+        match msg {
+            RedMsg::Dx { watcher, subject, instance, inner } => {
+                if watcher == self.me {
+                    self.witness_mut(subject)
+                        .on_dx_message(instance, from, inner, now, &*fd, &mut out);
+                } else {
+                    debug_assert_eq!(subject, self.me);
+                    self.subject_mut(watcher)
+                        .on_dx_message(instance, from, inner, now, &*fd, &mut out);
+                }
+            }
+            RedMsg::Ping { watcher, subject, instance, seq } => {
+                debug_assert_eq!(watcher, self.me);
+                self.witness_mut(subject).on_ping(instance, seq, now, &*fd, &mut out);
+            }
+            RedMsg::Ack { watcher, subject, instance, seq } => {
+                debug_assert_eq!(subject, self.me);
+                self.subject_mut(watcher).on_ack(instance, seq, now, &*fd, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Context-free tick step.
+    pub fn handle_tick(&mut self, now: Time) -> Out {
+        let mut out = Out::default();
+        let fd = Rc::clone(&self.fd);
+        for w in &mut self.witnesses {
+            w.on_tick(now, &*fd, &mut out);
+        }
+        for s in &mut self.subjects {
+            s.on_tick(now, &*fd, &mut out);
+        }
+        out
+    }
+
+    fn flush(out: Out, ctx: &mut Context<'_, RedMsg, RedObs>) {
+        for (to, msg) in out.sends {
+            ctx.send(to, msg);
+        }
+        for obs in out.obs {
+            ctx.observe(obs);
+        }
+    }
+}
+
+impl Node for ReductionNode {
+    type Msg = RedMsg;
+    type Obs = RedObs;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, RedMsg, RedObs>) {
+        let out = self.handle_start(ctx.now());
+        Self::flush(out, ctx);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, RedMsg, RedObs>, from: ProcessId, msg: RedMsg) {
+        let out = self.handle_message(from, msg, ctx.now());
+        Self::flush(out, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, RedMsg, RedObs>, timer: TimerId) {
+        debug_assert_eq!(timer, TICK);
+        let out = self.handle_tick(ctx.now());
+        Self::flush(out, ctx);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+}

@@ -1,0 +1,309 @@
+//! Ready-made scenario assembly: pick a black box, an underlying oracle, a
+//! fault/delay environment — get back the extracted detector's history.
+//!
+//! This is the API the examples, integration tests, and the experiment
+//! harness (`dinefd-bench`) all drive.
+
+use std::rc::Rc;
+
+use dinefd_dining::abstract_dining::AbstractDining;
+use dinefd_dining::delayed::DelayedConvergenceDining;
+use dinefd_dining::ftme::FtmeDining;
+use dinefd_dining::hygienic::HygienicDining;
+use dinefd_dining::unfair::UnfairDining;
+use dinefd_dining::wfdx::WfDxDining;
+use dinefd_dining::DiningParticipant;
+use dinefd_fd::{FdQuery, InjectedOracle, SuspicionHistory};
+use dinefd_sim::{CrashPlan, DelayModel, ProcessId, SplitMix64, Time, Trace, World, WorldConfig};
+
+use crate::detector::{suspicion_history, PairTimelines};
+use crate::host::{DxEndpoint, RedMsg, RedObs, ReductionNode};
+
+/// Which WF-◇WX (or WX) black box the reduction runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlackBox {
+    /// The ◇P fork algorithm (\[12\]-style) — the canonical WF-◇WX solution.
+    WfDx,
+    /// Crash-oblivious Chandy–Misra (NOT wait-free; negative baselines).
+    Hygienic,
+    /// The Section 3 pathological-but-legal service; exclusivity starts only
+    /// after `convergence` *and* after all pre-convergence eaters exit.
+    Delayed {
+        /// Modelled internal-◇P convergence instant.
+        convergence: Time,
+    },
+    /// Spec-constrained adversarial service; exclusive from `convergence`.
+    Abstract {
+        /// Modelled internal-◇P convergence instant.
+        convergence: Time,
+    },
+    /// Perpetual-WX (FTME) service — for the Section 9 T-extraction.
+    Ftme,
+    /// Legal service with escalating unfairness toward the watcher (the
+    /// §5.1 remark; used by the single-instance ablation, E9).
+    Unfair {
+        /// Modelled internal-◇P convergence instant.
+        convergence: Time,
+    },
+}
+
+/// Which oracle the *black box* consumes (the reduction itself is
+/// oracle-free).
+#[derive(Clone, Copy, Debug)]
+pub enum OracleSpec {
+    /// Perfect detector with the given detection lag.
+    Perfect {
+        /// Ticks between a crash and its detection.
+        lag: u64,
+    },
+    /// ◇P with random mistakes before `convergence`.
+    DiamondP {
+        /// Detection lag for real crashes.
+        lag: u64,
+        /// No wrongful suspicions at or after this instant.
+        convergence: Time,
+        /// Max wrongful-suspicion intervals per ordered pair.
+        max_mistakes: u64,
+        /// Max length of each interval.
+        max_len: u64,
+    },
+    /// Trusting oracle: initial distrust ending by `trust_by`, then accurate.
+    Trusting {
+        /// Detection lag for real crashes.
+        lag: u64,
+        /// All initial distrust ends by this instant.
+        trust_by: Time,
+    },
+}
+
+impl OracleSpec {
+    /// Materializes the oracle for a run.
+    pub fn build(self, n: usize, crashes: CrashPlan, rng: &mut SplitMix64) -> InjectedOracle {
+        match self {
+            OracleSpec::Perfect { lag } => InjectedOracle::perfect(n, crashes, lag),
+            OracleSpec::DiamondP { lag, convergence, max_mistakes, max_len } => {
+                InjectedOracle::diamond_p(n, crashes, lag, convergence, max_mistakes, max_len, rng)
+            }
+            OracleSpec::Trusting { lag, trust_by } => {
+                InjectedOracle::trusting(n, crashes, lag, trust_by, rng)
+            }
+        }
+    }
+}
+
+/// Full description of one extraction run.
+#[derive(Debug)]
+pub struct Scenario {
+    /// System size.
+    pub n: usize,
+    /// Ordered monitoring pairs; empty = all ordered pairs.
+    pub pairs: Vec<(ProcessId, ProcessId)>,
+    /// The black box under the reduction.
+    pub black_box: BlackBox,
+    /// The oracle consumed by the black box.
+    pub oracle: OracleSpec,
+    /// Root seed.
+    pub seed: u64,
+    /// Channel delays.
+    pub delays: DelayModel,
+    /// Crash schedule.
+    pub crashes: CrashPlan,
+    /// Run length.
+    pub horizon: Time,
+    /// Use the hardened (sequence-tagged) ping/ack variant.
+    pub strict_seq: bool,
+    /// Self-tick period of the reduction nodes (scheduling granularity).
+    pub tick_every: u64,
+}
+
+impl Scenario {
+    /// A single-pair scenario (`p0` watches `p1`) with sensible defaults.
+    pub fn pair(black_box: BlackBox, seed: u64) -> Self {
+        Scenario {
+            n: 2,
+            pairs: vec![(ProcessId(0), ProcessId(1))],
+            black_box,
+            oracle: OracleSpec::DiamondP {
+                lag: 20,
+                convergence: Time(2_000),
+                max_mistakes: 3,
+                max_len: 150,
+            },
+            seed,
+            delays: DelayModel::default_async(),
+            crashes: CrashPlan::none(),
+            horizon: Time(40_000),
+            strict_seq: false,
+            tick_every: 4,
+        }
+    }
+
+    /// An all-ordered-pairs scenario over `n` processes.
+    pub fn all_pairs(n: usize, black_box: BlackBox, seed: u64) -> Self {
+        let mut sc = Scenario::pair(black_box, seed);
+        sc.n = n;
+        sc.pairs = all_ordered_pairs(n);
+        sc
+    }
+}
+
+/// All ordered pairs `(w, s)`, `w ≠ s`, over `n` processes.
+pub fn all_ordered_pairs(n: usize) -> Vec<(ProcessId, ProcessId)> {
+    let mut out = Vec::with_capacity(n * (n - 1));
+    for w in ProcessId::all(n) {
+        for s in ProcessId::all(n) {
+            if w != s {
+                out.push((w, s));
+            }
+        }
+    }
+    out
+}
+
+/// Everything measured in one extraction run.
+pub struct ExtractionResult {
+    /// The extracted detector's suspicion history.
+    pub history: SuspicionHistory,
+    /// The raw trace (observations always present).
+    pub trace: Trace<RedMsg, RedObs>,
+    /// The run's crash plan (for the spec checkers).
+    pub crashes: CrashPlan,
+    /// System size.
+    pub n: usize,
+    /// Run length.
+    pub horizon: Time,
+    /// Total atomic steps executed.
+    pub steps: u64,
+    /// Total messages sent.
+    pub messages_sent: u64,
+}
+
+impl ExtractionResult {
+    /// Thread timelines of one pair (Fig. 1 material).
+    pub fn pair_timelines(&self, watcher: ProcessId, subject: ProcessId) -> PairTimelines {
+        PairTimelines::collect(&self.trace, watcher, subject, self.horizon)
+    }
+}
+
+/// The dining-participant factory implementing a [`BlackBox`] choice.
+pub fn factory_for(
+    black_box: BlackBox,
+) -> impl Fn(DxEndpoint) -> Box<dyn DiningParticipant> {
+    move |ep: DxEndpoint| -> Box<dyn DiningParticipant> {
+        match black_box {
+            BlackBox::WfDx => Box::new(WfDxDining::new(ep.me, &[ep.peer])),
+            BlackBox::Hygienic => Box::new(HygienicDining::new(ep.me, &[ep.peer])),
+            // Coordinator at the watcher: the pair's output is only consumed
+            // while the watcher lives, so a watcher-side coordinator keeps
+            // every meaningful instance live.
+            BlackBox::Delayed { convergence } => {
+                Box::new(DelayedConvergenceDining::new(ep.me, ep.watcher, convergence))
+            }
+            BlackBox::Abstract { convergence } => {
+                Box::new(AbstractDining::new(ep.me, ep.watcher, convergence))
+            }
+            BlackBox::Ftme => Box::new(FtmeDining::new(ep.me, &[ep.peer])),
+            BlackBox::Unfair { convergence } => {
+                Box::new(UnfairDining::new(ep.me, ep.watcher, convergence))
+            }
+        }
+    }
+}
+
+/// Runs one extraction scenario to its horizon.
+///
+/// ```
+/// use dinefd_core::{run_extraction, BlackBox, Scenario};
+/// use dinefd_sim::{CrashPlan, ProcessId, Time};
+///
+/// let mut sc = Scenario::pair(BlackBox::WfDx, 7);
+/// sc.crashes = CrashPlan::one(ProcessId(1), Time(8_000));
+/// let crashes = sc.crashes.clone();
+/// let res = run_extraction(sc);
+/// // The extracted detector permanently suspects the crashed subject…
+/// assert!(res.history.strong_completeness(&crashes).is_ok());
+/// // …after finitely many mistakes while it was alive.
+/// assert!(res.history.mistake_intervals(ProcessId(0), ProcessId(1)) >= 1);
+/// ```
+pub fn run_extraction(sc: Scenario) -> ExtractionResult {
+    let Scenario {
+        n,
+        pairs,
+        black_box,
+        oracle,
+        seed,
+        delays,
+        crashes,
+        horizon,
+        strict_seq,
+        tick_every,
+    } = sc;
+    let pairs = if pairs.is_empty() { all_ordered_pairs(n) } else { pairs };
+    let mut rng = SplitMix64::new(seed ^ 0xD1CE_F00D);
+    let oracle: Rc<dyn FdQuery> = Rc::new(oracle.build(n, crashes.clone(), &mut rng));
+    let factory = factory_for(black_box);
+    let nodes: Vec<ReductionNode> = ProcessId::all(n)
+        .map(|me| {
+            let mut node = ReductionNode::new(me, &pairs, &factory, Rc::clone(&oracle), strict_seq);
+            node.set_tick_every(tick_every);
+            node
+        })
+        .collect();
+    let cfg = WorldConfig::new(seed).delays(delays).crashes(crashes.clone());
+    let mut world = World::new(nodes, cfg);
+    world.run_until(horizon);
+    let steps = world.steps();
+    let messages_sent = world.messages_sent();
+    let trace = world.into_trace();
+    let history = suspicion_history(n, &trace, &pairs);
+    ExtractionResult { history, trace, crashes, n, horizon, steps, messages_sent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinefd_fd::OracleClass;
+
+    #[test]
+    fn all_ordered_pairs_counts() {
+        assert_eq!(all_ordered_pairs(2).len(), 2);
+        assert_eq!(all_ordered_pairs(4).len(), 12);
+    }
+
+    #[test]
+    fn extraction_over_wfdx_failure_free_converges_to_trust() {
+        let sc = Scenario::pair(BlackBox::WfDx, 11);
+        let crashes = sc.crashes.clone();
+        let res = run_extraction(sc);
+        let acc = res.history.eventual_strong_accuracy(&crashes);
+        assert!(acc.is_ok(), "accuracy: {:?}", acc.err());
+        let acc = acc.unwrap();
+        let pair = acc.iter().find(|a| a.watcher == ProcessId(0)).unwrap();
+        assert!(pair.trusted_from < res.horizon);
+    }
+
+    #[test]
+    fn extraction_over_wfdx_detects_crash() {
+        let mut sc = Scenario::pair(BlackBox::WfDx, 13);
+        sc.crashes = CrashPlan::one(ProcessId(1), Time(8_000));
+        let crashes = sc.crashes.clone();
+        let res = run_extraction(sc);
+        let det = res.history.strong_completeness(&crashes).unwrap();
+        assert_eq!(det.len(), 1);
+        assert!(det[0].detected_from > det[0].crashed_at);
+    }
+
+    #[test]
+    fn extraction_over_abstract_box_is_diamond_p() {
+        let mut sc = Scenario::all_pairs(3, BlackBox::Abstract { convergence: Time(3_000) }, 17);
+        sc.crashes = CrashPlan::one(ProcessId(2), Time(6_000));
+        sc.horizon = Time(60_000);
+        let crashes = sc.crashes.clone();
+        let res = run_extraction(sc);
+        let classes = res.history.classify(&crashes);
+        assert!(
+            classes.contains(&OracleClass::EventuallyPerfect),
+            "extracted classes: {classes:?}"
+        );
+    }
+}

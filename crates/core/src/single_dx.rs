@@ -1,0 +1,440 @@
+//! The **single-instance ablation** of the paper's reduction — why two
+//! dining instances are necessary.
+//!
+//! This is the "obvious" one-instance design: per ordered pair `(p, q)`,
+//! ONE dining instance in which `p`'s lone witness thread cycles
+//! hungry→eat→check→exit, and `q`'s lone subject thread cycles
+//! hungry→eat→ping→await-ack→exit. Unlike the flawed construction of
+//! reference \[8\] (which this repository reproduces in
+//! [`crate::flawed_cm`]), the subject here *does* exit, so the §3
+//! never-exiting trap does not apply.
+//!
+//! It is still wrong, for the reason the paper's Section 5.1 spells out:
+//! WF-◇WX guarantees no fairness, so a legal black box may grant the witness
+//! unboundedly many meals between consecutive subject meals (see
+//! [`dinefd_dining::unfair::UnfairDining`]); each extra meal finds no banked
+//! ping and wrongfully suspects the correct subject — infinitely often. The
+//! paper's two-instance hand-off closes exactly this hole: in the exclusive
+//! suffix some subject thread is *always eating* (Lemma 8), so exclusion
+//! itself throttles each witness thread between subject meals, no fairness
+//! needed. Experiment E9 measures the separation.
+
+use std::rc::Rc;
+
+use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
+use dinefd_fd::FdQuery;
+use dinefd_sim::{Context, Node, ProcessId, Time, TimerId};
+
+use crate::host::{DxEndpoint, RedObs, Role};
+
+/// Messages of the single-instance reduction.
+#[derive(Clone, Debug)]
+pub enum SdMsg {
+    /// Dining traffic of the pair's one instance.
+    Dx {
+        /// The pair's watcher.
+        watcher: ProcessId,
+        /// The pair's subject.
+        subject: ProcessId,
+        /// The black-box dining message.
+        inner: DiningMsg,
+    },
+    /// Subject's in-session ping.
+    Ping {
+        /// The pair's watcher.
+        watcher: ProcessId,
+        /// The pair's subject.
+        subject: ProcessId,
+    },
+    /// Witness's ack.
+    Ack {
+        /// The pair's watcher.
+        watcher: ProcessId,
+        /// The pair's subject.
+        subject: ProcessId,
+    },
+}
+
+struct SingleWitness {
+    watcher: ProcessId,
+    subject: ProcessId,
+    dx: Box<dyn DiningParticipant>,
+    haveping: bool,
+    suspect: bool,
+}
+
+struct SingleSubject {
+    watcher: ProcessId,
+    subject: ProcessId,
+    dx: Box<dyn DiningParticipant>,
+    /// Ping sent this session and ack still pending.
+    awaiting_ack: bool,
+}
+
+#[derive(Default)]
+struct Out {
+    sends: Vec<(ProcessId, SdMsg)>,
+    obs: Vec<RedObs>,
+}
+
+const PUMP_BUDGET: usize = 4;
+
+impl SingleWitness {
+    fn invoke(
+        &mut self,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+        f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
+    ) {
+        let before = self.dx.phase();
+        let mut io = DiningIo::new(self.watcher, now, fd);
+        f(&mut *self.dx, &mut io);
+        for (to, msg) in io.finish().sends {
+            out.sends
+                .push((to, SdMsg::Dx { watcher: self.watcher, subject: self.subject, inner: msg }));
+        }
+        let after = self.dx.phase();
+        if before != after {
+            out.obs.push(RedObs::DxPhase {
+                watcher: self.watcher,
+                subject: self.subject,
+                role: Role::Witness,
+                instance: 0,
+                phase: after,
+            });
+        }
+    }
+
+    fn set_suspect(&mut self, v: bool, out: &mut Out) {
+        if self.suspect != v {
+            self.suspect = v;
+            out.obs.push(RedObs::Suspicion { subject: self.subject, suspected: v });
+        }
+    }
+
+    /// The one-instance witness cycle: hungry when thinking, check+exit when
+    /// eating.
+    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        for _ in 0..PUMP_BUDGET {
+            match self.dx.phase() {
+                DinerPhase::Thinking => {
+                    self.invoke(now, fd, out, |p, io| p.hungry(io));
+                    if self.dx.phase() == DinerPhase::Hungry {
+                        break;
+                    }
+                }
+                DinerPhase::Eating => {
+                    let trusted = self.haveping;
+                    self.haveping = false;
+                    self.set_suspect(!trusted, out);
+                    self.invoke(now, fd, out, |p, io| p.exit_eating(io));
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn on_ping(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        self.haveping = true;
+        out.sends
+            .push((self.subject, SdMsg::Ack { watcher: self.watcher, subject: self.subject }));
+        self.pump(now, fd, out);
+    }
+}
+
+impl SingleSubject {
+    fn invoke(
+        &mut self,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+        f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
+    ) {
+        let before = self.dx.phase();
+        let mut io = DiningIo::new(self.subject, now, fd);
+        f(&mut *self.dx, &mut io);
+        for (to, msg) in io.finish().sends {
+            out.sends
+                .push((to, SdMsg::Dx { watcher: self.watcher, subject: self.subject, inner: msg }));
+        }
+        let after = self.dx.phase();
+        if before != after {
+            out.obs.push(RedObs::DxPhase {
+                watcher: self.watcher,
+                subject: self.subject,
+                role: Role::Subject,
+                instance: 0,
+                phase: after,
+            });
+        }
+    }
+
+    /// The one-instance subject cycle: hungry when thinking; ping when
+    /// eating; exit on ack.
+    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        for _ in 0..PUMP_BUDGET {
+            match self.dx.phase() {
+                DinerPhase::Thinking => {
+                    self.invoke(now, fd, out, |p, io| p.hungry(io));
+                    if self.dx.phase() == DinerPhase::Hungry {
+                        break;
+                    }
+                }
+                DinerPhase::Eating if !self.awaiting_ack => {
+                    self.awaiting_ack = true;
+                    out.sends.push((
+                        self.watcher,
+                        SdMsg::Ping { watcher: self.watcher, subject: self.subject },
+                    ));
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn on_ack(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+        if self.awaiting_ack && self.dx.phase() == DinerPhase::Eating {
+            self.awaiting_ack = false;
+            self.invoke(now, fd, out, |p, io| p.exit_eating(io));
+        }
+        self.pump(now, fd, out);
+    }
+}
+
+const TICK: TimerId = TimerId(0);
+
+/// One physical process of the single-instance reduction.
+pub struct SingleDxNode {
+    me: ProcessId,
+    witnesses: Vec<SingleWitness>,
+    subjects: Vec<SingleSubject>,
+    fd: Rc<dyn FdQuery>,
+    tick_every: u64,
+}
+
+impl std::fmt::Debug for SingleDxNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleDxNode")
+            .field("me", &self.me)
+            .field("witnesses", &self.witnesses.len())
+            .field("subjects", &self.subjects.len())
+            .finish()
+    }
+}
+
+impl SingleDxNode {
+    /// Builds the node for `me` over the given ordered pairs (one dining
+    /// instance per pair; `instance` is always 0 in the factory endpoint).
+    pub fn new(
+        me: ProcessId,
+        pairs: &[(ProcessId, ProcessId)],
+        factory: &(dyn Fn(DxEndpoint) -> Box<dyn DiningParticipant> + '_),
+        fd: Rc<dyn FdQuery>,
+    ) -> Self {
+        let witnesses = pairs
+            .iter()
+            .filter(|&&(w, s)| w == me && s != me)
+            .map(|&(w, s)| SingleWitness {
+                watcher: w,
+                subject: s,
+                dx: factory(DxEndpoint { me: w, peer: s, watcher: w, subject: s, instance: 0 }),
+                haveping: false,
+                suspect: true,
+            })
+            .collect();
+        let subjects = pairs
+            .iter()
+            .filter(|&&(w, s)| s == me && w != me)
+            .map(|&(w, s)| SingleSubject {
+                watcher: w,
+                subject: s,
+                dx: factory(DxEndpoint { me: s, peer: w, watcher: w, subject: s, instance: 0 }),
+                awaiting_ack: false,
+            })
+            .collect();
+        SingleDxNode { me, witnesses, subjects, fd, tick_every: 4 }
+    }
+
+    fn flush(out: Out, ctx: &mut Context<'_, SdMsg, RedObs>) {
+        for (to, msg) in out.sends {
+            ctx.send(to, msg);
+        }
+        for obs in out.obs {
+            ctx.observe(obs);
+        }
+    }
+}
+
+impl Node for SingleDxNode {
+    type Msg = SdMsg;
+    type Obs = RedObs;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SdMsg, RedObs>) {
+        let mut out = Out::default();
+        let (now, fd) = (ctx.now(), Rc::clone(&self.fd));
+        for w in &mut self.witnesses {
+            w.pump(now, &*fd, &mut out);
+        }
+        for s in &mut self.subjects {
+            s.pump(now, &*fd, &mut out);
+        }
+        Self::flush(out, ctx);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SdMsg, RedObs>, from: ProcessId, msg: SdMsg) {
+        let mut out = Out::default();
+        let (now, fd) = (ctx.now(), Rc::clone(&self.fd));
+        match msg {
+            SdMsg::Dx { watcher, subject, inner } => {
+                if watcher == self.me {
+                    let w = self
+                        .witnesses
+                        .iter_mut()
+                        .find(|w| w.subject == subject)
+                        .expect("unknown pair");
+                    w.invoke(now, &*fd, &mut out, |p, io| p.on_message(io, from, inner));
+                    w.pump(now, &*fd, &mut out);
+                } else {
+                    let s = self
+                        .subjects
+                        .iter_mut()
+                        .find(|s| s.watcher == watcher)
+                        .expect("unknown pair");
+                    s.invoke(now, &*fd, &mut out, |p, io| p.on_message(io, from, inner));
+                    s.pump(now, &*fd, &mut out);
+                }
+            }
+            SdMsg::Ping { subject, .. } => {
+                let w = self
+                    .witnesses
+                    .iter_mut()
+                    .find(|w| w.subject == subject)
+                    .expect("unknown pair");
+                w.on_ping(now, &*fd, &mut out);
+            }
+            SdMsg::Ack { watcher, .. } => {
+                let s = self
+                    .subjects
+                    .iter_mut()
+                    .find(|s| s.watcher == watcher)
+                    .expect("unknown pair");
+                s.on_ack(now, &*fd, &mut out);
+            }
+        }
+        Self::flush(out, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SdMsg, RedObs>, timer: TimerId) {
+        debug_assert_eq!(timer, TICK);
+        let mut out = Out::default();
+        let (now, fd) = (ctx.now(), Rc::clone(&self.fd));
+        for w in &mut self.witnesses {
+            w.invoke(now, &*fd, &mut out, |p, io| p.on_tick(io));
+            w.pump(now, &*fd, &mut out);
+        }
+        for s in &mut self.subjects {
+            s.invoke(now, &*fd, &mut out, |p, io| p.on_tick(io));
+            s.pump(now, &*fd, &mut out);
+        }
+        Self::flush(out, ctx);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+}
+
+/// Runs the single-instance reduction over one monitored pair `(p0, p1)`,
+/// returning the extracted suspicion history.
+pub fn run_single_pair(
+    black_box: crate::scenario::BlackBox,
+    seed: u64,
+    crashes: dinefd_sim::CrashPlan,
+    horizon: Time,
+) -> dinefd_fd::SuspicionHistory {
+    use dinefd_sim::{World, WorldConfig};
+    let pairs = vec![(ProcessId(0), ProcessId(1))];
+    let mut rng = dinefd_sim::SplitMix64::new(seed ^ 0x51D);
+    let oracle: Rc<dyn FdQuery> = Rc::new(
+        crate::scenario::OracleSpec::Perfect { lag: 20 }.build(2, crashes.clone(), &mut rng),
+    );
+    let factory = crate::scenario::factory_for(black_box);
+    let nodes: Vec<SingleDxNode> = ProcessId::all(2)
+        .map(|me| SingleDxNode::new(me, &pairs, &factory, Rc::clone(&oracle)))
+        .collect();
+    let cfg = WorldConfig::new(seed).crashes(crashes);
+    let mut world = World::new(nodes, cfg);
+    world.run_until(horizon);
+    let trace = world.into_trace();
+    crate::detector::suspicion_history(2, &trace, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::BlackBox;
+    use dinefd_sim::CrashPlan;
+
+    #[test]
+    fn single_instance_works_on_fair_boxes() {
+        // On the FIFO-fair abstract box the one-instance design happens to
+        // behave: alternation keeps the witness throttled.
+        let h = run_single_pair(
+            BlackBox::Abstract { convergence: Time(1_500) },
+            3,
+            CrashPlan::none(),
+            Time(40_000),
+        );
+        let acc = h.eventual_strong_accuracy(&CrashPlan::none());
+        assert!(acc.is_ok(), "accuracy on fair box: {:?}", acc.err());
+    }
+
+    #[test]
+    fn single_instance_detects_crash() {
+        let plan = CrashPlan::one(ProcessId(1), Time(5_000));
+        let h = run_single_pair(
+            BlackBox::Abstract { convergence: Time(1_500) },
+            4,
+            plan.clone(),
+            Time(40_000),
+        );
+        assert!(h.strong_completeness(&plan).is_ok());
+    }
+
+    #[test]
+    fn single_instance_breaks_on_unfair_box() {
+        // The §5.1 remark realized: escalating-but-legal unfairness lets the
+        // witness eat many times between subject meals; each extra meal is a
+        // wrongful suspicion. Mistakes never stop.
+        let h = run_single_pair(
+            BlackBox::Unfair { convergence: Time(1_500) },
+            5,
+            CrashPlan::none(),
+            Time(40_000),
+        );
+        let mistakes = h.mistake_intervals(ProcessId(0), ProcessId(1));
+        assert!(mistakes > 20, "expected persistent flapping, saw {mistakes}");
+        let last = h
+            .timeline(ProcessId(0), ProcessId(1))
+            .changes()
+            .last()
+            .map(|&(t, _)| t)
+            .unwrap_or(Time::ZERO);
+        assert!(last > Time(30_000), "flapping stopped early at {last:?}");
+    }
+
+    #[test]
+    fn paper_reduction_survives_the_unfair_box() {
+        // The control: the two-instance reduction converges on the same box.
+        let mut sc = crate::scenario::Scenario::pair(
+            BlackBox::Unfair { convergence: Time(1_500) },
+            5,
+        );
+        sc.oracle = crate::scenario::OracleSpec::Perfect { lag: 20 };
+        sc.horizon = Time(40_000);
+        let crashes = sc.crashes.clone();
+        let res = crate::scenario::run_extraction(sc);
+        let acc = res.history.eventual_strong_accuracy(&crashes);
+        assert!(acc.is_ok(), "two-instance reduction must converge: {:?}", acc.err());
+    }
+}

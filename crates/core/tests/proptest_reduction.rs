@@ -1,0 +1,76 @@
+//! The paper's necessity theorem as a property test: for EVERY black-box
+//! WF-◇WX implementation, crash pattern, delay regime and seed, the
+//! reduction's output satisfies ◇P (strong completeness + eventual strong
+//! accuracy). This is the universal quantification the reduction of \[8\]
+//! fails — and the one this repository's E4/E9 counterexamples probe
+//! deterministically; here randomization sweeps the remaining space.
+
+use dinefd_core::{run_extraction, BlackBox, OracleSpec, Scenario};
+use dinefd_fd::OracleClass;
+use dinefd_sim::{CrashPlan, DelayModel, ProcessId, Time};
+use proptest::prelude::*;
+
+fn black_box_strategy() -> impl Strategy<Value = BlackBox> {
+    prop_oneof![
+        Just(BlackBox::WfDx),
+        Just(BlackBox::Ftme),
+        (500u64..4_000).prop_map(|c| BlackBox::Abstract { convergence: Time(c) }),
+        (500u64..4_000).prop_map(|c| BlackBox::Delayed { convergence: Time(c) }),
+        (500u64..4_000).prop_map(|c| BlackBox::Unfair { convergence: Time(c) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn reduction_extracts_diamond_p_from_any_black_box(
+        bb in black_box_strategy(),
+        seed in any::<u64>(),
+        crash_at in prop::option::of(2_000u64..15_000),
+        strict in any::<bool>(),
+        harsh in any::<bool>(),
+    ) {
+        let mut sc = Scenario::pair(bb, seed);
+        sc.strict_seq = strict;
+        sc.oracle = OracleSpec::Perfect { lag: 20 };
+        sc.delays = if harsh { DelayModel::harsh() } else { DelayModel::default_async() };
+        if let Some(t) = crash_at {
+            sc.crashes = CrashPlan::one(ProcessId(1), Time(t));
+        }
+        sc.horizon = Time(60_000);
+        let crashes = sc.crashes.clone();
+        let res = run_extraction(sc);
+        let classes = res.history.classify(&crashes);
+        prop_assert!(
+            classes.contains(&OracleClass::EventuallyPerfect),
+            "black box {:?}, crash {:?}, strict {}, harsh {}: classes {:?} \
+             (completeness: {:?}, accuracy: {:?})",
+            bb,
+            crash_at,
+            strict,
+            harsh,
+            classes,
+            res.history.strong_completeness(&crashes).err(),
+            res.history.eventual_strong_accuracy(&crashes).err(),
+        );
+    }
+
+    #[test]
+    fn extraction_is_deterministic(
+        bb in black_box_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let run = |seed: u64| {
+            let mut sc = Scenario::pair(bb, seed);
+            sc.horizon = Time(10_000);
+            let res = run_extraction(sc);
+            (
+                res.steps,
+                res.messages_sent,
+                res.history.mistake_intervals(ProcessId(0), ProcessId(1)),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,159 @@
+//! `AbstractDining` — a spec-constrained "most adversarial legal" WF-◇WX
+//! service.
+//!
+//! The necessity proof quantifies over *every* black box solving WF-◇WX, so
+//! experiments should not only exercise concrete algorithms but also a
+//! service that does nothing beyond what the specification forces: before
+//! its (run-specific) convergence instant it grants every request
+//! immediately — maximally violating exclusion, as ◇WX permits finitely
+//! often — and from the convergence instant on it grants exclusively,
+//! FIFO, waiting for *all* current eaters (including pre-convergence
+//! stragglers) to leave.
+//!
+//! Note the contrast with [`crate::delayed::DelayedConvergenceDining`]: a
+//! straggler that never exits makes this service block later requesters
+//! forever. That is legal — wait-freedom is conditional on correct processes
+//! eating for finite time — and it is the *other* failure mode a correct
+//! reduction must tolerate (the flawed construction of reference \[8\]
+//! happens to survive this one and break on the delayed-convergence one).
+
+use dinefd_sim::{ProcessId, Time};
+
+use crate::delayed::{CoordCore, DcMsg, GrantRegime};
+use crate::participant::{DiningIo, DiningMsg, DiningParticipant};
+use crate::state::DinerPhase;
+
+/// Messages of the abstract service (coordinator protocol).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbMsg {
+    /// "I am hungry" — participant → coordinator.
+    Request,
+    /// "You may eat" — coordinator → participant.
+    Grant,
+    /// "I have exited" — participant → coordinator.
+    Release,
+}
+
+fn to_core(m: AbMsg) -> DcMsg {
+    match m {
+        AbMsg::Request => DcMsg::Request,
+        AbMsg::Grant => DcMsg::Grant,
+        AbMsg::Release => DcMsg::Release,
+    }
+}
+
+fn wrap(m: DcMsg) -> DiningMsg {
+    DiningMsg::Abstract(match m {
+        DcMsg::Request => AbMsg::Request,
+        DcMsg::Grant => AbMsg::Grant,
+        DcMsg::Release => AbMsg::Release,
+    })
+}
+
+/// The spec-constrained adversarial WF-◇WX service.
+#[derive(Clone, Debug)]
+pub struct AbstractDining {
+    core: CoordCore,
+}
+
+impl AbstractDining {
+    /// Endpoint for `me`; `coordinator` hosts the grant queue; `convergence`
+    /// is the instant from which grants are exclusive.
+    pub fn new(me: ProcessId, coordinator: ProcessId, convergence: Time) -> Self {
+        AbstractDining {
+            core: CoordCore::new(me, coordinator, convergence, GrantRegime::SwitchAtConvergence),
+        }
+    }
+
+    /// Total grants issued so far (meaningful at the coordinator).
+    pub fn grants_issued(&self) -> u64 {
+        self.core.grants_issued
+    }
+}
+
+impl DiningParticipant for AbstractDining {
+    fn hungry(&mut self, io: &mut DiningIo<'_>) {
+        self.core.hungry(io, wrap);
+    }
+
+    fn exit_eating(&mut self, io: &mut DiningIo<'_>) {
+        self.core.exit_eating(io, wrap);
+    }
+
+    fn on_message(&mut self, io: &mut DiningIo<'_>, from: ProcessId, msg: DiningMsg) {
+        let DiningMsg::Abstract(m) = msg else {
+            debug_assert!(false, "foreign message {msg:?}");
+            return;
+        };
+        self.core.on_message(io, from, to_core(m), wrap);
+    }
+
+    fn on_tick(&mut self, io: &mut DiningIo<'_>) {
+        self.core.on_tick(io, wrap);
+    }
+
+    fn phase(&self) -> DinerPhase {
+        self.core.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::NoOracle;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn pre_convergence_is_maximally_non_exclusive() {
+        let fd = NoOracle(3);
+        let mut coord = AbstractDining::new(p(0), p(0), Time(100));
+        let mut io = DiningIo::new(p(0), Time(1), &fd);
+        coord.hungry(&mut io);
+        assert_eq!(coord.phase(), DinerPhase::Eating);
+        let mut io = DiningIo::new(p(0), Time(2), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Abstract(AbMsg::Request));
+        assert_eq!(io.finish().sends.len(), 1);
+        let mut io = DiningIo::new(p(0), Time(3), &fd);
+        coord.on_message(&mut io, p(2), DiningMsg::Abstract(AbMsg::Request));
+        assert_eq!(io.finish().sends.len(), 1);
+        assert_eq!(coord.grants_issued(), 3);
+    }
+
+    #[test]
+    fn straggler_blocks_post_convergence_requests() {
+        let fd = NoOracle(2);
+        let mut coord = AbstractDining::new(p(0), p(0), Time(10));
+        // p1 granted pre-convergence, never releases.
+        let mut io = DiningIo::new(p(0), Time(1), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Abstract(AbMsg::Request));
+        // Post-convergence the coordinator's own hunger must WAIT — unlike
+        // the delayed-convergence service.
+        let mut io = DiningIo::new(p(0), Time(50), &fd);
+        coord.hungry(&mut io);
+        assert_eq!(coord.phase(), DinerPhase::Hungry);
+        // When the straggler finally releases, the grant arrives.
+        let mut io = DiningIo::new(p(0), Time(60), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Abstract(AbMsg::Release));
+        assert_eq!(coord.phase(), DinerPhase::Eating);
+    }
+
+    #[test]
+    fn exclusive_fifo_after_convergence() {
+        let fd = NoOracle(3);
+        let mut coord = AbstractDining::new(p(0), p(0), Time(0));
+        let mut io = DiningIo::new(p(0), Time(5), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Abstract(AbMsg::Request));
+        assert_eq!(io.finish().sends.len(), 1, "first request granted");
+        let mut io = DiningIo::new(p(0), Time(6), &fd);
+        coord.on_message(&mut io, p(2), DiningMsg::Abstract(AbMsg::Request));
+        assert!(io.finish().sends.is_empty(), "second request queued");
+        let mut io = DiningIo::new(p(0), Time(7), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Abstract(AbMsg::Release));
+        let fx = io.finish();
+        assert_eq!(fx.sends.len(), 1);
+        assert!(matches!(fx.sends[0], (pid, DiningMsg::Abstract(AbMsg::Grant)) if pid == p(2)));
+    }
+}

@@ -1,0 +1,351 @@
+//! `DelayedConvergenceDining` — the legal-but-pathological WF-◇WX service at
+//! the heart of the paper's Section 3.
+//!
+//! The paper observes that the ◇P-based solution of its reference \[12\]
+//! guarantees an exclusive suffix only after **(1)** the underlying ◇P has
+//! stopped making mistakes *and* **(2)** every process that entered its
+//! critical section before that point has exited. This service reproduces
+//! that behaviour as a coordinator-based grant protocol:
+//!
+//! * while `now < convergence` (condition 1 pending), every request is
+//!   granted immediately — concurrent eating allowed;
+//! * while any *pre-convergence* eater is still eating (condition 2
+//!   pending), requests are **still** granted immediately;
+//! * once both conditions hold, grants become exclusive (one eater at a
+//!   time, FIFO).
+//!
+//! Fed to the flawed contention-manager reduction of the paper's reference
+//! \[8\] — where the monitored process enters its critical section during the
+//! non-exclusive prefix and *never exits* — this service never reaches the
+//! exclusive regime, the monitoring process keeps being granted, and the
+//! extracted "◇P" suspects a correct process infinitely often. The paper's
+//! own reduction is immune (experiment E4 demonstrates both).
+//!
+//! Crash tolerance: the coordinator consults the local ◇P module and treats
+//! currently-suspected eaters as departed, which preserves wait-freedom for
+//! live requesters (wrongful suspicions can produce extra concurrent grants,
+//! which ◇WX permits finitely often). The coordinator itself must be a
+//! correct process for the instance to be live — reduction experiments place
+//! it at the witness, whose crash makes the instance moot anyway.
+//!
+//! The coordinator reads `io.now()` to compare against its convergence
+//! parameter: legitimate here because `convergence` *models* the instant at
+//! which the box's internal ◇P happens to converge in this run — an artifact
+//! of the model, not information a protocol could use.
+
+use std::collections::VecDeque;
+
+use dinefd_sim::{ProcessId, Time};
+
+use crate::participant::{DiningIo, DiningMsg, DiningParticipant};
+use crate::state::DinerPhase;
+
+/// Messages of the coordinator-based services.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DcMsg {
+    /// "I am hungry" — participant → coordinator.
+    Request,
+    /// "You may eat" — coordinator → participant.
+    Grant,
+    /// "I have exited" — participant → coordinator.
+    Release,
+}
+
+/// Grant policy of the shared coordinator core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum GrantRegime {
+    /// Non-exclusive until `convergence` **and** until every pre-convergence
+    /// eater has left (the Section 3 behaviour).
+    DelayedConvergence,
+    /// Non-exclusive strictly before `convergence`, exclusive afterwards;
+    /// post-convergence requests wait for *all* current eaters (including
+    /// pre-convergence stragglers) to leave.
+    SwitchAtConvergence,
+}
+
+/// Shared coordinator machinery of [`DelayedConvergenceDining`] and
+/// [`crate::abstract_dining::AbstractDining`].
+#[derive(Clone, Debug)]
+pub(crate) struct CoordCore {
+    pub(crate) me: ProcessId,
+    pub(crate) coordinator: ProcessId,
+    pub(crate) phase: DinerPhase,
+    convergence: Time,
+    regime: GrantRegime,
+    // Coordinator-only state.
+    eating: Vec<ProcessId>,
+    pre_conv_eaters: Vec<ProcessId>,
+    waiting: VecDeque<ProcessId>,
+    /// Total grants issued (coordinator only) — exposed for experiments.
+    pub(crate) grants_issued: u64,
+}
+
+impl CoordCore {
+    pub(crate) fn new(
+        me: ProcessId,
+        coordinator: ProcessId,
+        convergence: Time,
+        regime: GrantRegime,
+    ) -> Self {
+        CoordCore {
+            me,
+            coordinator,
+            phase: DinerPhase::Thinking,
+            convergence,
+            regime,
+            eating: Vec::new(),
+            pre_conv_eaters: Vec::new(),
+            waiting: VecDeque::new(),
+            grants_issued: 0,
+        }
+    }
+
+    fn is_coord(&self) -> bool {
+        self.me == self.coordinator
+    }
+
+    /// Live eaters, as far as the coordinator's ◇P can tell.
+    fn live_eaters(&self, io: &DiningIo<'_>) -> usize {
+        self.eating.iter().filter(|&&q| q == self.me || !io.suspected(q)).count()
+    }
+
+    fn live_pre_conv_eaters(&self, io: &DiningIo<'_>) -> usize {
+        self.pre_conv_eaters.iter().filter(|&&q| q == self.me || !io.suspected(q)).count()
+    }
+
+    fn non_exclusive(&self, io: &DiningIo<'_>) -> bool {
+        if io.now() < self.convergence {
+            return true;
+        }
+        match self.regime {
+            GrantRegime::DelayedConvergence => self.live_pre_conv_eaters(io) > 0,
+            GrantRegime::SwitchAtConvergence => false,
+        }
+    }
+
+    fn issue_grant(&mut self, io: &mut DiningIo<'_>, q: ProcessId, wrap: fn(DcMsg) -> DiningMsg) {
+        self.grants_issued += 1;
+        self.eating.push(q);
+        if io.now() < self.convergence {
+            self.pre_conv_eaters.push(q);
+        }
+        if q == self.me {
+            debug_assert_eq!(self.phase, DinerPhase::Hungry);
+            self.phase = DinerPhase::Eating;
+        } else {
+            io.send(q, wrap(DcMsg::Grant));
+        }
+    }
+
+    /// Grants whatever the current regime allows.
+    fn pump(&mut self, io: &mut DiningIo<'_>, wrap: fn(DcMsg) -> DiningMsg) {
+        if !self.is_coord() {
+            return;
+        }
+        if self.non_exclusive(io) {
+            while let Some(q) = self.waiting.pop_front() {
+                self.issue_grant(io, q, wrap);
+            }
+        } else {
+            while self.live_eaters(io) == 0 {
+                match self.waiting.pop_front() {
+                    Some(q) => self.issue_grant(io, q, wrap),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn hungry(&mut self, io: &mut DiningIo<'_>, wrap: fn(DcMsg) -> DiningMsg) {
+        assert_eq!(self.phase, DinerPhase::Thinking, "hungry() while {}", self.phase);
+        self.phase = DinerPhase::Hungry;
+        if self.is_coord() {
+            self.waiting.push_back(self.me);
+            self.pump(io, wrap);
+        } else {
+            io.send(self.coordinator, wrap(DcMsg::Request));
+        }
+    }
+
+    pub(crate) fn exit_eating(&mut self, io: &mut DiningIo<'_>, wrap: fn(DcMsg) -> DiningMsg) {
+        assert_eq!(self.phase, DinerPhase::Eating, "exit_eating() while {}", self.phase);
+        self.phase = DinerPhase::Exiting;
+        if self.is_coord() {
+            let me = self.me;
+            self.eating.retain(|&q| q != me);
+            self.pre_conv_eaters.retain(|&q| q != me);
+            self.phase = DinerPhase::Thinking;
+            self.pump(io, wrap);
+        } else {
+            io.send(self.coordinator, wrap(DcMsg::Release));
+            self.phase = DinerPhase::Thinking;
+        }
+    }
+
+    pub(crate) fn on_message(
+        &mut self,
+        io: &mut DiningIo<'_>,
+        from: ProcessId,
+        msg: DcMsg,
+        wrap: fn(DcMsg) -> DiningMsg,
+    ) {
+        match msg {
+            DcMsg::Request => {
+                debug_assert!(self.is_coord(), "request routed to non-coordinator");
+                self.waiting.push_back(from);
+                self.pump(io, wrap);
+            }
+            DcMsg::Grant => {
+                debug_assert!(!self.is_coord());
+                if self.phase == DinerPhase::Hungry {
+                    self.phase = DinerPhase::Eating;
+                }
+            }
+            DcMsg::Release => {
+                debug_assert!(self.is_coord(), "release routed to non-coordinator");
+                self.eating.retain(|&q| q != from);
+                self.pre_conv_eaters.retain(|&q| q != from);
+                self.pump(io, wrap);
+            }
+        }
+    }
+
+    pub(crate) fn on_tick(&mut self, io: &mut DiningIo<'_>, wrap: fn(DcMsg) -> DiningMsg) {
+        // Regime flips (time passing, suspicion changes) unblock waiters.
+        self.pump(io, wrap);
+    }
+}
+
+/// The Section 3 pathological-but-legal WF-◇WX service.
+#[derive(Clone, Debug)]
+pub struct DelayedConvergenceDining {
+    core: CoordCore,
+}
+
+impl DelayedConvergenceDining {
+    /// Endpoint for `me`; `coordinator` hosts the grant queue; `convergence`
+    /// models the instant the box's internal ◇P converges in this run.
+    pub fn new(me: ProcessId, coordinator: ProcessId, convergence: Time) -> Self {
+        DelayedConvergenceDining {
+            core: CoordCore::new(me, coordinator, convergence, GrantRegime::DelayedConvergence),
+        }
+    }
+
+    /// Total grants issued so far (meaningful at the coordinator).
+    pub fn grants_issued(&self) -> u64 {
+        self.core.grants_issued
+    }
+}
+
+fn wrap(m: DcMsg) -> DiningMsg {
+    DiningMsg::Delayed(m)
+}
+
+impl DiningParticipant for DelayedConvergenceDining {
+    fn hungry(&mut self, io: &mut DiningIo<'_>) {
+        self.core.hungry(io, wrap);
+    }
+
+    fn exit_eating(&mut self, io: &mut DiningIo<'_>) {
+        self.core.exit_eating(io, wrap);
+    }
+
+    fn on_message(&mut self, io: &mut DiningIo<'_>, from: ProcessId, msg: DiningMsg) {
+        let DiningMsg::Delayed(m) = msg else {
+            debug_assert!(false, "foreign message {msg:?}");
+            return;
+        };
+        self.core.on_message(io, from, m, wrap);
+    }
+
+    fn on_tick(&mut self, io: &mut DiningIo<'_>) {
+        self.core.on_tick(io, wrap);
+    }
+
+    fn phase(&self) -> DinerPhase {
+        self.core.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::NoOracle;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn pre_convergence_grants_are_concurrent() {
+        let fd = NoOracle(2);
+        let mut coord = DelayedConvergenceDining::new(p(0), p(0), Time(1000));
+        let mut io = DiningIo::new(p(0), Time(1), &fd);
+        coord.hungry(&mut io);
+        assert_eq!(coord.phase(), DinerPhase::Eating);
+        // A remote request while the coordinator eats is still granted.
+        let mut io = DiningIo::new(p(0), Time(2), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Delayed(DcMsg::Request));
+        let fx = io.finish();
+        assert_eq!(fx.sends.len(), 1);
+        assert!(matches!(fx.sends[0], (pid, DiningMsg::Delayed(DcMsg::Grant)) if pid == p(1)));
+        assert_eq!(coord.grants_issued(), 2);
+    }
+
+    #[test]
+    fn exclusive_after_convergence_and_drain() {
+        let fd = NoOracle(2);
+        let mut coord = DelayedConvergenceDining::new(p(0), p(0), Time(10));
+        // p1 granted pre-convergence and keeps eating.
+        let mut io = DiningIo::new(p(0), Time(1), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Delayed(DcMsg::Request));
+        assert_eq!(io.finish().sends.len(), 1);
+        // Past convergence, but p1 (pre-conv eater) still eating: the
+        // coordinator's own request is STILL granted immediately — this is
+        // the Section 3 vulnerability window.
+        let mut io = DiningIo::new(p(0), Time(50), &fd);
+        coord.hungry(&mut io);
+        assert_eq!(coord.phase(), DinerPhase::Eating);
+        let mut io = DiningIo::new(p(0), Time(51), &fd);
+        coord.exit_eating(&mut io);
+        // Once p1 releases, the exclusive regime begins.
+        let mut io = DiningIo::new(p(0), Time(60), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Delayed(DcMsg::Release));
+        let mut io = DiningIo::new(p(0), Time(61), &fd);
+        coord.hungry(&mut io);
+        assert_eq!(coord.phase(), DinerPhase::Eating, "sole eater is granted");
+        // Now a second request must wait.
+        let mut io = DiningIo::new(p(0), Time(62), &fd);
+        coord.on_message(&mut io, p(1), DiningMsg::Delayed(DcMsg::Request));
+        assert!(io.finish().sends.is_empty(), "exclusive regime must queue");
+        // And is granted on exit.
+        let mut io = DiningIo::new(p(0), Time(63), &fd);
+        coord.exit_eating(&mut io);
+        let fx = io.finish();
+        assert_eq!(fx.sends.len(), 1);
+        assert!(matches!(fx.sends[0], (_, DiningMsg::Delayed(DcMsg::Grant))));
+    }
+
+    #[test]
+    fn suspected_eater_is_treated_as_departed() {
+        use dinefd_fd::InjectedOracle;
+        use dinefd_sim::CrashPlan;
+        let oracle = InjectedOracle::perfect(2, CrashPlan::one(p(1), Time(20)), 5);
+        let mut coord = DelayedConvergenceDining::new(p(0), p(0), Time(10));
+        // p1 granted pre-convergence, then crashes while eating.
+        let mut io = DiningIo::new(p(0), Time(1), &oracle);
+        coord.on_message(&mut io, p(1), DiningMsg::Delayed(DcMsg::Request));
+        // Coordinator hungry post-convergence: p1 is a live pre-conv eater
+        // until suspected, so the grant is immediate (non-exclusive)...
+        let mut io = DiningIo::new(p(0), Time(25), &oracle);
+        coord.hungry(&mut io);
+        assert_eq!(coord.phase(), DinerPhase::Eating);
+        let mut io = DiningIo::new(p(0), Time(26), &oracle);
+        coord.exit_eating(&mut io);
+        // ...and once p1 is suspected (t ≥ 25), the exclusive regime applies
+        // and the coordinator still makes progress: wait-freedom preserved.
+        let mut io = DiningIo::new(p(0), Time(30), &oracle);
+        coord.hungry(&mut io);
+        assert_eq!(coord.phase(), DinerPhase::Eating);
+    }
+}

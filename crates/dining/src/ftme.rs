@@ -1,0 +1,165 @@
+//! `FtmeDining` — wait-free dining under **perpetual** weak exclusion (WX),
+//! the Fault-Tolerant Mutual Exclusion setting of Delporte-Gallet et al.
+//! (the paper's reference \[4\] and its Section 9).
+//!
+//! Same fork machinery as [`crate::wfdx`], but suspicion satisfies an edge
+//! only under the **trust-gated** policy: a suspicion of `q` counts only
+//! after `q` has been observed trusted at least once. With a trusting oracle
+//! T, a trust→suspect transition implies `q` really crashed, so a
+//! suspicion-eat can never violate exclusion against a live neighbor —
+//! exclusion is *perpetual*, not merely eventual.
+//!
+//! Two model notes, both visible in experiment E5:
+//!
+//! * The paper (and \[4\]) show **T alone is insufficient** for wait-free WX:
+//!   if `q` crashes before the oracle ever trusted it, the gate never opens
+//!   and a neighbor waiting on `q`'s fork starves. The sufficient oracle is
+//!   the composition T+S. Experiments therefore drive this service either
+//!   with an injected *perfect* oracle (P implies T+S, and "suspected ⇒
+//!   crashed" holds from time zero) or with an injected T whose initial
+//!   distrust ends before any crash. What Section 9 actually claims — and
+//!   what E5 checks — is about the *output* of the reduction applied to this
+//!   black box: it satisfies the trusting accuracy of T.
+//! * Run on a clique, this service is exactly fault-tolerant mutual
+//!   exclusion.
+
+use dinefd_sim::ProcessId;
+
+use crate::participant::{DiningIo, DiningMsg, DiningParticipant};
+use crate::state::DinerPhase;
+use crate::wfdx::{ForkCore, SuspicionPolicy, Ts, WxMsg};
+
+/// Messages of the FTME service (isomorphic to the ◇P algorithm's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FtMsg {
+    /// The request token, stamped with the requester's session timestamp.
+    Request(Ts),
+    /// The fork, carrying the sender's Lamport clock.
+    Fork {
+        /// Sender's clock at yield time.
+        clock: u64,
+    },
+    /// The bare token sent home (see [`crate::wfdx::WxMsg::TokenReturn`]).
+    TokenReturn {
+        /// Sender's clock.
+        clock: u64,
+    },
+}
+
+fn to_core(m: FtMsg) -> WxMsg {
+    match m {
+        FtMsg::Request(ts) => WxMsg::Request(ts),
+        FtMsg::Fork { clock } => WxMsg::Fork { clock },
+        FtMsg::TokenReturn { clock } => WxMsg::TokenReturn { clock },
+    }
+}
+
+fn wrap(m: WxMsg) -> DiningMsg {
+    DiningMsg::Ftme(match m {
+        WxMsg::Request(ts) => FtMsg::Request(ts),
+        WxMsg::Fork { clock } => FtMsg::Fork { clock },
+        WxMsg::TokenReturn { clock } => FtMsg::TokenReturn { clock },
+    })
+}
+
+/// One diner's endpoint of a perpetual-WX (FTME) dining instance.
+#[derive(Clone, Debug)]
+pub struct FtmeDining {
+    core: ForkCore,
+}
+
+impl FtmeDining {
+    /// Endpoint for `me` with the given instance neighbors.
+    pub fn new(me: ProcessId, neighbors: &[ProcessId]) -> Self {
+        FtmeDining { core: ForkCore::new(me, neighbors, SuspicionPolicy::TrustGated) }
+    }
+
+    /// Whether this endpoint holds the fork shared with `peer`.
+    pub fn holds_fork(&self, peer: ProcessId) -> bool {
+        self.core.holds_fork(peer)
+    }
+}
+
+impl DiningParticipant for FtmeDining {
+    fn hungry(&mut self, io: &mut DiningIo<'_>) {
+        self.core.hungry(io, wrap);
+    }
+
+    fn exit_eating(&mut self, io: &mut DiningIo<'_>) {
+        self.core.exit_eating(io, wrap);
+    }
+
+    fn on_message(&mut self, io: &mut DiningIo<'_>, from: ProcessId, msg: DiningMsg) {
+        let DiningMsg::Ftme(m) = msg else {
+            debug_assert!(false, "foreign message {msg:?}");
+            return;
+        };
+        self.core.on_message(io, from, to_core(m), wrap);
+    }
+
+    fn on_tick(&mut self, io: &mut DiningIo<'_>) {
+        self.core.on_tick(io);
+    }
+
+    fn phase(&self) -> DinerPhase {
+        self.core.phase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinefd_fd::{InjectedOracle, MistakePlan};
+    use dinefd_sim::{CrashPlan, Time};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn pre_trust_suspicion_never_grants() {
+        // The oracle suspects p0 from the start (legal for T before first
+        // trust); the trust gate must keep p1 hungry.
+        let mut oracle = InjectedOracle::perfect(2, CrashPlan::none(), 0);
+        oracle.set_mistakes(p(1), p(0), MistakePlan::from_intervals(vec![(Time(0), Time(50))]));
+        let mut d = FtmeDining::new(p(1), &[p(0)]);
+        let mut io = DiningIo::new(p(1), Time(1), &oracle);
+        d.hungry(&mut io);
+        assert_eq!(d.phase(), DinerPhase::Hungry);
+        let mut io = DiningIo::new(p(1), Time(40), &oracle);
+        d.on_tick(&mut io);
+        assert_eq!(d.phase(), DinerPhase::Hungry);
+    }
+
+    #[test]
+    fn post_trust_crash_suspicion_grants() {
+        let oracle = InjectedOracle::perfect(2, CrashPlan::one(p(0), Time(100)), 10);
+        let mut d = FtmeDining::new(p(1), &[p(0)]);
+        // Establish trust before the crash.
+        let mut io = DiningIo::new(p(1), Time(5), &oracle);
+        d.hungry(&mut io);
+        assert_eq!(d.phase(), DinerPhase::Hungry);
+        let mut io = DiningIo::new(p(1), Time(50), &oracle);
+        d.on_tick(&mut io);
+        assert_eq!(d.phase(), DinerPhase::Hungry);
+        // After the crash is detected, the gate is open and the edge is
+        // satisfied by (crash-implied) suspicion.
+        let mut io = DiningIo::new(p(1), Time(120), &oracle);
+        d.on_tick(&mut io);
+        assert_eq!(d.phase(), DinerPhase::Eating);
+    }
+
+    #[test]
+    fn fork_flow_matches_wfdx() {
+        let oracle = InjectedOracle::perfect(2, CrashPlan::none(), 0);
+        let mut d = FtmeDining::new(p(1), &[p(0)]);
+        let mut io = DiningIo::new(p(1), Time(0), &oracle);
+        d.hungry(&mut io);
+        let fx = io.finish();
+        assert!(matches!(fx.sends[0], (_, DiningMsg::Ftme(FtMsg::Request(_)))));
+        let mut io = DiningIo::new(p(1), Time(1), &oracle);
+        d.on_message(&mut io, p(0), DiningMsg::Ftme(FtMsg::Fork { clock: 3 }));
+        assert_eq!(d.phase(), DinerPhase::Eating);
+        assert!(d.holds_fork(p(0)));
+    }
+}

@@ -1,0 +1,275 @@
+//! Conflict graphs: which diners share resources.
+
+use dinefd_sim::{ProcessId, SplitMix64};
+
+/// An undirected conflict graph over processes `0..n`.
+///
+/// Vertices are diners; an edge `(p, q)` means `p` and `q` share a set of
+/// mutually exclusive resources and therefore may never (or, under ◇WX,
+/// eventually never) eat simultaneously.
+///
+/// ```
+/// use dinefd_dining::ConflictGraph;
+/// use dinefd_sim::ProcessId;
+///
+/// let ring = ConflictGraph::ring(5);
+/// assert_eq!(ring.edge_count(), 5);
+/// assert!(ring.are_neighbors(ProcessId(0), ProcessId(4)));
+/// assert_eq!(ring.neighbors(ProcessId(2)), &[ProcessId(1), ProcessId(3)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConflictGraph {
+    n: usize,
+    /// Sorted adjacency lists.
+    adj: Vec<Vec<ProcessId>>,
+}
+
+impl ConflictGraph {
+    /// Builds a graph from an edge list. Self-loops are rejected; duplicate
+    /// edges are coalesced.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop ({a},{a})");
+            let (pa, pb) = (ProcessId::from_index(a), ProcessId::from_index(b));
+            if !adj[a].contains(&pb) {
+                adj[a].push(pb);
+                adj[b].push(pa);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        ConflictGraph { n, adj }
+    }
+
+    /// The 2-diner graph used by each dining instance of the reduction:
+    /// a single edge between the two given processes, embedded in a system
+    /// of size `n`.
+    pub fn single_edge(n: usize, a: ProcessId, b: ProcessId) -> Self {
+        ConflictGraph::from_edges(n, &[(a.index(), b.index())])
+    }
+
+    /// A path `0 – 1 – … – (n-1)`.
+    pub fn path(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    /// Dijkstra's ring of `n ≥ 3` diners.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 diners");
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    /// The complete graph — dining degenerates to mutual exclusion.
+    pub fn clique(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    /// A `rows × cols` grid (torus-free), modelling e.g. sensor coverage
+    /// cells where adjacent cells overlap.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols));
+                }
+            }
+        }
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    /// Erdős–Rényi random graph: each pair is an edge with probability
+    /// `num/den`.
+    pub fn random(n: usize, num: u64, den: u64, rng: &mut SplitMix64) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.chance(num, den) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbors of `p`, sorted.
+    pub fn neighbors(&self, p: ProcessId) -> &[ProcessId] {
+        &self.adj[p.index()]
+    }
+
+    /// Whether `p` and `q` are neighbors.
+    pub fn are_neighbors(&self, p: ProcessId, q: ProcessId) -> bool {
+        self.adj[p.index()].binary_search(&q).is_ok()
+    }
+
+    /// All edges, each once, as ordered pairs `(low, high)`.
+    pub fn edges(&self) -> Vec<(ProcessId, ProcessId)> {
+        let mut out = Vec::new();
+        for a in ProcessId::all(self.n) {
+            for &b in self.neighbors(a) {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// BFS hop distance between two diners (`None` if disconnected).
+    pub fn distance(&self, from: ProcessId, to: ProcessId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.n];
+        dist[from.index()] = 0;
+        let mut frontier = vec![from];
+        let mut d = 0;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for p in frontier {
+                for &q in self.neighbors(p) {
+                    if dist[q.index()] == usize::MAX {
+                        if q == to {
+                            return Some(d);
+                        }
+                        dist[q.index()] = d;
+                        next.push(q);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn ring_structure() {
+        let g = ConflictGraph::ring(5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.neighbors(p(0)), &[p(1), p(4)]);
+        assert!(g.are_neighbors(p(4), p(0)));
+        assert!(!g.are_neighbors(p(0), p(2)));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn clique_structure() {
+        let g = ConflictGraph::clique(4);
+        assert_eq!(g.edge_count(), 6);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(g.are_neighbors(p(a), p(b)), a != b);
+            }
+        }
+    }
+
+    #[test]
+    fn path_and_grid() {
+        let g = ConflictGraph::path(4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(p(1)), &[p(0), p(2)]);
+        let g = ConflictGraph::grid(2, 3);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.neighbors(p(0)), &[p(1), p(3)]);
+        assert_eq!(g.neighbors(p(4)), &[p(1), p(3), p(5)]);
+    }
+
+    #[test]
+    fn single_edge_embeds_in_larger_system() {
+        let g = ConflictGraph::single_edge(6, p(2), p(5));
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(p(2)), &[p(5)]);
+        assert!(g.neighbors(p(0)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_coalesce() {
+        let g = ConflictGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = ConflictGraph::from_edges(3, &[(1, 1)]);
+    }
+
+    #[test]
+    fn random_graph_respects_probability_extremes() {
+        let mut rng = SplitMix64::new(3);
+        let g = ConflictGraph::random(6, 0, 1, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+        let g = ConflictGraph::random(6, 1, 1, &mut rng);
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn distances_on_path_and_ring() {
+        let g = ConflictGraph::path(5);
+        assert_eq!(g.distance(p(0), p(0)), Some(0));
+        assert_eq!(g.distance(p(0), p(4)), Some(4));
+        assert_eq!(g.distance(p(1), p(3)), Some(2));
+        let g = ConflictGraph::ring(6);
+        assert_eq!(g.distance(p(0), p(3)), Some(3));
+        assert_eq!(g.distance(p(0), p(5)), Some(1));
+        // Disconnected vertices.
+        let g = ConflictGraph::from_edges(4, &[(0, 1)]);
+        assert_eq!(g.distance(p(0), p(3)), None);
+    }
+
+    #[test]
+    fn edges_lists_each_edge_once() {
+        let g = ConflictGraph::ring(4);
+        let es = g.edges();
+        assert_eq!(es.len(), 4);
+        assert!(es.iter().all(|&(a, b)| a < b));
+    }
+}

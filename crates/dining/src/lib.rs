@@ -1,0 +1,51 @@
+//! # `dinefd-dining` — the dining-philosophers substrate
+//!
+//! Dining philosophers (Dijkstra; generalized by Lynch to arbitrary conflict
+//! graphs) is local mutual exclusion: a [`graph::ConflictGraph`] has one
+//! vertex per diner and one edge per set of shared resources; each diner
+//! cycles through *thinking → hungry → eating → exiting* and a dining
+//! solution schedules the hungry→eating transitions.
+//!
+//! The paper's problem, **WF-◇WX**, combines:
+//!
+//! * **Wait-freedom** — if correct processes eat for finite time, every
+//!   correct hungry process eventually eats, regardless of crashes;
+//! * **Eventual weak exclusion (◇WX)** — in every run there is a time after
+//!   which no two *live* neighbors eat simultaneously (finitely many
+//!   scheduling mistakes are allowed).
+//!
+//! This crate provides:
+//!
+//! * the black-box interface [`participant::DiningParticipant`] that the
+//!   necessity reduction in `dinefd-core` quantifies over;
+//! * several interchangeable implementations — a crash-oblivious baseline
+//!   ([`hygienic`]), the ◇P-based wait-free algorithm in the style of the
+//!   paper's reference \[12\] ([`wfdx`]), the §3 pathological-but-legal
+//!   variant ([`delayed`]), a spec-constrained adversarial service
+//!   ([`abstract_dining`]), a legal service with escalating unfairness for
+//!   the §5.1 remark ([`unfair`]), a T-based *perpetual*-exclusion service
+//!   for §9 ([`ftme`]), and an eventually-2-fair upgrade for §8 ([`fair`]);
+//! * trace checkers for ◇WX / WX / wait-freedom / eventual k-fairness
+//!   ([`spec`]) and a workload driver ([`driver`]) for standalone dining
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstract_dining;
+pub mod delayed;
+pub mod driver;
+pub mod fair;
+pub mod ftme;
+pub mod graph;
+pub mod hygienic;
+pub mod participant;
+pub mod spec;
+pub mod state;
+pub mod unfair;
+pub mod wfdx;
+
+pub use graph::ConflictGraph;
+pub use participant::{DiningEffects, DiningIo, DiningMsg, DiningParticipant};
+pub use spec::{DiningHistory, DiningViolation};
+pub use state::{DinerPhase, DiningObs};

@@ -1,0 +1,479 @@
+//! Trace-level checkers for the dining specifications: eventual/perpetual
+//! weak exclusion, wait-freedom, and eventual k-fairness.
+
+use dinefd_sim::{CrashPlan, ProcessId, Time};
+
+use crate::graph::ConflictGraph;
+use crate::state::DinerPhase;
+
+/// Two live neighbors ate simultaneously during `[from, to)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExclusionViolation {
+    /// One diner (lower id).
+    pub a: ProcessId,
+    /// The other diner.
+    pub b: ProcessId,
+    /// Overlap start.
+    pub from: Time,
+    /// Overlap end.
+    pub to: Time,
+}
+
+/// A dining-spec violation other than an exclusion overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiningViolation {
+    /// A correct diner was hungry from `since` and never ate by the end of
+    /// the recording (wait-freedom violation candidate).
+    Starvation {
+        /// The starving diner.
+        pid: ProcessId,
+        /// When its unserved hunger began.
+        since: Time,
+    },
+    /// A diner made an illegal phase transition.
+    IllegalTransition {
+        /// The offending diner.
+        pid: ProcessId,
+        /// When.
+        at: Time,
+        /// Phase before.
+        from: DinerPhase,
+        /// Phase after.
+        to: DinerPhase,
+    },
+}
+
+/// The recorded phase history of every diner in one dining instance.
+#[derive(Clone, Debug)]
+pub struct DiningHistory {
+    n: usize,
+    horizon: Time,
+    /// Per diner: chronological phase changes. Every diner starts Thinking.
+    phases: Vec<Vec<(Time, DinerPhase)>>,
+}
+
+impl DiningHistory {
+    /// Empty history over `n` diners.
+    pub fn new(n: usize) -> Self {
+        DiningHistory { n, horizon: Time::ZERO, phases: vec![Vec::new(); n] }
+    }
+
+    /// Records a phase change.
+    pub fn record(&mut self, at: Time, pid: ProcessId, phase: DinerPhase) {
+        debug_assert!(
+            self.phases[pid.index()].last().is_none_or(|&(t, _)| t <= at),
+            "phase records must be chronological per diner"
+        );
+        self.phases[pid.index()].push((at, phase));
+        if at > self.horizon {
+            self.horizon = at;
+        }
+    }
+
+    /// Extends the recording horizon (the instant the run was stopped).
+    pub fn set_horizon(&mut self, t: Time) {
+        if t > self.horizon {
+            self.horizon = t;
+        }
+    }
+
+    /// The recording horizon.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// System size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The phase of `pid` at instant `t` (just after any change at `t`).
+    pub fn phase_at(&self, pid: ProcessId, t: Time) -> DinerPhase {
+        self.phases[pid.index()]
+            .iter()
+            .rev()
+            .find(|&&(ct, _)| ct <= t)
+            .map_or(DinerPhase::Thinking, |&(_, ph)| ph)
+    }
+
+    /// Checks that every recorded transition is legal.
+    pub fn legal_transitions(&self) -> Result<(), Vec<DiningViolation>> {
+        let mut violations = Vec::new();
+        for pid in ProcessId::all(self.n) {
+            let mut cur = DinerPhase::Thinking;
+            for &(at, next) in &self.phases[pid.index()] {
+                if !cur.can_transition_to(next) {
+                    violations.push(DiningViolation::IllegalTransition {
+                        pid,
+                        at,
+                        from: cur,
+                        to: next,
+                    });
+                }
+                cur = next;
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Maximal intervals `[start, end)` during which `pid` was in `phase`,
+    /// truncated at its crash time and at the horizon. An interval still
+    /// open at truncation ends there.
+    pub fn phase_intervals(
+        &self,
+        pid: ProcessId,
+        phase: DinerPhase,
+        plan: &CrashPlan,
+    ) -> Vec<(Time, Time)> {
+        let cutoff = plan.crash_time(pid).unwrap_or(self.horizon).min(self.horizon);
+        let mut out = Vec::new();
+        let mut open: Option<Time> = None;
+        for &(at, ph) in &self.phases[pid.index()] {
+            if at > cutoff {
+                break;
+            }
+            match (open, ph == phase) {
+                (None, true) => open = Some(at),
+                (Some(s), false) => {
+                    if s < at {
+                        out.push((s, at));
+                    }
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = open {
+            if s < cutoff {
+                out.push((s, cutoff));
+            }
+        }
+        out
+    }
+
+    /// Eating sessions of `pid` (crash- and horizon-truncated).
+    pub fn eating_sessions(&self, pid: ProcessId, plan: &CrashPlan) -> Vec<(Time, Time)> {
+        self.phase_intervals(pid, DinerPhase::Eating, plan)
+    }
+
+    /// Number of eating sessions *started* by `pid`.
+    pub fn session_count(&self, pid: ProcessId) -> usize {
+        self.phases[pid.index()]
+            .iter()
+            .filter(|&&(_, ph)| ph == DinerPhase::Eating)
+            .count()
+    }
+
+    /// All instants at which two live neighbors ate simultaneously.
+    ///
+    /// * Perpetual WX holds iff the result is empty.
+    /// * ◇WX (on a finite recording) is quantified by the last violation's
+    ///   end: the run behaved exclusively from that instant on.
+    pub fn exclusion_violations(
+        &self,
+        graph: &ConflictGraph,
+        plan: &CrashPlan,
+    ) -> Vec<ExclusionViolation> {
+        let mut out = Vec::new();
+        for (a, b) in graph.edges() {
+            let ia = self.eating_sessions(a, plan);
+            let ib = self.eating_sessions(b, plan);
+            // Two-pointer sweep over the sorted session lists.
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < ia.len() && y < ib.len() {
+                let (s, e) = (ia[x].0.max(ib[y].0), ia[x].1.min(ib[y].1));
+                if s < e {
+                    out.push(ExclusionViolation { a, b, from: s, to: e });
+                }
+                if ia[x].1 <= ib[y].1 {
+                    x += 1;
+                } else {
+                    y += 1;
+                }
+            }
+        }
+        out.sort_by_key(|v| (v.from, v.a, v.b));
+        out
+    }
+
+    /// The instant from which the recording is exclusion-violation-free
+    /// (the measured ◇WX convergence point). [`Time::ZERO`] if no violation
+    /// was ever recorded.
+    pub fn wx_converged_from(&self, graph: &ConflictGraph, plan: &CrashPlan) -> Time {
+        self.exclusion_violations(graph, plan)
+            .iter()
+            .map(|v| v.to)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// **Wait-freedom** on a finite run: every correct diner whose hunger
+    /// began at or before `horizon - grace` must have eaten. Hungry spells
+    /// younger than `grace` are inconclusive and not reported.
+    pub fn wait_freedom(&self, plan: &CrashPlan, grace: u64) -> Result<(), Vec<DiningViolation>> {
+        let mut violations = Vec::new();
+        let deadline = Time(self.horizon.ticks().saturating_sub(grace));
+        for pid in ProcessId::all(self.n) {
+            if plan.is_faulty(pid) {
+                continue;
+            }
+            // A starving diner's *last* phase record is Hungry (it never
+            // transitioned out).
+            if let Some(&(at, DinerPhase::Hungry)) = self.phases[pid.index()].last() {
+                if at <= deadline {
+                    violations.push(DiningViolation::Starvation { pid, since: at });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// The correct diners left permanently hungry (same finite-run criterion
+    /// as [`DiningHistory::wait_freedom`]).
+    pub fn starved(&self, plan: &CrashPlan, grace: u64) -> Vec<ProcessId> {
+        match self.wait_freedom(plan, grace) {
+            Ok(()) => Vec::new(),
+            Err(violations) => violations
+                .into_iter()
+                .filter_map(|v| match v {
+                    DiningViolation::Starvation { pid, .. } => Some(pid),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// **Failure locality** of the recorded run: the maximum conflict-graph
+    /// distance from a starved correct diner to its nearest crashed process
+    /// (`None` when nobody starves — locality 0 by the usual convention is
+    /// reported as `Some(0)` only if a crash's own *neighbor* starves, so a
+    /// fully wait-free run yields `None`). Dijkstra-style algorithms have
+    /// unbounded locality (a crash can starve a whole waiting chain); the
+    /// paper's intro cites "crash-locality-1 dining" as a ◇P application,
+    /// and the ◇P-based algorithm here achieves locality "none".
+    pub fn failure_locality(
+        &self,
+        graph: &ConflictGraph,
+        plan: &CrashPlan,
+        grace: u64,
+    ) -> Option<usize> {
+        let starved = self.starved(plan, grace);
+        let crashed: Vec<ProcessId> = plan.crashes().iter().map(|&(p, _)| p).collect();
+        starved
+            .iter()
+            .map(|&p| {
+                crashed
+                    .iter()
+                    .filter_map(|&c| graph.distance(p, c))
+                    .min()
+                    .unwrap_or(usize::MAX)
+            })
+            .max()
+    }
+
+    /// Maximum overtaking after `after`: over all ordered neighbor pairs
+    /// `(a, b)` and all maximal hungry spells of `b` starting at or after
+    /// `after`, the number of eating sessions `a` *started* during the
+    /// spell. Eventual k-fairness predicts a suffix where this is ≤ k.
+    pub fn max_overtaking(&self, graph: &ConflictGraph, plan: &CrashPlan, after: Time) -> usize {
+        let mut max = 0;
+        for (a, b) in graph.edges() {
+            for (x, y) in [(a, b), (b, a)] {
+                // x overtakes y: count x's session starts inside y's spells.
+                let starts: Vec<Time> = self
+                    .eating_sessions(x, plan)
+                    .iter()
+                    .map(|&(s, _)| s)
+                    .collect();
+                for &(h0, h1) in &self.phase_intervals(y, DinerPhase::Hungry, plan) {
+                    if h0 < after {
+                        continue;
+                    }
+                    let c = starts.iter().filter(|&&t| h0 <= t && t < h1).count();
+                    max = max.max(c);
+                }
+            }
+        }
+        max
+    }
+
+    /// Renders an ASCII Gantt chart of diner phases over `[t0, t1)` with the
+    /// given column count — the Fig. 1 style timeline used by experiment E3.
+    pub fn ascii_gantt(&self, pids: &[(&str, ProcessId)], t0: Time, t1: Time, cols: usize) -> String {
+        assert!(t1 > t0 && cols > 0);
+        let span = t1 - t0;
+        let mut out = String::new();
+        for &(label, pid) in pids {
+            out.push_str(&format!("{label:>10} |"));
+            for c in 0..cols {
+                let t = Time(t0.ticks() + span * c as u64 / cols as u64);
+                out.push(self.phase_at(pid, t).code());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn simple_history() -> DiningHistory {
+        // p0: t 0..5 thinking, hungry at 5, eats 10..20, thinks from 21.
+        // p1: hungry at 8, eats 15..30 (overlap 15..20 with p0), thinks.
+        let mut h = DiningHistory::new(2);
+        h.record(Time(5), p(0), DinerPhase::Hungry);
+        h.record(Time(8), p(1), DinerPhase::Hungry);
+        h.record(Time(10), p(0), DinerPhase::Eating);
+        h.record(Time(15), p(1), DinerPhase::Eating);
+        h.record(Time(20), p(0), DinerPhase::Exiting);
+        h.record(Time(21), p(0), DinerPhase::Thinking);
+        h.record(Time(30), p(1), DinerPhase::Exiting);
+        h.record(Time(31), p(1), DinerPhase::Thinking);
+        h.set_horizon(Time(100));
+        h
+    }
+
+    #[test]
+    fn phase_at_reads_step_function() {
+        let h = simple_history();
+        assert_eq!(h.phase_at(p(0), Time(0)), DinerPhase::Thinking);
+        assert_eq!(h.phase_at(p(0), Time(5)), DinerPhase::Hungry);
+        assert_eq!(h.phase_at(p(0), Time(12)), DinerPhase::Eating);
+        assert_eq!(h.phase_at(p(0), Time(50)), DinerPhase::Thinking);
+    }
+
+    #[test]
+    fn transitions_are_legal() {
+        let h = simple_history();
+        assert!(h.legal_transitions().is_ok());
+        let mut bad = DiningHistory::new(1);
+        bad.record(Time(3), p(0), DinerPhase::Eating); // thinking → eating
+        let errs = bad.legal_transitions().unwrap_err();
+        assert!(matches!(errs[0], DiningViolation::IllegalTransition { .. }));
+    }
+
+    #[test]
+    fn overlap_detected_on_edge() {
+        let h = simple_history();
+        let g = ConflictGraph::from_edges(2, &[(0, 1)]);
+        let v = h.exclusion_violations(&g, &CrashPlan::none());
+        assert_eq!(v, vec![ExclusionViolation { a: p(0), b: p(1), from: Time(15), to: Time(20) }]);
+        assert_eq!(h.wx_converged_from(&g, &CrashPlan::none()), Time(20));
+    }
+
+    #[test]
+    fn no_overlap_without_edge() {
+        let h = simple_history();
+        let g = ConflictGraph::from_edges(2, &[]);
+        assert!(h.exclusion_violations(&g, &CrashPlan::none()).is_empty());
+    }
+
+    #[test]
+    fn crash_truncates_sessions() {
+        // p1 crashes at t=17 while eating: the overlap with p0 is 15..17,
+        // and ◇WX-against-live-neighbors ends there.
+        let h = simple_history();
+        let g = ConflictGraph::from_edges(2, &[(0, 1)]);
+        let plan = CrashPlan::one(p(1), Time(17));
+        let v = h.exclusion_violations(&g, &plan);
+        assert_eq!(v, vec![ExclusionViolation { a: p(0), b: p(1), from: Time(15), to: Time(17) }]);
+    }
+
+    #[test]
+    fn wait_freedom_flags_stuck_hungry() {
+        let mut h = DiningHistory::new(2);
+        h.record(Time(5), p(0), DinerPhase::Hungry);
+        h.set_horizon(Time(1_000));
+        let errs = h.wait_freedom(&CrashPlan::none(), 100).unwrap_err();
+        assert_eq!(errs, vec![DiningViolation::Starvation { pid: p(0), since: Time(5) }]);
+        // Faulty diners are exempt.
+        assert!(h.wait_freedom(&CrashPlan::one(p(0), Time(900)), 100).is_ok());
+        // Young hunger is inconclusive.
+        let mut h = DiningHistory::new(1);
+        h.record(Time(990), p(0), DinerPhase::Hungry);
+        h.set_horizon(Time(1_000));
+        assert!(h.wait_freedom(&CrashPlan::none(), 100).is_ok());
+    }
+
+    #[test]
+    fn overtaking_counts_sessions_inside_spell() {
+        // p1 hungry 10..100; p0 eats 20..25, 40..45, 60..65 → overtaking 3.
+        let mut h = DiningHistory::new(2);
+        h.record(Time(10), p(1), DinerPhase::Hungry);
+        for (s, e) in [(20u64, 25u64), (40, 45), (60, 65)] {
+            h.record(Time(s.saturating_sub(2)), p(0), DinerPhase::Hungry);
+            h.record(Time(s), p(0), DinerPhase::Eating);
+            h.record(Time(e), p(0), DinerPhase::Exiting);
+            h.record(Time(e + 1), p(0), DinerPhase::Thinking);
+        }
+        h.record(Time(100), p(1), DinerPhase::Eating);
+        h.record(Time(110), p(1), DinerPhase::Exiting);
+        h.record(Time(111), p(1), DinerPhase::Thinking);
+        h.set_horizon(Time(200));
+        let g = ConflictGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(h.max_overtaking(&g, &CrashPlan::none(), Time::ZERO), 3);
+        // Restricting to a suffix after the spell gives 0.
+        assert_eq!(h.max_overtaking(&g, &CrashPlan::none(), Time(50)), 0);
+    }
+
+    #[test]
+    fn failure_locality_measures_starvation_spread() {
+        // Path 0-1-2-3; p0 crashes; p1 and p2 starve: locality = 2.
+        let mut h = DiningHistory::new(4);
+        h.record(Time(10), p(1), DinerPhase::Hungry);
+        h.record(Time(12), p(2), DinerPhase::Hungry);
+        h.record(Time(14), p(3), DinerPhase::Hungry);
+        h.record(Time(20), p(3), DinerPhase::Eating);
+        h.record(Time(25), p(3), DinerPhase::Exiting);
+        h.record(Time(26), p(3), DinerPhase::Thinking);
+        h.set_horizon(Time(10_000));
+        let g = ConflictGraph::path(4);
+        let plan = CrashPlan::one(p(0), Time(5));
+        assert_eq!(h.starved(&plan, 100), vec![p(1), p(2)]);
+        assert_eq!(h.failure_locality(&g, &plan, 100), Some(2));
+        // A wait-free run has no locality to speak of.
+        let mut h2 = DiningHistory::new(4);
+        h2.set_horizon(Time(10_000));
+        assert_eq!(h2.failure_locality(&g, &plan, 100), None);
+    }
+
+    #[test]
+    fn gantt_renders_phases() {
+        let h = simple_history();
+        let s = h.ascii_gantt(&[("w0", p(0)), ("s0", p(1))], Time(0), Time(40), 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('E'));
+        assert!(lines[0].starts_with("        w0 |"));
+        // Overlap column: both eating at t=16.
+        let c0 = lines[0].split('|').nth(1).unwrap().as_bytes()[16] as char;
+        let c1 = lines[1].split('|').nth(1).unwrap().as_bytes()[16] as char;
+        assert_eq!((c0, c1), ('E', 'E'));
+    }
+
+    #[test]
+    fn session_counts() {
+        let h = simple_history();
+        assert_eq!(h.session_count(p(0)), 1);
+        assert_eq!(h.session_count(p(1)), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! `UnfairDining` — a legal WF-◇WX service with **escalating unfairness**,
+//! built to exercise the paper's Section 5.1 remark:
+//!
+//! > "WF-◇WX does not guarantee fairness insofar as it is possible for `p`
+//! > to eat an unbounded number of times between each time `q` eats; this
+//! > allows `p` to suspect `q` infinitely often."
+//!
+//! The service is a coordinator grant queue that is non-exclusive before its
+//! convergence instant and exclusive afterwards — but in the exclusive
+//! regime it serves the **coordinator's own requests** `k` consecutive times
+//! before serving the remote peer once, with `k` escalating after every
+//! remote grant. Every hungry process still eats after finitely many grants
+//! (wait-freedom holds), and exclusivity holds from convergence (◇WX holds),
+//! so the box is perfectly legal — yet between two consecutive meals of the
+//! remote peer, the coordinator may eat unboundedly many times.
+//!
+//! Fed to a **single-instance** necessity reduction (see
+//! `dinefd_core::single_dx`), this box produces infinitely many wrongful
+//! suspicions: the witness's extra meals find no banked ping. The paper's
+//! two-instance reduction is immune — its subject threads are *always
+//! eating* in the exclusive suffix (Lemma 8), so no grant bias can slip the
+//! witness in twice. Experiment E9 measures the separation.
+
+use std::collections::VecDeque;
+
+use dinefd_sim::{ProcessId, Time};
+
+use crate::participant::{DiningIo, DiningMsg, DiningParticipant};
+use crate::state::DinerPhase;
+
+/// Messages of the unfair coordinator service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UfMsg {
+    /// "I am hungry" — participant → coordinator.
+    Request,
+    /// "You may eat" — coordinator → participant.
+    Grant,
+    /// "I have exited" — participant → coordinator.
+    Release,
+}
+
+/// One endpoint of the unfair dining service.
+#[derive(Clone, Debug)]
+pub struct UnfairDining {
+    me: ProcessId,
+    coordinator: ProcessId,
+    convergence: Time,
+    phase: DinerPhase,
+    // Coordinator-only state.
+    eating: Vec<ProcessId>,
+    waiting: VecDeque<ProcessId>,
+    /// How many consecutive self-grants the coordinator may take before it
+    /// must serve the remote peer (escalates forever).
+    bias_level: u64,
+    /// Self-grants taken since the last remote grant.
+    self_streak: u64,
+}
+
+impl UnfairDining {
+    /// Endpoint for `me`; the coordinator hosts the (biased) grant queue.
+    pub fn new(me: ProcessId, coordinator: ProcessId, convergence: Time) -> Self {
+        UnfairDining {
+            me,
+            coordinator,
+            convergence,
+            phase: DinerPhase::Thinking,
+            eating: Vec::new(),
+            waiting: VecDeque::new(),
+            bias_level: 1,
+            self_streak: 0,
+        }
+    }
+
+    /// The current unfairness level (coordinator only).
+    pub fn bias_level(&self) -> u64 {
+        self.bias_level
+    }
+
+    fn is_coord(&self) -> bool {
+        self.me == self.coordinator
+    }
+
+    fn live_eaters(&self, io: &DiningIo<'_>) -> usize {
+        self.eating.iter().filter(|&&q| q == self.me || !io.suspected(q)).count()
+    }
+
+    fn grant(&mut self, io: &mut DiningIo<'_>, q: ProcessId) {
+        self.eating.push(q);
+        if q == self.me {
+            debug_assert_eq!(self.phase, DinerPhase::Hungry);
+            self.phase = DinerPhase::Eating;
+            self.self_streak += 1;
+        } else {
+            io.send(q, DiningMsg::Unfair(UfMsg::Grant));
+            // Serving the remote resets the streak and escalates the bias.
+            self.self_streak = 0;
+            self.bias_level += 1;
+        }
+    }
+
+    /// Grant pump with the escalating self-bias in the exclusive regime.
+    fn pump(&mut self, io: &mut DiningIo<'_>) {
+        if !self.is_coord() {
+            return;
+        }
+        if io.now() < self.convergence {
+            while let Some(q) = self.waiting.pop_front() {
+                self.grant(io, q);
+            }
+            return;
+        }
+        while self.live_eaters(io) == 0 && !self.waiting.is_empty() {
+            // Prefer self while the streak budget lasts; otherwise serve the
+            // longest-waiting remote request.
+            let me = self.me;
+            let self_waiting = self.waiting.iter().position(|&q| q == me);
+            let remote_waiting = self.waiting.iter().position(|&q| q != me);
+            let pick = match (self_waiting, remote_waiting) {
+                (Some(s), _) if self.self_streak < self.bias_level => s,
+                (_, Some(r)) => r,
+                (Some(s), None) => s,
+                (None, None) => unreachable!("waiting nonempty"),
+            };
+            let q = self.waiting.remove(pick).expect("index valid");
+            self.grant(io, q);
+        }
+    }
+}
+
+impl DiningParticipant for UnfairDining {
+    fn hungry(&mut self, io: &mut DiningIo<'_>) {
+        assert_eq!(self.phase, DinerPhase::Thinking, "hungry() while {}", self.phase);
+        self.phase = DinerPhase::Hungry;
+        if self.is_coord() {
+            let me = self.me;
+            self.waiting.push_back(me);
+            self.pump(io);
+        } else {
+            io.send(self.coordinator, DiningMsg::Unfair(UfMsg::Request));
+        }
+    }
+
+    fn exit_eating(&mut self, io: &mut DiningIo<'_>) {
+        assert_eq!(self.phase, DinerPhase::Eating, "exit_eating() while {}", self.phase);
+        self.phase = DinerPhase::Exiting;
+        if self.is_coord() {
+            let me = self.me;
+            self.eating.retain(|&q| q != me);
+            self.phase = DinerPhase::Thinking;
+            // Deliberately NOT pumping here: the coordinator's next hungry()
+            // (or the next tick, which bounds the delay and preserves
+            // wait-freedom) runs the pump, letting an immediately re-hungry
+            // coordinator contend — that is what makes the bias bite.
+        } else {
+            io.send(self.coordinator, DiningMsg::Unfair(UfMsg::Release));
+            self.phase = DinerPhase::Thinking;
+        }
+    }
+
+    fn on_message(&mut self, io: &mut DiningIo<'_>, from: ProcessId, msg: DiningMsg) {
+        let DiningMsg::Unfair(m) = msg else {
+            debug_assert!(false, "foreign message {msg:?}");
+            return;
+        };
+        match m {
+            UfMsg::Request => {
+                debug_assert!(self.is_coord());
+                self.waiting.push_back(from);
+                self.pump(io);
+            }
+            UfMsg::Grant => {
+                debug_assert!(!self.is_coord());
+                if self.phase == DinerPhase::Hungry {
+                    self.phase = DinerPhase::Eating;
+                }
+            }
+            UfMsg::Release => {
+                debug_assert!(self.is_coord());
+                self.eating.retain(|&q| q != from);
+                self.pump(io);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, io: &mut DiningIo<'_>) {
+        self.pump(io);
+    }
+
+    fn phase(&self) -> DinerPhase {
+        self.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::NoOracle;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn exclusive_regime_prefers_coordinator_with_escalation() {
+        let fd = NoOracle(2);
+        let mut c = UnfairDining::new(p(0), p(0), Time(0));
+        // Remote request queued first; coordinator becomes hungry.
+        let mut io = DiningIo::new(p(0), Time(5), &fd);
+        c.on_message(&mut io, p(1), DiningMsg::Unfair(UfMsg::Request));
+        let fx = io.finish();
+        // Queue was [p1], no self request: remote is served (bias escalates
+        // to 2 afterwards).
+        assert_eq!(fx.sends.len(), 1);
+        assert_eq!(c.bias_level(), 2);
+        let mut io = DiningIo::new(p(0), Time(6), &fd);
+        c.on_message(&mut io, p(1), DiningMsg::Unfair(UfMsg::Release));
+        // Both now compete: the coordinator becomes hungry first, then the
+        // remote's request arrives; the coordinator jumps the queue
+        // bias_level (= 2) times before the remote is served.
+        let mut io = DiningIo::new(p(0), Time(8), &fd);
+        c.hungry(&mut io);
+        assert_eq!(c.phase(), DinerPhase::Eating, "self-grant jumps the queue");
+        let mut io = DiningIo::new(p(0), Time(9), &fd);
+        c.on_message(&mut io, p(1), DiningMsg::Unfair(UfMsg::Request));
+        assert!(io.finish().sends.is_empty(), "remote queued while coordinator eats");
+        let mut io = DiningIo::new(p(0), Time(10), &fd);
+        c.exit_eating(&mut io);
+        assert!(io.finish().sends.is_empty(), "exit does not pump");
+        // Second self-grant within the streak.
+        let mut io = DiningIo::new(p(0), Time(11), &fd);
+        c.hungry(&mut io);
+        assert_eq!(c.phase(), DinerPhase::Eating, "second self-grant within streak");
+        let mut io = DiningIo::new(p(0), Time(12), &fd);
+        c.exit_eating(&mut io);
+        let _ = io.finish();
+        // Streak exhausted: the pump triggered by the coordinator's own
+        // hunger serves the REMOTE first, leaving the coordinator waiting.
+        let mut io = DiningIo::new(p(0), Time(13), &fd);
+        c.hungry(&mut io);
+        assert_eq!(c.phase(), DinerPhase::Hungry, "bias exhausted: remote first");
+        let fx = io.finish();
+        assert_eq!(fx.sends.len(), 1, "streak exhausted: remote served at last");
+        assert!(matches!(fx.sends[0], (_, DiningMsg::Unfair(UfMsg::Grant))));
+    }
+
+    #[test]
+    fn remote_always_eventually_served() {
+        // Wait-freedom sanity: across many cycles the remote gets grants.
+        let fd = NoOracle(2);
+        let mut c = UnfairDining::new(p(0), p(0), Time(0));
+        let mut remote_grants = 0;
+        let mut io = DiningIo::new(p(0), Time(1), &fd);
+        c.on_message(&mut io, p(1), DiningMsg::Unfair(UfMsg::Request));
+        remote_grants += io.finish().sends.len();
+        for t in 0..200u64 {
+            let now = Time(10 + t * 3);
+            if c.phase() == DinerPhase::Thinking {
+                let mut io = DiningIo::new(p(0), now, &fd);
+                c.hungry(&mut io);
+                remote_grants += io.finish().sends.len();
+            } else if c.phase() == DinerPhase::Eating {
+                let mut io = DiningIo::new(p(0), now, &fd);
+                c.exit_eating(&mut io);
+                remote_grants += io.finish().sends.len();
+            }
+            if t % 7 == 3 {
+                // Remote releases and re-requests.
+                let mut io = DiningIo::new(p(0), now + 1, &fd);
+                c.on_message(&mut io, p(1), DiningMsg::Unfair(UfMsg::Release));
+                remote_grants += io.finish().sends.len();
+                let mut io = DiningIo::new(p(0), now + 2, &fd);
+                c.on_message(&mut io, p(1), DiningMsg::Unfair(UfMsg::Request));
+                remote_grants += io.finish().sends.len();
+            }
+        }
+        assert!(remote_grants >= 3, "remote starved: {remote_grants}");
+    }
+
+    #[test]
+    fn pre_convergence_grants_everyone() {
+        let fd = NoOracle(2);
+        let mut c = UnfairDining::new(p(0), p(0), Time(1_000));
+        let mut io = DiningIo::new(p(0), Time(1), &fd);
+        c.hungry(&mut io);
+        assert_eq!(c.phase(), DinerPhase::Eating);
+        let mut io = DiningIo::new(p(0), Time(2), &fd);
+        c.on_message(&mut io, p(1), DiningMsg::Unfair(UfMsg::Request));
+        assert_eq!(io.finish().sends.len(), 1, "concurrent grant pre-convergence");
+    }
+}

@@ -1,0 +1,575 @@
+//! Exhaustive exploration of the **composed** system: the paper's reduction
+//! running over the *actual* timestamped fork algorithm (`WfDxDining`), not
+//! over a spec-level abstraction.
+//!
+//! The abstract pair model in [`crate::pair_model`] grants eating by fiat;
+//! here eating emerges from the fork/token protocol itself, so this model
+//! additionally checks the *dining algorithm's* structural theorems over
+//! every interleaving:
+//!
+//! * **fork conservation** — each instance's fork exists exactly once,
+//!   counting both endpoints and in-flight `Fork` messages (forks in flight
+//!   to a crashed endpoint are considered destroyed with it);
+//! * **token conservation** — likewise for the request token (in `Request`
+//!   and `TokenReturn` messages);
+//! * **emergent exclusion** — with an accurate detector (no wrongful
+//!   suspicion active), the two endpoints of an instance never *start*
+//!   overlapping eating sessions; with `allow_mistakes`, overlaps may begin
+//!   only while a wrongful-suspicion flag is raised;
+//! * the reduction's own safety lemmas (2, 3, 4, 9), exactly as in the
+//!   abstract model.
+//!
+//! Wrongful suspicions are modeled as explorer-controlled flags, one per
+//! direction, each allowed to rise and fall once (a minimal "finitely many
+//! mistakes" adversary — enough to exercise the mistake paths without
+//! blowing up the state space).
+
+use dinefd_core::machines::{SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine};
+use dinefd_dining::wfdx::WfDxDining;
+use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
+use dinefd_fd::FdQuery;
+use dinefd_sim::{ProcessId, Time};
+
+const P: ProcessId = ProcessId(0); // watcher
+const Q: ProcessId = ProcessId(1); // subject
+
+/// Mistake-flag lifecycle: never raised → active → spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mistake {
+    /// Not yet raised.
+    Fresh,
+    /// Currently suspecting a live process.
+    Active,
+    /// Raised and lowered; may not rise again (finitely many mistakes).
+    Spent,
+}
+
+/// The detector each fork endpoint queries: real crashes plus the
+/// explorer-controlled wrongful flag for its direction.
+#[derive(Debug)]
+struct ModelFd {
+    crashed_q: bool,
+    wrongful_pq: bool,
+    wrongful_qp: bool,
+}
+
+impl FdQuery for ModelFd {
+    fn suspected(&self, watcher: ProcessId, subject: ProcessId, _now: Time) -> bool {
+        if watcher == subject {
+            return false;
+        }
+        if subject == Q {
+            self.crashed_q || self.wrongful_pq
+        } else {
+            self.wrongful_qp
+        }
+    }
+
+    fn len(&self) -> usize {
+        2
+    }
+}
+
+/// Parameters of a composed exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ComposedConfig {
+    /// Interleaving depth bound.
+    pub max_depth: u32,
+    /// State budget.
+    pub max_states: usize,
+    /// Allow `q` to crash.
+    pub allow_crash: bool,
+    /// Allow one wrongful-suspicion episode per direction.
+    pub allow_mistakes: bool,
+    /// Harden the subject machine (sequence-checked acks).
+    pub strict_seq: bool,
+}
+
+impl Default for ComposedConfig {
+    fn default() -> Self {
+        ComposedConfig {
+            max_depth: 12,
+            max_states: 2_000_000,
+            allow_crash: true,
+            allow_mistakes: true,
+            strict_seq: false,
+        }
+    }
+}
+
+/// One in-flight dining message: `(instance, to_subject, payload)`.
+type DxWire = (u8, bool, DiningMsg);
+
+/// Complete state of the composed model.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ComposedState {
+    witness: WitnessMachine,
+    subject: SubjectMachine,
+    /// Witness-side fork endpoints of DX_0, DX_1 (at `p`).
+    w_dx: [WfDxDining; 2],
+    /// Subject-side fork endpoints (at `q`).
+    s_dx: [WfDxDining; 2],
+    dx_wire: Vec<DxWire>,
+    pings: Vec<(u8, u64)>,
+    acks: Vec<(u8, u64)>,
+    crashed: bool,
+    mistake_pq: Mistake,
+    mistake_qp: Mistake,
+    /// Whether each endpoint's *current* eating session is "tainted": it
+    /// began while a wrongful-suspicion flag was active, or without holding
+    /// the fork. ◇WX permits overlaps involving tainted sessions even after
+    /// the mistake ends — exclusivity resumes once mistake-era eaters exit
+    /// (exactly the \[12\] behaviour the paper's §3 discusses).
+    w_taint: [bool; 2],
+    s_taint: [bool; 2],
+}
+
+/// Explorer transition labels (diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComposedLabel {
+    /// Fire the witness machine's first enabled action.
+    WitnessAct(usize),
+    /// Fire the subject machine's first enabled action.
+    SubjectAct(usize),
+    /// Deliver `dx_wire[k]`.
+    DeliverDx(usize),
+    /// Deliver `pings[k]`.
+    DeliverPing(usize),
+    /// Deliver `acks[k]`.
+    DeliverAck(usize),
+    /// Tick a hungry fork endpoint (0..2 = witness side, 2..4 = subject).
+    Tick(usize),
+    /// Crash `q`.
+    Crash,
+    /// Raise/lower a wrongful-suspicion flag (direction, raise?).
+    Flag(bool, bool),
+}
+
+impl ComposedState {
+    /// Initial state.
+    pub fn initial(cfg: &ComposedConfig) -> Self {
+        ComposedState {
+            witness: WitnessMachine::new(),
+            subject: SubjectMachine::new(cfg.strict_seq),
+            w_dx: [WfDxDining::new(P, &[Q]), WfDxDining::new(P, &[Q])],
+            s_dx: [WfDxDining::new(Q, &[P]), WfDxDining::new(Q, &[P])],
+            dx_wire: Vec::new(),
+            pings: Vec::new(),
+            acks: Vec::new(),
+            crashed: false,
+            mistake_pq: Mistake::Fresh,
+            mistake_qp: Mistake::Fresh,
+            w_taint: [false; 2],
+            s_taint: [false; 2],
+        }
+    }
+
+    /// Recomputes session taints across a transition: an eating session
+    /// keeps its taint until it ends; a session starting now is tainted if a
+    /// mistake is active or the eater lacks the fork.
+    fn update_taints(prev: &ComposedState, next: &mut ComposedState) {
+        for i in 0..2 {
+            // Witness side.
+            let was = prev.w_dx[i].phase() == DinerPhase::Eating;
+            let is = next.w_dx[i].phase() == DinerPhase::Eating;
+            next.w_taint[i] = match (was, is) {
+                (true, true) => prev.w_taint[i],
+                (false, true) => next.mistake_active() || !next.w_dx[i].holds_fork(Q),
+                (_, false) => false,
+            };
+            let was = prev.s_dx[i].phase() == DinerPhase::Eating;
+            let is = next.s_dx[i].phase() == DinerPhase::Eating;
+            next.s_taint[i] = match (was, is) {
+                (true, true) => prev.s_taint[i],
+                (false, true) => next.mistake_active() || !next.s_dx[i].holds_fork(P),
+                (_, false) => false,
+            };
+        }
+    }
+
+    fn fd(&self) -> ModelFd {
+        ModelFd {
+            crashed_q: self.crashed,
+            wrongful_pq: self.mistake_pq == Mistake::Active,
+            wrongful_qp: self.mistake_qp == Mistake::Active,
+        }
+    }
+
+    fn w_phases(&self) -> [DinerPhase; 2] {
+        [self.w_dx[0].phase(), self.w_dx[1].phase()]
+    }
+
+    fn s_phases(&self) -> [DinerPhase; 2] {
+        [self.s_dx[0].phase(), self.s_dx[1].phase()]
+    }
+
+    /// Invokes a fork endpoint and routes its sends onto the wire.
+    fn invoke_dx(
+        &mut self,
+        witness_side: bool,
+        i: usize,
+        f: impl FnOnce(&mut WfDxDining, &mut DiningIo<'_>),
+    ) {
+        let fd = self.fd();
+        let me = if witness_side { P } else { Q };
+        let mut io = DiningIo::new(me, Time::ZERO, &fd);
+        let core = if witness_side { &mut self.w_dx[i] } else { &mut self.s_dx[i] };
+        f(core, &mut io);
+        for (_to, msg) in io.finish().sends {
+            // Messages travel toward the other side of the same instance.
+            self.dx_wire.push((i as u8, witness_side, msg));
+        }
+    }
+
+    /// Enumerates successors. Eat-start overlap legality is checked by the
+    /// caller comparing phases across the transition.
+    pub fn successors(&self, cfg: &ComposedConfig) -> Vec<(ComposedLabel, ComposedState)> {
+        let mut out: Vec<(ComposedLabel, ComposedState)> = Vec::new();
+        // Witness machine actions.
+        for (idx, &a) in self.witness.enabled(self.w_phases()).iter().enumerate() {
+            let mut s = self.clone();
+            match s.witness.fire(a, s.w_phases()) {
+                WitnessCmd::BecomeHungry(i) => s.invoke_dx(true, i, |c, io| c.hungry(io)),
+                WitnessCmd::Exit(i) => s.invoke_dx(true, i, |c, io| c.exit_eating(io)),
+                WitnessCmd::SendAck(..) => unreachable!(),
+            }
+            out.push((ComposedLabel::WitnessAct(idx), s));
+        }
+        // Subject machine actions.
+        if !self.crashed {
+            for (idx, &a) in self.subject.enabled(self.s_phases()).iter().enumerate() {
+                let mut s = self.clone();
+                match s.subject.fire(a, s.s_phases()) {
+                    SubjectCmd::BecomeHungry(i) => s.invoke_dx(false, i, |c, io| c.hungry(io)),
+                    SubjectCmd::Exit(i) => s.invoke_dx(false, i, |c, io| c.exit_eating(io)),
+                    SubjectCmd::SendPing(i, seq) => s.pings.push((i as u8, seq)),
+                }
+                out.push((ComposedLabel::SubjectAct(idx), s));
+            }
+        }
+        // Dining-message deliveries (non-FIFO: any index).
+        for k in 0..self.dx_wire.len() {
+            let (i, to_subject, ref msg) = self.dx_wire[k];
+            if to_subject && self.crashed {
+                // Message to the corpse: it vanishes.
+                let mut s = self.clone();
+                s.dx_wire.remove(k);
+                out.push((ComposedLabel::DeliverDx(k), s));
+                continue;
+            }
+            let mut s = self.clone();
+            let msg = msg.clone();
+            s.dx_wire.remove(k);
+            let from = if to_subject { P } else { Q };
+            s.invoke_dx(!to_subject, i as usize, |c, io| c.on_message(io, from, msg));
+            out.push((ComposedLabel::DeliverDx(k), s));
+        }
+        // Reduction-layer deliveries.
+        for k in 0..self.pings.len() {
+            let mut s = self.clone();
+            let (i, seq) = s.pings.remove(k);
+            let WitnessCmd::SendAck(i2, s2) = s.witness.on_ping(i as usize, seq) else {
+                unreachable!()
+            };
+            if !s.crashed {
+                s.acks.push((i2 as u8, s2));
+            }
+            out.push((ComposedLabel::DeliverPing(k), s));
+        }
+        if !self.crashed {
+            for k in 0..self.acks.len() {
+                let mut s = self.clone();
+                let (i, seq) = s.acks.remove(k);
+                s.subject.on_ack(i as usize, seq);
+                out.push((ComposedLabel::DeliverAck(k), s));
+            }
+        }
+        // Ticks: only useful for hungry endpoints (suspicion re-check).
+        for slot in 0..4usize {
+            let (witness_side, i) = (slot < 2, slot % 2);
+            if !witness_side && self.crashed {
+                continue;
+            }
+            let phase =
+                if witness_side { self.w_dx[i].phase() } else { self.s_dx[i].phase() };
+            if phase == DinerPhase::Hungry {
+                let mut s = self.clone();
+                s.invoke_dx(witness_side, i, |c, io| c.on_tick(io));
+                out.push((ComposedLabel::Tick(slot), s));
+            }
+        }
+        // Environment: crash and mistake flags.
+        if cfg.allow_crash && !self.crashed {
+            let mut s = self.clone();
+            s.crashed = true;
+            s.acks.clear();
+            // In-flight q-bound dining messages stay queued; delivery drops
+            // them (handled above).
+            out.push((ComposedLabel::Crash, s));
+        }
+        if cfg.allow_mistakes {
+            for (pq, state) in [(true, self.mistake_pq), (false, self.mistake_qp)] {
+                match state {
+                    Mistake::Fresh => {
+                        let mut s = self.clone();
+                        if pq {
+                            s.mistake_pq = Mistake::Active;
+                        } else {
+                            s.mistake_qp = Mistake::Active;
+                        }
+                        out.push((ComposedLabel::Flag(pq, true), s));
+                    }
+                    Mistake::Active => {
+                        let mut s = self.clone();
+                        if pq {
+                            s.mistake_pq = Mistake::Spent;
+                        } else {
+                            s.mistake_qp = Mistake::Spent;
+                        }
+                        out.push((ComposedLabel::Flag(pq, false), s));
+                    }
+                    Mistake::Spent => {}
+                }
+            }
+        }
+        for (_, next) in out.iter_mut() {
+            Self::update_taints(self, next);
+        }
+        out
+    }
+
+    /// Whether `q` has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Whether the endpoint of instance `i` that is currently eating is in a
+    /// tainted (mistake-era or fork-less) session.
+    pub fn prior_eater_tainted(&self, i: usize) -> bool {
+        (self.w_dx[i].phase() == DinerPhase::Eating && self.w_taint[i])
+            || (self.s_dx[i].phase() == DinerPhase::Eating && self.s_taint[i])
+    }
+
+    /// Whether any wrongful-suspicion flag is active.
+    pub fn mistake_active(&self) -> bool {
+        self.mistake_pq == Mistake::Active || self.mistake_qp == Mistake::Active
+    }
+
+    /// Overlap (both endpoints of instance `i` eating).
+    pub fn overlapping(&self, i: usize) -> bool {
+        self.w_dx[i].phase() == DinerPhase::Eating && self.s_dx[i].phase() == DinerPhase::Eating
+    }
+
+    /// State-level invariants.
+    #[allow(clippy::needless_range_loop)] // indices address parallel arrays
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for i in 0..2 {
+            // Fork conservation.
+            let wire_forks = self
+                .dx_wire
+                .iter()
+                .filter(|&&(j, _to_s, ref m)| {
+                    // Forks bound for a corpse still "exist" until dropped.
+                    j as usize == i
+                        && matches!(m, DiningMsg::WfDx(dinefd_dining::wfdx::WxMsg::Fork { .. }))
+                })
+                .count();
+            let w_has = self.w_dx[i].holds_fork(Q) as usize;
+            let s_has = self.s_dx[i].holds_fork(P) as usize;
+            let forks = w_has + s_has + wire_forks;
+            // While q lives the fork exists exactly once; a crash can destroy
+            // it (stranded at the corpse = frozen state still counts; only
+            // delivery-to-corpse removes it), never duplicate it.
+            let ok = if self.crashed { forks <= 1 } else { forks == 1 };
+            if !ok {
+                v.push(format!(
+                    "fork conservation broken on DX_{i}: endpoints {w_has}+{s_has}, wire {wire_forks}, crashed {}",
+                    self.crashed
+                ));
+            }
+            // Token conservation.
+            let wire_tokens = self
+                .dx_wire
+                .iter()
+                .filter(|&&(j, _, ref m)| {
+                    j as usize == i
+                        && matches!(
+                            m,
+                            DiningMsg::WfDx(dinefd_dining::wfdx::WxMsg::Request(_))
+                                | DiningMsg::WfDx(
+                                    dinefd_dining::wfdx::WxMsg::TokenReturn { .. }
+                                )
+                        )
+                })
+                .count();
+            let w_tok = self.w_dx[i].holds_token(Q) as usize;
+            let s_tok = self.s_dx[i].holds_token(P) as usize;
+            let tokens = w_tok + s_tok + wire_tokens;
+            let ok = if self.crashed { tokens <= 1 } else { tokens == 1 };
+            if !ok {
+                v.push(format!(
+                    "token conservation broken on DX_{i}: endpoints {w_tok}+{s_tok}, wire {wire_tokens}, crashed {}",
+                    self.crashed
+                ));
+            }
+        }
+        // Reduction lemmas (as in the abstract model).
+        let s_ph = self.s_phases();
+        for i in 0..2 {
+            if !self.crashed && s_ph[i] != DinerPhase::Eating && !self.subject.ping_enabled(i) {
+                v.push(format!("Lemma 2 violated: s_{i} not eating but ping_{i} = false"));
+            }
+            if !self.crashed && s_ph[i] == DinerPhase::Hungry && self.subject.trigger() != i {
+                v.push(format!("Lemma 4 violated: s_{i} hungry, trigger {}", self.subject.trigger()));
+            }
+            if !self.crashed && s_ph[i] != DinerPhase::Eating && self.subject.ping_enabled(i) {
+                let transit = self.pings.iter().any(|&(j, _)| j as usize == i)
+                    || self.acks.iter().any(|&(j, _)| j as usize == i);
+                if transit {
+                    v.push(format!("Lemma 3 violated: DX_{i} ping/ack in transit"));
+                }
+            }
+        }
+        let w_ph = self.w_phases();
+        if w_ph[0] != DinerPhase::Thinking && w_ph[1] != DinerPhase::Thinking {
+            v.push(format!("Lemma 9 violated: w_0={}, w_1={}", w_ph[0], w_ph[1]));
+        }
+        v
+    }
+}
+
+/// Result of a composed exploration.
+#[derive(Clone, Debug)]
+pub struct ComposedReport {
+    /// Distinct states.
+    pub states_visited: usize,
+    /// Transitions traversed.
+    pub transitions: u64,
+    /// Invariant / exclusion violations.
+    pub violations: Vec<String>,
+    /// Dead states (no successors).
+    pub deadlocks: usize,
+    /// Whether the state budget truncated the search.
+    pub truncated: bool,
+}
+
+impl ComposedReport {
+    /// All checks passed everywhere explored.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks == 0
+    }
+}
+
+/// Depth-bounded exhaustive exploration of the composed model.
+pub fn explore_composed(cfg: &ComposedConfig) -> ComposedReport {
+    use std::collections::HashMap;
+    let initial = ComposedState::initial(cfg);
+    let mut report = ComposedReport {
+        states_visited: 0,
+        transitions: 0,
+        violations: Vec::new(),
+        deadlocks: 0,
+        truncated: false,
+    };
+    let mut visited: HashMap<ComposedState, u32> = HashMap::new();
+    let mut stack: Vec<(ComposedState, u32)> = Vec::new();
+    report.violations.extend(initial.check_invariants());
+    visited.insert(initial.clone(), cfg.max_depth);
+    stack.push((initial, cfg.max_depth));
+
+    while let Some((state, depth)) = stack.pop() {
+        if visited.len() >= cfg.max_states {
+            report.truncated = true;
+            break;
+        }
+        if depth == 0 {
+            continue;
+        }
+        let succ = state.successors(cfg);
+        if succ.is_empty() {
+            report.deadlocks += 1;
+            continue;
+        }
+        for (label, next) in succ {
+            report.transitions += 1;
+            // Emergent-exclusion check: an overlap may only BEGIN while a
+            // wrongful-suspicion flag is active, or when the endpoint that
+            // was already eating is in a tainted (mistake-era) session.
+            // Crashed subjects are exempt: exclusion binds live neighbors.
+            for i in 0..2 {
+                if !state.overlapping(i) && next.overlapping(i) && !next.crashed
+                    && !next.mistake_active() && !state.prior_eater_tainted(i) {
+                        report.violations.push(format!(
+                            "exclusion violated on DX_{i} without mistake or taint (via {label:?})"
+                        ));
+                    }
+            }
+            let remaining = depth - 1;
+            if visited.get(&next).is_some_and(|&d| d >= remaining) {
+                continue;
+            }
+            report.violations.extend(next.check_invariants());
+            visited.insert(next.clone(), remaining);
+            stack.push((next, remaining));
+        }
+    }
+    report.states_visited = visited.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composed_model_clean_no_faults() {
+        let cfg = ComposedConfig {
+            max_depth: 12,
+            allow_crash: false,
+            allow_mistakes: false,
+            ..Default::default()
+        };
+        let r = explore_composed(&cfg);
+        assert!(r.clean(), "violations: {:#?}", r.violations);
+        assert!(r.states_visited > 100, "only {} states", r.states_visited);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn composed_model_clean_with_crashes() {
+        let cfg = ComposedConfig {
+            max_depth: 10,
+            allow_crash: true,
+            allow_mistakes: false,
+            ..Default::default()
+        };
+        let r = explore_composed(&cfg);
+        assert!(r.clean(), "violations: {:#?}", r.violations);
+    }
+
+    #[test]
+    fn composed_model_clean_with_mistakes() {
+        let cfg = ComposedConfig {
+            max_depth: 9,
+            allow_crash: true,
+            allow_mistakes: true,
+            ..Default::default()
+        };
+        let r = explore_composed(&cfg);
+        assert!(r.clean(), "violations: {:#?}", r.violations);
+    }
+
+    #[test]
+    fn composed_model_clean_hardened() {
+        let cfg = ComposedConfig {
+            max_depth: 10,
+            strict_seq: true,
+            allow_crash: true,
+            allow_mistakes: false,
+            ..Default::default()
+        };
+        let r = explore_composed(&cfg);
+        assert!(r.clean(), "violations: {:#?}", r.violations);
+    }
+}

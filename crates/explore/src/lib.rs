@@ -1,0 +1,44 @@
+//! # `dinefd-explore` — bounded exhaustive checking of the reduction
+//!
+//! The SPAA'10 corrigendum to this paper exists because proofs about
+//! message regimes are delicate; this crate treats the paper's safety lemmas
+//! as machine-checkable artifacts. It builds a *closed* nondeterministic
+//! model of one monitoring pair — the pure witness/subject machines of
+//! `dinefd-core` composed with a spec-level dining service (grants chosen by
+//! the explorer, exclusive after an arbitrarily-chosen convergence point)
+//! and explicit in-flight ping/ack multisets with non-FIFO delivery — and
+//! explores **every interleaving** up to a depth bound.
+//!
+//! Checked at every reachable state (experiment E7):
+//!
+//! * **Lemma 2**: `s_i` not eating ⇒ `ping_i = true`;
+//! * **Lemma 3**: `s_i` not eating ∧ `ping_i` ⇒ no ping/ack of `DX_i` in
+//!   transit;
+//! * **Lemma 4**: `s_i` hungry ⇒ `trigger = i`;
+//! * **Lemma 9**: some witness thread is thinking;
+//! * model soundness: after convergence the two endpoints of an instance
+//!   never eat simultaneously;
+//! * absence of deadlock states.
+//!
+//! Checked across every transition (the inductive crux of Theorem 1):
+//! once `q` has crashed with no pings in flight and no banked ping, that
+//! condition is closed under all transitions and the suspicion output is
+//! monotone (never returns to trust).
+//!
+//! The liveness half of the lemmas (5, 7, 10, 11, 12 — things *happen*
+//! infinitely often) cannot be established by finite safety search; the
+//! [`mod@fair_run`] module drives the same model under a weakly-fair deterministic
+//! schedule and checks the progress counters instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod composed;
+pub mod fair_run;
+pub mod pair_model;
+pub mod search;
+
+pub use composed::{explore_composed, ComposedConfig, ComposedReport, ComposedState};
+pub use fair_run::{fair_run, FairRunReport};
+pub use pair_model::{ExploreConfig, PairState, TransitionLabel};
+pub use search::{explore, ExploreReport};

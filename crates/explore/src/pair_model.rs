@@ -1,0 +1,354 @@
+//! The closed nondeterministic model of one monitoring pair.
+
+use dinefd_core::machines::{
+    SubjectAction, SubjectCmd, SubjectMachine, WitnessAction, WitnessCmd, WitnessMachine,
+};
+use dinefd_dining::DinerPhase;
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Maximum interleaving depth.
+    pub max_depth: u32,
+    /// State-count budget (exploration reports truncation beyond it).
+    pub max_states: usize,
+    /// Harden the subject with sequence-checked acks.
+    pub strict_seq: bool,
+    /// Allow the subject process `q` to crash at any point.
+    pub allow_crash: bool,
+    /// Start in the exclusive regime (convergence already reached).
+    pub start_converged: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 14,
+            max_states: 2_000_000,
+            strict_seq: false,
+            allow_crash: true,
+            start_converged: false,
+        }
+    }
+}
+
+/// One transition choice of the explorer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionLabel {
+    /// Fire a witness guarded action.
+    Witness(WitnessAction),
+    /// Fire a subject guarded action.
+    Subject(SubjectAction),
+    /// Deliver the in-flight ping at the given pool index.
+    DeliverPing(usize),
+    /// Deliver the in-flight ack at the given pool index.
+    DeliverAck(usize),
+    /// The dining service grants the witness endpoint of `DX_i`.
+    GrantWitness(usize),
+    /// The dining service grants the subject endpoint of `DX_i`.
+    GrantSubject(usize),
+    /// ◇WX convergence occurs now.
+    Converge,
+    /// `q` crashes now.
+    CrashSubject,
+}
+
+/// A complete model state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PairState {
+    /// Alg. 1 state at `p`.
+    pub witness: WitnessMachine,
+    /// Alg. 2 state at `q`.
+    pub subject: SubjectMachine,
+    /// Phases of `p.w_0`, `p.w_1` in their instances.
+    pub w_phase: [DinerPhase; 2],
+    /// Phases of `q.s_0`, `q.s_1`.
+    pub s_phase: [DinerPhase; 2],
+    /// In-flight pings `(instance, seq)`, ordered by send time (delivery may
+    /// pick any — non-FIFO).
+    pub pings: Vec<(u8, u64)>,
+    /// In-flight acks `(instance, seq)`.
+    pub acks: Vec<(u8, u64)>,
+    /// Whether ◇WX has converged (grants now exclusive per instance).
+    pub converged: bool,
+    /// Whether `q` has crashed.
+    pub crashed: bool,
+}
+
+impl PairState {
+    /// The initial state.
+    pub fn initial(cfg: &ExploreConfig) -> Self {
+        PairState {
+            witness: WitnessMachine::new(),
+            subject: SubjectMachine::new(cfg.strict_seq),
+            w_phase: [DinerPhase::Thinking; 2],
+            s_phase: [DinerPhase::Thinking; 2],
+            pings: Vec::new(),
+            acks: Vec::new(),
+            converged: cfg.start_converged,
+            crashed: false,
+        }
+    }
+
+    fn both_endpoints_eating(&self, i: usize) -> bool {
+        self.w_phase[i] == DinerPhase::Eating && self.s_phase[i] == DinerPhase::Eating
+    }
+
+    /// Applies one labelled transition, returning the successor.
+    /// The label must come from [`PairState::successors`].
+    fn apply(&self, label: TransitionLabel) -> PairState {
+        let mut s = self.clone();
+        match label {
+            TransitionLabel::Witness(a) => {
+                let cmd = s.witness.fire(a, s.w_phase);
+                match cmd {
+                    WitnessCmd::BecomeHungry(i) => s.w_phase[i] = DinerPhase::Hungry,
+                    WitnessCmd::Exit(i) => s.w_phase[i] = DinerPhase::Thinking,
+                    WitnessCmd::SendAck(..) => unreachable!("ack is message-triggered"),
+                }
+            }
+            TransitionLabel::Subject(a) => {
+                let cmd = s.subject.fire(a, s.s_phase);
+                match cmd {
+                    SubjectCmd::BecomeHungry(i) => s.s_phase[i] = DinerPhase::Hungry,
+                    SubjectCmd::Exit(i) => s.s_phase[i] = DinerPhase::Thinking,
+                    SubjectCmd::SendPing(i, seq) => s.pings.push((i as u8, seq)),
+                }
+            }
+            TransitionLabel::DeliverPing(k) => {
+                let (i, seq) = s.pings.remove(k);
+                // Witness handles the ping: bank it and emit an ack.
+                let WitnessCmd::SendAck(i2, seq2) = s.witness.on_ping(i as usize, seq) else {
+                    unreachable!()
+                };
+                if s.crashed {
+                    // The ack would be delivered to a corpse: drop it.
+                } else {
+                    s.acks.push((i2 as u8, seq2));
+                }
+            }
+            TransitionLabel::DeliverAck(k) => {
+                let (i, seq) = s.acks.remove(k);
+                debug_assert!(!s.crashed, "acks to a crashed q are not delivered");
+                s.subject.on_ack(i as usize, seq);
+            }
+            TransitionLabel::GrantWitness(i) => {
+                debug_assert_eq!(s.w_phase[i], DinerPhase::Hungry);
+                s.w_phase[i] = DinerPhase::Eating;
+            }
+            TransitionLabel::GrantSubject(i) => {
+                debug_assert_eq!(s.s_phase[i], DinerPhase::Hungry);
+                s.s_phase[i] = DinerPhase::Eating;
+            }
+            TransitionLabel::Converge => s.converged = true,
+            TransitionLabel::CrashSubject => {
+                s.crashed = true;
+                // In-flight pings were already sent; they still arrive at the
+                // live witness. Acks in flight to q vanish.
+                s.acks.clear();
+            }
+        }
+        s
+    }
+
+    /// All enabled transitions with their successors.
+    pub fn successors(&self, cfg: &ExploreConfig) -> Vec<(TransitionLabel, PairState)> {
+        let mut out = Vec::new();
+        // Witness actions (p is always correct in this model).
+        for a in self.witness.enabled(self.w_phase) {
+            out.push(TransitionLabel::Witness(a));
+        }
+        // Subject actions, if q lives.
+        if !self.crashed {
+            for a in self.subject.enabled(self.s_phase) {
+                out.push(TransitionLabel::Subject(a));
+            }
+        }
+        // Non-FIFO delivery: any in-flight message.
+        for k in 0..self.pings.len() {
+            out.push(TransitionLabel::DeliverPing(k));
+        }
+        if !self.crashed {
+            for k in 0..self.acks.len() {
+                out.push(TransitionLabel::DeliverAck(k));
+            }
+        }
+        // Dining grants: unconstrained before convergence; exclusive within
+        // each instance afterwards. Exclusion binds *live* neighbors only —
+        // a subject that crashed mid-meal must not block the witness
+        // (wait-freedom).
+        for i in 0..2 {
+            if self.w_phase[i] == DinerPhase::Hungry
+                && (!self.converged || self.crashed || self.s_phase[i] != DinerPhase::Eating)
+            {
+                out.push(TransitionLabel::GrantWitness(i));
+            }
+            if !self.crashed
+                && self.s_phase[i] == DinerPhase::Hungry
+                && (!self.converged || self.w_phase[i] != DinerPhase::Eating)
+            {
+                out.push(TransitionLabel::GrantSubject(i));
+            }
+        }
+        // Convergence may strike at any moment — but ◇WX's exclusive suffix
+        // cannot begin while two live neighbors are mid-overlap.
+        if !self.converged
+            && !(0..2).any(|i| !self.crashed && self.both_endpoints_eating(i))
+        {
+            out.push(TransitionLabel::Converge);
+        }
+        // q may crash at any moment.
+        if cfg.allow_crash && !self.crashed {
+            out.push(TransitionLabel::CrashSubject);
+        }
+        out.into_iter().map(|l| (l, self.apply(l))).collect()
+    }
+
+    /// State-level invariant checks (the paper's safety lemmas). Returns
+    /// human-readable violation descriptions.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for i in 0..2 {
+            // Lemma 2: (s_i.state ≠ eating) ⇒ ping_i.
+            if !self.crashed
+                && self.s_phase[i] != DinerPhase::Eating
+                && !self.subject.ping_enabled(i)
+            {
+                v.push(format!("Lemma 2 violated: s_{i} not eating but ping_{i} = false"));
+            }
+            // Lemma 4: (s_i.state = hungry) ⇒ trigger = i.
+            if !self.crashed && self.s_phase[i] == DinerPhase::Hungry && self.subject.trigger() != i
+            {
+                v.push(format!(
+                    "Lemma 4 violated: s_{i} hungry but trigger = {}",
+                    self.subject.trigger()
+                ));
+            }
+            // Lemma 3: (s_i ≠ eating ∧ ping_i) ⇒ no DX_i messages in transit.
+            if !self.crashed
+                && self.s_phase[i] != DinerPhase::Eating
+                && self.subject.ping_enabled(i)
+            {
+                let in_transit = self.pings.iter().any(|&(j, _)| j as usize == i)
+                    || self.acks.iter().any(|&(j, _)| j as usize == i);
+                if in_transit {
+                    v.push(format!(
+                        "Lemma 3 violated: s_{i} not eating, ping_{i} = true, \
+                         yet a DX_{i} message is in transit"
+                    ));
+                }
+            }
+            // Model soundness: exclusive regime truly exclusive for live q.
+            if self.converged && !self.crashed && self.both_endpoints_eating(i) {
+                v.push(format!("model soundness violated: DX_{i} overlap after convergence"));
+            }
+        }
+        // Lemma 9: some witness is thinking.
+        if self.w_phase[0] != DinerPhase::Thinking && self.w_phase[1] != DinerPhase::Thinking {
+            v.push(format!(
+                "Lemma 9 violated: w_0 = {}, w_1 = {}",
+                self.w_phase[0], self.w_phase[1]
+            ));
+        }
+        v
+    }
+
+    /// Membership in the Theorem-1 closure set: `q` crashed, no pings in
+    /// flight, no banked ping.
+    pub fn in_completeness_closure(&self) -> bool {
+        self.crashed && self.pings.is_empty() && !self.witness.haveping(0) && !self.witness.haveping(1)
+    }
+
+    /// Transition-level check for the Theorem-1 closure: from a closure
+    /// state, every successor stays in the closure and suspicion is monotone.
+    pub fn check_closure_step(&self, succ: &PairState) -> Option<String> {
+        if !self.in_completeness_closure() {
+            return None;
+        }
+        if !succ.in_completeness_closure() {
+            return Some("completeness closure not invariant".to_string());
+        }
+        if self.witness.suspects() && !succ.witness.suspects() {
+            return Some("suspicion of crashed q regressed to trust".to_string());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_clean() {
+        let cfg = ExploreConfig::default();
+        let s = PairState::initial(&cfg);
+        assert!(s.check_invariants().is_empty());
+        assert!(!s.in_completeness_closure());
+    }
+
+    #[test]
+    fn initial_transitions_include_expected_choices() {
+        let cfg = ExploreConfig::default();
+        let s = PairState::initial(&cfg);
+        let succ = s.successors(&cfg);
+        let labels: Vec<TransitionLabel> = succ.iter().map(|&(l, _)| l).collect();
+        assert!(labels.contains(&TransitionLabel::Witness(WitnessAction::Hungry(0))));
+        assert!(labels.contains(&TransitionLabel::Subject(SubjectAction::Hungry(0))));
+        assert!(labels.contains(&TransitionLabel::Converge));
+        assert!(labels.contains(&TransitionLabel::CrashSubject));
+        // Nothing is hungry yet: no grants; no messages: no deliveries.
+        assert!(!labels.iter().any(|l| matches!(l, TransitionLabel::GrantWitness(_))));
+        assert!(!labels.iter().any(|l| matches!(l, TransitionLabel::DeliverPing(_))));
+    }
+
+    #[test]
+    fn grant_respects_exclusive_regime() {
+        let cfg = ExploreConfig { start_converged: true, ..Default::default() };
+        let mut s = PairState::initial(&cfg);
+        s.w_phase[0] = DinerPhase::Hungry;
+        s.s_phase[0] = DinerPhase::Eating;
+        let labels: Vec<TransitionLabel> =
+            s.successors(&cfg).iter().map(|&(l, _)| l).collect();
+        assert!(
+            !labels.contains(&TransitionLabel::GrantWitness(0)),
+            "exclusive regime must not double-grant DX_0"
+        );
+    }
+
+    #[test]
+    fn convergence_waits_for_overlap_to_clear() {
+        let cfg = ExploreConfig::default();
+        let mut s = PairState::initial(&cfg);
+        s.w_phase[1] = DinerPhase::Eating;
+        s.s_phase[1] = DinerPhase::Eating;
+        let labels: Vec<TransitionLabel> =
+            s.successors(&cfg).iter().map(|&(l, _)| l).collect();
+        assert!(!labels.contains(&TransitionLabel::Converge));
+    }
+
+    #[test]
+    fn crash_drops_acks_but_not_pings() {
+        let cfg = ExploreConfig::default();
+        let mut s = PairState::initial(&cfg);
+        s.pings.push((0, 1));
+        s.acks.push((1, 1));
+        let (_, after) = s
+            .successors(&cfg)
+            .into_iter()
+            .find(|(l, _)| *l == TransitionLabel::CrashSubject)
+            .unwrap();
+        assert_eq!(after.pings.len(), 1, "pings to the live witness survive");
+        assert!(after.acks.is_empty(), "acks to the corpse vanish");
+    }
+
+    #[test]
+    fn closure_is_detected() {
+        let cfg = ExploreConfig::default();
+        let mut s = PairState::initial(&cfg);
+        s.crashed = true;
+        assert!(s.in_completeness_closure());
+        s.pings.push((0, 1));
+        assert!(!s.in_completeness_closure());
+    }
+}

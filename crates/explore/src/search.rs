@@ -1,0 +1,170 @@
+//! Depth-bounded exhaustive search over the pair model.
+
+use std::collections::HashMap;
+
+use crate::pair_model::{ExploreConfig, PairState, TransitionLabel};
+
+/// Outcome of one exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states_visited: usize,
+    /// Transitions traversed.
+    pub transitions: u64,
+    /// Invariant violations found (empty = all lemmas hold in the explored
+    /// region). Each entry carries a short trace prefix for diagnosis.
+    pub violations: Vec<String>,
+    /// States with no outgoing transition (there should be none).
+    pub deadlocks: usize,
+    /// Whether the search hit its state budget before exhausting the
+    /// depth-bounded region.
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// True when every checked property held everywhere explored.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks == 0
+    }
+}
+
+/// Exhaustively explores all interleavings up to `cfg.max_depth`, checking
+/// the paper's safety lemmas at every state and the Theorem-1 closure across
+/// every transition.
+///
+/// The visited map remembers the largest remaining depth each state was
+/// expanded with, so re-entering a state with less budget is pruned soundly.
+///
+/// ```
+/// use dinefd_explore::{explore, ExploreConfig};
+///
+/// let report = explore(&ExploreConfig { max_depth: 12, ..Default::default() });
+/// assert!(report.clean(), "lemma violations: {:?}", report.violations);
+/// assert!(report.states_visited > 100);
+/// ```
+pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
+    let initial = PairState::initial(cfg);
+    let mut report = ExploreReport {
+        states_visited: 0,
+        transitions: 0,
+        violations: Vec::new(),
+        deadlocks: 0,
+        truncated: false,
+    };
+    let mut visited: HashMap<PairState, u32> = HashMap::new();
+    // Explicit stack: (state, remaining depth, path label for diagnostics).
+    let mut stack: Vec<(PairState, u32, Vec<TransitionLabel>)> = Vec::new();
+
+    if let Some(v) = check_state(&initial, &[]) {
+        report.violations.push(v);
+    }
+    visited.insert(initial.clone(), cfg.max_depth);
+    stack.push((initial, cfg.max_depth, Vec::new()));
+
+    while let Some((state, depth, path)) = stack.pop() {
+        report.states_visited = visited.len();
+        if visited.len() >= cfg.max_states {
+            report.truncated = true;
+            break;
+        }
+        if depth == 0 {
+            continue;
+        }
+        let succ = state.successors(cfg);
+        if succ.is_empty() {
+            report.deadlocks += 1;
+            continue;
+        }
+        for (label, next) in succ {
+            report.transitions += 1;
+            if let Some(v) = state.check_closure_step(&next) {
+                report.violations.push(format!("{v} (after {})", fmt_path(&path, Some(label))));
+            }
+            let remaining = depth - 1;
+            let seen = visited.get(&next).copied();
+            if seen.is_some_and(|d| d >= remaining) {
+                continue;
+            }
+            if let Some(v) = check_state(&next, &path) {
+                report.violations.push(v);
+            }
+            visited.insert(next.clone(), remaining);
+            let mut next_path = path.clone();
+            next_path.push(label);
+            stack.push((next, remaining, next_path));
+        }
+    }
+    report.states_visited = visited.len();
+    report
+}
+
+fn check_state(state: &PairState, path: &[TransitionLabel]) -> Option<String> {
+    let v = state.check_invariants();
+    if v.is_empty() {
+        None
+    } else {
+        Some(format!("{} (after {})", v.join("; "), fmt_path(path, None)))
+    }
+}
+
+fn fmt_path(path: &[TransitionLabel], extra: Option<TransitionLabel>) -> String {
+    let mut parts: Vec<String> = path.iter().map(|l| format!("{l:?}")).collect();
+    if let Some(l) = extra {
+        parts.push(format!("{l:?}"));
+    }
+    if parts.is_empty() {
+        "initial state".to_string()
+    } else {
+        parts.join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shallow_exploration_is_clean_lenient() {
+        let cfg = ExploreConfig { max_depth: 40, ..Default::default() };
+        let report = explore(&cfg);
+        assert!(report.clean(), "violations: {:#?}", report.violations);
+        assert!(report.states_visited > 3_000, "only {} states", report.states_visited);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn shallow_exploration_is_clean_strict() {
+        let cfg = ExploreConfig { max_depth: 40, strict_seq: true, ..Default::default() };
+        let report = explore(&cfg);
+        assert!(report.clean(), "violations: {:#?}", report.violations);
+    }
+
+    #[test]
+    fn converged_start_is_clean() {
+        let cfg = ExploreConfig {
+            max_depth: 11,
+            start_converged: true,
+            allow_crash: true,
+            ..Default::default()
+        };
+        let report = explore(&cfg);
+        assert!(report.clean(), "violations: {:#?}", report.violations);
+    }
+
+    #[test]
+    fn crash_free_exploration_is_clean_and_smaller() {
+        let with = explore(&ExploreConfig { max_depth: 9, ..Default::default() });
+        let without =
+            explore(&ExploreConfig { max_depth: 9, allow_crash: false, ..Default::default() });
+        assert!(with.clean() && without.clean());
+        assert!(without.states_visited < with.states_visited);
+    }
+
+    #[test]
+    fn state_budget_truncates_gracefully() {
+        let cfg = ExploreConfig { max_depth: 200, max_states: 2_000, ..Default::default() };
+        let report = explore(&cfg);
+        assert!(report.truncated);
+        assert!(report.violations.is_empty());
+    }
+}

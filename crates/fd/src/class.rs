@@ -1,0 +1,91 @@
+//! The Chandra–Toueg oracle-class taxonomy used by the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A failure-detector class, identified by its completeness and accuracy
+/// properties. All classes here share *strong completeness*; they differ in
+/// accuracy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OracleClass {
+    /// Perfect: perpetual strong accuracy (never suspects a correct process).
+    Perfect,
+    /// Eventually perfect (◇P): eventual strong accuracy — finitely many
+    /// wrongful suspicions, then permanently accurate.
+    EventuallyPerfect,
+    /// Strong (S): perpetual weak accuracy — *some* correct process is never
+    /// suspected by any live process.
+    Strong,
+    /// Eventually strong (◇S): eventual weak accuracy.
+    EventuallyStrong,
+    /// Trusting (T): eventually permanently trusts every correct process, and
+    /// whenever it stops trusting a process, that process has crashed.
+    Trusting,
+}
+
+impl OracleClass {
+    /// Conventional symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            OracleClass::Perfect => "P",
+            OracleClass::EventuallyPerfect => "◇P",
+            OracleClass::Strong => "S",
+            OracleClass::EventuallyStrong => "◇S",
+            OracleClass::Trusting => "T",
+        }
+    }
+
+    /// Classes whose specification is implied by this one, in this taxonomy
+    /// (on the accuracy axis, with strong completeness fixed).
+    ///
+    /// `P` implies everything here: perpetual strong accuracy forbids any
+    /// wrongful suspicion, hence trivially satisfies eventual strong accuracy,
+    /// weak accuracy, and trusting accuracy.
+    pub fn implies(self) -> &'static [OracleClass] {
+        match self {
+            OracleClass::Perfect => &[
+                OracleClass::EventuallyPerfect,
+                OracleClass::Strong,
+                OracleClass::EventuallyStrong,
+                OracleClass::Trusting,
+            ],
+            OracleClass::EventuallyPerfect => &[OracleClass::EventuallyStrong],
+            OracleClass::Strong => &[OracleClass::EventuallyStrong],
+            OracleClass::Trusting => &[OracleClass::EventuallyPerfect, OracleClass::EventuallyStrong],
+            OracleClass::EventuallyStrong => &[],
+        }
+    }
+}
+
+impl fmt::Display for OracleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols() {
+        assert_eq!(OracleClass::EventuallyPerfect.to_string(), "◇P");
+        assert_eq!(OracleClass::Trusting.to_string(), "T");
+    }
+
+    #[test]
+    fn perfect_implies_all_others() {
+        let implied = OracleClass::Perfect.implies();
+        assert!(implied.contains(&OracleClass::EventuallyPerfect));
+        assert!(implied.contains(&OracleClass::Trusting));
+        assert!(implied.contains(&OracleClass::Strong));
+    }
+
+    #[test]
+    fn trusting_implies_eventually_perfect() {
+        // T's accuracy (eventually permanently trusts correct processes)
+        // subsumes ◇P's eventual strong accuracy.
+        assert!(OracleClass::Trusting.implies().contains(&OracleClass::EventuallyPerfect));
+    }
+}

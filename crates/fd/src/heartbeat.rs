@@ -1,0 +1,257 @@
+//! A message-passing ◇P: heartbeats with adaptive timeouts.
+//!
+//! This is the classical construction showing ◇P is *implementable* under
+//! partial synchrony (the paper's Section 2 motivates exactly this setting):
+//! every process periodically broadcasts `Alive`; each watcher counts its own
+//! periods since it last heard from each peer and suspects peers that exceed
+//! a per-peer timeout. On discovering a false suspicion (an `Alive` from a
+//! suspected peer) the watcher doubles that peer's timeout, so after the
+//! global stabilization time the timeout eventually exceeds the real delay
+//! bound and mistakes stop — eventual strong accuracy. A crashed peer stops
+//! sending forever, so its counter grows without bound — strong completeness.
+//!
+//! The node never reads global time: it counts its *own* timer firings,
+//! which is legitimate local step-counting.
+
+use dinefd_sim::{Context, Node, ProcessId, TimerId};
+
+/// Message type: a heartbeat.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Alive;
+
+/// Observation emitted whenever the local output changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HbObs {
+    /// The peer whose suspicion status changed.
+    pub subject: ProcessId,
+    /// The new status.
+    pub suspected: bool,
+}
+
+/// Static parameters of the heartbeat detector.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// System size.
+    pub n: usize,
+    /// Ticks between heartbeat broadcasts (and timeout checks).
+    pub period: u64,
+    /// Initial per-peer timeout, in periods.
+    pub initial_timeout_periods: u64,
+}
+
+impl HeartbeatConfig {
+    /// A reasonable default: period 8, initial timeout 4 periods.
+    pub fn new(n: usize) -> Self {
+        HeartbeatConfig { n, period: 8, initial_timeout_periods: 4 }
+    }
+}
+
+const TICK: TimerId = TimerId(0);
+
+/// One process's heartbeat-◇P module.
+#[derive(Clone, Debug)]
+pub struct HeartbeatFd {
+    cfg: HeartbeatConfig,
+    /// Periods elapsed since the last `Alive` from each peer.
+    periods_since_heard: Vec<u64>,
+    /// Current per-peer timeout, in periods (doubles on each false suspicion).
+    timeout_periods: Vec<u64>,
+    /// Current output.
+    suspected: Vec<bool>,
+}
+
+impl HeartbeatFd {
+    /// Fresh module; initially trusts everyone.
+    pub fn new(cfg: HeartbeatConfig) -> Self {
+        HeartbeatFd {
+            periods_since_heard: vec![0; cfg.n],
+            timeout_periods: vec![cfg.initial_timeout_periods.max(1); cfg.n],
+            suspected: vec![false; cfg.n],
+            cfg,
+        }
+    }
+
+    /// Current output: is `q` suspected?
+    pub fn suspects(&self, q: ProcessId) -> bool {
+        self.suspected[q.index()]
+    }
+
+    /// The current adaptive timeout (periods) for `q`.
+    pub fn timeout_of(&self, q: ProcessId) -> u64 {
+        self.timeout_periods[q.index()]
+    }
+
+    /// All peers this module heartbeats to.
+    pub fn peers(&self, me: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
+        ProcessId::all(self.cfg.n).filter(move |&q| q != me)
+    }
+
+    /// The broadcast period, in ticks.
+    pub fn period(&self) -> u64 {
+        self.cfg.period
+    }
+
+    /// Context-free handler: an `Alive` from `from` arrived. Returns the
+    /// output change, if any.
+    pub fn handle_alive(&mut self, from: ProcessId) -> Option<HbObs> {
+        self.periods_since_heard[from.index()] = 0;
+        if self.suspected[from.index()] {
+            // False suspicion discovered: repent and be more patient.
+            self.suspected[from.index()] = false;
+            self.timeout_periods[from.index()] =
+                self.timeout_periods[from.index()].saturating_mul(2);
+            Some(HbObs { subject: from, suspected: false })
+        } else {
+            None
+        }
+    }
+
+    /// Context-free handler: one local period elapsed. Returns output
+    /// changes. The caller must also broadcast `Alive` to [`Self::peers`]
+    /// and re-arm its period timer.
+    pub fn handle_period(&mut self, me: ProcessId) -> Vec<HbObs> {
+        let mut out = Vec::new();
+        for q in ProcessId::all(self.cfg.n) {
+            if q == me {
+                continue;
+            }
+            self.periods_since_heard[q.index()] += 1;
+            if !self.suspected[q.index()]
+                && self.periods_since_heard[q.index()] > self.timeout_periods[q.index()]
+            {
+                self.suspected[q.index()] = true;
+                out.push(HbObs { subject: q, suspected: true });
+            }
+        }
+        out
+    }
+
+    fn broadcast(&self, ctx: &mut Context<'_, Alive, HbObs>) {
+        let me = ctx.me();
+        for q in self.peers(me) {
+            ctx.send(q, Alive);
+        }
+    }
+}
+
+impl Node for HeartbeatFd {
+    type Msg = Alive;
+    type Obs = HbObs;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Alive, HbObs>) {
+        self.broadcast(ctx);
+        ctx.set_timer(self.cfg.period, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Alive, HbObs>, from: ProcessId, _msg: Alive) {
+        if let Some(obs) = self.handle_alive(from) {
+            ctx.observe(obs);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Alive, HbObs>, timer: TimerId) {
+        debug_assert_eq!(timer, TICK);
+        for obs in self.handle_period(ctx.me()) {
+            ctx.observe(obs);
+        }
+        self.broadcast(ctx);
+        ctx.set_timer(self.cfg.period, TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SuspicionHistory;
+    use crate::OracleClass;
+    use dinefd_sim::{CrashPlan, DelayModel, Time, World, WorldConfig};
+
+    fn run_system(
+        n: usize,
+        seed: u64,
+        crashes: CrashPlan,
+        delays: DelayModel,
+        horizon: Time,
+    ) -> (SuspicionHistory, CrashPlan) {
+        let cfg = HeartbeatConfig::new(n);
+        let nodes: Vec<HeartbeatFd> = (0..n).map(|_| HeartbeatFd::new(cfg)).collect();
+        let wcfg = WorldConfig::new(seed).delays(delays).crashes(crashes.clone());
+        let mut world = World::new(nodes, wcfg);
+        world.run_until(horizon);
+        let mut hist = SuspicionHistory::new(n, false);
+        for (at, pid, obs) in world.trace().observations() {
+            hist.record(at, pid, obs.subject, obs.suspected);
+        }
+        (hist, crashes)
+    }
+
+    #[test]
+    fn failure_free_synchronous_run_is_perfect() {
+        let (hist, plan) = run_system(3, 1, CrashPlan::none(), DelayModel::Fixed(2), Time(5_000));
+        assert!(hist.perpetual_strong_accuracy(&plan).is_ok());
+    }
+
+    #[test]
+    fn crash_is_detected_permanently() {
+        let plan = CrashPlan::one(ProcessId(2), Time(500));
+        let (hist, plan) =
+            run_system(3, 2, plan, DelayModel::Fixed(2), Time(10_000));
+        let detections = hist.strong_completeness(&plan).unwrap();
+        assert_eq!(detections.len(), 2); // two correct watchers
+        for d in detections {
+            assert!(d.detected_from > d.crashed_at);
+        }
+    }
+
+    #[test]
+    fn partially_synchronous_run_is_eventually_perfect() {
+        // Harsh delays before GST can cause false suspicions; the adaptive
+        // timeout must absorb them after GST.
+        let plan = CrashPlan::one(ProcessId(3), Time(4_000));
+        let delays = DelayModel::partially_synchronous(Time(3_000), 6);
+        let (hist, plan) = run_system(4, 3, plan, delays, Time(60_000));
+        let acc = hist.eventual_strong_accuracy(&plan);
+        assert!(acc.is_ok(), "accuracy violated: {:?}", acc.err());
+        assert!(hist.strong_completeness(&plan).is_ok());
+        let classes = hist.classify(&plan);
+        assert!(classes.contains(&OracleClass::EventuallyPerfect), "classes: {classes:?}");
+    }
+
+    #[test]
+    fn harsh_prefix_actually_produces_mistakes_some_seed() {
+        // Sanity that the test above is non-vacuous: some seed exhibits at
+        // least one wrongful suspicion before convergence.
+        let mut total_mistakes = 0;
+        for seed in 0..8 {
+            let delays = DelayModel::partially_synchronous(Time(3_000), 6);
+            let (hist, _) = run_system(3, seed, CrashPlan::none(), delays, Time(30_000));
+            for w in ProcessId::all(3) {
+                for s in ProcessId::all(3) {
+                    if w != s {
+                        total_mistakes += hist.mistake_intervals(w, s);
+                    }
+                }
+            }
+        }
+        assert!(total_mistakes > 0, "no seed produced any false suspicion");
+    }
+
+    #[test]
+    fn timeouts_grow_on_false_suspicion() {
+        let delays = DelayModel::partially_synchronous(Time(2_000), 6);
+        let cfg = HeartbeatConfig::new(2);
+        let nodes: Vec<HeartbeatFd> = (0..2).map(|_| HeartbeatFd::new(cfg)).collect();
+        let mut world =
+            World::new(nodes, WorldConfig::new(11).delays(delays));
+        world.run_until(Time(30_000));
+        // If any false suspicion happened, the timeout must exceed initial.
+        let n0 = world.node(ProcessId(0));
+        let had_mistake = world
+            .trace()
+            .observations()
+            .any(|(_, pid, o)| pid == ProcessId(0) && o.subject == ProcessId(1) && o.suspected);
+        if had_mistake {
+            assert!(n0.timeout_of(ProcessId(1)) > cfg.initial_timeout_periods);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the failure-detector specification checkers:
+//! the checkers must agree with histories *constructed to satisfy (or
+//! violate) a spec by design*, and the class lattice must be respected.
+
+use dinefd_fd::{FdQuery, InjectedOracle, MistakePlan, OracleClass, SuspicionHistory};
+use dinefd_sim::{CrashPlan, ProcessId, SplitMix64, Time};
+use proptest::prelude::*;
+
+/// Samples an injected oracle's output into a `SuspicionHistory` (the oracle
+/// is correct by construction, so the checkers must accept it).
+fn sample_oracle(oracle: &InjectedOracle, n: usize, horizon: u64, step: u64) -> SuspicionHistory {
+    let mut h = SuspicionHistory::new(n, false);
+    let mut t = 0;
+    while t <= horizon {
+        for w in ProcessId::all(n) {
+            for s in ProcessId::all(n) {
+                if w != s {
+                    h.record(Time(t), w, s, oracle.suspected(w, s, Time(t)));
+                }
+            }
+        }
+        t += step;
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sampled_diamond_p_oracle_classifies_as_diamond_p(
+        seed in any::<u64>(),
+        n in 2usize..5,
+        crash_idx in 0usize..5,
+        crash_at in 1_000u64..4_000,
+    ) {
+        let crash_idx = crash_idx % n;
+        let plan = CrashPlan::one(ProcessId::from_index(crash_idx), Time(crash_at));
+        let mut rng = SplitMix64::new(seed);
+        let oracle = InjectedOracle::diamond_p(
+            n, plan.clone(), 50, Time(2_000), 3, 150, &mut rng,
+        );
+        // Sampling step 1 so no interval is missed; horizon far past both the
+        // convergence time and the crash.
+        let h = sample_oracle(&oracle, n, 8_000, 1);
+        let classes = h.classify(&plan);
+        prop_assert!(
+            classes.contains(&OracleClass::EventuallyPerfect),
+            "classes: {:?}", classes
+        );
+    }
+
+    #[test]
+    fn sampled_perfect_oracle_classifies_as_perfect(
+        n in 2usize..5,
+        crash_idx in 0usize..5,
+        crash_at in 1_000u64..4_000,
+    ) {
+        let crash_idx = crash_idx % n;
+        let plan = CrashPlan::one(ProcessId::from_index(crash_idx), Time(crash_at));
+        let oracle = InjectedOracle::perfect(n, plan.clone(), 50);
+        let h = sample_oracle(&oracle, n, 8_000, 1);
+        let classes = h.classify(&plan);
+        prop_assert!(classes.contains(&OracleClass::Perfect), "classes: {:?}", classes);
+        // The lattice: P implies everything else we check.
+        for implied in OracleClass::Perfect.implies() {
+            prop_assert!(classes.contains(implied), "missing {:?} in {:?}", implied, classes);
+        }
+    }
+
+    #[test]
+    fn sampled_trusting_oracle_is_t_accurate(
+        seed in any::<u64>(),
+        n in 2usize..5,
+        crash_at in 3_000u64..5_000,
+    ) {
+        // Trust is established by t=1000, crashes happen after: T-accurate.
+        let plan = CrashPlan::one(ProcessId(0), Time(crash_at));
+        let mut rng = SplitMix64::new(seed);
+        let oracle = InjectedOracle::trusting(n, plan.clone(), 50, Time(1_000), &mut rng);
+        let h = sample_oracle(&oracle, n, 9_000, 1);
+        prop_assert!(h.trusting_accuracy(&plan).is_ok());
+        prop_assert!(h.strong_completeness(&plan).is_ok());
+    }
+
+    #[test]
+    fn mistake_intervals_match_constructed_plan(
+        intervals in prop::collection::vec((0u64..50, 1u64..20), 0..6),
+    ) {
+        // Build disjoint intervals from (gap, len) pairs.
+        let mut t = 0u64;
+        let mut plan_intervals = Vec::new();
+        for &(gap, len) in &intervals {
+            let s = t + gap + 1;
+            plan_intervals.push((Time(s), Time(s + len)));
+            t = s + len;
+        }
+        let expected = plan_intervals.len();
+        let mut oracle = InjectedOracle::perfect(2, CrashPlan::none(), 0);
+        if !plan_intervals.is_empty() {
+            oracle.set_mistakes(
+                ProcessId(0),
+                ProcessId(1),
+                MistakePlan::from_intervals(plan_intervals),
+            );
+        }
+        let h = sample_oracle(&oracle, 2, t + 10, 1);
+        prop_assert_eq!(h.mistake_intervals(ProcessId(0), ProcessId(1)), expected);
+    }
+
+    #[test]
+    fn classification_respects_lattice(
+        seed in any::<u64>(),
+        n in 2usize..4,
+        events in prop::collection::vec(
+            (0u64..5_000, 0usize..4, 0usize..4, any::<bool>()), 0..60,
+        ),
+    ) {
+        // Arbitrary (sorted) histories: whatever the classifier says must be
+        // closed under the implication lattice.
+        let _ = seed;
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(t, ..)| t);
+        let mut h = SuspicionHistory::new(n, false);
+        for &(t, w, s, v) in &sorted {
+            let (w, s) = (w % n, s % n);
+            if w != s {
+                h.record(Time(t), ProcessId::from_index(w), ProcessId::from_index(s), v);
+            }
+        }
+        let plan = CrashPlan::none();
+        let classes = h.classify(&plan);
+        for c in &classes {
+            for implied in c.implies() {
+                prop_assert!(
+                    classes.contains(implied),
+                    "{:?} present but implied {:?} missing: {:?}", c, implied, classes
+                );
+            }
+        }
+    }
+}

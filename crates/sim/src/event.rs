@@ -1,0 +1,153 @@
+//! The discrete-event queue driving a [`crate::world::World`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::id::ProcessId;
+use crate::node::TimerId;
+use crate::time::Time;
+
+/// What happens at a scheduled instant.
+#[derive(Clone, Debug)]
+pub enum EventKind<M> {
+    /// Delivery of a message on the channel `from → to`.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// A local timer of `pid` fires.
+    Timer {
+        /// Owner of the timer.
+        pid: ProcessId,
+        /// Which timer.
+        id: TimerId,
+    },
+    /// `pid` crashes (ceases execution permanently).
+    Crash {
+        /// The process that crashes.
+        pid: ProcessId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event<M> {
+    /// When the event occurs.
+    pub at: Time,
+    /// Tie-breaking sequence number (assigned in scheduling order).
+    pub seq: u64,
+    /// The effect.
+    pub kind: EventKind<M>,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first. Equal times are resolved by scheduling order, which
+// keeps runs fully deterministic.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic event queue: pops strictly by `(time, scheduling order)`.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(Time(30), EventKind::Crash { pid: ProcessId(0) });
+        q.push(Time(10), EventKind::Crash { pid: ProcessId(1) });
+        q.push(Time(20), EventKind::Crash { pid: ProcessId(2) });
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop()).map(|e| e.at).collect();
+        assert_eq!(order, vec![Time(10), Time(20), Time(30)]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for i in 0..5 {
+            q.push(Time(7), EventKind::Crash { pid: ProcessId(i) });
+        }
+        let pids: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Crash { pid } => pid.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(4), EventKind::Crash { pid: ProcessId(0) });
+        q.push(Time(2), EventKind::Crash { pid: ProcessId(1) });
+        assert_eq!(q.peek_time(), Some(Time(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Time(4)));
+    }
+}

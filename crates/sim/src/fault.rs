@@ -1,0 +1,91 @@
+//! Crash-fault injection.
+//!
+//! The paper's fault model: in each run every process is either *correct*
+//! (takes infinitely many steps, never fails) or *faulty* (crashes after
+//! finite time and never recovers). A [`CrashPlan`] fixes, per run, which
+//! processes are faulty and when each crash occurs; the
+//! [`crate::world::World`] executes the plan.
+
+use crate::id::ProcessId;
+use crate::time::Time;
+
+/// The crash schedule of one run.
+#[derive(Clone, Debug, Default)]
+pub struct CrashPlan {
+    crashes: Vec<(ProcessId, Time)>,
+}
+
+impl CrashPlan {
+    /// No process ever crashes (a failure-free run).
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Plans a single crash.
+    pub fn one(pid: ProcessId, at: Time) -> Self {
+        CrashPlan { crashes: vec![(pid, at)] }
+    }
+
+    /// Adds a crash to the plan (builder style).
+    pub fn and(mut self, pid: ProcessId, at: Time) -> Self {
+        self.add(pid, at);
+        self
+    }
+
+    /// Adds a crash to the plan.
+    pub fn add(&mut self, pid: ProcessId, at: Time) {
+        debug_assert!(
+            !self.crashes.iter().any(|&(p, _)| p == pid),
+            "{pid} already scheduled to crash"
+        );
+        self.crashes.push((pid, at));
+    }
+
+    /// All planned crashes.
+    pub fn crashes(&self) -> &[(ProcessId, Time)] {
+        &self.crashes
+    }
+
+    /// The crash time of `pid`, if it is faulty in this plan.
+    pub fn crash_time(&self, pid: ProcessId) -> Option<Time> {
+        self.crashes.iter().find(|&&(p, _)| p == pid).map(|&(_, t)| t)
+    }
+
+    /// Whether `pid` is faulty in this plan.
+    pub fn is_faulty(&self, pid: ProcessId) -> bool {
+        self.crash_time(pid).is_some()
+    }
+
+    /// Ids of all correct (never-crashing) processes in a system of size `n`.
+    pub fn correct(&self, n: usize) -> Vec<ProcessId> {
+        ProcessId::all(n).filter(|&p| !self.is_faulty(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_marks_everyone_correct() {
+        let plan = CrashPlan::none();
+        assert!(!plan.is_faulty(ProcessId(0)));
+        assert_eq!(plan.correct(3).len(), 3);
+    }
+
+    #[test]
+    fn crash_times_are_retrievable() {
+        let plan = CrashPlan::one(ProcessId(1), Time(50)).and(ProcessId(2), Time(70));
+        assert_eq!(plan.crash_time(ProcessId(1)), Some(Time(50)));
+        assert_eq!(plan.crash_time(ProcessId(2)), Some(Time(70)));
+        assert_eq!(plan.crash_time(ProcessId(0)), None);
+        assert_eq!(plan.correct(3), vec![ProcessId(0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn double_crash_is_rejected() {
+        let _ = CrashPlan::one(ProcessId(0), Time(1)).and(ProcessId(0), Time(2));
+    }
+}

@@ -1,0 +1,73 @@
+//! Process identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process in the simulated system `Π`.
+///
+/// Identifiers are dense indices `0..n`, which lets the rest of the stack use
+/// them directly as `Vec` indices without hashing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The index of this process, usable for `Vec` indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ProcessId` from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ProcessId(u32::try_from(i).expect("process index fits in u32"))
+    }
+
+    /// Iterator over all process ids of a system of size `n`.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..n).map(ProcessId::from_index)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in [0usize, 1, 7, 4095] {
+            assert_eq!(ProcessId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<ProcessId> = ProcessId::all(4).collect();
+        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(format!("{:?}", ProcessId(11)), "p11");
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(ProcessId(0) < ProcessId(10));
+    }
+}

@@ -1,0 +1,64 @@
+//! # `dinefd-sim` — asynchronous message-passing system simulator
+//!
+//! This crate is the *system substrate* for the `dinefd` reproduction of
+//! "The Weakest Failure Detector for Wait-Free Dining under Eventual Weak
+//! Exclusion" (Sastry, Pike, Welch; SPAA'09, corrigendum SPAA'10).
+//!
+//! The paper's technical framework (its Section 4) posits:
+//!
+//! * a finite set of processes `Π` executing **atomic steps** — in each step a
+//!   process receives messages, makes a state transition, and sends messages;
+//! * **reliable, non-FIFO channels**: every message sent to a correct process
+//!   is eventually received; messages are neither lost, duplicated, nor
+//!   corrupted; delivery delay is unbounded;
+//! * **crash faults**: a faulty process ceases execution without warning and
+//!   never recovers; correct processes take infinitely many steps;
+//! * a **discrete global clock** `T` (ticks ∈ ℕ) that is a conceptual device
+//!   inaccessible to the processes themselves.
+//!
+//! The simulator implements exactly these axioms as a deterministic
+//! discrete-event machine:
+//!
+//! * [`world::World`] owns a set of [`node::Node`]s and an event queue keyed
+//!   by virtual [`time::Time`] (the paper's clock `T`);
+//! * sends are assigned delivery delays by a pluggable [`net::DelayModel`]
+//!   (uniform, heavy-tailed, partially synchronous with a global
+//!   stabilization time, or a scripted adversary) — varying delays make the
+//!   channels non-FIFO while event-queue delivery keeps them reliable;
+//! * [`fault::CrashPlan`] injects crash faults at chosen instants; events of
+//!   a crashed process are discarded, so it "ceases execution without
+//!   warning";
+//! * every run records a [`trace::Trace`] of sends, deliveries, crashes and
+//!   application-level observations, over which the temporal property
+//!   checkers in [`props`] (and in the `dinefd-fd` / `dinefd-dining` crates)
+//!   evaluate the paper's specifications.
+//!
+//! Determinism: all randomness flows from a single [`rng::SplitMix64`] seed,
+//! so every run is exactly reproducible — a necessity for the experiment
+//! tables in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fault;
+pub mod id;
+pub mod net;
+pub mod node;
+pub mod props;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod world;
+
+pub use fault::CrashPlan;
+pub use id::ProcessId;
+pub use net::{Adversary, DelayModel};
+pub use node::{Context, Node, TimerId};
+pub use props::{stabilization_time, BoolTimeline};
+pub use rng::SplitMix64;
+pub use stats::Summary;
+pub use time::Time;
+pub use trace::{Trace, TraceEvent};
+pub use world::{World, WorldConfig};

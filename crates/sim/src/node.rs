@@ -1,0 +1,133 @@
+//! The process abstraction: atomic steps, sends, local timers, observations.
+
+use crate::id::ProcessId;
+use crate::rng::SplitMix64;
+use crate::time::Time;
+
+/// Identifier of a local timer, chosen by the node itself.
+///
+/// Timers model a process scheduling its *own future step* (the paper's
+/// processes take infinitely many steps; a recurring timer is how a node asks
+/// the simulator for spontaneous steps in between message deliveries). They
+/// are not a global clock: a node only learns "the timer I set has fired",
+/// never the time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u32);
+
+/// A process (an element of `Π`) as an event-driven state machine.
+///
+/// Each handler invocation is one **atomic step** in the sense of the paper's
+/// Section 4: the process consumes at most one message, makes a state
+/// transition, and emits any number of sends (the paper allows one send per
+/// destination per step; emitting `k` messages to the same destination is
+/// equivalent to `k` consecutive steps, which the model also allows).
+///
+/// Handlers of crashed processes are never invoked again — crash semantics
+/// live entirely in the [`crate::world::World`].
+pub trait Node {
+    /// Message type exchanged between nodes of this system.
+    type Msg: Clone + std::fmt::Debug;
+    /// Application-level observation type recorded into the trace
+    /// (diner transitions, suspect-set changes, …) for property checking.
+    type Obs: Clone + std::fmt::Debug;
+
+    /// Invoked once at time zero, before any message flows.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Obs>);
+
+    /// Invoked when a message from `from` is delivered.
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Obs>,
+        from: ProcessId,
+        msg: Self::Msg,
+    );
+
+    /// Invoked when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg, Self::Obs>, _timer: TimerId) {}
+}
+
+/// The capabilities a node has during one atomic step.
+///
+/// A `Context` is handed to every [`Node`] handler; the world routes the
+/// buffered effects (sends, timers, observations) after the handler returns,
+/// which makes each handler invocation atomic.
+pub struct Context<'a, M, O> {
+    pub(crate) me: ProcessId,
+    pub(crate) now: Time,
+    pub(crate) sends: &'a mut Vec<(ProcessId, M)>,
+    pub(crate) timers: &'a mut Vec<(u64, TimerId)>,
+    pub(crate) observations: &'a mut Vec<O>,
+    pub(crate) rng: &'a mut SplitMix64,
+}
+
+impl<'a, M, O> Context<'a, M, O> {
+    /// The id of the process taking this step.
+    #[inline]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Current global time.
+    ///
+    /// Exposed for *tracing convenience only* — protocol logic in this
+    /// repository never branches on it (the paper's clock is inaccessible to
+    /// processes). The debug assertion culture around this lives in code
+    /// review, not the type system.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the reliable non-FIFO channel.
+    #[inline]
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Schedules a local timer to fire after `delay` ticks (at least 1).
+    #[inline]
+    pub fn set_timer(&mut self, delay: u64, id: TimerId) {
+        self.timers.push((delay.max(1), id));
+    }
+
+    /// Records an application-level observation into the run trace.
+    #[inline]
+    pub fn observe(&mut self, obs: O) {
+        self.observations.push(obs);
+    }
+
+    /// Node-local deterministic randomness (tie-breaking, workloads).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_effects() {
+        let mut sends: Vec<(ProcessId, &'static str)> = Vec::new();
+        let mut timers = Vec::new();
+        let mut obs: Vec<u32> = Vec::new();
+        let mut rng = SplitMix64::new(1);
+        let mut ctx = Context {
+            me: ProcessId(0),
+            now: Time(5),
+            sends: &mut sends,
+            timers: &mut timers,
+            observations: &mut obs,
+            rng: &mut rng,
+        };
+        ctx.send(ProcessId(1), "hello");
+        ctx.set_timer(0, TimerId(9)); // clamped to 1
+        ctx.observe(7);
+        assert_eq!(ctx.me(), ProcessId(0));
+        assert_eq!(ctx.now(), Time(5));
+        assert_eq!(sends, vec![(ProcessId(1), "hello")]);
+        assert_eq!(timers, vec![(1, TimerId(9))]);
+        assert_eq!(obs, vec![7]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Virtual time — the paper's discrete global clock `T`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the discrete global clock (ticks ∈ ℕ).
+///
+/// The clock is a conceptual device of the model: simulated processes never
+/// read it; only the simulator, the fault injector, and the property checkers
+/// do. (The heartbeat failure-detector node in `dinefd-fd` measures *elapsed
+/// local steps* via timers, which is consistent with partial synchrony.)
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Time zero, the start of every run.
+    pub const ZERO: Time = Time(0);
+    /// A time later than any instant reachable in practice.
+    pub const INFINITY: Time = Time(u64::MAX);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in ticks (`self - earlier`, or 0).
+    #[inline]
+    pub fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Time) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Time::INFINITY + 1, Time::INFINITY);
+        assert_eq!(Time(5) - Time(7), 0);
+        assert_eq!(Time(7) - Time(5), 2);
+    }
+
+    #[test]
+    fn since_is_saturating_difference() {
+        assert_eq!(Time(10).since(Time(3)), 7);
+        assert_eq!(Time(3).since(Time(10)), 0);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = Time::ZERO;
+        t += 4;
+        t += 6;
+        assert_eq!(t, Time(10));
+    }
+}

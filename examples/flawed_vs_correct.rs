@@ -1,0 +1,49 @@
+//! The Section 3 vulnerability, live: the earlier contention-manager
+//! reduction of reference [8] extracts a broken detector from a perfectly
+//! legal WF-◇WX implementation, while this paper's reduction extracts ◇P
+//! from the same box.
+//!
+//! ```sh
+//! cargo run --example flawed_vs_correct
+//! ```
+
+use dinefd::prelude::*;
+
+fn main() {
+    // The pathological-but-legal black box: exclusivity starts only after
+    // its internal ◇P converges (t=1500) AND every process that entered its
+    // critical section before then has exited — the behaviour the paper
+    // documents for the solution of its reference [12].
+    let bb = BlackBox::Delayed { convergence: Time(1_500) };
+    let horizon = Time(40_000);
+
+    println!("== the [8] construction over the delayed-convergence box ==");
+    let flawed = run_flawed_pair(bb, 5, CrashPlan::none(), horizon);
+    let fm = flawed.mistake_intervals(ProcessId(0), ProcessId(1));
+    let last = flawed
+        .timeline(ProcessId(0), ProcessId(1))
+        .changes()
+        .last()
+        .map(|&(t, _)| t)
+        .unwrap_or(Time::ZERO);
+    println!("q is CORRECT, yet p wrongfully suspected it {fm} separate times");
+    println!("the output was still flapping at t={last} (horizon {horizon:?})");
+    println!("⇒ not ◇P: accuracy never converges, because q entered its critical");
+    println!("  section during the non-exclusive prefix and never exits, so the");
+    println!("  box never reaches its exclusive regime and p keeps being admitted.\n");
+
+    println!("== this paper's two-instance reduction over the SAME box ==");
+    let mut sc = Scenario::pair(bb, 5);
+    sc.oracle = OracleSpec::Perfect { lag: 20 };
+    sc.horizon = horizon;
+    let crashes = sc.crashes.clone();
+    let ours = run_extraction(sc);
+    let om = ours.history.mistake_intervals(ProcessId(0), ProcessId(1));
+    let acc = ours.history.eventual_strong_accuracy(&crashes).expect("must converge");
+    println!("p wrongfully suspected q {om} times, all during the finite prefix");
+    println!("p permanently trusts q from t={}", acc[0].trusted_from);
+    println!("⇒ ◇P: the reduction's subjects always exit (their hand-off throttles");
+    println!("  the witness instead), so no legal black box can starve convergence.");
+
+    assert!(fm > 10 * om.max(1), "the separation should be dramatic: {fm} vs {om}");
+}

@@ -1,0 +1,156 @@
+//! End-to-end: the headline equivalence. The reduction extracts ◇P from
+//! every black-box WF-◇WX implementation in the repository, under crashes,
+//! harsh schedules, and with both the paper's and the hardened ping/ack.
+
+use dinefd::prelude::*;
+
+fn classify_pair(
+    black_box: BlackBox,
+    seed: u64,
+    crash: Option<Time>,
+    strict_seq: bool,
+    delays: DelayModel,
+) -> (Vec<OracleClass>, usize) {
+    let mut sc = Scenario::pair(black_box, seed);
+    sc.strict_seq = strict_seq;
+    sc.delays = delays;
+    if let Some(t) = crash {
+        sc.crashes = CrashPlan::one(ProcessId(1), t);
+    }
+    sc.horizon = Time(50_000);
+    let crashes = sc.crashes.clone();
+    let res = run_extraction(sc);
+    let mistakes = res.history.mistake_intervals(ProcessId(0), ProcessId(1));
+    (res.history.classify(&crashes), mistakes)
+}
+
+#[test]
+fn every_black_box_yields_diamond_p_with_crash() {
+    for (name, bb) in [
+        ("wfdx", BlackBox::WfDx),
+        ("abstract", BlackBox::Abstract { convergence: Time(2_500) }),
+        ("delayed", BlackBox::Delayed { convergence: Time(2_500) }),
+        ("ftme", BlackBox::Ftme),
+    ] {
+        for seed in [1, 2, 3] {
+            let (classes, _) =
+                classify_pair(bb, seed, Some(Time(9_000)), false, DelayModel::default_async());
+            assert!(
+                classes.contains(&OracleClass::EventuallyPerfect),
+                "{name} seed {seed}: classes {classes:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_black_box_yields_diamond_p_failure_free() {
+    for (name, bb) in [
+        ("wfdx", BlackBox::WfDx),
+        ("abstract", BlackBox::Abstract { convergence: Time(2_500) }),
+        ("delayed", BlackBox::Delayed { convergence: Time(2_500) }),
+        ("ftme", BlackBox::Ftme),
+    ] {
+        let (classes, mistakes) = classify_pair(bb, 7, None, false, DelayModel::default_async());
+        assert!(
+            classes.contains(&OracleClass::EventuallyPerfect),
+            "{name}: classes {classes:?}"
+        );
+        // The reduction starts suspecting, so there is at least the initial
+        // mistake — and only finitely many in total (implied by convergence).
+        assert!(mistakes >= 1, "{name}: initial suspicion should count");
+    }
+}
+
+#[test]
+fn hardened_variant_is_also_diamond_p() {
+    for crash in [None, Some(Time(9_000))] {
+        let (classes, _) =
+            classify_pair(BlackBox::WfDx, 11, crash, true, DelayModel::default_async());
+        assert!(classes.contains(&OracleClass::EventuallyPerfect), "classes {classes:?}");
+    }
+}
+
+#[test]
+fn harsh_delays_do_not_break_the_reduction() {
+    let (classes, _) =
+        classify_pair(BlackBox::WfDx, 13, Some(Time(9_000)), false, DelayModel::harsh());
+    assert!(classes.contains(&OracleClass::EventuallyPerfect), "classes {classes:?}");
+}
+
+#[test]
+fn all_pairs_extraction_with_two_crashes() {
+    let n = 4;
+    let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 17);
+    sc.crashes = CrashPlan::one(ProcessId(1), Time(6_000)).and(ProcessId(3), Time(12_000));
+    sc.horizon = Time(60_000);
+    let crashes = sc.crashes.clone();
+    let res = run_extraction(sc);
+    // Both crashes detected by both correct watchers.
+    let det = res.history.strong_completeness(&crashes).unwrap();
+    assert_eq!(det.len(), 2 * 2, "2 correct watchers × 2 faulty subjects");
+    // Correct pairs converge to mutual trust.
+    let acc = res.history.eventual_strong_accuracy(&crashes).unwrap();
+    assert_eq!(acc.len(), 2, "(p0,p2) and (p2,p0)");
+    assert!(res.history.classify(&crashes).contains(&OracleClass::EventuallyPerfect));
+}
+
+#[test]
+fn detection_latency_scales_with_nothing_suspicious() {
+    // Detection latency should be modest (the witness only needs one more
+    // eating cycle after the crash) and roughly independent of WHEN the
+    // crash happens.
+    let mut latencies = Vec::new();
+    for (seed, crash_at) in [(21u64, 3_000u64), (22, 9_000), (23, 18_000)] {
+        let mut sc = Scenario::pair(BlackBox::WfDx, seed);
+        sc.crashes = CrashPlan::one(ProcessId(1), Time(crash_at));
+        sc.horizon = Time(50_000);
+        let crashes = sc.crashes.clone();
+        let res = run_extraction(sc);
+        let det = res.history.strong_completeness(&crashes).unwrap();
+        latencies.push(det[0].detected_from - det[0].crashed_at);
+    }
+    for &l in &latencies {
+        assert!(l < 5_000, "latency {l} too large: {latencies:?}");
+    }
+}
+
+#[test]
+fn fifo_channels_do_not_change_the_result() {
+    // The paper's model is non-FIFO; the reduction must not depend on
+    // ordering in either direction. Same scenario under both disciplines.
+    for seed in [33u64, 34] {
+        for fifo in [false, true] {
+            let mut sc = Scenario::pair(BlackBox::WfDx, seed);
+            sc.delays = if fifo {
+                DelayModel::fifo(DelayModel::harsh())
+            } else {
+                DelayModel::harsh()
+            };
+            sc.crashes = CrashPlan::one(ProcessId(1), Time(9_000));
+            sc.horizon = Time(50_000);
+            let crashes = sc.crashes.clone();
+            let res = run_extraction(sc);
+            let classes = res.history.classify(&crashes);
+            assert!(
+                classes.contains(&OracleClass::EventuallyPerfect),
+                "seed {seed} fifo {fifo}: {classes:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn monitored_subset_leaves_other_pairs_out_of_scope() {
+    // Monitoring only (p0 → p1) in a 3-process system must not make claims
+    // about (p0, p2) or (p2, *) pairs.
+    let mut sc = Scenario::pair(BlackBox::WfDx, 29);
+    sc.n = 3;
+    sc.pairs = vec![(ProcessId(0), ProcessId(1))];
+    sc.horizon = Time(30_000);
+    let crashes = sc.crashes.clone();
+    let res = run_extraction(sc);
+    assert!(res.history.is_monitored(ProcessId(0), ProcessId(1)));
+    assert!(!res.history.is_monitored(ProcessId(0), ProcessId(2)));
+    assert!(res.history.eventual_strong_accuracy(&crashes).is_ok());
+}
