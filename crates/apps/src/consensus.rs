@@ -249,7 +249,12 @@ impl Node for ConsensusNode {
         ctx.set_timer(self.poll_every, POLL);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, CMsg, ConsensusObs>, _from: ProcessId, msg: CMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, CMsg, ConsensusObs>,
+        _from: ProcessId,
+        msg: CMsg,
+    ) {
         if let Some(value) = self.decided {
             // Still help latecomers decide.
             if let CMsg::Estimate { .. } = msg {
@@ -314,15 +319,8 @@ mod tests {
     ) -> Outcome {
         let n = inputs.len();
         let mut rng = SplitMix64::new(seed);
-        let oracle = InjectedOracle::diamond_p(
-            n,
-            crashes.clone(),
-            40,
-            Time(1_500),
-            2,
-            120,
-            &mut rng,
-        );
+        let oracle =
+            InjectedOracle::diamond_p(n, crashes.clone(), 40, Time(1_500), 2, 120, &mut rng);
         let fd: Rc<dyn FdQuery> = Rc::new(oracle);
         let nodes: Vec<ConsensusNode> = inputs
             .iter()
@@ -333,9 +331,7 @@ mod tests {
         let mut world = World::new(nodes, cfg);
         world.run_until(horizon);
         Outcome {
-            decisions: (0..n)
-                .map(|i| world.node(ProcessId::from_index(i)).decision())
-                .collect(),
+            decisions: (0..n).map(|i| world.node(ProcessId::from_index(i)).decision()).collect(),
             rounds: (0..n).map(|i| world.node(ProcessId::from_index(i)).round()).collect(),
         }
     }
@@ -391,8 +387,7 @@ mod tests {
         for seed in 0..12u64 {
             let crash = ProcessId::from_index((seed % 5) as usize);
             let plan = CrashPlan::one(crash, Time(200 + seed * 137));
-            let out =
-                run(&inputs, seed, plan.clone(), DelayModel::default_async(), Time(60_000));
+            let out = run(&inputs, seed, plan.clone(), DelayModel::default_async(), Time(60_000));
             assert_uniform_valid(&out, &inputs, &plan);
         }
     }

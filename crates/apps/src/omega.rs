@@ -122,17 +122,15 @@ mod tests {
     use dinefd_fd::InjectedOracle;
     use dinefd_sim::{DelayModel, SplitMix64, World, WorldConfig};
 
-    fn run(n: usize, seed: u64, crashes: CrashPlan, horizon: Time) -> (Trace<(), LeaderObs>, CrashPlan) {
+    fn run(
+        n: usize,
+        seed: u64,
+        crashes: CrashPlan,
+        horizon: Time,
+    ) -> (Trace<(), LeaderObs>, CrashPlan) {
         let mut rng = SplitMix64::new(seed);
-        let oracle = InjectedOracle::diamond_p(
-            n,
-            crashes.clone(),
-            40,
-            Time(2_000),
-            3,
-            200,
-            &mut rng,
-        );
+        let oracle =
+            InjectedOracle::diamond_p(n, crashes.clone(), 40, Time(2_000), 3, 200, &mut rng);
         let fd: Rc<dyn FdQuery> = Rc::new(oracle);
         let nodes: Vec<LeaderElection> =
             (0..n).map(|_| LeaderElection::new(n, Rc::clone(&fd))).collect();

@@ -34,8 +34,8 @@ fn leader_election_over_the_extracted_detector() {
     let mut world = World::new(nodes, cfg);
     world.run_until(Time(60_000));
     let trace = world.into_trace();
-    let (leader, agreed_from) = check_stable_leader(n, &trace, &crashes)
-        .expect("extracted ◇P must yield a stable leader");
+    let (leader, agreed_from) =
+        check_stable_leader(n, &trace, &crashes).expect("extracted ◇P must yield a stable leader");
     // p0 crashed, so the stable leader is the smallest survivor.
     assert_eq!(leader, ProcessId(1));
     assert!(agreed_from > Time(6_000), "promotion follows the crash");
@@ -72,8 +72,7 @@ fn extracted_detector_from_pathological_box_still_powers_consensus() {
     // Even the §3 delayed-convergence black box yields a usable ◇P.
     let n = 3;
     let crashes = CrashPlan::none();
-    let mut sc =
-        Scenario::all_pairs(n, BlackBox::Delayed { convergence: Time(2_000) }, 107);
+    let mut sc = Scenario::all_pairs(n, BlackBox::Delayed { convergence: Time(2_000) }, 107);
     sc.oracle = dinefd_core::OracleSpec::Perfect { lag: 20 };
     sc.horizon = Time(50_000);
     let res = run_extraction(sc);

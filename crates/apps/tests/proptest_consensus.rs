@@ -18,8 +18,7 @@ fn run_consensus(
 ) -> Vec<Option<u64>> {
     let n = inputs.len();
     let mut rng = SplitMix64::new(seed);
-    let oracle =
-        InjectedOracle::diamond_p(n, plan.clone(), 40, Time(1_500), 2, 120, &mut rng);
+    let oracle = InjectedOracle::diamond_p(n, plan.clone(), 40, Time(1_500), 2, 120, &mut rng);
     let fd: Rc<dyn FdQuery> = Rc::new(oracle);
     let nodes: Vec<ConsensusNode> = inputs
         .iter()

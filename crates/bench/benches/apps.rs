@@ -16,10 +16,7 @@ fn run_consensus(n: usize, seed: u64) -> u64 {
         .collect();
     let mut world = World::new(nodes, WorldConfig::new(seed).crashes(plan));
     world.run_until(Time(30_000));
-    (0..n)
-        .map(|i| world.node(ProcessId::from_index(i)).decision().expect("decided"))
-        .max()
-        .unwrap()
+    (0..n).map(|i| world.node(ProcessId::from_index(i)).decision().expect("decided")).max().unwrap()
 }
 
 fn bench_consensus(c: &mut Criterion) {

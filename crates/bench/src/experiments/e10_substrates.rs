@@ -19,17 +19,12 @@ use dinefd_sim::{CrashPlan, DelayModel, ProcessId, SplitMix64, Time, World, Worl
 use crate::table::{Report, Table};
 use crate::{parallel_map, ExperimentConfig};
 
-fn run_locality(
-    algo: &'static str,
-    crash_idx: usize,
-    seed: u64,
-) -> (usize, Option<usize>) {
+fn run_locality(algo: &'static str, crash_idx: usize, seed: u64) -> (usize, Option<usize>) {
     let n = 8;
     let graph = ConflictGraph::path(n);
     let plan = CrashPlan::one(ProcessId::from_index(crash_idx), Time(2_000));
     let mut rng = SplitMix64::new(seed);
-    let oracle =
-        InjectedOracle::diamond_p(n, plan.clone(), 50, Time(1_500), 2, 100, &mut rng);
+    let oracle = InjectedOracle::diamond_p(n, plan.clone(), 50, Time(1_500), 2, 100, &mut rng);
     let fd: Rc<dyn FdQuery> = Rc::new(oracle);
     let mk = |p: ProcessId, nbrs: &[ProcessId]| -> Box<dyn DiningParticipant> {
         match algo {
@@ -56,11 +51,7 @@ fn run_heartbeat(gst: Time, bound: u64, seed: u64) -> (usize, bool, bool) {
     let plan = CrashPlan::one(ProcessId(3), Time(20_000));
     let cfg = HeartbeatConfig::new(n);
     let nodes: Vec<HeartbeatFd> = (0..n).map(|_| HeartbeatFd::new(cfg)).collect();
-    let delays = DelayModel::PartialSync {
-        gst,
-        pre: Box::new(DelayModel::harsh()),
-        bound,
-    };
+    let delays = DelayModel::PartialSync { gst, pre: Box::new(DelayModel::harsh()), bound };
     let wcfg = WorldConfig::new(seed).delays(delays).crashes(plan.clone());
     let mut world = World::new(nodes, wcfg);
     world.run_until(Time(80_000));
@@ -157,11 +148,8 @@ mod tests {
             }
         }
         // Hygienic starves someone in at least one configuration.
-        let hygienic_starves = report.tables[0]
-            .rows
-            .iter()
-            .filter(|r| r[0] == "hygienic")
-            .any(|r| r[4] != "-");
+        let hygienic_starves =
+            report.tables[0].rows.iter().filter(|r| r[0] == "hygienic").any(|r| r[4] != "-");
         assert!(hygienic_starves, "baseline should exhibit non-local starvation");
         for row in &report.tables[1].rows {
             let (a, t) = row[4].split_once('/').unwrap();

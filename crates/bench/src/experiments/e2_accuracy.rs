@@ -55,10 +55,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             let ok: Vec<(u64, Time)> = results.iter().filter_map(|r| *r).collect();
             let mistakes: Vec<u64> = ok.iter().map(|&(m, _)| m).collect();
             let trusted: Vec<u64> = ok.iter().map(|&(_, t)| t.ticks()).collect();
-            let lags: Vec<f64> = ok
-                .iter()
-                .map(|&(_, t)| t.ticks() as f64 - t_wx.ticks() as f64)
-                .collect();
+            let lags: Vec<f64> =
+                ok.iter().map(|&(_, t)| t.ticks() as f64 - t_wx.ticks() as f64).collect();
             let ms = Summary::of_u64(&mistakes);
             let ts = Summary::of_u64(&trusted);
             let ls = Summary::of(&lags);

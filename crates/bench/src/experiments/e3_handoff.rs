@@ -14,12 +14,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     let suffix_from = Time(6_000); // convergence + generous settling
     let mut table = Table::new(
         "Hand-off structure in the exclusive suffix (per seed)",
-        &[
-            "seed",
-            "w0/w1 sessions",
-            "s0/s1 sessions",
-            "hand-off violations (suffix)",
-        ],
+        &["seed", "w0/w1 sessions", "s0/s1 sessions", "hand-off violations (suffix)"],
     );
     let runs = parallel_map(0..cfg.seeds, move |seed| {
         let mut sc = Scenario::pair(BlackBox::WfDx, 3_000 + seed);

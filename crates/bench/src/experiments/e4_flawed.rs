@@ -41,8 +41,11 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 horizon,
             );
             let mistakes = h.mistake_intervals(ProcessId(0), ProcessId(1)) as u64;
-            let last_change =
-                h.timeline(ProcessId(0), ProcessId(1)).changes().last().map_or(Time::ZERO, |&(t, _)| t);
+            let last_change = h
+                .timeline(ProcessId(0), ProcessId(1))
+                .changes()
+                .last()
+                .map_or(Time::ZERO, |&(t, _)| t);
             // "Still flapping": the output changed in the last 10% of the run.
             let flapping = last_change.ticks() * 10 > horizon.ticks() * 9;
             (mistakes, flapping)

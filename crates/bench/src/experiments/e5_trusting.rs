@@ -39,12 +39,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             OracleSpec::Perfect { lag: 20 },
             Some(Time(8_000)),
         ),
-        (
-            "FTME + P oracle, failure-free",
-            BlackBox::Ftme,
-            OracleSpec::Perfect { lag: 20 },
-            None,
-        ),
+        ("FTME + P oracle, failure-free", BlackBox::Ftme, OracleSpec::Perfect { lag: 20 }, None),
         (
             "FTME + T oracle (trust by 1k), q crashes late",
             BlackBox::Ftme,
@@ -71,10 +66,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         let rows = parallel_map(0..cfg.seeds, move |seed| run_one(bb, oracle, 5_000 + seed, crash));
         let complete = rows.iter().filter(|r| r.complete).count();
         let t_acc = rows.iter().filter(|r| r.t_accurate).count();
-        let mut classes: Vec<String> = rows
-            .iter()
-            .flat_map(|r| r.classes.iter().map(|c| c.symbol().to_string()))
-            .collect();
+        let mut classes: Vec<String> =
+            rows.iter().flat_map(|r| r.classes.iter().map(|c| c.symbol().to_string())).collect();
         classes.sort();
         classes.dedup();
         table.row(vec![

@@ -34,11 +34,8 @@ impl Graph {
 
 /// Runs E6 and returns the report.
 pub fn run(cfg: &ExperimentConfig) -> Report {
-    let configs: Vec<(Graph, Option<Time>)> = vec![
-        (Graph::Ring(4), None),
-        (Graph::Ring(4), Some(Time(6_000))),
-        (Graph::Clique(4), None),
-    ];
+    let configs: Vec<(Graph, Option<Time>)> =
+        vec![(Graph::Ring(4), None), (Graph::Ring(4), Some(Time(6_000))), (Graph::Clique(4), None)];
     let mut table = Table::new(
         "Eventual 2-fairness of dining driven by the *extracted* ◇P",
         &[

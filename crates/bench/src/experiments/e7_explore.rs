@@ -7,23 +7,43 @@ use dinefd_explore::{explore, explore_composed, fair_run, ComposedConfig, Explor
 use crate::table::{Report, Table};
 use crate::ExperimentConfig;
 
+/// Thread count the cross-check column runs the parallel engine with.
+const PAR_THREADS: usize = 4;
+
 /// Runs E7 and returns the report.
 pub fn run(cfg: &ExperimentConfig) -> Report {
     let depths: &[u32] = if cfg.seeds <= 3 { &[20, 60] } else { &[20, 60, 120, 200] };
     let mut safety = Table::new(
         "Exhaustive safety exploration of the pair model",
-        &["variant", "crashes", "depth", "states", "transitions", "violations", "deadlocks"],
+        &[
+            "variant",
+            "crashes",
+            "depth",
+            "states",
+            "transitions",
+            "violations",
+            "deadlocks",
+            "kstates/s",
+            "par agree",
+        ],
     );
     for &strict in &[false, true] {
         for &allow_crash in &[true, false] {
             for &depth in depths {
-                let report = explore(&ExploreConfig {
+                let base = ExploreConfig {
                     max_depth: depth,
                     max_states: 5_000_000,
                     strict_seq: strict,
                     allow_crash,
-                    start_converged: false,
-                });
+                    ..Default::default()
+                };
+                let report = explore(&base);
+                // Cross-check: the work-stealing engine must reach the same
+                // verdict on the same configuration.
+                let par = explore(&ExploreConfig { threads: PAR_THREADS, ..base });
+                let agree = par.states_visited == report.states_visited
+                    && par.clean() == report.clean()
+                    && par.deadlocks == report.deadlocks;
                 safety.row(vec![
                     if strict { "hardened".into() } else { "paper".to_string() },
                     if allow_crash { "yes".into() } else { "no".to_string() },
@@ -32,6 +52,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                     report.transitions.to_string(),
                     report.violations.len().to_string(),
                     report.deadlocks.to_string(),
+                    format!("{:.0}", report.stats.states_per_sec / 1_000.0),
+                    if agree { "yes".into() } else { "NO".to_string() },
                 ]);
             }
         }
@@ -40,19 +62,33 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     let composed_depths: &[u32] = if cfg.seeds <= 3 { &[10, 12] } else { &[10, 14, 16] };
     let mut composed = Table::new(
         "Exhaustive exploration of the reduction COMPOSED with the real fork algorithm",
-        &["crashes", "mistakes", "depth", "states", "transitions", "violations", "deadlocks"],
+        &[
+            "crashes",
+            "mistakes",
+            "depth",
+            "states",
+            "transitions",
+            "violations",
+            "deadlocks",
+            "kstates/s",
+            "par agree",
+        ],
     );
-    for &(allow_crash, allow_mistakes) in
-        &[(false, false), (true, false), (true, true)]
-    {
+    for &(allow_crash, allow_mistakes) in &[(false, false), (true, false), (true, true)] {
         for &depth in composed_depths {
-            let r = explore_composed(&ComposedConfig {
+            let base = ComposedConfig {
                 max_depth: depth,
                 max_states: 3_000_000,
                 allow_crash,
                 allow_mistakes,
                 strict_seq: false,
-            });
+                ..Default::default()
+            };
+            let r = explore_composed(&base);
+            let par = explore_composed(&ComposedConfig { threads: PAR_THREADS, ..base });
+            let agree = par.states_visited == r.states_visited
+                && par.clean() == r.clean()
+                && par.deadlocks == r.deadlocks;
             composed.row(vec![
                 if allow_crash { "yes".into() } else { "no".to_string() },
                 if allow_mistakes { "yes".into() } else { "no".to_string() },
@@ -61,6 +97,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 r.transitions.to_string(),
                 r.violations.len().to_string(),
                 r.deadlocks.to_string(),
+                format!("{:.0}", r.stats.states_per_sec / 1_000.0),
+                if agree { "yes".into() } else { "NO".to_string() },
             ]);
         }
     }
@@ -111,7 +149,12 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                    are checked on weakly-fair schedules."
             .into(),
         tables: vec![safety, composed, liveness],
-        notes: vec![],
+        notes: vec![format!(
+            "\"par agree\" re-runs each exhaustive row on the work-stealing \
+             engine ({PAR_THREADS} threads, sharded visited table) and compares \
+             states/clean/deadlocks; \"kstates/s\" is the serial engine's \
+             throughput. See E8 for the thread-scaling sweep."
+        )],
     }
 }
 
@@ -126,10 +169,12 @@ mod tests {
         for row in &report.tables[0].rows {
             assert_eq!(row[5], "0", "safety violations: {row:?}");
             assert_eq!(row[6], "0", "deadlocks: {row:?}");
+            assert_eq!(row[8], "yes", "parallel disagreed with serial: {row:?}");
         }
         for row in &report.tables[1].rows {
             assert_eq!(row[5], "0", "composed violations: {row:?}");
             assert_eq!(row[6], "0", "composed deadlocks: {row:?}");
+            assert_eq!(row[8], "yes", "parallel disagreed with serial: {row:?}");
         }
         for row in &report.tables[2].rows {
             assert_eq!(row[5], "true", "witnesses must alternate: {row:?}");

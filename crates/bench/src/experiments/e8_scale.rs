@@ -5,7 +5,8 @@
 use std::time::Instant;
 
 use dinefd_core::{run_extraction, BlackBox, OracleSpec, Scenario};
-use dinefd_sim::{CrashPlan, ProcessId, Time};
+use dinefd_explore::{explore, ExploreConfig};
+use dinefd_sim::{CrashPlan, ProcessId, Summary, Time};
 
 use crate::table::{Report, Table};
 use crate::{parallel_map, ExperimentConfig};
@@ -58,12 +59,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         let msgs = results.iter().map(|r| r.2 as f64).sum::<f64>() / results.len() as f64;
         let steps = results.iter().map(|r| r.3 as f64).sum::<f64>() / results.len() as f64;
         // n=2 with one crash has no correct-correct pair: no trust datum.
-        let stab = results
-            .iter()
-            .map(|r| r.4)
-            .filter(|&t| t != Time::INFINITY)
-            .map(|t| t.ticks())
-            .max();
+        let stab =
+            results.iter().map(|r| r.4).filter(|&t| t != Time::INFINITY).map(|t| t.ticks()).max();
         let wall = results.iter().map(|r| r.5).sum::<f64>() / results.len() as f64;
         table.row(vec![
             n.to_string(),
@@ -77,6 +74,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             format!("{wall:.0}"),
         ]);
     }
+    let explorer = explorer_scaling(cfg);
+
     Report {
         title: "E8 — cost of all-pairs extraction at scale".into(),
         preamble: "Engineering profile (the paper has no evaluation section): the \
@@ -84,11 +83,72 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                    processes imply 2·n·(n-1) concurrent instances. Measured: \
                    per-pair message rate (≈ constant — each pair's machinery is \
                    independent), correctness at every size, convergence latency, \
-                   and wall-clock cost of the simulation."
+                   and wall-clock cost of the simulation. The second table sweeps \
+                   the lemma explorer's work-stealing engine over thread counts \
+                   on a fixed state space."
             .into(),
-        tables: vec![table],
-        notes: vec![],
+        tables: vec![table, explorer],
+        notes: vec!["Explorer speedup is relative to the serial (threads=1) mean and is \
+             bounded by the machine's core count — on a single-core host extra \
+             workers only add coordination overhead (expect < 1x), and the sweep \
+             degenerates into a determinism check: states and verdict must stay \
+             identical at every thread count."
+            .into()],
     }
+}
+
+/// Thread-scaling sweep of the parallel lemma explorer: same state space,
+/// increasing worker counts, verdicts cross-checked against serial.
+fn explorer_scaling(cfg: &ExperimentConfig) -> Table {
+    let depth: u32 = if cfg.seeds <= 3 { 40 } else { 60 };
+    let repeats: usize = if cfg.seeds <= 3 { 3 } else { 5 };
+    let mut table = Table::new(
+        "Parallel lemma-explorer scaling (pair model, fixed depth)",
+        &[
+            "threads",
+            "states",
+            "kstates/s (mean)",
+            "kstates/s (p95)",
+            "speedup",
+            "steals (mean)",
+            "shard conflicts (mean)",
+            "agree",
+        ],
+    );
+    let base = ExploreConfig { max_depth: depth, ..Default::default() };
+    let serial = explore(&base);
+    let mut serial_mean = 0.0;
+    for &threads in &[1usize, 2, 4, 8] {
+        let runs: Vec<_> =
+            (0..repeats).map(|_| explore(&ExploreConfig { threads, ..base })).collect();
+        let thrpt =
+            Summary::of(&runs.iter().map(|r| r.stats.states_per_sec / 1_000.0).collect::<Vec<_>>())
+                .expect("non-empty sample");
+        let steals = Summary::of_u64(&runs.iter().map(|r| r.stats.steals).collect::<Vec<_>>())
+            .expect("non-empty sample");
+        let conflicts =
+            Summary::of_u64(&runs.iter().map(|r| r.stats.shard_conflicts).collect::<Vec<_>>())
+                .expect("non-empty sample");
+        if threads == 1 {
+            serial_mean = thrpt.mean;
+        }
+        let agree = runs.iter().all(|r| {
+            r.states_visited == serial.states_visited
+                && r.clean() == serial.clean()
+                && r.deadlocks == serial.deadlocks
+        });
+        table.row(vec![
+            threads.to_string(),
+            runs[0].states_visited.to_string(),
+            format!("{:.0}", thrpt.mean),
+            format!("{:.0}", thrpt.p95),
+            format!("{:.2}x", thrpt.mean / serial_mean),
+            format!("{:.0}", steals.mean),
+            format!("{:.0}", conflicts.mean),
+            if agree { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    table
 }
 
 #[cfg(test)]
@@ -104,6 +164,17 @@ mod tests {
             assert_eq!(a, t, "accuracy failed at scale: {row:?}");
             let (c, t) = row[4].split_once('/').unwrap();
             assert_eq!(c, t, "completeness failed at scale: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e8_explorer_sweep_is_deterministic_across_threads() {
+        let table = explorer_scaling(&ExperimentConfig { seeds: 2 });
+        assert_eq!(table.rows.len(), 4);
+        let states = &table.rows[0][1];
+        for row in &table.rows {
+            assert_eq!(&row[1], states, "state count diverged: {row:?}");
+            assert_eq!(row[7], "yes", "verdict diverged from serial: {row:?}");
         }
     }
 }

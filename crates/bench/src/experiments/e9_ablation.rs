@@ -48,12 +48,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     let t_wx = Time(1_500);
     let mut matrix = Table::new(
         "Extractor × black box: wrongful-suspicion intervals (mean) and ◇P-accuracy rate",
-        &[
-            "extractor",
-            "fair (abstract)",
-            "delayed-convergence (§3)",
-            "escalating-unfair (§5.1)",
-        ],
+        &["extractor", "fair (abstract)", "delayed-convergence (§3)", "escalating-unfair (§5.1)"],
     );
     let boxes = [
         BlackBox::Abstract { convergence: t_wx },
@@ -69,8 +64,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         for bb in boxes {
             let results =
                 parallel_map(0..cfg.seeds, move |seed| run_one(ex, bb, 9_000 + seed, horizon));
-            let mean =
-                results.iter().map(|&(m, _)| m as f64).sum::<f64>() / results.len() as f64;
+            let mean = results.iter().map(|&(m, _)| m as f64).sum::<f64>() / results.len() as f64;
             let conv = results.iter().filter(|&&(_, c)| c).count();
             cells.push(format!("{mean:.0} mistakes, {conv}/{} ◇P", results.len()));
         }
@@ -90,10 +84,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             let crashes = sc.crashes.clone();
             let res = run_extraction(sc);
             let complete = res.history.strong_completeness(&crashes);
-            let latency = complete
-                .as_ref()
-                .ok()
-                .map(|d| d[0].detected_from - d[0].crashed_at);
+            let latency = complete.as_ref().ok().map(|d| d[0].detected_from - d[0].crashed_at);
             let accurate = res.history.eventual_strong_accuracy(&crashes).is_ok();
             (complete.is_ok(), accurate, latency, res.messages_sent)
         });

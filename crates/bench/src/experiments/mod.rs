@@ -1,6 +1,7 @@
 //! The experiment suite (E1–E10). Each module's `run` produces the report for
 //! one EXPERIMENTS.md entry.
 
+pub mod e10_substrates;
 pub mod e1_completeness;
 pub mod e2_accuracy;
 pub mod e3_handoff;
@@ -10,7 +11,6 @@ pub mod e6_fairness;
 pub mod e7_explore;
 pub mod e8_scale;
 pub mod e9_ablation;
-pub mod e10_substrates;
 
 use crate::table::Report;
 use crate::ExperimentConfig;

@@ -47,8 +47,7 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let workers =
-        std::thread::available_parallelism().map_or(4, |p| p.get()).min(items.len());
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(items.len());
     let results: Vec<std::sync::Mutex<Option<T>>> =
         items.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let work: std::sync::Mutex<Vec<(usize, I::Item)>> =

@@ -238,7 +238,15 @@ pub fn run_fair_over_extraction(
     let oracle: Rc<dyn FdQuery> = Rc::new(oracle.build(n, crashes.clone(), &mut rng));
     let nodes: Vec<FairOverExtractionNode> = ProcessId::all(n)
         .map(|me| {
-            FairOverExtractionNode::new(me, n, graph, black_box, Rc::clone(&oracle), workload, false)
+            FairOverExtractionNode::new(
+                me,
+                n,
+                graph,
+                black_box,
+                Rc::clone(&oracle),
+                workload,
+                false,
+            )
         })
         .collect();
     let cfg = WorldConfig::new(seed).delays(delays).crashes(crashes.clone());

@@ -86,8 +86,7 @@ fn emit_phase(
     last: &mut DinerPhase,
     now_phase: DinerPhase,
 ) {
-    let cycle =
-        [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating, DinerPhase::Exiting];
+    let cycle = [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating, DinerPhase::Exiting];
     let pos = |ph: DinerPhase| cycle.iter().position(|&c| c == ph).expect("phase");
     let (mut i, target) = (pos(*last), pos(now_phase));
     while i != target {
@@ -276,11 +275,8 @@ impl Node for FlawedCmNode {
             }
             CmMsg::Heartbeat { watcher, subject } => {
                 debug_assert_eq!(watcher, self.me);
-                let w = self
-                    .witnesses
-                    .iter_mut()
-                    .find(|w| w.subject == subject)
-                    .expect("unknown pair");
+                let w =
+                    self.witnesses.iter_mut().find(|w| w.subject == subject).expect("unknown pair");
                 w.on_heartbeat(now, &*fd, &mut out);
             }
         }
@@ -328,9 +324,11 @@ pub fn run_flawed_pair(
     use dinefd_sim::{World, WorldConfig};
     let pairs = vec![(ProcessId(0), ProcessId(1))];
     let mut rng = dinefd_sim::SplitMix64::new(seed ^ 0xBAD);
-    let oracle: Rc<dyn FdQuery> = Rc::new(
-        crate::scenario::OracleSpec::Perfect { lag: 20 }.build(2, crashes.clone(), &mut rng),
-    );
+    let oracle: Rc<dyn FdQuery> = Rc::new(crate::scenario::OracleSpec::Perfect { lag: 20 }.build(
+        2,
+        crashes.clone(),
+        &mut rng,
+    ));
     let factory = crate::scenario::factory_for(black_box);
     let nodes: Vec<FlawedCmNode> = ProcessId::all(2)
         .map(|me| FlawedCmNode::new(me, &pairs, &factory, Rc::clone(&oracle)))

@@ -14,9 +14,7 @@ use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
 use dinefd_fd::FdQuery;
 use dinefd_sim::{Context, Node, ProcessId, Time, TimerId};
 
-use crate::machines::{
-    SubjectAction, SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine,
-};
+use crate::machines::{SubjectAction, SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine};
 
 /// Which side of a monitoring pair a dining endpoint belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,8 +136,7 @@ fn emit_phase_chain(
     if from == to {
         return;
     }
-    let cycle =
-        [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating, DinerPhase::Exiting];
+    let cycle = [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating, DinerPhase::Exiting];
     let pos = |ph: DinerPhase| cycle.iter().position(|&c| c == ph).expect("phase");
     let (mut i, target) = (pos(from), pos(to));
     while i != target {

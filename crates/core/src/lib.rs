@@ -55,9 +55,9 @@ pub mod single_dx;
 pub use detector::{suspicion_history, PairTimelines, SharedSuspicion};
 pub use fairness::{run_fair_over_extraction, FairOverExtractionNode, FairnessResult};
 pub use flawed_cm::{run_flawed_pair, FlawedCmNode};
-pub use single_dx::{run_single_pair, SingleDxNode};
 pub use host::{DxEndpoint, RedMsg, RedObs, ReductionNode, Role};
 pub use machines::{SubjectMachine, WitnessMachine};
 pub use scenario::{
     all_ordered_pairs, run_extraction, BlackBox, ExtractionResult, OracleSpec, Scenario,
 };
+pub use single_dx::{run_single_pair, SingleDxNode};

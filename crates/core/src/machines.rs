@@ -171,6 +171,31 @@ impl WitnessMachine {
     }
 }
 
+/// Seeded bugs for mutation-testing the checkers (`dinefd-explore`'s
+/// seeded-bug suite). Each variant disables one load-bearing line of Alg. 2;
+/// a checker that cannot flag the mutated machine is itself broken.
+///
+/// The mutations live here (rather than in the explorer) so that the flaw is
+/// injected at the machine level — the explorer then finds the consequences
+/// without knowing where the bug is.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SubjectMutation {
+    /// The faithful Alg. 2.
+    #[default]
+    None,
+    /// `S_p(i)` forgets `ping_i ← false`: a session can ping repeatedly,
+    /// leaving stale `DX_i` pings in transit after the session ends
+    /// (breaks Lemma 3).
+    SkipPingDisable,
+    /// `S_h(i)` ignores the `trigger = i` conjunct: a subject may go hungry
+    /// out of turn (breaks Lemma 4 immediately).
+    IgnoreTriggerGuard,
+    /// `S_a(i)` skips `trigger ← 1-i`: acks no longer schedule the sibling
+    /// thread. Safety lemmas survive; the hand-off (and with it ◇P accuracy)
+    /// dies — only liveness checking catches this one.
+    SkipTriggerUpdate,
+}
+
 /// Commands a subject machine issues to its host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SubjectCmd {
@@ -202,13 +227,20 @@ pub struct SubjectMachine {
     seq: [u64; 2],
     /// Strict mode: accept only the ack echoing the outstanding sequence.
     strict_seq: bool,
+    /// Seeded bug for mutation testing ([`SubjectMutation::None`] = faithful).
+    mutation: SubjectMutation,
 }
 
 impl SubjectMachine {
     /// Initial state per the paper: subjects thinking, `trigger = 0`
     /// (only `s_0` may become hungry), pings enabled.
     pub fn new(strict_seq: bool) -> Self {
-        SubjectMachine { trigger: 0, ping_enabled: [true, true], seq: [0, 0], strict_seq }
+        Self::with_mutation(strict_seq, SubjectMutation::None)
+    }
+
+    /// A machine carrying a seeded bug (for checker mutation tests).
+    pub fn with_mutation(strict_seq: bool, mutation: SubjectMutation) -> Self {
+        SubjectMachine { trigger: 0, ping_enabled: [true, true], seq: [0, 0], strict_seq, mutation }
     }
 
     /// Which instance's subject is scheduled to become hungry next.
@@ -226,7 +258,10 @@ impl SubjectMachine {
         let mut out = Vec::with_capacity(2);
         for i in 0..2 {
             // S_h(i): s_i thinking and trigger = i.
-            if phases[i] == DinerPhase::Thinking && self.trigger as usize == i {
+            if phases[i] == DinerPhase::Thinking
+                && (self.trigger as usize == i
+                    || self.mutation == SubjectMutation::IgnoreTriggerGuard)
+            {
                 out.push(SubjectAction::Hungry(i));
             }
             // S_p(i): s_i eating, s_{1-i} not eating, ping enabled.
@@ -253,7 +288,9 @@ impl SubjectMachine {
         match action {
             SubjectAction::Hungry(i) => SubjectCmd::BecomeHungry(i),
             SubjectAction::Ping(i) => {
-                self.ping_enabled[i] = false;
+                if self.mutation != SubjectMutation::SkipPingDisable {
+                    self.ping_enabled[i] = false;
+                }
                 self.seq[i] = self.seq[i].wrapping_add(1);
                 SubjectCmd::SendPing(i, self.seq[i])
             }
@@ -268,6 +305,9 @@ impl SubjectMachine {
     /// (wrong sequence) are ignored.
     pub fn on_ack(&mut self, i: Dx, seq: u64) {
         if self.strict_seq && seq != self.seq[i] {
+            return;
+        }
+        if self.mutation == SubjectMutation::SkipTriggerUpdate {
             return;
         }
         self.trigger = other(i) as u8;
@@ -414,6 +454,33 @@ mod tests {
         s.fire(SubjectAction::Hungry(0), [Thinking, Eating]);
         s.fire(SubjectAction::Exit(1), [Eating, Eating]);
         assert_eq!(s.fire(SubjectAction::Ping(0), [Eating, Thinking]), SubjectCmd::SendPing(0, 2));
+    }
+
+    #[test]
+    fn mutant_skip_ping_disable_can_ping_twice_per_session() {
+        let mut s = SubjectMachine::with_mutation(false, SubjectMutation::SkipPingDisable);
+        s.fire(SubjectAction::Hungry(0), TT);
+        let ph = [Eating, Thinking];
+        assert_eq!(s.fire(SubjectAction::Ping(0), ph), SubjectCmd::SendPing(0, 1));
+        // The faithful machine disables S_p until exit; the mutant re-arms.
+        assert_eq!(s.enabled(ph), vec![SubjectAction::Ping(0)]);
+        assert_eq!(s.fire(SubjectAction::Ping(0), ph), SubjectCmd::SendPing(0, 2));
+    }
+
+    #[test]
+    fn mutant_ignore_trigger_guard_goes_hungry_out_of_turn() {
+        let s = SubjectMachine::with_mutation(false, SubjectMutation::IgnoreTriggerGuard);
+        // trigger = 0, yet S_h(1) is enabled too.
+        assert_eq!(s.enabled(TT), vec![SubjectAction::Hungry(0), SubjectAction::Hungry(1)]);
+    }
+
+    #[test]
+    fn mutant_skip_trigger_update_never_schedules_sibling() {
+        let mut s = SubjectMachine::with_mutation(false, SubjectMutation::SkipTriggerUpdate);
+        s.fire(SubjectAction::Hungry(0), TT);
+        s.fire(SubjectAction::Ping(0), [Eating, Thinking]);
+        s.on_ack(0, 1);
+        assert_eq!(s.trigger(), 0, "mutant must not hand off to s_1");
     }
 
     #[test]

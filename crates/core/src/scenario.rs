@@ -186,9 +186,7 @@ impl ExtractionResult {
 }
 
 /// The dining-participant factory implementing a [`BlackBox`] choice.
-pub fn factory_for(
-    black_box: BlackBox,
-) -> impl Fn(DxEndpoint) -> Box<dyn DiningParticipant> {
+pub fn factory_for(black_box: BlackBox) -> impl Fn(DxEndpoint) -> Box<dyn DiningParticipant> {
     move |ep: DxEndpoint| -> Box<dyn DiningParticipant> {
         match black_box {
             BlackBox::WfDx => Box::new(WfDxDining::new(ep.me, &[ep.peer])),

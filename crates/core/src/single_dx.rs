@@ -137,8 +137,7 @@ impl SingleWitness {
 
     fn on_ping(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
         self.haveping = true;
-        out.sends
-            .push((self.subject, SdMsg::Ack { watcher: self.watcher, subject: self.subject }));
+        out.sends.push((self.subject, SdMsg::Ack { watcher: self.watcher, subject: self.subject }));
         self.pump(now, fd, out);
     }
 }
@@ -308,19 +307,13 @@ impl Node for SingleDxNode {
                 }
             }
             SdMsg::Ping { subject, .. } => {
-                let w = self
-                    .witnesses
-                    .iter_mut()
-                    .find(|w| w.subject == subject)
-                    .expect("unknown pair");
+                let w =
+                    self.witnesses.iter_mut().find(|w| w.subject == subject).expect("unknown pair");
                 w.on_ping(now, &*fd, &mut out);
             }
             SdMsg::Ack { watcher, .. } => {
-                let s = self
-                    .subjects
-                    .iter_mut()
-                    .find(|s| s.watcher == watcher)
-                    .expect("unknown pair");
+                let s =
+                    self.subjects.iter_mut().find(|s| s.watcher == watcher).expect("unknown pair");
                 s.on_ack(now, &*fd, &mut out);
             }
         }
@@ -355,9 +348,11 @@ pub fn run_single_pair(
     use dinefd_sim::{World, WorldConfig};
     let pairs = vec![(ProcessId(0), ProcessId(1))];
     let mut rng = dinefd_sim::SplitMix64::new(seed ^ 0x51D);
-    let oracle: Rc<dyn FdQuery> = Rc::new(
-        crate::scenario::OracleSpec::Perfect { lag: 20 }.build(2, crashes.clone(), &mut rng),
-    );
+    let oracle: Rc<dyn FdQuery> = Rc::new(crate::scenario::OracleSpec::Perfect { lag: 20 }.build(
+        2,
+        crashes.clone(),
+        &mut rng,
+    ));
     let factory = crate::scenario::factory_for(black_box);
     let nodes: Vec<SingleDxNode> = ProcessId::all(2)
         .map(|me| SingleDxNode::new(me, &pairs, &factory, Rc::clone(&oracle)))
@@ -426,10 +421,8 @@ mod tests {
     #[test]
     fn paper_reduction_survives_the_unfair_box() {
         // The control: the two-instance reduction converges on the same box.
-        let mut sc = crate::scenario::Scenario::pair(
-            BlackBox::Unfair { convergence: Time(1_500) },
-            5,
-        );
+        let mut sc =
+            crate::scenario::Scenario::pair(BlackBox::Unfair { convergence: Time(1_500) }, 5);
         sc.oracle = crate::scenario::OracleSpec::Perfect { lag: 20 };
         sc.horizon = Time(40_000);
         let crashes = sc.crashes.clone();

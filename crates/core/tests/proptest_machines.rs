@@ -3,9 +3,7 @@
 //! generated trajectory. These complement the exhaustive explorer in
 //! `dinefd-explore`: random walks go much deeper than the bounded DFS.
 
-use dinefd_core::machines::{
-    SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine,
-};
+use dinefd_core::machines::{SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine};
 use dinefd_dining::DinerPhase;
 use proptest::prelude::*;
 
@@ -154,106 +152,106 @@ impl Harness {
 
 #[allow(clippy::needless_range_loop)] // indices address parallel arrays
 mod walks {
-use super::*;
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    use super::*;
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
 
-    #[test]
-    fn safety_lemmas_hold_on_random_walks(
-        strict in any::<bool>(),
-        choices in prop::collection::vec(any::<u32>(), 0..400),
-    ) {
-        let mut h = Harness::new(strict);
-        prop_assert!(h.check().is_ok());
-        for &c in &choices {
-            if !h.step(c) {
-                break;
-            }
-            if let Err(e) = h.check() {
-                prop_assert!(false, "{e} after {} steps", choices.len());
-            }
-        }
-    }
-
-    #[test]
-    fn witness_turns_strictly_alternate(
-        choices in prop::collection::vec(any::<u32>(), 0..600),
-    ) {
-        // Along any legal schedule, the order of witness eat-starts
-        // alternates between the two instances (Lemma 12's shape).
-        let mut h = Harness::new(false);
-        let mut order: Vec<usize> = Vec::new();
-        let mut last_counts = [0u32; 2];
-        for &c in &choices {
-            if !h.step(c) {
-                break;
-            }
-            for i in 0..2 {
-                if h.witness_eats[i] > last_counts[i] {
-                    order.push(i);
-                    last_counts[i] = h.witness_eats[i];
+        #[test]
+        fn safety_lemmas_hold_on_random_walks(
+            strict in any::<bool>(),
+            choices in prop::collection::vec(any::<u32>(), 0..400),
+        ) {
+            let mut h = Harness::new(strict);
+            prop_assert!(h.check().is_ok());
+            for &c in &choices {
+                if !h.step(c) {
+                    break;
+                }
+                if let Err(e) = h.check() {
+                    prop_assert!(false, "{e} after {} steps", choices.len());
                 }
             }
         }
-        prop_assert!(
-            order.windows(2).all(|w| w[0] != w[1]),
-            "witness eats did not alternate: {:?}", order
-        );
-    }
 
-    #[test]
-    fn subject_sessions_alternate_too(
-        choices in prop::collection::vec(any::<u32>(), 0..600),
-    ) {
-        // Subjects hand off strictly: s_0, s_1, s_0, … (their sessions
-        // overlap, but the *starts* alternate).
-        let mut h = Harness::new(false);
-        let mut order: Vec<usize> = Vec::new();
-        let mut last_counts = [0u32; 2];
-        for &c in &choices {
-            if !h.step(c) {
-                break;
-            }
-            for i in 0..2 {
-                if h.subject_eats[i] > last_counts[i] {
-                    order.push(i);
-                    last_counts[i] = h.subject_eats[i];
+        #[test]
+        fn witness_turns_strictly_alternate(
+            choices in prop::collection::vec(any::<u32>(), 0..600),
+        ) {
+            // Along any legal schedule, the order of witness eat-starts
+            // alternates between the two instances (Lemma 12's shape).
+            let mut h = Harness::new(false);
+            let mut order: Vec<usize> = Vec::new();
+            let mut last_counts = [0u32; 2];
+            for &c in &choices {
+                if !h.step(c) {
+                    break;
+                }
+                for i in 0..2 {
+                    if h.witness_eats[i] > last_counts[i] {
+                        order.push(i);
+                        last_counts[i] = h.witness_eats[i];
+                    }
                 }
             }
+            prop_assert!(
+                order.windows(2).all(|w| w[0] != w[1]),
+                "witness eats did not alternate: {:?}", order
+            );
         }
-        prop_assert!(
-            order.windows(2).all(|w| w[0] != w[1]),
-            "subject eats did not alternate: {:?}", order
-        );
-    }
 
-    #[test]
-    fn suspect_flips_only_at_witness_exits(
-        choices in prop::collection::vec(any::<u32>(), 0..400),
-    ) {
-        // The output changes only when some witness exits an eating session
-        // (action W_x) — never on pings alone.
-        let mut h = Harness::new(false);
-        let mut last = h.witness.suspects();
-        let mut last_thinking = [true; 2];
-        for &c in &choices {
-            let before_phases = h.w_phase;
-            if !h.step(c) {
-                break;
+        #[test]
+        fn subject_sessions_alternate_too(
+            choices in prop::collection::vec(any::<u32>(), 0..600),
+        ) {
+            // Subjects hand off strictly: s_0, s_1, s_0, … (their sessions
+            // overlap, but the *starts* alternate).
+            let mut h = Harness::new(false);
+            let mut order: Vec<usize> = Vec::new();
+            let mut last_counts = [0u32; 2];
+            for &c in &choices {
+                if !h.step(c) {
+                    break;
+                }
+                for i in 0..2 {
+                    if h.subject_eats[i] > last_counts[i] {
+                        order.push(i);
+                        last_counts[i] = h.subject_eats[i];
+                    }
+                }
             }
-            let now = h.witness.suspects();
-            if now != last {
-                // Some witness moved Eating → Thinking in this step.
-                let exited = (0..2).any(|i| {
-                    before_phases[i] == DinerPhase::Eating
-                        && h.w_phase[i] == DinerPhase::Thinking
-                });
-                prop_assert!(exited, "output changed without a witness exit");
-            }
-            last = now;
-            last_thinking = [h.w_phase[0] == DinerPhase::Thinking, h.w_phase[1] == DinerPhase::Thinking];
+            prop_assert!(
+                order.windows(2).all(|w| w[0] != w[1]),
+                "subject eats did not alternate: {:?}", order
+            );
         }
-        let _ = last_thinking;
+
+        #[test]
+        fn suspect_flips_only_at_witness_exits(
+            choices in prop::collection::vec(any::<u32>(), 0..400),
+        ) {
+            // The output changes only when some witness exits an eating session
+            // (action W_x) — never on pings alone.
+            let mut h = Harness::new(false);
+            let mut last = h.witness.suspects();
+            let mut last_thinking = [true; 2];
+            for &c in &choices {
+                let before_phases = h.w_phase;
+                if !h.step(c) {
+                    break;
+                }
+                let now = h.witness.suspects();
+                if now != last {
+                    // Some witness moved Eating → Thinking in this step.
+                    let exited = (0..2).any(|i| {
+                        before_phases[i] == DinerPhase::Eating
+                            && h.w_phase[i] == DinerPhase::Thinking
+                    });
+                    prop_assert!(exited, "output changed without a witness exit");
+                }
+                last = now;
+                last_thinking = [h.w_phase[0] == DinerPhase::Thinking, h.w_phase[1] == DinerPhase::Thinking];
+            }
+            let _ = last_thinking;
+        }
     }
-}
 }

@@ -120,12 +120,8 @@ impl DiningDriverNode {
         // Walk the legal cycle from last_phase to now_phase, observing each
         // intermediate step (a participant can move several steps within one
         // invocation, e.g. hungry→eating or eating→exiting→thinking).
-        let cycle = [
-            DinerPhase::Thinking,
-            DinerPhase::Hungry,
-            DinerPhase::Eating,
-            DinerPhase::Exiting,
-        ];
+        let cycle =
+            [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating, DinerPhase::Exiting];
         let pos = |ph: DinerPhase| cycle.iter().position(|&c| c == ph).expect("phase in cycle");
         let mut i = pos(self.last_phase);
         let target = pos(now_phase);
@@ -284,15 +280,7 @@ mod tests {
         let plan = CrashPlan::one(ProcessId(2), Time(1_000));
         let graph = ConflictGraph::ring(n);
         let mut rng = SplitMix64::new(99);
-        let oracle = InjectedOracle::diamond_p(
-            n,
-            plan.clone(),
-            50,
-            Time(3_000),
-            4,
-            200,
-            &mut rng,
-        );
+        let oracle = InjectedOracle::diamond_p(n, plan.clone(), 50, Time(3_000), 4, 200, &mut rng);
         let fd: Rc<dyn FdQuery> = Rc::new(oracle);
         let nodes: Vec<DiningDriverNode> = ProcessId::all(n)
             .map(|p| {
@@ -312,10 +300,7 @@ mod tests {
         assert!(h.wait_freedom(&plan, 10_000).is_ok(), "wfdx must be wait-free");
         // ◇WX: violations (if any) must end well before the horizon.
         let converged = h.wx_converged_from(&graph, &plan);
-        assert!(
-            converged < Time(20_000),
-            "exclusion violations persist too long: {converged:?}"
-        );
+        assert!(converged < Time(20_000), "exclusion violations persist too long: {converged:?}");
         for p in plan.correct(n) {
             assert!(h.session_count(p) > 10, "{p} ate only {} times", h.session_count(p));
         }

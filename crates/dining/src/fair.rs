@@ -254,11 +254,7 @@ mod tests {
         use dinefd_fd::{InjectedOracle, MistakePlan};
         use dinefd_sim::CrashPlan;
         let mut oracle = InjectedOracle::perfect(2, CrashPlan::none(), 0);
-        oracle.set_mistakes(
-            p(0),
-            p(1),
-            MistakePlan::from_intervals(vec![(Time(0), Time(1_000))]),
-        );
+        oracle.set_mistakes(p(0), p(1), MistakePlan::from_intervals(vec![(Time(0), Time(1_000))]));
         let mut d0 = FairWfDxDining::new(p(0), &[p(1)]);
         let mut io = DiningIo::new(p(0), Time(1), &oracle);
         d0.on_message(&mut io, p(1), DiningMsg::Fair(FairMsg::Hungry));
@@ -279,11 +275,7 @@ mod tests {
         // No Hungry announcement, just a fork request (it carries the token;
         // p0's fork is dirty+thinking so it is yielded immediately).
         let mut io = DiningIo::new(p(0), Time(1), &fd);
-        d0.on_message(
-            &mut io,
-            p(1),
-            DiningMsg::Fair(FairMsg::Request(Ts { clock: 1, id: 1 })),
-        );
+        d0.on_message(&mut io, p(1), DiningMsg::Fair(FairMsg::Request(Ts { clock: 1, id: 1 })));
         let fx = io.finish();
         assert!(matches!(fx.sends[0], (_, DiningMsg::Fair(FairMsg::Fork { .. }))));
         assert!(d0.overtakes_against(p(1)) == 0);

@@ -62,10 +62,7 @@ impl HygienicDining {
     }
 
     fn edge_mut(&mut self, peer: ProcessId) -> &mut Edge {
-        self.edges
-            .iter_mut()
-            .find(|e| e.peer == peer)
-            .expect("message from non-neighbor")
+        self.edges.iter_mut().find(|e| e.peer == peer).expect("message from non-neighbor")
     }
 
     /// The diner this endpoint belongs to.
@@ -197,7 +194,9 @@ mod tests {
         assert_eq!(d.phase(), DinerPhase::Hungry);
         let fx = i.finish();
         assert_eq!(fx.sends.len(), 1);
-        assert!(matches!(fx.sends[0], (pid, DiningMsg::Hygienic(HyMsg::ForkRequest)) if pid == p(0)));
+        assert!(
+            matches!(fx.sends[0], (pid, DiningMsg::Hygienic(HyMsg::ForkRequest)) if pid == p(0))
+        );
         let mut i = io(&fd, p(1));
         d.on_message(&mut i, p(0), DiningMsg::Hygienic(HyMsg::Fork));
         assert_eq!(d.phase(), DinerPhase::Eating);
@@ -252,7 +251,9 @@ mod tests {
         let fx = i.finish();
         assert_eq!(fx.sends.len(), 2);
         assert!(matches!(fx.sends[0], (pid, DiningMsg::Hygienic(HyMsg::Fork)) if pid == p(3)));
-        assert!(matches!(fx.sends[1], (pid, DiningMsg::Hygienic(HyMsg::ForkRequest)) if pid == p(3)));
+        assert!(
+            matches!(fx.sends[1], (pid, DiningMsg::Hygienic(HyMsg::ForkRequest)) if pid == p(3))
+        );
     }
 
     #[test]
@@ -270,7 +271,7 @@ mod tests {
         let mut i = io(&fd, p(1));
         d.on_message(&mut i, p(2), DiningMsg::Hygienic(HyMsg::ForkRequest));
         let _ = i.finish(); // yielded + re-requested
-        // Now the clean (0,1) fork arrives; p1 is hungry with a clean fork.
+                            // Now the clean (0,1) fork arrives; p1 is hungry with a clean fork.
         let mut i = io(&fd, p(1));
         d.on_message(&mut i, p(0), DiningMsg::Hygienic(HyMsg::Fork));
         let _ = i.finish();

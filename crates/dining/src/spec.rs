@@ -167,10 +167,7 @@ impl DiningHistory {
 
     /// Number of eating sessions *started* by `pid`.
     pub fn session_count(&self, pid: ProcessId) -> usize {
-        self.phases[pid.index()]
-            .iter()
-            .filter(|&&(_, ph)| ph == DinerPhase::Eating)
-            .count()
+        self.phases[pid.index()].iter().filter(|&&(_, ph)| ph == DinerPhase::Eating).count()
     }
 
     /// All instants at which two live neighbors ate simultaneously.
@@ -209,11 +206,7 @@ impl DiningHistory {
     /// (the measured ◇WX convergence point). [`Time::ZERO`] if no violation
     /// was ever recorded.
     pub fn wx_converged_from(&self, graph: &ConflictGraph, plan: &CrashPlan) -> Time {
-        self.exclusion_violations(graph, plan)
-            .iter()
-            .map(|v| v.to)
-            .max()
-            .unwrap_or(Time::ZERO)
+        self.exclusion_violations(graph, plan).iter().map(|v| v.to).max().unwrap_or(Time::ZERO)
     }
 
     /// **Wait-freedom** on a finite run: every correct diner whose hunger
@@ -275,11 +268,7 @@ impl DiningHistory {
         starved
             .iter()
             .map(|&p| {
-                crashed
-                    .iter()
-                    .filter_map(|&c| graph.distance(p, c))
-                    .min()
-                    .unwrap_or(usize::MAX)
+                crashed.iter().filter_map(|&c| graph.distance(p, c)).min().unwrap_or(usize::MAX)
             })
             .max()
     }
@@ -293,11 +282,8 @@ impl DiningHistory {
         for (a, b) in graph.edges() {
             for (x, y) in [(a, b), (b, a)] {
                 // x overtakes y: count x's session starts inside y's spells.
-                let starts: Vec<Time> = self
-                    .eating_sessions(x, plan)
-                    .iter()
-                    .map(|&(s, _)| s)
-                    .collect();
+                let starts: Vec<Time> =
+                    self.eating_sessions(x, plan).iter().map(|&(s, _)| s).collect();
                 for &(h0, h1) in &self.phase_intervals(y, DinerPhase::Hungry, plan) {
                     if h0 < after {
                         continue;
@@ -312,7 +298,13 @@ impl DiningHistory {
 
     /// Renders an ASCII Gantt chart of diner phases over `[t0, t1)` with the
     /// given column count — the Fig. 1 style timeline used by experiment E3.
-    pub fn ascii_gantt(&self, pids: &[(&str, ProcessId)], t0: Time, t1: Time, cols: usize) -> String {
+    pub fn ascii_gantt(
+        &self,
+        pids: &[(&str, ProcessId)],
+        t0: Time,
+        t1: Time,
+        cols: usize,
+    ) -> String {
         assert!(t1 > t0 && cols > 0);
         let span = t1 - t0;
         let mut out = String::new();

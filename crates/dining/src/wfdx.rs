@@ -213,10 +213,7 @@ impl ForkCore {
         e.has_fork = false;
         e.pending = None;
         io.send(peer, wrap(WxMsg::Fork { clock }));
-        if self.phase == DinerPhase::Hungry
-            && self.edges[k].has_token
-            && !self.edges[k].requested
-        {
+        if self.phase == DinerPhase::Hungry && self.edges[k].has_token && !self.edges[k].requested {
             let session = self.session;
             let e = &mut self.edges[k];
             e.has_token = false;

@@ -54,15 +54,8 @@ fn run_wfdx(
         Some((idx, at)) => CrashPlan::one(ProcessId::from_index(idx % n), Time(at)),
         None => CrashPlan::none(),
     };
-    let oracle = InjectedOracle::diamond_p(
-        n,
-        crashes.clone(),
-        50,
-        Time(horizon / 8),
-        3,
-        150,
-        &mut rng,
-    );
+    let oracle =
+        InjectedOracle::diamond_p(n, crashes.clone(), 50, Time(horizon / 8), 3, 150, &mut rng);
     let fd: Rc<dyn FdQuery> = Rc::new(oracle);
     let nodes: Vec<DiningDriverNode> = ProcessId::all(n)
         .map(|p| {

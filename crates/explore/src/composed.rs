@@ -24,11 +24,18 @@
 //! mistakes" adversary — enough to exercise the mistake paths without
 //! blowing up the state space).
 
+use std::time::Instant;
+
 use dinefd_core::machines::{SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine};
 use dinefd_dining::wfdx::WfDxDining;
 use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
 use dinefd_fd::FdQuery;
 use dinefd_sim::{ProcessId, Time};
+
+use crate::parallel::{
+    parallel_search, ParallelModel, SearchStats, ViolationKind, ViolationRecord,
+};
+use crate::search::fmt_path;
 
 const P: ProcessId = ProcessId(0); // watcher
 const Q: ProcessId = ProcessId(1); // subject
@@ -83,6 +90,9 @@ pub struct ComposedConfig {
     pub allow_mistakes: bool,
     /// Harden the subject machine (sequence-checked acks).
     pub strict_seq: bool,
+    /// Worker threads: `1` (default) runs the serial DFS, `>= 2` the
+    /// work-stealing parallel engine. Verdicts are schedule-independent.
+    pub threads: usize,
 }
 
 impl Default for ComposedConfig {
@@ -93,6 +103,7 @@ impl Default for ComposedConfig {
             allow_crash: true,
             allow_mistakes: true,
             strict_seq: false,
+            threads: 1,
         }
     }
 }
@@ -290,8 +301,7 @@ impl ComposedState {
             if !witness_side && self.crashed {
                 continue;
             }
-            let phase =
-                if witness_side { self.w_dx[i].phase() } else { self.s_dx[i].phase() };
+            let phase = if witness_side { self.w_dx[i].phase() } else { self.s_dx[i].phase() };
             if phase == DinerPhase::Hungry {
                 let mut s = self.clone();
                 s.invoke_dx(witness_side, i, |c, io| c.on_tick(io));
@@ -397,9 +407,7 @@ impl ComposedState {
                         && matches!(
                             m,
                             DiningMsg::WfDx(dinefd_dining::wfdx::WxMsg::Request(_))
-                                | DiningMsg::WfDx(
-                                    dinefd_dining::wfdx::WxMsg::TokenReturn { .. }
-                                )
+                                | DiningMsg::WfDx(dinefd_dining::wfdx::WxMsg::TokenReturn { .. })
                         )
                 })
                 .count();
@@ -421,7 +429,10 @@ impl ComposedState {
                 v.push(format!("Lemma 2 violated: s_{i} not eating but ping_{i} = false"));
             }
             if !self.crashed && s_ph[i] == DinerPhase::Hungry && self.subject.trigger() != i {
-                v.push(format!("Lemma 4 violated: s_{i} hungry, trigger {}", self.subject.trigger()));
+                v.push(format!(
+                    "Lemma 4 violated: s_{i} hungry, trigger {}",
+                    self.subject.trigger()
+                ));
             }
             if !self.crashed && s_ph[i] != DinerPhase::Eating && self.subject.ping_enabled(i) {
                 let transit = self.pings.iter().any(|&(j, _)| j as usize == i)
@@ -439,19 +450,43 @@ impl ComposedState {
     }
 }
 
+/// Emergent-exclusion check across one transition: an overlap may only
+/// BEGIN while a wrongful-suspicion flag is active, or when the endpoint
+/// that was already eating is in a tainted (mistake-era) session. Crashed
+/// subjects are exempt: exclusion binds live neighbors.
+fn exclusion_step_violations(state: &ComposedState, next: &ComposedState) -> Vec<String> {
+    let mut v = Vec::new();
+    for i in 0..2 {
+        if !state.overlapping(i)
+            && next.overlapping(i)
+            && !next.crashed
+            && !next.mistake_active()
+            && !state.prior_eater_tainted(i)
+        {
+            v.push(format!("exclusion violated on DX_{i} without mistake or taint"));
+        }
+    }
+    v
+}
+
 /// Result of a composed exploration.
 #[derive(Clone, Debug)]
 pub struct ComposedReport {
     /// Distinct states.
     pub states_visited: usize,
-    /// Transitions traversed.
+    /// Transitions traversed (see the caveat on
+    /// [`crate::search::ExploreReport::transitions`]).
     pub transitions: u64,
     /// Invariant / exclusion violations.
     pub violations: Vec<String>,
+    /// Structured violations with replayable counterexample paths.
+    pub records: Vec<ViolationRecord<ComposedLabel>>,
     /// Dead states (no successors).
     pub deadlocks: usize,
     /// Whether the state budget truncated the search.
     pub truncated: bool,
+    /// Throughput and contention counters of this run.
+    pub stats: SearchStats,
 }
 
 impl ComposedReport {
@@ -461,24 +496,38 @@ impl ComposedReport {
     }
 }
 
-/// Depth-bounded exhaustive exploration of the composed model.
+/// Depth-bounded exhaustive exploration of the composed model. Dispatches
+/// on [`ComposedConfig::threads`] exactly like [`crate::explore`].
 pub fn explore_composed(cfg: &ComposedConfig) -> ComposedReport {
+    if cfg.threads <= 1 {
+        explore_composed_serial(cfg)
+    } else {
+        explore_composed_parallel(cfg)
+    }
+}
+
+fn explore_composed_serial(cfg: &ComposedConfig) -> ComposedReport {
     use std::collections::HashMap;
+    let started = Instant::now();
     let initial = ComposedState::initial(cfg);
     let mut report = ComposedReport {
         states_visited: 0,
         transitions: 0,
         violations: Vec::new(),
+        records: Vec::new(),
         deadlocks: 0,
         truncated: false,
+        stats: SearchStats::serial(0, 0.0),
     };
     let mut visited: HashMap<ComposedState, u32> = HashMap::new();
-    let mut stack: Vec<(ComposedState, u32)> = Vec::new();
-    report.violations.extend(initial.check_invariants());
+    let mut stack: Vec<(ComposedState, u32, Vec<ComposedLabel>)> = Vec::new();
+    for v in initial.check_invariants() {
+        push_composed(&mut report, ViolationKind::StateInvariant, v, Vec::new());
+    }
     visited.insert(initial.clone(), cfg.max_depth);
-    stack.push((initial, cfg.max_depth));
+    stack.push((initial, cfg.max_depth, Vec::new()));
 
-    while let Some((state, depth)) = stack.pop() {
+    while let Some((state, depth, path)) = stack.pop() {
         if visited.len() >= cfg.max_states {
             report.truncated = true;
             break;
@@ -493,29 +542,84 @@ pub fn explore_composed(cfg: &ComposedConfig) -> ComposedReport {
         }
         for (label, next) in succ {
             report.transitions += 1;
-            // Emergent-exclusion check: an overlap may only BEGIN while a
-            // wrongful-suspicion flag is active, or when the endpoint that
-            // was already eating is in a tainted (mistake-era) session.
-            // Crashed subjects are exempt: exclusion binds live neighbors.
-            for i in 0..2 {
-                if !state.overlapping(i) && next.overlapping(i) && !next.crashed
-                    && !next.mistake_active() && !state.prior_eater_tainted(i) {
-                        report.violations.push(format!(
-                            "exclusion violated on DX_{i} without mistake or taint (via {label:?})"
-                        ));
-                    }
+            for v in exclusion_step_violations(&state, &next) {
+                let mut p = path.clone();
+                p.push(label);
+                push_composed(&mut report, ViolationKind::ClosureStep, v, p);
             }
             let remaining = depth - 1;
             if visited.get(&next).is_some_and(|&d| d >= remaining) {
                 continue;
             }
-            report.violations.extend(next.check_invariants());
+            let mut next_path = path.clone();
+            next_path.push(label);
+            for v in next.check_invariants() {
+                push_composed(&mut report, ViolationKind::StateInvariant, v, next_path.clone());
+            }
             visited.insert(next.clone(), remaining);
-            stack.push((next, remaining));
+            stack.push((next, remaining, next_path));
         }
     }
     report.states_visited = visited.len();
+    report.stats = SearchStats::serial(report.states_visited, started.elapsed().as_secs_f64());
     report
+}
+
+fn explore_composed_parallel(cfg: &ComposedConfig) -> ComposedReport {
+    struct ComposedSearch<'a>(&'a ComposedConfig);
+
+    impl ParallelModel for ComposedSearch<'_> {
+        type State = ComposedState;
+        type Label = ComposedLabel;
+
+        fn successors(&self, s: &ComposedState) -> Vec<(ComposedLabel, ComposedState)> {
+            s.successors(self.0)
+        }
+
+        fn state_violations(&self, s: &ComposedState) -> Vec<String> {
+            s.check_invariants()
+        }
+
+        fn step_violations(
+            &self,
+            s: &ComposedState,
+            _label: ComposedLabel,
+            next: &ComposedState,
+        ) -> Vec<String> {
+            exclusion_step_violations(s, next)
+        }
+    }
+
+    let outcome = parallel_search(
+        &ComposedSearch(cfg),
+        ComposedState::initial(cfg),
+        cfg.max_depth,
+        cfg.max_states,
+        cfg.threads,
+    );
+    ComposedReport {
+        states_visited: outcome.states_visited,
+        transitions: outcome.transitions,
+        violations: outcome
+            .violations
+            .iter()
+            .map(|r| format!("{} (after {})", r.message, fmt_path(&r.path, None)))
+            .collect(),
+        records: outcome.violations,
+        deadlocks: outcome.deadlocks,
+        truncated: outcome.truncated,
+        stats: outcome.stats,
+    }
+}
+
+fn push_composed(
+    report: &mut ComposedReport,
+    kind: ViolationKind,
+    message: String,
+    path: Vec<ComposedLabel>,
+) {
+    report.violations.push(format!("{message} (after {})", fmt_path(&path, None)));
+    report.records.push(ViolationRecord { kind, message, path });
 }
 
 #[cfg(test)]
@@ -558,6 +662,24 @@ mod tests {
         };
         let r = explore_composed(&cfg);
         assert!(r.clean(), "violations: {:#?}", r.violations);
+    }
+
+    #[test]
+    fn composed_parallel_agrees_with_serial() {
+        let base = ComposedConfig {
+            max_depth: 9,
+            allow_crash: true,
+            allow_mistakes: true,
+            ..Default::default()
+        };
+        let serial = explore_composed(&base);
+        let parallel = explore_composed(&ComposedConfig { threads: 4, ..base });
+        assert_eq!(serial.states_visited, parallel.states_visited);
+        assert_eq!(serial.clean(), parallel.clean());
+        assert_eq!(serial.deadlocks, parallel.deadlocks);
+        assert!(!parallel.truncated);
+        assert_eq!(parallel.stats.threads, 4);
+        assert!(parallel.stats.states_per_sec > 0.0);
     }
 
     #[test]

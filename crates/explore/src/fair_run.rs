@@ -15,7 +15,9 @@
 //!   output stabilizes to *trust*;
 //! * **Theorem 1**: after a crash, the output stabilizes to *suspect*.
 
-use crate::pair_model::{ExploreConfig, PairState, TransitionLabel};
+use dinefd_core::machines::SubjectMutation;
+
+use crate::pair_model::{ExploreConfig, ModelMutation, PairState, TransitionLabel};
 
 /// Everything measured over one fair run.
 #[derive(Clone, Debug)]
@@ -73,12 +75,37 @@ pub fn fair_run(
     crash_at: Option<u32>,
     strict_seq: bool,
 ) -> FairRunReport {
+    fair_run_mutated(
+        rounds,
+        converge_at,
+        crash_at,
+        strict_seq,
+        SubjectMutation::None,
+        ModelMutation::None,
+    )
+}
+
+/// [`fair_run`] with seeded bugs: the liveness-side companion of the
+/// mutation-testing suite. Safety-silent mutants (e.g. a dropped ping send)
+/// betray themselves here as eventual wrongful suspicion or starved subject
+/// threads.
+pub fn fair_run_mutated(
+    rounds: u32,
+    converge_at: u32,
+    crash_at: Option<u32>,
+    strict_seq: bool,
+    subject_mutation: SubjectMutation,
+    model_mutation: ModelMutation,
+) -> FairRunReport {
     let cfg = ExploreConfig {
         max_depth: 0,
         max_states: 0,
         strict_seq,
         allow_crash: true,
         start_converged: false,
+        threads: 1,
+        subject_mutation,
+        model_mutation,
     };
     let mut state = PairState::initial(&cfg);
     let mut report = FairRunReport {

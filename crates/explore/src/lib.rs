@@ -29,6 +29,32 @@
 //! infinitely often) cannot be established by finite safety search; the
 //! [`mod@fair_run`] module drives the same model under a weakly-fair deterministic
 //! schedule and checks the progress counters instead.
+//!
+//! ## Parallel search
+//!
+//! Both explorers accept a `threads` knob ([`ExploreConfig::threads`],
+//! [`ComposedConfig::threads`]). `threads: 1` (the default) runs the
+//! original serial DFS byte-for-byte; `threads >= 2` runs the same model on
+//! a work-stealing engine ([`mod@parallel`]): per-worker LIFO deques with
+//! FIFO stealing, a visited table sharded across [`parallel::N_SHARDS`]
+//! mutexes, and a pending-task counter for termination. The visited table
+//! stores, per state, the *maximum remaining depth* it has been queued
+//! with; that map converges to a schedule-independent fixpoint, so
+//! `states_visited`, `clean()`, and `deadlocks` are deterministic across
+//! thread counts and schedules (when the state budget does not truncate the
+//! run). Throughput and contention counters come back in
+//! [`parallel::SearchStats`].
+//!
+//! ## Mutation testing
+//!
+//! A checker that never fires is indistinguishable from a checker that
+//! cannot fire. [`ExploreConfig::subject_mutation`] /
+//! [`ExploreConfig::model_mutation`] seed known bugs into the subject
+//! machine and the wire model (skip a ping-disable, ignore the Lemma-4
+//! trigger guard, drop a ping send, replay a stale ack…); the
+//! `seeded_bugs` integration suite asserts the lemma checks actually catch
+//! them, with lemma-attributed, replayable counterexample traces
+//! ([`parallel::ViolationRecord`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +62,16 @@
 pub mod composed;
 pub mod fair_run;
 pub mod pair_model;
+pub mod parallel;
 pub mod search;
 
-pub use composed::{explore_composed, ComposedConfig, ComposedReport, ComposedState};
-pub use fair_run::{fair_run, FairRunReport};
-pub use pair_model::{ExploreConfig, PairState, TransitionLabel};
-pub use search::{explore, ExploreReport};
+pub use composed::{
+    explore_composed, ComposedConfig, ComposedLabel, ComposedReport, ComposedState,
+};
+pub use fair_run::{fair_run, fair_run_mutated, FairRunReport};
+pub use pair_model::{ExploreConfig, ModelMutation, PairState, TransitionLabel};
+pub use parallel::{SearchStats, ViolationKind, ViolationRecord, N_SHARDS};
+pub use search::{explore, fmt_path, ExploreReport};
+
+/// Re-export: machine-level seeded bugs live next to the machines.
+pub use dinefd_core::machines::SubjectMutation;

@@ -1,9 +1,28 @@
 //! The closed nondeterministic model of one monitoring pair.
 
 use dinefd_core::machines::{
-    SubjectAction, SubjectCmd, SubjectMachine, WitnessAction, WitnessCmd, WitnessMachine,
+    SubjectAction, SubjectCmd, SubjectMachine, SubjectMutation, WitnessAction, WitnessCmd,
+    WitnessMachine,
 };
 use dinefd_dining::DinerPhase;
+
+/// Seeded bugs injected at the *model* level — the wire between the
+/// machines — complementing the machine-level [`SubjectMutation`]s. Used by
+/// the seeded-bug test suite to prove the checkers can see.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ModelMutation {
+    /// The faithful wire.
+    #[default]
+    None,
+    /// `S_p`'s ping is silently lost in transit (the machine still believes
+    /// it sent one). Safety lemmas survive; the hand-off starves — only
+    /// liveness checking ([`crate::fair_run`]) catches it.
+    DropPingSend,
+    /// The wire may duplicate an in-flight ack, so a stale ack can survive
+    /// into a later epoch and flip the trigger out of turn (breaks Lemma 4;
+    /// the in-flight duplicate also breaks Lemma 3).
+    StaleAckReplay,
+}
 
 /// Exploration parameters.
 #[derive(Clone, Copy, Debug)]
@@ -18,6 +37,13 @@ pub struct ExploreConfig {
     pub allow_crash: bool,
     /// Start in the exclusive regime (convergence already reached).
     pub start_converged: bool,
+    /// Worker threads for [`crate::explore`]: `1` (the default) runs the
+    /// serial search; `≥ 2` runs the work-stealing parallel engine.
+    pub threads: usize,
+    /// Seeded machine-level bug (mutation testing; `None` = faithful).
+    pub subject_mutation: SubjectMutation,
+    /// Seeded wire-level bug (mutation testing; `None` = faithful).
+    pub model_mutation: ModelMutation,
 }
 
 impl Default for ExploreConfig {
@@ -28,6 +54,9 @@ impl Default for ExploreConfig {
             strict_seq: false,
             allow_crash: true,
             start_converged: false,
+            threads: 1,
+            subject_mutation: SubjectMutation::None,
+            model_mutation: ModelMutation::None,
         }
     }
 }
@@ -43,6 +72,9 @@ pub enum TransitionLabel {
     DeliverPing(usize),
     /// Deliver the in-flight ack at the given pool index.
     DeliverAck(usize),
+    /// Duplicate the in-flight ack at the given pool index (only enabled
+    /// under [`ModelMutation::StaleAckReplay`]).
+    DuplicateAck(usize),
     /// The dining service grants the witness endpoint of `DX_i`.
     GrantWitness(usize),
     /// The dining service grants the subject endpoint of `DX_i`.
@@ -80,7 +112,7 @@ impl PairState {
     pub fn initial(cfg: &ExploreConfig) -> Self {
         PairState {
             witness: WitnessMachine::new(),
-            subject: SubjectMachine::new(cfg.strict_seq),
+            subject: SubjectMachine::with_mutation(cfg.strict_seq, cfg.subject_mutation),
             w_phase: [DinerPhase::Thinking; 2],
             s_phase: [DinerPhase::Thinking; 2],
             pings: Vec::new(),
@@ -96,7 +128,7 @@ impl PairState {
 
     /// Applies one labelled transition, returning the successor.
     /// The label must come from [`PairState::successors`].
-    fn apply(&self, label: TransitionLabel) -> PairState {
+    fn apply(&self, label: TransitionLabel, cfg: &ExploreConfig) -> PairState {
         let mut s = self.clone();
         match label {
             TransitionLabel::Witness(a) => {
@@ -112,7 +144,13 @@ impl PairState {
                 match cmd {
                     SubjectCmd::BecomeHungry(i) => s.s_phase[i] = DinerPhase::Hungry,
                     SubjectCmd::Exit(i) => s.s_phase[i] = DinerPhase::Thinking,
-                    SubjectCmd::SendPing(i, seq) => s.pings.push((i as u8, seq)),
+                    SubjectCmd::SendPing(i, seq) => {
+                        // Seeded wire bug: the send is silently lost (the
+                        // machine still believes it pinged).
+                        if cfg.model_mutation != ModelMutation::DropPingSend {
+                            s.pings.push((i as u8, seq));
+                        }
+                    }
                 }
             }
             TransitionLabel::DeliverPing(k) => {
@@ -131,6 +169,11 @@ impl PairState {
                 let (i, seq) = s.acks.remove(k);
                 debug_assert!(!s.crashed, "acks to a crashed q are not delivered");
                 s.subject.on_ack(i as usize, seq);
+            }
+            TransitionLabel::DuplicateAck(k) => {
+                debug_assert_eq!(cfg.model_mutation, ModelMutation::StaleAckReplay);
+                let dup = s.acks[k];
+                s.acks.push(dup);
             }
             TransitionLabel::GrantWitness(i) => {
                 debug_assert_eq!(s.w_phase[i], DinerPhase::Hungry);
@@ -172,6 +215,14 @@ impl PairState {
             for k in 0..self.acks.len() {
                 out.push(TransitionLabel::DeliverAck(k));
             }
+            // Seeded wire bug: an adversarial wire may duplicate an
+            // in-flight ack (bounded so the mutated state space stays
+            // finite).
+            if cfg.model_mutation == ModelMutation::StaleAckReplay && self.acks.len() < 3 {
+                for k in 0..self.acks.len() {
+                    out.push(TransitionLabel::DuplicateAck(k));
+                }
+            }
         }
         // Dining grants: unconstrained before convergence; exclusive within
         // each instance afterwards. Exclusion binds *live* neighbors only —
@@ -192,16 +243,14 @@ impl PairState {
         }
         // Convergence may strike at any moment — but ◇WX's exclusive suffix
         // cannot begin while two live neighbors are mid-overlap.
-        if !self.converged
-            && !(0..2).any(|i| !self.crashed && self.both_endpoints_eating(i))
-        {
+        if !self.converged && !(0..2).any(|i| !self.crashed && self.both_endpoints_eating(i)) {
             out.push(TransitionLabel::Converge);
         }
         // q may crash at any moment.
         if cfg.allow_crash && !self.crashed {
             out.push(TransitionLabel::CrashSubject);
         }
-        out.into_iter().map(|l| (l, self.apply(l))).collect()
+        out.into_iter().map(|l| (l, self.apply(l, cfg))).collect()
     }
 
     /// State-level invariant checks (the paper's safety lemmas). Returns
@@ -256,7 +305,10 @@ impl PairState {
     /// Membership in the Theorem-1 closure set: `q` crashed, no pings in
     /// flight, no banked ping.
     pub fn in_completeness_closure(&self) -> bool {
-        self.crashed && self.pings.is_empty() && !self.witness.haveping(0) && !self.witness.haveping(1)
+        self.crashed
+            && self.pings.is_empty()
+            && !self.witness.haveping(0)
+            && !self.witness.haveping(1)
     }
 
     /// Transition-level check for the Theorem-1 closure: from a closure
@@ -308,8 +360,7 @@ mod tests {
         let mut s = PairState::initial(&cfg);
         s.w_phase[0] = DinerPhase::Hungry;
         s.s_phase[0] = DinerPhase::Eating;
-        let labels: Vec<TransitionLabel> =
-            s.successors(&cfg).iter().map(|&(l, _)| l).collect();
+        let labels: Vec<TransitionLabel> = s.successors(&cfg).iter().map(|&(l, _)| l).collect();
         assert!(
             !labels.contains(&TransitionLabel::GrantWitness(0)),
             "exclusive regime must not double-grant DX_0"
@@ -322,8 +373,7 @@ mod tests {
         let mut s = PairState::initial(&cfg);
         s.w_phase[1] = DinerPhase::Eating;
         s.s_phase[1] = DinerPhase::Eating;
-        let labels: Vec<TransitionLabel> =
-            s.successors(&cfg).iter().map(|&(l, _)| l).collect();
+        let labels: Vec<TransitionLabel> = s.successors(&cfg).iter().map(|&(l, _)| l).collect();
         assert!(!labels.contains(&TransitionLabel::Converge));
     }
 

@@ -1,0 +1,487 @@
+//! Work-stealing parallel engine behind [`crate::explore`] and
+//! [`crate::explore_composed`].
+//!
+//! One engine serves both models through the [`ParallelModel`] trait. The
+//! design:
+//!
+//! * **Sharded visited table** — the visited map (state → largest remaining
+//!   depth it was expanded with, as in the serial searches) is split into
+//!   [`N_SHARDS`] lock-striped `parking_lot::Mutex<HashMap<…>>` shards keyed
+//!   by state hash. Workers `try_lock` first and count the misses, so shard
+//!   contention is observable in [`SearchStats::shard_conflicts`].
+//! * **Per-worker deques with stealing** — each worker owns a LIFO
+//!   `crossbeam::deque::Worker` (LIFO keeps the search depth-first-ish and
+//!   the frontier small); idle workers steal the *oldest* task from peers or
+//!   from the shared injector, which hands them the widest subtrees.
+//! * **Termination** — a global pending-task counter is incremented before
+//!   every push and decremented after every task completes; when a worker
+//!   finds every queue empty and the counter at zero, the frontier is
+//!   exhausted everywhere.
+//!
+//! ## Determinism
+//!
+//! The visited table converges to a schedule-independent fixpoint: the value
+//! stored for a state only ever increases, a state is (re-)queued exactly
+//! when its value increases, and the final value is the maximum remaining
+//! depth over all paths that reach the state within the bound — a property
+//! of the graph, not of the schedule. Hence, when the search is not
+//! truncated by `max_states`:
+//!
+//! * `states_visited` is deterministic and equal to the serial search's;
+//! * the set of states whose invariants are checked (every visited state,
+//!   checked exactly once, on first insertion) is deterministic, so
+//!   `clean()` and the deduplicated violation *messages* are deterministic;
+//! * `deadlocks` counts *distinct* dead states — deterministic (the serial
+//!   search counts dead-state *pops*, which coincides on deadlock-free
+//!   models such as both of ours);
+//! * `transitions` counts each state's out-degree once, on its first
+//!   expansion — deterministic, but a lower bound on the serial count,
+//!   which re-counts a state's out-edges when the state is re-expanded
+//!   with a larger depth budget.
+//!
+//! Only the *representative path* attached to each violation (whichever
+//! worker reached the state first) and the figures in [`SearchStats`] are
+//! schedule-dependent. When the search *is* truncated, the subset of states
+//! visited before the budget tripped depends on the schedule, exactly as it
+//! depends on expansion order in the serial search.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+
+/// Number of lock stripes in the visited table. Power of two; generous
+/// relative to any plausible worker count so that uniformly-hashed states
+/// rarely collide on a stripe.
+pub const N_SHARDS: usize = 64;
+
+/// A state graph the engine can search. Implementations must be cheap to
+/// share across threads (`&self` methods are called concurrently).
+pub(crate) trait ParallelModel: Sync {
+    /// Model state (hashable — the visited-table key).
+    type State: Clone + Eq + Hash + Send;
+    /// Transition label (small and copyable — paths clone freely).
+    type Label: Copy + Send + std::fmt::Debug;
+
+    /// All enabled transitions out of `s` with their successors.
+    fn successors(&self, s: &Self::State) -> Vec<(Self::Label, Self::State)>;
+    /// State-level invariant violations (core messages, no path suffix).
+    fn state_violations(&self, s: &Self::State) -> Vec<String>;
+    /// Transition-level violations for `s --label--> next`.
+    fn step_violations(
+        &self,
+        s: &Self::State,
+        label: Self::Label,
+        next: &Self::State,
+    ) -> Vec<String>;
+}
+
+/// Which check produced a violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// A state-level invariant (the paper's safety lemmas) failed.
+    StateInvariant,
+    /// A transition-level check (Theorem-1 closure / emergent exclusion)
+    /// failed.
+    ClosureStep,
+}
+
+/// One violation with a replayable counterexample path.
+#[derive(Clone, Debug)]
+pub struct ViolationRecord<L> {
+    /// Which checker flagged it.
+    pub kind: ViolationKind,
+    /// The core diagnostic, e.g. `"Lemma 4 violated: …"`.
+    pub message: String,
+    /// Transition labels from the initial state to the violating state (for
+    /// [`ViolationKind::ClosureStep`], the last label is the violating
+    /// step). Replaying these labels through the model's `successors`
+    /// reproduces the violation.
+    pub path: Vec<L>,
+}
+
+/// Throughput and contention counters of one search run.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchStats {
+    /// Worker threads used (1 = the serial code path).
+    pub threads: usize,
+    /// Visited-table stripes (1 in the serial code path).
+    pub shards: usize,
+    /// Wall-clock duration of the search, in seconds.
+    pub duration_secs: f64,
+    /// Distinct states visited per wall-clock second.
+    pub states_per_sec: f64,
+    /// Tasks acquired from a non-local queue (peer deques + injector).
+    pub steals: u64,
+    /// Visited-table `try_lock` misses that had to fall back to a blocking
+    /// lock — the contention measure of the sharding.
+    pub shard_conflicts: u64,
+}
+
+impl SearchStats {
+    /// Stats of a single-threaded run (no stealing, no sharding).
+    pub(crate) fn serial(states: usize, duration_secs: f64) -> Self {
+        SearchStats {
+            threads: 1,
+            shards: 1,
+            duration_secs,
+            states_per_sec: if duration_secs > 0.0 { states as f64 / duration_secs } else { 0.0 },
+            steals: 0,
+            shard_conflicts: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} thread(s), {:.0} states/s, {} steals, {} shard conflicts",
+            self.threads, self.states_per_sec, self.steals, self.shard_conflicts
+        )
+    }
+}
+
+/// Everything the engine reports back to the model-specific wrappers.
+pub(crate) struct ParallelOutcome<L> {
+    pub states_visited: usize,
+    pub transitions: u64,
+    pub deadlocks: usize,
+    pub truncated: bool,
+    /// Deduplicated by `(kind, message)` and sorted — deterministic up to
+    /// the representative paths.
+    pub violations: Vec<ViolationRecord<L>>,
+    pub stats: SearchStats,
+}
+
+struct VisitEntry {
+    /// Largest remaining depth this state was queued with.
+    remaining: u32,
+    /// Whether some worker already expanded it (first expansion counts
+    /// transitions/deadlocks; re-expansions only propagate depth upgrades).
+    expanded: bool,
+}
+
+enum InsertOutcome {
+    /// Never seen before — check invariants, queue for expansion.
+    Fresh,
+    /// Seen, but now reachable with more remaining depth — requeue.
+    Deeper,
+    /// Seen with at least this much depth — prune.
+    Pruned,
+}
+
+/// The lock-striped visited table.
+struct ShardedVisited<S> {
+    shards: Vec<Mutex<HashMap<S, VisitEntry>>>,
+    hasher: BuildHasherDefault<std::collections::hash_map::DefaultHasher>,
+    conflicts: AtomicU64,
+}
+
+impl<S: Clone + Eq + Hash> ShardedVisited<S> {
+    fn new() -> Self {
+        ShardedVisited {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: BuildHasherDefault::default(),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, s: &S) -> &Mutex<HashMap<S, VisitEntry>> {
+        &self.shards[(self.hasher.hash_one(s) as usize) & (N_SHARDS - 1)]
+    }
+
+    fn lock_counting<'a>(
+        &'a self,
+        m: &'a Mutex<HashMap<S, VisitEntry>>,
+    ) -> parking_lot::MutexGuard<'a, HashMap<S, VisitEntry>> {
+        match m.try_lock() {
+            Some(g) => g,
+            None => {
+                self.conflicts.fetch_add(1, Ordering::Relaxed);
+                m.lock()
+            }
+        }
+    }
+
+    fn insert_if_deeper(&self, s: &S, remaining: u32) -> InsertOutcome {
+        let mut g = self.lock_counting(self.shard(s));
+        match g.get_mut(s) {
+            Some(e) if e.remaining >= remaining => InsertOutcome::Pruned,
+            Some(e) => {
+                e.remaining = remaining;
+                InsertOutcome::Deeper
+            }
+            None => {
+                g.insert(s.clone(), VisitEntry { remaining, expanded: false });
+                InsertOutcome::Fresh
+            }
+        }
+    }
+
+    /// Marks `s` expanded; true iff this is the first expansion.
+    fn mark_expanded(&self, s: &S) -> bool {
+        let mut g = self.lock_counting(self.shard(s));
+        let e = g.get_mut(s).expect("expanding a state that was never inserted");
+        !std::mem::replace(&mut e.expanded, true)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|m| m.lock().len()).sum()
+    }
+}
+
+struct Task<S, L> {
+    state: S,
+    remaining: u32,
+    path: Vec<L>,
+}
+
+/// Per-worker tallies, merged after the scope joins.
+struct WorkerTally<L> {
+    transitions: u64,
+    deadlocks: usize,
+    steals: u64,
+    violations: Vec<ViolationRecord<L>>,
+}
+
+/// Runs the work-stealing search. `threads` must be ≥ 2 (the callers route
+/// `threads <= 1` to their serial code paths).
+pub(crate) fn parallel_search<M: ParallelModel>(
+    model: &M,
+    initial: M::State,
+    max_depth: u32,
+    max_states: usize,
+    threads: usize,
+) -> ParallelOutcome<M::Label> {
+    debug_assert!(threads >= 2, "serial searches bypass the engine");
+    let started = Instant::now();
+
+    let visited: ShardedVisited<M::State> = ShardedVisited::new();
+    let injector: Injector<Task<M::State, M::Label>> = Injector::new();
+    let locals: Vec<Worker<Task<M::State, M::Label>>> =
+        (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Task<M::State, M::Label>>> =
+        locals.iter().map(Worker::stealer).collect();
+
+    // Tasks queued but not yet fully processed; 0 ⇒ the frontier is drained.
+    let pending = AtomicUsize::new(0);
+    let fresh_states = AtomicUsize::new(0);
+    let truncated = AtomicBool::new(false);
+
+    // Seed: the initial state is visited and checked up front, exactly like
+    // the serial searches do.
+    let mut seed_violations: Vec<ViolationRecord<M::Label>> = model
+        .state_violations(&initial)
+        .into_iter()
+        .map(|message| ViolationRecord {
+            kind: ViolationKind::StateInvariant,
+            message,
+            path: Vec::new(),
+        })
+        .collect();
+    visited.insert_if_deeper(&initial, max_depth);
+    fresh_states.store(1, Ordering::Relaxed);
+    pending.store(1, Ordering::SeqCst);
+    injector.push(Task { state: initial, remaining: max_depth, path: Vec::new() });
+
+    let tallies: Mutex<Vec<WorkerTally<M::Label>>> = Mutex::new(Vec::new());
+
+    crossbeam::thread::scope(|scope| {
+        for local in locals {
+            let (visited, injector, stealers) = (&visited, &injector, &stealers);
+            let (pending, fresh_states, truncated) = (&pending, &fresh_states, &truncated);
+            let tallies = &tallies;
+            scope.spawn(move |_| {
+                let mut tally =
+                    WorkerTally { transitions: 0, deadlocks: 0, steals: 0, violations: Vec::new() };
+                loop {
+                    let task = local
+                        .pop()
+                        .or_else(|| steal_task(injector, stealers).inspect(|_| tally.steals += 1));
+                    match task {
+                        Some(task) => {
+                            process_task(
+                                model,
+                                task,
+                                visited,
+                                &local,
+                                pending,
+                                fresh_states,
+                                truncated,
+                                max_states,
+                                &mut tally,
+                            );
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                tallies.lock().push(tally);
+            });
+        }
+    })
+    .expect("explorer worker panicked");
+
+    let tallies = tallies.into_inner();
+    let states_visited = visited.len();
+    let duration_secs = started.elapsed().as_secs_f64();
+    let (transitions, deadlocks, steals) =
+        tallies.iter().fold((0u64, 0usize, 0u64), |(t, d, s), w| {
+            (t + w.transitions, d + w.deadlocks, s + w.steals)
+        });
+    ParallelOutcome {
+        states_visited,
+        transitions,
+        deadlocks,
+        truncated: truncated.load(Ordering::SeqCst),
+        violations: merge_violations(
+            seed_violations.drain(..).chain(tallies.into_iter().flat_map(|t| t.violations)),
+        ),
+        stats: SearchStats {
+            threads,
+            shards: N_SHARDS,
+            duration_secs,
+            states_per_sec: if duration_secs > 0.0 {
+                states_visited as f64 / duration_secs
+            } else {
+                0.0
+            },
+            steals,
+            shard_conflicts: visited.conflicts.load(Ordering::Relaxed),
+        },
+    }
+}
+
+/// Steals one task: the shared injector first (widest subtrees), then peers.
+fn steal_task<S, L>(
+    injector: &Injector<Task<S, L>>,
+    stealers: &[Stealer<Task<S, L>>],
+) -> Option<Task<S, L>> {
+    loop {
+        let mut retry = false;
+        match injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        for s in stealers {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // engine internals, bundled by role
+fn process_task<M: ParallelModel>(
+    model: &M,
+    task: Task<M::State, M::Label>,
+    visited: &ShardedVisited<M::State>,
+    local: &Worker<Task<M::State, M::Label>>,
+    pending: &AtomicUsize,
+    fresh_states: &AtomicUsize,
+    truncated: &AtomicBool,
+    max_states: usize,
+    tally: &mut WorkerTally<M::Label>,
+) {
+    // Budget check mirrors the serial searches: tested when a state comes up
+    // for expansion, so the table may slightly overshoot `max_states` (by at
+    // most one expansion's successors per worker).
+    if truncated.load(Ordering::Relaxed) {
+        return; // drain mode: complete outstanding tasks without expanding
+    }
+    if fresh_states.load(Ordering::Relaxed) >= max_states {
+        truncated.store(true, Ordering::SeqCst);
+        return;
+    }
+    if task.remaining == 0 {
+        return;
+    }
+    let first_expansion = visited.mark_expanded(&task.state);
+    let succ = model.successors(&task.state);
+    if succ.is_empty() {
+        if first_expansion {
+            tally.deadlocks += 1;
+        }
+        return;
+    }
+    if first_expansion {
+        tally.transitions += succ.len() as u64;
+    }
+    let remaining = task.remaining - 1;
+    for (label, next) in succ {
+        if first_expansion {
+            for message in model.step_violations(&task.state, label, &next) {
+                let mut path = task.path.clone();
+                path.push(label);
+                tally.violations.push(ViolationRecord {
+                    kind: ViolationKind::ClosureStep,
+                    message,
+                    path,
+                });
+            }
+        }
+        match visited.insert_if_deeper(&next, remaining) {
+            InsertOutcome::Pruned => {}
+            outcome => {
+                if matches!(outcome, InsertOutcome::Fresh) {
+                    fresh_states.fetch_add(1, Ordering::Relaxed);
+                    for message in model.state_violations(&next) {
+                        let mut path = task.path.clone();
+                        path.push(label);
+                        tally.violations.push(ViolationRecord {
+                            kind: ViolationKind::StateInvariant,
+                            message,
+                            path,
+                        });
+                    }
+                }
+                let mut path = task.path.clone();
+                path.push(label);
+                pending.fetch_add(1, Ordering::SeqCst);
+                local.push(Task { state: next, remaining, path });
+            }
+        }
+    }
+}
+
+/// Dedups by `(kind, message)` keeping one representative path, and sorts —
+/// the resulting *set* is schedule-independent.
+fn merge_violations<L>(
+    records: impl Iterator<Item = ViolationRecord<L>>,
+) -> Vec<ViolationRecord<L>> {
+    let mut by_key: std::collections::BTreeMap<(ViolationKind, String), ViolationRecord<L>> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        match by_key.entry((r.kind, r.message.clone())) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(r);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                // Prefer the shortest representative path — nicer
+                // counterexamples (the choice among equals stays
+                // schedule-dependent; only the (kind, message) set is
+                // guaranteed deterministic).
+                if r.path.len() < e.get().path.len() {
+                    e.insert(r);
+                }
+            }
+        }
+    }
+    by_key.into_values().collect()
+}

@@ -1,24 +1,44 @@
 //! Depth-bounded exhaustive search over the pair model.
+//!
+//! [`explore`] dispatches on [`ExploreConfig::threads`]: `1` runs the
+//! classic serial DFS below; `≥ 2` runs the work-stealing parallel engine in
+//! [`crate::parallel`] over the same model, same checks, same pruning rule.
+//! Serial and parallel agree on `states_visited`, `clean()`, and `deadlocks`
+//! whenever the search is not truncated (see the determinism notes on
+//! [`crate::parallel`]).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use crate::pair_model::{ExploreConfig, PairState, TransitionLabel};
+use crate::parallel::{
+    parallel_search, ParallelModel, SearchStats, ViolationKind, ViolationRecord,
+};
 
 /// Outcome of one exhaustive exploration.
 #[derive(Clone, Debug)]
 pub struct ExploreReport {
     /// Distinct states visited.
     pub states_visited: usize,
-    /// Transitions traversed.
+    /// Transitions traversed. (The serial search re-counts a state's
+    /// out-edges when the state is re-expanded with a larger depth budget;
+    /// the parallel engine counts each state's out-degree exactly once, so
+    /// its figure is a deterministic lower bound of the serial one.)
     pub transitions: u64,
     /// Invariant violations found (empty = all lemmas hold in the explored
     /// region). Each entry carries a short trace prefix for diagnosis.
     pub violations: Vec<String>,
+    /// Structured violations with replayable counterexample paths (same
+    /// incidents as `violations`; replay them with
+    /// [`PairState::successors`]).
+    pub records: Vec<ViolationRecord<TransitionLabel>>,
     /// States with no outgoing transition (there should be none).
     pub deadlocks: usize,
     /// Whether the search hit its state budget before exhausting the
     /// depth-bounded region.
     pub truncated: bool,
+    /// Throughput and contention counters of this run.
+    pub stats: SearchStats,
 }
 
 impl ExploreReport {
@@ -34,6 +54,9 @@ impl ExploreReport {
 ///
 /// The visited map remembers the largest remaining depth each state was
 /// expanded with, so re-entering a state with less budget is pruned soundly.
+/// With `cfg.threads >= 2` the search runs on the work-stealing parallel
+/// engine; the verdict (`clean()`, `states_visited`, `deadlocks`) is
+/// schedule-independent.
 ///
 /// ```
 /// use dinefd_explore::{explore, ExploreConfig};
@@ -43,20 +66,33 @@ impl ExploreReport {
 /// assert!(report.states_visited > 100);
 /// ```
 pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
+    if cfg.threads <= 1 {
+        explore_serial(cfg)
+    } else {
+        explore_parallel(cfg)
+    }
+}
+
+/// The classic single-threaded DFS (exact semantics of the original serial
+/// explorer, plus structured violation records).
+fn explore_serial(cfg: &ExploreConfig) -> ExploreReport {
+    let started = Instant::now();
     let initial = PairState::initial(cfg);
     let mut report = ExploreReport {
         states_visited: 0,
         transitions: 0,
         violations: Vec::new(),
+        records: Vec::new(),
         deadlocks: 0,
         truncated: false,
+        stats: SearchStats::serial(0, 0.0),
     };
     let mut visited: HashMap<PairState, u32> = HashMap::new();
     // Explicit stack: (state, remaining depth, path label for diagnostics).
     let mut stack: Vec<(PairState, u32, Vec<TransitionLabel>)> = Vec::new();
 
-    if let Some(v) = check_state(&initial, &[]) {
-        report.violations.push(v);
+    if let Some(v) = joined_invariants(&initial) {
+        push_violation(&mut report, ViolationKind::StateInvariant, v, Vec::new());
     }
     visited.insert(initial.clone(), cfg.max_depth);
     stack.push((initial, cfg.max_depth, Vec::new()));
@@ -78,36 +114,100 @@ pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
         for (label, next) in succ {
             report.transitions += 1;
             if let Some(v) = state.check_closure_step(&next) {
-                report.violations.push(format!("{v} (after {})", fmt_path(&path, Some(label))));
+                let mut p = path.clone();
+                p.push(label);
+                push_violation(&mut report, ViolationKind::ClosureStep, v, p);
             }
             let remaining = depth - 1;
             let seen = visited.get(&next).copied();
             if seen.is_some_and(|d| d >= remaining) {
                 continue;
             }
-            if let Some(v) = check_state(&next, &path) {
-                report.violations.push(v);
-            }
-            visited.insert(next.clone(), remaining);
             let mut next_path = path.clone();
             next_path.push(label);
+            if let Some(v) = joined_invariants(&next) {
+                push_violation(&mut report, ViolationKind::StateInvariant, v, next_path.clone());
+            }
+            visited.insert(next.clone(), remaining);
             stack.push((next, remaining, next_path));
         }
     }
     report.states_visited = visited.len();
+    report.stats = SearchStats::serial(report.states_visited, started.elapsed().as_secs_f64());
     report
 }
 
-fn check_state(state: &PairState, path: &[TransitionLabel]) -> Option<String> {
+/// The work-stealing parallel search over the same model.
+fn explore_parallel(cfg: &ExploreConfig) -> ExploreReport {
+    struct PairSearch<'a>(&'a ExploreConfig);
+
+    impl ParallelModel for PairSearch<'_> {
+        type State = PairState;
+        type Label = TransitionLabel;
+
+        fn successors(&self, s: &PairState) -> Vec<(TransitionLabel, PairState)> {
+            s.successors(self.0)
+        }
+
+        fn state_violations(&self, s: &PairState) -> Vec<String> {
+            s.check_invariants()
+        }
+
+        fn step_violations(
+            &self,
+            s: &PairState,
+            _label: TransitionLabel,
+            next: &PairState,
+        ) -> Vec<String> {
+            s.check_closure_step(next).into_iter().collect()
+        }
+    }
+
+    let outcome = parallel_search(
+        &PairSearch(cfg),
+        PairState::initial(cfg),
+        cfg.max_depth,
+        cfg.max_states,
+        cfg.threads,
+    );
+    ExploreReport {
+        states_visited: outcome.states_visited,
+        transitions: outcome.transitions,
+        violations: outcome.violations.iter().map(|r| render(&r.message, &r.path)).collect(),
+        records: outcome.violations,
+        deadlocks: outcome.deadlocks,
+        truncated: outcome.truncated,
+        stats: outcome.stats,
+    }
+}
+
+/// All invariant failures of one state, joined into the serial explorer's
+/// one-record-per-state core message.
+fn joined_invariants(state: &PairState) -> Option<String> {
     let v = state.check_invariants();
     if v.is_empty() {
         None
     } else {
-        Some(format!("{} (after {})", v.join("; "), fmt_path(path, None)))
+        Some(v.join("; "))
     }
 }
 
-fn fmt_path(path: &[TransitionLabel], extra: Option<TransitionLabel>) -> String {
+fn push_violation(
+    report: &mut ExploreReport,
+    kind: ViolationKind,
+    message: String,
+    path: Vec<TransitionLabel>,
+) {
+    report.violations.push(render(&message, &path));
+    report.records.push(ViolationRecord { kind, message, path });
+}
+
+fn render(message: &str, path: &[TransitionLabel]) -> String {
+    format!("{message} (after {})", fmt_path(path, None))
+}
+
+/// Renders a transition path for diagnostics (`"initial state"` when empty).
+pub fn fmt_path<L: std::fmt::Debug + Copy>(path: &[L], extra: Option<L>) -> String {
     let mut parts: Vec<String> = path.iter().map(|l| format!("{l:?}")).collect();
     if let Some(l) = extra {
         parts.push(format!("{l:?}"));
@@ -166,5 +266,59 @@ mod tests {
         let report = explore(&cfg);
         assert!(report.truncated);
         assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn parallel_agrees_with_serial_on_all_variants() {
+        for (strict, crash, converged) in
+            [(false, true, false), (true, true, false), (false, false, false), (false, true, true)]
+        {
+            let base = ExploreConfig {
+                max_depth: 12,
+                strict_seq: strict,
+                allow_crash: crash,
+                start_converged: converged,
+                ..Default::default()
+            };
+            let serial = explore(&base);
+            let parallel = explore(&ExploreConfig { threads: 4, ..base });
+            assert_eq!(
+                serial.states_visited, parallel.states_visited,
+                "state count diverged (strict={strict} crash={crash} conv={converged})"
+            );
+            assert_eq!(serial.clean(), parallel.clean());
+            assert_eq!(serial.deadlocks, parallel.deadlocks);
+            assert!(!parallel.truncated);
+            assert_eq!(parallel.stats.threads, 4);
+        }
+    }
+
+    #[test]
+    fn parallel_budget_truncates_gracefully() {
+        let cfg =
+            ExploreConfig { max_depth: 200, max_states: 2_000, threads: 4, ..Default::default() };
+        let report = explore(&cfg);
+        assert!(report.truncated);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated_in_both_modes() {
+        let serial = explore(&ExploreConfig { max_depth: 10, ..Default::default() });
+        assert_eq!(serial.stats.threads, 1);
+        assert_eq!(serial.stats.shards, 1);
+        assert!(serial.stats.states_per_sec > 0.0);
+        let par = explore(&ExploreConfig { max_depth: 10, threads: 3, ..Default::default() });
+        assert_eq!(par.stats.threads, 3);
+        assert_eq!(par.stats.shards, crate::parallel::N_SHARDS);
+        assert!(par.stats.states_per_sec > 0.0);
+    }
+
+    #[test]
+    fn fmt_path_renders_empty_and_chains() {
+        assert_eq!(fmt_path::<TransitionLabel>(&[], None), "initial state");
+        let p = [TransitionLabel::Converge, TransitionLabel::CrashSubject];
+        let s = fmt_path(&p, None);
+        assert!(s.contains("Converge") && s.contains("→"), "{s}");
     }
 }

@@ -1,0 +1,100 @@
+//! Differential testing of the parallel engine: for random configurations,
+//! the serial search (`threads = 1`) and the work-stealing search
+//! (`threads in 2..=8`) must report identical verdicts — same distinct
+//! state count, same `clean()`, same deadlock count. This is the executable
+//! form of the determinism argument documented on `dinefd_explore::parallel`
+//! (the visited table converges to a schedule-independent max-remaining-depth
+//! fixpoint). `max_states` is left at its huge default so no run truncates;
+//! truncated runs are the one place the engines may legitimately differ.
+
+use dinefd_explore::{
+    explore, explore_composed, ComposedConfig, ExploreConfig, ModelMutation, SubjectMutation,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pair_search_verdicts_are_thread_count_independent(
+        depth in 6u32..12,
+        threads in 2usize..=8,
+        strict in any::<bool>(),
+        crash in any::<bool>(),
+        converged in any::<bool>(),
+    ) {
+        let base = ExploreConfig {
+            max_depth: depth,
+            strict_seq: strict,
+            allow_crash: crash,
+            start_converged: converged,
+            ..Default::default()
+        };
+        let serial = explore(&base);
+        let parallel = explore(&ExploreConfig { threads, ..base });
+        prop_assert!(!serial.truncated && !parallel.truncated);
+        prop_assert_eq!(serial.states_visited, parallel.states_visited);
+        prop_assert_eq!(serial.clean(), parallel.clean());
+        prop_assert_eq!(serial.deadlocks, parallel.deadlocks);
+    }
+
+    #[test]
+    fn mutated_pair_search_verdicts_agree_too(
+        depth in 6u32..11,
+        threads in 2usize..=6,
+        which in 0usize..3,
+    ) {
+        // The engines must also agree when there ARE violations to find.
+        let (subject, model) = [
+            (SubjectMutation::SkipPingDisable, ModelMutation::None),
+            (SubjectMutation::IgnoreTriggerGuard, ModelMutation::None),
+            (SubjectMutation::None, ModelMutation::StaleAckReplay),
+        ][which];
+        let base = ExploreConfig {
+            max_depth: depth,
+            subject_mutation: subject,
+            model_mutation: model,
+            ..Default::default()
+        };
+        let serial = explore(&base);
+        let parallel = explore(&ExploreConfig { threads, ..base });
+        prop_assert_eq!(serial.states_visited, parallel.states_visited);
+        prop_assert_eq!(serial.clean(), parallel.clean());
+        prop_assert_eq!(serial.deadlocks, parallel.deadlocks);
+    }
+
+    #[test]
+    fn composed_search_verdicts_are_thread_count_independent(
+        depth in 5u32..9,
+        threads in 2usize..=6,
+        crash in any::<bool>(),
+        mistakes in any::<bool>(),
+    ) {
+        let base = ComposedConfig {
+            max_depth: depth,
+            allow_crash: crash,
+            allow_mistakes: mistakes,
+            ..Default::default()
+        };
+        let serial = explore_composed(&base);
+        let parallel = explore_composed(&ComposedConfig { threads, ..base });
+        prop_assert!(!serial.truncated && !parallel.truncated);
+        prop_assert_eq!(serial.states_visited, parallel.states_visited);
+        prop_assert_eq!(serial.clean(), parallel.clean());
+        prop_assert_eq!(serial.deadlocks, parallel.deadlocks);
+    }
+}
+
+/// Re-running the parallel search must agree with itself, not just with the
+/// serial baseline (stealing patterns differ run to run).
+#[test]
+fn parallel_search_is_self_consistent_across_runs() {
+    let cfg = ExploreConfig { max_depth: 14, threads: 4, ..Default::default() };
+    let first = explore(&cfg);
+    for _ in 0..3 {
+        let again = explore(&cfg);
+        assert_eq!(first.states_visited, again.states_visited);
+        assert_eq!(first.clean(), again.clean());
+        assert_eq!(first.deadlocks, again.deadlocks);
+    }
+}

@@ -5,10 +5,7 @@
 use dinefd_explore::composed::{ComposedConfig, ComposedState};
 use proptest::prelude::*;
 
-fn walk(
-    cfg: &ComposedConfig,
-    choices: &[u32],
-) -> Result<(u32, ComposedState), String> {
+fn walk(cfg: &ComposedConfig, choices: &[u32]) -> Result<(u32, ComposedState), String> {
     let mut state = ComposedState::initial(cfg);
     if !state.check_invariants().is_empty() {
         return Err("initial state invalid".into());
@@ -61,6 +58,7 @@ proptest! {
             allow_crash,
             allow_mistakes,
             strict_seq: strict,
+            threads: 1,
         };
         let r = walk(&cfg, &choices);
         prop_assert!(r.is_ok(), "{}", r.err().unwrap());

@@ -52,7 +52,9 @@ impl OracleClass {
             ],
             OracleClass::EventuallyPerfect => &[OracleClass::EventuallyStrong],
             OracleClass::Strong => &[OracleClass::EventuallyStrong],
-            OracleClass::Trusting => &[OracleClass::EventuallyPerfect, OracleClass::EventuallyStrong],
+            OracleClass::Trusting => {
+                &[OracleClass::EventuallyPerfect, OracleClass::EventuallyStrong]
+            }
             OracleClass::EventuallyStrong => &[],
         }
     }

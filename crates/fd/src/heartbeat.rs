@@ -194,8 +194,7 @@ mod tests {
     #[test]
     fn crash_is_detected_permanently() {
         let plan = CrashPlan::one(ProcessId(2), Time(500));
-        let (hist, plan) =
-            run_system(3, 2, plan, DelayModel::Fixed(2), Time(10_000));
+        let (hist, plan) = run_system(3, 2, plan, DelayModel::Fixed(2), Time(10_000));
         let detections = hist.strong_completeness(&plan).unwrap();
         assert_eq!(detections.len(), 2); // two correct watchers
         for d in detections {
@@ -241,8 +240,7 @@ mod tests {
         let delays = DelayModel::partially_synchronous(Time(2_000), 6);
         let cfg = HeartbeatConfig::new(2);
         let nodes: Vec<HeartbeatFd> = (0..2).map(|_| HeartbeatFd::new(cfg)).collect();
-        let mut world =
-            World::new(nodes, WorldConfig::new(11).delays(delays));
+        let mut world = World::new(nodes, WorldConfig::new(11).delays(delays));
         world.run_until(Time(30_000));
         // If any false suspicion happened, the timeout must exceed initial.
         let n0 = world.node(ProcessId(0));

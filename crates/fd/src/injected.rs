@@ -52,7 +52,10 @@ impl MistakePlan {
     /// A plan from explicit half-open intervals (must be chronological and
     /// disjoint).
     pub fn from_intervals(intervals: Vec<(Time, Time)>) -> Self {
-        debug_assert!(intervals.windows(2).all(|w| w[0].1 <= w[1].0), "intervals must be sorted/disjoint");
+        debug_assert!(
+            intervals.windows(2).all(|w| w[0].1 <= w[1].0),
+            "intervals must be sorted/disjoint"
+        );
         debug_assert!(intervals.iter().all(|&(s, e)| s < e), "intervals must be nonempty");
         MistakePlan { intervals }
     }
@@ -112,12 +115,7 @@ impl InjectedOracle {
     /// A perfect detector (`P`): zero mistakes, crashed processes suspected
     /// `detection_lag` ticks after crashing.
     pub fn perfect(n: usize, crashes: CrashPlan, detection_lag: u64) -> Self {
-        InjectedOracle {
-            n,
-            crashes,
-            detection_lag,
-            mistakes: vec![MistakePlan::none(); n * n],
-        }
+        InjectedOracle { n, crashes, detection_lag, mistakes: vec![MistakePlan::none(); n * n] }
     }
 
     /// An eventually perfect detector (`◇P`): every ordered pair gets a
@@ -236,15 +234,7 @@ mod tests {
     #[test]
     fn diamond_p_mistakes_end_by_convergence() {
         let mut rng = SplitMix64::new(9);
-        let o = InjectedOracle::diamond_p(
-            4,
-            CrashPlan::none(),
-            5,
-            Time(500),
-            6,
-            40,
-            &mut rng,
-        );
+        let o = InjectedOracle::diamond_p(4, CrashPlan::none(), 5, Time(500), 6, 40, &mut rng);
         assert!(o.convergence_time() <= Time(500));
         for w in 0..4u32 {
             for s in 0..4u32 {
@@ -258,8 +248,7 @@ mod tests {
     #[test]
     fn diamond_p_makes_some_mistakes() {
         let mut rng = SplitMix64::new(10);
-        let o =
-            InjectedOracle::diamond_p(4, CrashPlan::none(), 5, Time(500), 6, 40, &mut rng);
+        let o = InjectedOracle::diamond_p(4, CrashPlan::none(), 5, Time(500), 6, 40, &mut rng);
         let any = (0..4)
             .flat_map(|w| (0..4).map(move |s| (w, s)))
             .filter(|&(w, s)| w != s)

@@ -256,10 +256,8 @@ impl SuspicionHistory {
                         crashed_at,
                         detected_from,
                     }),
-                    None => violations.push(FdViolation::NotPermanentlySuspected {
-                        watcher: w,
-                        subject: s,
-                    }),
+                    None => violations
+                        .push(FdViolation::NotPermanentlySuspected { watcher: w, subject: s }),
                 }
             }
         }
@@ -291,8 +289,7 @@ impl SuspicionHistory {
                 if tl.value_at_end() {
                     violations.push(FdViolation::StillSuspected { watcher: w, subject: s });
                 } else {
-                    let trusted_from =
-                        tl.changes().last().map_or(Time::ZERO, |&(t, _)| t);
+                    let trusted_from = tl.changes().last().map_or(Time::ZERO, |&(t, _)| t);
                     pairs.push(PairAccuracy {
                         watcher: w,
                         subject: s,
@@ -327,9 +324,7 @@ impl SuspicionHistory {
                         subject: s,
                         at: Time::ZERO,
                     });
-                } else if let Some(&(t, _)) =
-                    tl.changes().iter().find(|&&(t, v)| v && t < crash)
-                {
+                } else if let Some(&(t, _)) = tl.changes().iter().find(|&&(t, v)| v && t < crash) {
                     violations.push(FdViolation::EverSuspected { watcher: w, subject: s, at: t });
                 }
             }
@@ -578,7 +573,10 @@ mod tests {
         let mut h = SuspicionHistory::new(2, false);
         h.record(Time(2), p(0), p(1), true);
         h.record(Time(4), p(1), p(0), true);
-        assert_eq!(h.perpetual_weak_accuracy(&CrashPlan::none()), Err(FdViolation::NoImmuneProcess));
+        assert_eq!(
+            h.perpetual_weak_accuracy(&CrashPlan::none()),
+            Err(FdViolation::NoImmuneProcess)
+        );
     }
 
     #[test]
@@ -590,8 +588,11 @@ mod tests {
         h.record(Time(9), p(0), p(1), false);
         h.record(Time(2), p(1), p(0), false);
         let errs = h.trusting_accuracy(&CrashPlan::none()).unwrap_err();
-        assert!(errs
-            .contains(&FdViolation::UntrustedWhileLive { watcher: p(0), subject: p(1), at: Time(5) }));
+        assert!(errs.contains(&FdViolation::UntrustedWhileLive {
+            watcher: p(0),
+            subject: p(1),
+            at: Time(5)
+        }));
     }
 
     #[test]

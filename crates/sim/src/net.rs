@@ -198,7 +198,8 @@ mod tests {
 
     #[test]
     fn heavy_tail_spikes_sometimes() {
-        let mut m = DelayModel::HeavyTail { lo: 1, hi: 4, spike_num: 1, spike_den: 4, spike_hi: 100 };
+        let mut m =
+            DelayModel::HeavyTail { lo: 1, hi: 4, spike_num: 1, spike_den: 4, spike_hi: 100 };
         let mut rng = SplitMix64::new(3);
         let mut spiked = 0;
         for _ in 0..1000 {
@@ -256,11 +257,8 @@ mod tests {
 
     #[test]
     fn staller_holds_selected_channel() {
-        let mut adv = ChannelStaller {
-            stalled: vec![(p(0), p(1))],
-            release_at: Time(500),
-            benign_hi: 4,
-        };
+        let mut adv =
+            ChannelStaller { stalled: vec![(p(0), p(1))], release_at: Time(500), benign_hi: 4 };
         let mut rng = SplitMix64::new(5);
         let d = adv.delay(p(0), p(1), Time(10), &mut rng);
         assert!(d >= 490);

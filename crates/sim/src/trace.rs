@@ -115,18 +115,12 @@ impl<M, O> Trace<M, O> {
 
     /// Count of messages delivered (0 unless message recording is on).
     pub fn delivered_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Deliver { .. })).count()
     }
 
     /// Count of messages sent (0 unless message recording is on).
     pub fn sent_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Send { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Send { .. })).count()
     }
 }
 

@@ -1,8 +1,8 @@
 //! Property-based tests for the simulation substrate.
 
 use dinefd_sim::{
-    stabilization_time, BoolTimeline, CrashPlan, Context, DelayModel, Node, ProcessId,
-    SplitMix64, Summary, Time, World, WorldConfig,
+    stabilization_time, BoolTimeline, Context, CrashPlan, DelayModel, Node, ProcessId, SplitMix64,
+    Summary, Time, World, WorldConfig,
 };
 use proptest::prelude::*;
 

@@ -26,8 +26,7 @@ fn main() {
     let graph = ConflictGraph::clique(n);
 
     let mut rng = SplitMix64::new(11);
-    let oracle =
-        InjectedOracle::diamond_p(n, CrashPlan::none(), 40, Time(3_000), 4, 250, &mut rng);
+    let oracle = InjectedOracle::diamond_p(n, CrashPlan::none(), 40, Time(3_000), 4, 250, &mut rng);
     let fd: Rc<dyn FdQuery> = Rc::new(oracle);
 
     // Eating = holding the CM's permission while executing a transaction.
@@ -58,9 +57,8 @@ fn main() {
     let mut sessions_after = 0usize;
     for p in ProcessId::all(n) {
         for &(s, e) in &history.eating_sessions(p, &plan) {
-            let contended = overlaps
-                .iter()
-                .any(|v| (v.a == p || v.b == p) && v.from < e && s < v.to);
+            let contended =
+                overlaps.iter().any(|v| (v.a == p || v.b == p) && v.from < e && s < v.to);
             if contended {
                 aborted += 1;
             } else {

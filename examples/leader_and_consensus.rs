@@ -8,9 +8,9 @@
 
 use std::rc::Rc;
 
+use dinefd::apps::check_stable_leader;
 use dinefd::prelude::*;
 use dinefd::sim::World;
-use dinefd::apps::check_stable_leader;
 
 fn main() {
     let n = 5;

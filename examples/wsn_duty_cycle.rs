@@ -31,15 +31,7 @@ fn main() {
 
     // The underlying ◇P for the duty scheduler: converges at t=2500.
     let mut rng = SplitMix64::new(7);
-    let oracle = InjectedOracle::diamond_p(
-        n,
-        crashes.clone(),
-        60,
-        Time(2_500),
-        3,
-        200,
-        &mut rng,
-    );
+    let oracle = InjectedOracle::diamond_p(n, crashes.clone(), 60, Time(2_500), 3, 200, &mut rng);
     let fd: Rc<dyn FdQuery> = Rc::new(oracle);
 
     // "On duty" = eating; volunteers cycle duty shifts continuously.

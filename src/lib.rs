@@ -83,7 +83,5 @@ pub mod prelude {
         FdQuery, HeartbeatConfig, HeartbeatFd, InjectedOracle, MistakePlan, OracleClass,
         SuspicionHistory,
     };
-    pub use dinefd_sim::{
-        CrashPlan, DelayModel, ProcessId, SplitMix64, Time, World, WorldConfig,
-    };
+    pub use dinefd_sim::{CrashPlan, DelayModel, ProcessId, SplitMix64, Time, World, WorldConfig};
 }

@@ -61,8 +61,7 @@ fn section8_fairness_pipeline_on_a_clique() {
     assert!(k <= 3, "suffix overtaking {k}");
     // On a clique, eventual k-fairness makes the schedule eventually
     // near-round-robin: session counts should be broadly balanced.
-    let counts: Vec<usize> =
-        (0..3).map(|i| res.dining.session_count(ProcessId(i))).collect();
+    let counts: Vec<usize> = (0..3).map(|i| res.dining.session_count(ProcessId(i))).collect();
     let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
     assert!(*min * 3 >= *max, "unbalanced sessions: {counts:?}");
 }

@@ -52,10 +52,7 @@ fn every_black_box_yields_diamond_p_failure_free() {
         ("ftme", BlackBox::Ftme),
     ] {
         let (classes, mistakes) = classify_pair(bb, 7, None, false, DelayModel::default_async());
-        assert!(
-            classes.contains(&OracleClass::EventuallyPerfect),
-            "{name}: classes {classes:?}"
-        );
+        assert!(classes.contains(&OracleClass::EventuallyPerfect), "{name}: classes {classes:?}");
         // The reduction starts suspecting, so there is at least the initial
         // mistake — and only finitely many in total (implied by convergence).
         assert!(mistakes >= 1, "{name}: initial suspicion should count");
@@ -122,11 +119,8 @@ fn fifo_channels_do_not_change_the_result() {
     for seed in [33u64, 34] {
         for fifo in [false, true] {
             let mut sc = Scenario::pair(BlackBox::WfDx, seed);
-            sc.delays = if fifo {
-                DelayModel::fifo(DelayModel::harsh())
-            } else {
-                DelayModel::harsh()
-            };
+            sc.delays =
+                if fifo { DelayModel::fifo(DelayModel::harsh()) } else { DelayModel::harsh() };
             sc.crashes = CrashPlan::one(ProcessId(1), Time(9_000));
             sc.horizon = Time(50_000);
             let crashes = sc.crashes.clone();

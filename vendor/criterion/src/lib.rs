@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Reimplements the harness surface this workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkId`], sample sizes, and
+//! [`Throughput`] — over plain `std::time::Instant` timing.
+//!
+//! Differences from the real crate: no warm-up phase, no statistical
+//! outlier analysis, no HTML reports. Each benchmark runs a fixed number
+//! of timed samples (default 20, shrunk automatically for slow bodies and
+//! to 2 when invoked with `--test`, which is how `cargo test --benches`
+//! smoke-runs bench targets) and prints mean/min/max per iteration, plus
+//! element throughput when configured.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as the real crate provides.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. a parameter point.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. states) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Drives timing loops inside a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations per sample to be
+    /// measurable. The routine's return value is black-boxed so the
+    /// computation cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to estimate cost and size the iteration count.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed();
+        let iters_per_sample = if probe >= Duration::from_millis(5) {
+            1
+        } else {
+            // Aim for ~5 ms of work per sample, capped for cheap bodies.
+            (Duration::from_millis(5).as_nanos() / probe.as_nanos().max(1)).clamp(1, 10_000) as u32
+        };
+        // Shrink the sample count for slow bodies so a single benchmark
+        // cannot run for minutes.
+        let samples =
+            if probe >= Duration::from_secs(1) { self.samples.min(3) } else { self.samples };
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iters_total = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let sample = start.elapsed();
+            let per_iter = sample / iters_per_sample;
+            total += sample;
+            iters_total += u64::from(iters_per_sample);
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+        }
+        self.last_mean = total / u32::try_from(iters_total.max(1)).unwrap_or(u32::MAX);
+        println!(
+            "    time: [{} {} {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(self.last_mean),
+            fmt_duration(max),
+            samples
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        println!("{}/{}", self.name, id.id);
+        let mut b = Bencher { samples, last_mean: Duration::ZERO };
+        f(&mut b);
+        if let Some(tp) = self.throughput {
+            let elems = match tp {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n,
+            };
+            let secs = b.last_mean.as_secs_f64();
+            if secs > 0.0 {
+                let rate = elems as f64 / secs;
+                let unit = match tp {
+                    Throughput::Elements(_) => "elem/s",
+                    Throughput::Bytes(_) => "B/s",
+                };
+                println!("    thrpt: {rate:.0} {unit}");
+            }
+        }
+        self
+    }
+
+    /// Ends the group (kept for API parity; settings die with the group).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` (and tier-1 `cargo test`) invokes bench
+        // binaries with `--test`: take the hint and only smoke-run.
+        let testing = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: if testing { 2 } else { 20 } }
+    }
+}
+
+impl Criterion {
+    /// Applies `Criterion::default().sample_size(n)`-style configuration.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: Some(self.sample_size),
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("{name}");
+        let mut b = Bencher { samples: self.sample_size, last_mean: Duration::ZERO };
+        f(&mut b);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_mean() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1_000u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn groups_compose_with_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(1_000));
+        g.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter(|| (0..1_000u64).product::<u64>());
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Covers the two submodules this workspace uses:
+//!
+//! * [`thread`] — `scope`/`spawn` in crossbeam's `Result`-returning style,
+//!   implemented over [`std::thread::scope`];
+//! * [`deque`] — `Worker`/`Stealer`/`Injector` work-stealing deques,
+//!   implemented over `Mutex<VecDeque>`. The real crate's deques are
+//!   lock-free; a mutex-backed deque has identical semantics (LIFO owner
+//!   end, FIFO steal end) with more contention under heavy parallelism,
+//!   which is acceptable for this workspace's worker counts.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning `scope`.
+
+    use std::panic::AssertUnwindSafe;
+
+    /// Spawns scoped threads; handed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread (joined implicitly at scope end).
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to this `scope` call.
+        ///
+        /// The closure's argument is a placeholder for crossbeam's nested
+        /// scope handle (always spelled `|_|` in this workspace); nested
+        /// spawning through it is not supported here.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(|| f(())))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// returning. Returns `Err` (with the panic payload) if any spawned
+    /// thread panicked, matching crossbeam's signature — unlike
+    /// [`std::thread::scope`], which resumes the panic.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques: per-worker LIFO ends with FIFO steal ends.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// True iff this is `Steal::Success`.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// True iff this is `Steal::Empty`.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Extracts the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    enum Flavor {
+        Lifo,
+        Fifo,
+    }
+
+    /// The owner's end of a work-stealing queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A queue whose owner pops the most recently pushed task first.
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+        }
+
+        /// A queue whose owner pops the oldest task first.
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque lock").push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("deque lock");
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// True iff the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque lock").len()
+        }
+
+        /// A handle other threads can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// A thief's end of a [`Worker`]'s queue; steals the oldest task.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task from the opposite end of the owner.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("deque lock poisoned"),
+            }
+        }
+
+        /// True iff the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+    }
+
+    /// A shared FIFO injection queue all workers can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Attempts to steal the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("injector lock poisoned"),
+            }
+        }
+
+        /// True iff the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Steal, Worker};
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns_ok() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        let r = thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(total.into_inner(), 4);
+    }
+
+    #[test]
+    fn scope_reports_worker_panic_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let st = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner: most recent first
+        assert_eq!(st.steal(), Steal::Success(1)); // thief: oldest first
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(st.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn steals_race_without_loss() {
+        let w = Worker::new_lifo();
+        for i in 0..1_000u32 {
+            w.push(i);
+        }
+        let stolen = std::sync::atomic::AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..3 {
+                let st = w.stealer();
+                let stolen = &stolen;
+                s.spawn(move |_| loop {
+                    match st.steal() {
+                        Steal::Success(_) => {
+                            stolen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => std::hint::spin_loop(),
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(stolen.into_inner(), 1_000);
+    }
+}

@@ -1,0 +1,225 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-rolled over raw `proc_macro` token streams (no `syn`/`quote` in the
+//! offline environment). Supports exactly the shapes used in this workspace:
+//!
+//! * structs with named fields — serialized as objects;
+//! * tuple structs with one field (newtypes) — serialized transparently;
+//! * enums with unit variants only — serialized as the variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct S { a: A, b: B }` with the field names in order.
+    Named(Vec<String>),
+    /// `struct S(T);`
+    Newtype,
+    /// `enum E { A, B }` with the variant names in order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive: expected item body, got {other:?}"),
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => {
+            let n = tuple_arity(body.stream());
+            assert!(n == 1, "serde_derive (vendored): only 1-field tuple structs are supported");
+            Shape::Newtype
+        }
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(unit_variants(body.stream())),
+        other => panic!("serde_derive: unsupported item shape {other:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a braced struct body, in declaration order.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        fields.push(id.to_string());
+        // Skip `: Type` up to the next top-level comma (groups nest types
+        // like `Vec<(Time, bool)>` — their inner commas arrive inside a
+        // single Group token or behind `<`/`>` puncts, which we must not
+        // split on).
+        let mut angle_depth = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for (k, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if k + 1 < tokens.len() {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+/// Variant names of a unit-only enum body.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                panic!("serde_derive (vendored): only unit enum variants supported, got {other}")
+            }
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         serde::Serialize::serialize(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!("let mut fields = Vec::new(); {pushes} serde::Value::Object(fields)")
+        }
+        Shape::Newtype => "serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants.iter().map(|v| format!("{name}::{v} => {v:?},")).collect();
+            format!("serde::Value::Str(String::from(match self {{ {arms} }}))")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{ \
+             fn serialize(&self) -> serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::deserialize(v.field({f:?})?)?,"))
+                .collect();
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Shape::Newtype => {
+            format!("Ok({name}(serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("{v:?} => Ok({name}::{v}),")).collect();
+            format!(
+                "match v {{ \
+                     serde::Value::Str(s) => match s.as_str() {{ \
+                         {arms} \
+                         other => Err(serde::DeError(format!(\
+                             \"unknown {name} variant {{other:?}}\"))), \
+                     }}, \
+                     other => Err(serde::DeError(format!(\
+                         \"expected {name} variant string, got {{other:?}}\"))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+             fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
