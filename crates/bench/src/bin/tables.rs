@@ -1,15 +1,20 @@
 //! Regenerates every experiment table in `EXPERIMENTS.md`.
 //!
-//! Usage: `tables [--quick] [--json] [e1 e2 …]` — no ids = run everything;
-//! `--json` emits one JSON document with every report instead of markdown.
+//! Usage: `tables [--quick] [--json] [--bench-json] [e1 e2 …]` — no ids =
+//! run everything; `--json` emits one JSON document with every report
+//! instead of markdown; `--bench-json` additionally writes the
+//! machine-readable perf reports `BENCH_sim.json`, `BENCH_explore.json`,
+//! and `BENCH_experiments.json` to the current directory (schema in
+//! `EXPERIMENTS.md`).
 
 use dinefd_bench::experiments::{run_by_id, ALL};
-use dinefd_bench::ExperimentConfig;
+use dinefd_bench::{perfdump, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let bench_json = args.iter().any(|a| a == "--bench-json");
     let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let ids: Vec<&str> = if ids.is_empty() { ALL.to_vec() } else { ids };
@@ -21,10 +26,15 @@ fn main() {
         );
     }
     let mut reports = Vec::new();
+    let mut bench_entries = Vec::new();
     for id in ids {
         let started = std::time::Instant::now();
         match run_by_id(id, &cfg) {
             Some(report) => {
+                let secs = started.elapsed().as_secs_f64();
+                if bench_json {
+                    bench_entries.push((id.to_string(), report.metrics.clone(), secs));
+                }
                 if json {
                     reports.push((id, report));
                 } else {
@@ -38,5 +48,22 @@ fn main() {
     if json {
         let doc: std::collections::BTreeMap<&str, _> = reports.into_iter().collect();
         println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    }
+    if bench_json {
+        let dir = std::env::current_dir().expect("cwd");
+        let docs = [
+            ("experiments", perfdump::experiments_bench(quick, &bench_entries)),
+            ("sim", perfdump::sim_bench(quick)),
+            ("explore", perfdump::explore_bench(quick)),
+        ];
+        for (stem, doc) in &docs {
+            match perfdump::write_bench(&dir, stem, doc) {
+                Ok(path) => eprintln!("[wrote {}]", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write BENCH_{stem}.json: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

@@ -131,6 +131,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![locality, heartbeat],
         notes: vec![],
+        metrics: Default::default(),
     }
 }
 
@@ -152,10 +153,8 @@ mod tests {
             report.tables[0].rows.iter().filter(|r| r[0] == "hygienic").any(|r| r[4] != "-");
         assert!(hygienic_starves, "baseline should exhibit non-local starvation");
         for row in &report.tables[1].rows {
-            let (a, t) = row[4].split_once('/').unwrap();
-            assert_eq!(a, t, "heartbeat accuracy failed: {row:?}");
-            let (c, t) = row[5].split_once('/').unwrap();
-            assert_eq!(c, t, "heartbeat completeness failed: {row:?}");
+            crate::table::assert_frac_full(&row[4], "heartbeat accuracy failed", row);
+            crate::table::assert_frac_full(&row[5], "heartbeat completeness failed", row);
         }
     }
 }

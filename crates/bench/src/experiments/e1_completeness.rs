@@ -2,7 +2,7 @@
 //! permanently suspected, over every black box and delay regime.
 
 use dinefd_core::{run_extraction, BlackBox, OracleSpec, Scenario};
-use dinefd_sim::{CrashPlan, DelayModel, ProcessId, Summary, Time};
+use dinefd_sim::{CrashPlan, DelayModel, MetricMap, ProcessId, Summary, Time};
 
 use crate::table::{Report, Table};
 use crate::{parallel_map, ExperimentConfig};
@@ -28,6 +28,10 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         "Detection latency of the extracted ◇P (ticks after crash)",
         &["black box", "delays", "crash at", "runs", "detected", "latency (min/mean/p95/max)"],
     );
+    let mut runs_total = 0u64;
+    let mut detected_total = 0u64;
+    let mut steps_total = 0u64;
+    let mut msgs_total = 0u64;
     for (bname, bb) in boxes {
         for dname in delay_names {
             for crash_at in crash_times {
@@ -44,12 +48,17 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                     sc.horizon = Time(40_000);
                     let crashes = sc.crashes.clone();
                     let res = run_extraction(sc);
-                    match res.history.strong_completeness(&crashes) {
+                    let latency = match res.history.strong_completeness(&crashes) {
                         Ok(det) => Some(det[0].detected_from - det[0].crashed_at),
                         Err(_) => None,
-                    }
+                    };
+                    (latency, res.steps, res.messages_sent)
                 });
-                let detected: Vec<u64> = results.iter().filter_map(|r| *r).collect();
+                let detected: Vec<u64> = results.iter().filter_map(|r| r.0).collect();
+                runs_total += results.len() as u64;
+                detected_total += detected.len() as u64;
+                steps_total += results.iter().map(|r| r.1).sum::<u64>();
+                msgs_total += results.iter().map(|r| r.2).sum::<u64>();
                 let summary = Summary::of_u64(&detected);
                 table.row(vec![
                     bname.to_string(),
@@ -64,6 +73,11 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             }
         }
     }
+    let mut metrics = MetricMap::new();
+    metrics.insert("runs".into(), runs_total);
+    metrics.insert("runs_detected".into(), detected_total);
+    metrics.insert("sim_steps_total".into(), steps_total);
+    metrics.insert("messages_sent_total".into(), msgs_total);
     Report {
         title: "E1 — strong completeness (Theorem 1)".into(),
         preamble: "Paper claim: every crashed process is eventually and permanently \
@@ -74,21 +88,25 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![table],
         notes: vec![],
+        metrics,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::parse_frac;
 
     #[test]
     fn e1_every_run_detects() {
         let cfg = ExperimentConfig { seeds: 3 };
         let report = run(&cfg);
         for row in &report.tables[0].rows {
-            let detected = &row[4];
-            let (got, total) = detected.split_once('/').unwrap();
+            let (got, total) = parse_frac(&row[4]);
             assert_eq!(got, total, "undetected crash in config {row:?}");
         }
+        assert_eq!(report.metrics["runs"], report.metrics["runs_detected"]);
+        assert!(report.metrics["sim_steps_total"] > 0);
+        assert!(report.metrics["messages_sent_total"] > 0);
     }
 }

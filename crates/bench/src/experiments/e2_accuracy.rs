@@ -81,19 +81,21 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![table],
         notes: vec![],
+        metrics: Default::default(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::parse_frac;
 
     #[test]
     fn e2_always_accurate_and_mistakes_finite() {
         let cfg = ExperimentConfig { seeds: 3 };
         let report = run(&cfg);
         for row in &report.tables[0].rows {
-            let (got, total) = row[3].split_once('/').unwrap();
+            let (got, total) = parse_frac(&row[3]);
             assert_eq!(got, total, "accuracy failed in config {row:?}");
         }
     }

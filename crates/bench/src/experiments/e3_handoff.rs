@@ -60,6 +60,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![table],
         notes,
+        metrics: Default::default(),
     }
 }
 

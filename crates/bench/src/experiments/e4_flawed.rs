@@ -85,6 +85,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![table],
         notes: vec![],
+        metrics: Default::default(),
     }
 }
 
@@ -110,8 +111,7 @@ mod tests {
             "our mistakes grew with horizon: {ours_first} → {ours_last}"
         );
         for row in rows {
-            let (c, t) = row[5].split_once('/').unwrap();
-            assert_eq!(c, t, "our reduction failed to converge: {row:?}");
+            crate::table::assert_frac_full(&row[5], "our reduction failed to converge", row);
         }
     }
 }

@@ -89,6 +89,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![table],
         notes: vec![],
+        metrics: Default::default(),
     }
 }
 
@@ -102,12 +103,11 @@ mod tests {
         let report = run(&cfg);
         let rows = &report.tables[0].rows;
         for row in rows.iter().take(3) {
-            let (t, total) = row[3].split_once('/').unwrap();
-            assert_eq!(t, total, "FTME extraction must be T-accurate: {row:?}");
+            crate::table::assert_frac_full(&row[3], "FTME extraction must be T-accurate", row);
         }
         let control = &rows[3];
-        let (t, _) = control[3].split_once('/').unwrap();
-        assert_eq!(t, "0", "control over ◇WX must not be T-accurate: {control:?}");
+        let (t, _) = crate::table::parse_frac(&control[3]);
+        assert_eq!(t, 0, "control over ◇WX must not be T-accurate: {control:?}");
         assert!(control[4].contains("◇P"), "control must still be ◇P: {control:?}");
     }
 }

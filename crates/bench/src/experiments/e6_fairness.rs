@@ -109,6 +109,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![table],
         notes: vec![],
+        metrics: Default::default(),
     }
 }
 
@@ -121,8 +122,7 @@ mod tests {
         let cfg = ExperimentConfig { seeds: 2 };
         let report = run(&cfg);
         for row in &report.tables[0].rows {
-            let (wf, total) = row[3].split_once('/').unwrap();
-            assert_eq!(wf, total, "wait-freedom failed: {row:?}");
+            crate::table::assert_frac_full(&row[3], "wait-freedom failed", row);
             let k: usize = row[5].parse().unwrap();
             assert!(k <= 3, "overtaking too high: {row:?}");
         }

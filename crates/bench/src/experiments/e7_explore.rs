@@ -3,6 +3,7 @@
 //! weakly-fair runs (liveness lemmas 7, 11, 12 + both theorems' limits).
 
 use dinefd_explore::{explore, explore_composed, fair_run, ComposedConfig, ExploreConfig};
+use dinefd_sim::MetricMap;
 
 use crate::table::{Report, Table};
 use crate::ExperimentConfig;
@@ -27,6 +28,11 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             "par agree",
         ],
     );
+    let mut metrics = MetricMap::new();
+    let mut states_total = 0u64;
+    let mut transitions_total = 0u64;
+    let mut rows_total = 0u64;
+    let mut agree_total = 0u64;
     for &strict in &[false, true] {
         for &allow_crash in &[true, false] {
             for &depth in depths {
@@ -44,6 +50,10 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 let agree = par.states_visited == report.states_visited
                     && par.clean() == report.clean()
                     && par.deadlocks == report.deadlocks;
+                states_total += report.states_visited as u64;
+                transitions_total += report.transitions as u64;
+                rows_total += 1;
+                agree_total += agree as u64;
                 safety.row(vec![
                     if strict { "hardened".into() } else { "paper".to_string() },
                     if allow_crash { "yes".into() } else { "no".to_string() },
@@ -89,6 +99,10 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             let agree = par.states_visited == r.states_visited
                 && par.clean() == r.clean()
                 && par.deadlocks == r.deadlocks;
+            states_total += r.states_visited as u64;
+            transitions_total += r.transitions as u64;
+            rows_total += 1;
+            agree_total += agree as u64;
             composed.row(vec![
                 if allow_crash { "yes".into() } else { "no".to_string() },
                 if allow_mistakes { "yes".into() } else { "no".to_string() },
@@ -138,6 +152,10 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         }
     }
 
+    metrics.insert("states_total".into(), states_total);
+    metrics.insert("transitions_total".into(), transitions_total);
+    metrics.insert("exhaustive_rows".into(), rows_total);
+    metrics.insert("par_agree_rows".into(), agree_total);
     Report {
         title: "E7 — mechanical lemma checking (exhaustive + fair runs)".into(),
         preamble: "The corrigendum to this paper exists because message-regime proofs \
@@ -155,6 +173,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
              states/clean/deadlocks; \"kstates/s\" is the serial engine's \
              throughput. See E8 for the thread-scaling sweep."
         )],
+        metrics,
     }
 }
 
@@ -179,5 +198,7 @@ mod tests {
         for row in &report.tables[2].rows {
             assert_eq!(row[5], "true", "witnesses must alternate: {row:?}");
         }
+        assert_eq!(report.metrics["par_agree_rows"], report.metrics["exhaustive_rows"]);
+        assert!(report.metrics["states_total"] > 0);
     }
 }

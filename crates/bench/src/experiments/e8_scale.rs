@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use dinefd_core::{run_extraction, BlackBox, OracleSpec, Scenario};
 use dinefd_explore::{explore, ExploreConfig};
-use dinefd_sim::{CrashPlan, ProcessId, Summary, Time};
+use dinefd_sim::{CrashPlan, MetricMap, ProcessId, Summary, Time};
 
 use crate::table::{Report, Table};
 use crate::{parallel_map, ExperimentConfig};
@@ -29,6 +29,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             "wall ms/run",
         ],
     );
+    let mut metrics = MetricMap::new();
     for &n in sizes {
         let results = parallel_map(0..cfg.seeds.min(4), move |seed| {
             let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 8_000 + seed);
@@ -62,6 +63,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         let stab =
             results.iter().map(|r| r.4).filter(|&t| t != Time::INFINITY).map(|t| t.ticks()).max();
         let wall = results.iter().map(|r| r.5).sum::<f64>() / results.len() as f64;
+        metrics.insert(format!("n{n}.messages_sent_total"), results.iter().map(|r| r.2).sum());
+        metrics.insert(format!("n{n}.sim_steps_total"), results.iter().map(|r| r.3).sum());
         table.row(vec![
             n.to_string(),
             pairs.to_string(),
@@ -74,7 +77,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             format!("{wall:.0}"),
         ]);
     }
-    let explorer = explorer_scaling(cfg);
+    let explorer = explorer_scaling(cfg, &mut metrics);
 
     Report {
         title: "E8 — cost of all-pairs extraction at scale".into(),
@@ -94,12 +97,14 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
              degenerates into a determinism check: states and verdict must stay \
              identical at every thread count."
             .into()],
+        metrics,
     }
 }
 
 /// Thread-scaling sweep of the parallel lemma explorer: same state space,
-/// increasing worker counts, verdicts cross-checked against serial.
-fn explorer_scaling(cfg: &ExperimentConfig) -> Table {
+/// increasing worker counts, verdicts cross-checked against serial. The
+/// seed-deterministic exploration counters land in `metrics`.
+fn explorer_scaling(cfg: &ExperimentConfig, metrics: &mut MetricMap) -> Table {
     let depth: u32 = if cfg.seeds <= 3 { 40 } else { 60 };
     let repeats: usize = if cfg.seeds <= 3 { 3 } else { 5 };
     let mut table = Table::new(
@@ -117,6 +122,8 @@ fn explorer_scaling(cfg: &ExperimentConfig) -> Table {
     );
     let base = ExploreConfig { max_depth: depth, ..Default::default() };
     let serial = explore(&base);
+    metrics.insert("explorer.states".into(), serial.states_visited as u64);
+    metrics.insert("explorer.transitions".into(), serial.transitions as u64);
     let mut serial_mean = 0.0;
     for &threads in &[1usize, 2, 4, 8] {
         let runs: Vec<_> =
@@ -124,11 +131,13 @@ fn explorer_scaling(cfg: &ExperimentConfig) -> Table {
         let thrpt =
             Summary::of(&runs.iter().map(|r| r.stats.states_per_sec / 1_000.0).collect::<Vec<_>>())
                 .expect("non-empty sample");
-        let steals = Summary::of_u64(&runs.iter().map(|r| r.stats.steals).collect::<Vec<_>>())
-            .expect("non-empty sample");
-        let conflicts =
-            Summary::of_u64(&runs.iter().map(|r| r.stats.shard_conflicts).collect::<Vec<_>>())
+        let steals =
+            Summary::of_u64(&runs.iter().map(|r| r.stats.steals.get()).collect::<Vec<_>>())
                 .expect("non-empty sample");
+        let conflicts = Summary::of_u64(
+            &runs.iter().map(|r| r.stats.shard_conflicts.get()).collect::<Vec<_>>(),
+        )
+        .expect("non-empty sample");
         if threads == 1 {
             serial_mean = thrpt.mean;
         }
@@ -154,22 +163,25 @@ fn explorer_scaling(cfg: &ExperimentConfig) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::parse_frac;
 
     #[test]
     fn e8_small_sizes_correct() {
         let cfg = ExperimentConfig { seeds: 2 };
         let report = run(&cfg);
         for row in &report.tables[0].rows {
-            let (a, t) = row[3].split_once('/').unwrap();
+            let (a, t) = parse_frac(&row[3]);
             assert_eq!(a, t, "accuracy failed at scale: {row:?}");
-            let (c, t) = row[4].split_once('/').unwrap();
+            let (c, t) = parse_frac(&row[4]);
             assert_eq!(c, t, "completeness failed at scale: {row:?}");
         }
+        assert!(report.metrics["explorer.states"] > 0);
+        assert!(report.metrics.keys().any(|k| k.ends_with(".sim_steps_total")));
     }
 
     #[test]
     fn e8_explorer_sweep_is_deterministic_across_threads() {
-        let table = explorer_scaling(&ExperimentConfig { seeds: 2 });
+        let table = explorer_scaling(&ExperimentConfig { seeds: 2 }, &mut MetricMap::new());
         assert_eq!(table.rows.len(), 4);
         let states = &table.rows[0][1];
         for row in &table.rows {

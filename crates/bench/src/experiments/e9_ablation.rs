@@ -115,6 +115,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .into(),
         tables: vec![matrix, ticks],
         notes: vec![],
+        metrics: Default::default(),
     }
 }
 

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perfdump;
 pub mod table;
 
 use crossbeam::thread;

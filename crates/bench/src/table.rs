@@ -1,8 +1,35 @@
-//! Minimal markdown table rendering for the experiment harness.
+//! Minimal markdown table rendering for the experiment harness, plus the
+//! shared (error-reporting) cell parsers the experiment assertions use.
 
 use std::fmt;
 
+use dinefd_sim::MetricMap;
 use serde::Serialize;
+
+/// Parses a `"got/total"` fraction cell (as produced by the experiment
+/// tables) into `(got, total)`.
+///
+/// Panics with the offending cell text on malformed input, so a cosmetic
+/// table tweak fails with a message instead of an index-out-of-bounds deep
+/// inside a test.
+pub fn parse_frac(cell: &str) -> (u64, u64) {
+    let (got, total) = cell
+        .split_once('/')
+        .unwrap_or_else(|| panic!("expected a `got/total` fraction cell, found {cell:?}"));
+    let parse = |part: &str| {
+        part.trim()
+            .parse::<u64>()
+            .unwrap_or_else(|e| panic!("non-numeric component {part:?} in fraction {cell:?}: {e}"))
+    };
+    (parse(got), parse(total))
+}
+
+/// Asserts that a `"got/total"` cell is *full* (`got == total`), with a
+/// labeled panic naming the row on failure.
+pub fn assert_frac_full(cell: &str, what: &str, row: &[String]) {
+    let (got, total) = parse_frac(cell);
+    assert_eq!(got, total, "{what}: {row:?}");
+}
 
 /// A titled markdown table.
 #[derive(Clone, Debug, Serialize)]
@@ -84,6 +111,10 @@ pub struct Report {
     pub tables: Vec<Table>,
     /// Extra text blocks (timelines, violation lists).
     pub notes: Vec<String>,
+    /// Machine-readable, seed-deterministic counters for this experiment
+    /// (empty for experiments with nothing beyond their tables). Keys are
+    /// sorted on serialization, so JSON output is byte-stable.
+    pub metrics: MetricMap,
 }
 
 impl fmt::Display for Report {
@@ -123,5 +154,29 @@ mod tests {
     fn row_width_mismatch_panics() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn parse_frac_accepts_padded_fractions() {
+        assert_eq!(parse_frac("3/10"), (3, 10));
+        assert_eq!(parse_frac(" 12 / 12 "), (12, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a `got/total` fraction cell")]
+    fn parse_frac_rejects_missing_slash() {
+        parse_frac("0.97");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-numeric component")]
+    fn parse_frac_rejects_non_numeric() {
+        parse_frac("three/10");
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy failed")]
+    fn assert_frac_full_names_the_row() {
+        assert_frac_full("2/3", "accuracy failed", &["n=4".into(), "2/3".into()]);
     }
 }

@@ -14,7 +14,10 @@ use dinefd_dining::unfair::UnfairDining;
 use dinefd_dining::wfdx::WfDxDining;
 use dinefd_dining::DiningParticipant;
 use dinefd_fd::{FdQuery, InjectedOracle, SuspicionHistory};
-use dinefd_sim::{CrashPlan, DelayModel, ProcessId, SplitMix64, Time, Trace, World, WorldConfig};
+use dinefd_sim::{
+    CrashPlan, DelayModel, MetricMap, ProcessId, Profiler, SplitMix64, Time, Trace, World,
+    WorldConfig,
+};
 
 use crate::detector::{suspicion_history, PairTimelines};
 use crate::host::{DxEndpoint, RedMsg, RedObs, ReductionNode};
@@ -176,6 +179,13 @@ pub struct ExtractionResult {
     pub steps: u64,
     /// Total messages sent.
     pub messages_sent: u64,
+    /// Full simulator metric export for the run (counters, queue-depth
+    /// high-water, delay histogram), key-sorted and seed-deterministic.
+    pub metrics: MetricMap,
+    /// Wall-clock profiler with `simulate` and `extract` phases recorded;
+    /// callers may time further phases (e.g. spec checking) on it before
+    /// calling [`Profiler::report`].
+    pub profiler: Profiler,
 }
 
 impl ExtractionResult {
@@ -248,13 +258,25 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
         })
         .collect();
     let cfg = WorldConfig::new(seed).delays(delays).crashes(crashes.clone());
+    let mut profiler = Profiler::new();
     let mut world = World::new(nodes, cfg);
-    world.run_until(horizon);
+    profiler.time("simulate", || world.run_until(horizon));
     let steps = world.steps();
     let messages_sent = world.messages_sent();
+    let metrics = world.metrics_map();
     let trace = world.into_trace();
-    let history = suspicion_history(n, &trace, &pairs);
-    ExtractionResult { history, trace, crashes, n, horizon, steps, messages_sent }
+    let history = profiler.time("extract", || suspicion_history(n, &trace, &pairs));
+    ExtractionResult {
+        history,
+        trace,
+        crashes,
+        n,
+        horizon,
+        steps,
+        messages_sent,
+        metrics,
+        profiler,
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +300,31 @@ mod tests {
         let acc = acc.unwrap();
         let pair = acc.iter().find(|a| a.watcher == ProcessId(0)).unwrap();
         assert!(pair.trusted_from < res.horizon);
+    }
+
+    #[test]
+    fn extraction_carries_metrics_and_profile() {
+        let sc = Scenario::pair(BlackBox::WfDx, 19);
+        let mut res = run_extraction(sc);
+        assert_eq!(res.metrics["steps"], res.steps);
+        assert_eq!(res.metrics["messages_sent"], res.messages_sent);
+        assert!(res.metrics.keys().any(|k| k.starts_with("delay_ticks.")));
+        // The caller can attribute its own checking phase, and the closed
+        // profile's phases sum exactly to its total.
+        res.profiler.time("check", || res.history.strong_completeness(&res.crashes).ok());
+        let profile = res.profiler.report();
+        assert!(profile.phase_nanos("simulate") > 0);
+        assert_eq!(profile.phases.iter().map(|(_, ns)| *ns).sum::<u64>(), profile.total_nanos);
+    }
+
+    #[test]
+    fn extraction_metrics_deterministic_across_reruns() {
+        let run = |seed| {
+            let mut sc = Scenario::pair(BlackBox::WfDx, seed);
+            sc.crashes = CrashPlan::one(ProcessId(1), Time(8_000));
+            run_extraction(sc).metrics
+        };
+        assert_eq!(run(31), run(31));
     }
 
     #[test]

@@ -448,6 +448,19 @@ mod tests {
         assert_eq!(h2.failure_locality(&g, &plan, 100), None);
     }
 
+    /// Phase character at column `col` of a rendered gantt row, with a
+    /// labeled panic (instead of an index-out-of-bounds) when the row is
+    /// malformed or too short.
+    fn gantt_cell(row: &str, col: usize) -> char {
+        let body = row
+            .split('|')
+            .nth(1)
+            .unwrap_or_else(|| panic!("gantt row has no `|`-delimited body: {row:?}"));
+        body.chars()
+            .nth(col)
+            .unwrap_or_else(|| panic!("gantt row body shorter than column {col}: {row:?}"))
+    }
+
     #[test]
     fn gantt_renders_phases() {
         let h = simple_history();
@@ -457,9 +470,7 @@ mod tests {
         assert!(lines[0].contains('E'));
         assert!(lines[0].starts_with("        w0 |"));
         // Overlap column: both eating at t=16.
-        let c0 = lines[0].split('|').nth(1).unwrap().as_bytes()[16] as char;
-        let c1 = lines[1].split('|').nth(1).unwrap().as_bytes()[16] as char;
-        assert_eq!((c0, c1), ('E', 'E'));
+        assert_eq!((gantt_cell(lines[0], 16), gantt_cell(lines[1], 16)), ('E', 'E'));
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use dinefd_sim::metrics::{Counter, MetricMap};
 use parking_lot::Mutex;
 
 /// Number of lock stripes in the visited table. Power of two; generous
@@ -103,7 +104,9 @@ pub struct ViolationRecord<L> {
     pub path: Vec<L>,
 }
 
-/// Throughput and contention counters of one search run.
+/// Throughput and contention figures of one search run, built on the
+/// shared [`dinefd_sim::metrics`] primitives so the explorer reports
+/// through the same observability layer as the simulator.
 #[derive(Clone, Copy, Debug)]
 pub struct SearchStats {
     /// Worker threads used (1 = the serial code path).
@@ -115,10 +118,10 @@ pub struct SearchStats {
     /// Distinct states visited per wall-clock second.
     pub states_per_sec: f64,
     /// Tasks acquired from a non-local queue (peer deques + injector).
-    pub steals: u64,
+    pub steals: Counter,
     /// Visited-table `try_lock` misses that had to fall back to a blocking
     /// lock — the contention measure of the sharding.
-    pub shard_conflicts: u64,
+    pub shard_conflicts: Counter,
 }
 
 impl SearchStats {
@@ -129,9 +132,19 @@ impl SearchStats {
             shards: 1,
             duration_secs,
             states_per_sec: if duration_secs > 0.0 { states as f64 / duration_secs } else { 0.0 },
-            steals: 0,
-            shard_conflicts: 0,
+            steals: Counter::new(),
+            shard_conflicts: Counter::new(),
         }
+    }
+
+    /// Flattens the schedule-dependent counters under `prefix` (the
+    /// wall-clock figures are exported separately by the perf reports, as
+    /// they are never rerun-stable).
+    pub fn export(&self, prefix: &str, out: &mut MetricMap) {
+        out.insert(format!("{prefix}.threads"), self.threads as u64);
+        out.insert(format!("{prefix}.shards"), self.shards as u64);
+        out.insert(format!("{prefix}.steals"), self.steals.get());
+        out.insert(format!("{prefix}.shard_conflicts"), self.shard_conflicts.get());
     }
 }
 
@@ -140,7 +153,10 @@ impl std::fmt::Display for SearchStats {
         write!(
             f,
             "{} thread(s), {:.0} states/s, {} steals, {} shard conflicts",
-            self.threads, self.states_per_sec, self.steals, self.shard_conflicts
+            self.threads,
+            self.states_per_sec,
+            self.steals.get(),
+            self.shard_conflicts.get()
         )
     }
 }
@@ -355,8 +371,8 @@ pub(crate) fn parallel_search<M: ParallelModel>(
             } else {
                 0.0
             },
-            steals,
-            shard_conflicts: visited.conflicts.load(Ordering::Relaxed),
+            steals: Counter::from(steals),
+            shard_conflicts: Counter::from(visited.conflicts.load(Ordering::Relaxed)),
         },
     }
 }

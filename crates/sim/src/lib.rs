@@ -36,6 +36,11 @@
 //! Determinism: all randomness flows from a single [`rng::SplitMix64`] seed,
 //! so every run is exactly reproducible — a necessity for the experiment
 //! tables in `EXPERIMENTS.md`.
+//!
+//! Observability: every world carries a [`metrics::SimMetrics`] set
+//! (counters, queue-depth gauge, per-delay histogram) updated inline on the
+//! event loop; [`metrics::Profiler`] splits experiment wall-clock into
+//! phases. Both feed the machine-readable `BENCH_*.json` perf reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +48,7 @@
 pub mod event;
 pub mod fault;
 pub mod id;
+pub mod metrics;
 pub mod net;
 pub mod node;
 pub mod props;
@@ -54,6 +60,7 @@ pub mod world;
 
 pub use fault::CrashPlan;
 pub use id::ProcessId;
+pub use metrics::{Counter, Gauge, Histogram, MetricMap, Profiler, RunProfile, SimMetrics};
 pub use net::{Adversary, DelayModel};
 pub use node::{Context, Node, TimerId};
 pub use props::{stabilization_time, BoolTimeline};

@@ -1,0 +1,477 @@
+//! Run-level metrics: counters, gauges, fixed-bucket histograms, and a
+//! phase profiler.
+//!
+//! Everything here is a plain struct owned by whatever is being measured —
+//! no globals, no atomics, no allocation on the hot path — so the serial
+//! simulator loop pays one integer update per recorded event and the whole
+//! set can be snapshotted, diffed, and serialized to the `BENCH_*.json`
+//! perf reports (see `EXPERIMENTS.md`).
+//!
+//! Determinism: every type in this module except [`Profiler`] measures
+//! *logical* quantities (event counts, queue depths, virtual-time delays),
+//! so two runs of the same seed produce byte-identical exports. Wall-clock
+//! lives only in [`Profiler`]/[`RunProfile`] and is kept out of
+//! [`MetricMap`] exports by construction.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A flattened, key-sorted export of a metric set. Keys are
+/// `dotted.snake_case` paths; values are exact integers, so serializing a
+/// `MetricMap` with the vendored `serde_json` is byte-stable across reruns
+/// of the same seed.
+pub type MetricMap = BTreeMap<String, u64>;
+
+/// A monotonic event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(n: u64) -> Self {
+        Counter(n)
+    }
+}
+
+/// An instantaneous level that remembers its high-water mark (e.g. event
+/// queue depth).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    current: u64,
+    high_water: u64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current level, updating the high-water mark.
+    #[inline]
+    pub fn set(&mut self, v: u64) {
+        self.current = v;
+        if v > self.high_water {
+            self.high_water = v;
+        }
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.current
+    }
+
+    /// Largest level ever set.
+    #[inline]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+}
+
+/// Number of finite histogram buckets: bucket `i` counts values
+/// `v ≤ 2^i` (not already counted by a smaller bucket); one extra overflow
+/// bucket collects everything above the largest bound.
+pub const HISTOGRAM_BUCKETS: usize = 13;
+
+/// A fixed-bucket power-of-two histogram for latency/delay-like `u64`
+/// samples. Bucketing is O(1) (a leading-zeros computation), so recording
+/// is cheap enough for the simulator's per-send hot path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS + 1],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: [0; HISTOGRAM_BUCKETS + 1], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Upper bound (inclusive) of finite bucket `i`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        // ceil(log2(v)) for v ≥ 1; zero lands in the first bucket.
+        let idx = if v <= 1 { 0 } else { (64 - (v - 1).leading_zeros()) as usize };
+        self.counts[idx.min(HISTOGRAM_BUCKETS)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound, count)` per non-empty bucket; the overflow bucket
+    /// reports `u64::MAX` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let bound = if i < HISTOGRAM_BUCKETS { Histogram::bucket_bound(i) } else { u64::MAX };
+            (bound, c)
+        })
+    }
+
+    /// Smallest bucket bound at or above quantile `q` (by cumulative
+    /// count) — an upper-bound estimate of the true quantile.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if i < HISTOGRAM_BUCKETS {
+                    Histogram::bucket_bound(i).min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Flattens into `prefix.count`, `prefix.sum`, `prefix.min`,
+    /// `prefix.max`, and one `prefix.le_N` / `prefix.inf` key per
+    /// non-empty bucket.
+    pub fn export(&self, prefix: &str, out: &mut MetricMap) {
+        out.insert(format!("{prefix}.count"), self.count);
+        out.insert(format!("{prefix}.sum"), self.sum);
+        out.insert(format!("{prefix}.min"), self.min());
+        out.insert(format!("{prefix}.max"), self.max);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let key = if i < HISTOGRAM_BUCKETS {
+                format!("{prefix}.le_{}", Histogram::bucket_bound(i))
+            } else {
+                format!("{prefix}.inf")
+            };
+            out.insert(key, c);
+        }
+    }
+}
+
+/// Everything one simulated [`crate::world::World`] run counts.
+///
+/// Owned by the world and updated inline on the serial event loop; read it
+/// through [`crate::world::World::metrics`]. All fields are logical
+/// quantities, so equal seeds produce equal metric sets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Atomic steps dispatched (start + message + timer steps).
+    pub steps: Counter,
+    /// Messages handed to the network.
+    pub messages_sent: Counter,
+    /// Messages delivered to live processes.
+    pub messages_delivered: Counter,
+    /// Messages that vanished because the receiver had crashed.
+    pub messages_dropped: Counter,
+    /// Crash events that took effect.
+    pub crash_events: Counter,
+    /// Timer events dispatched to live processes.
+    pub timer_fires: Counter,
+    /// Timers armed by nodes.
+    pub timers_set: Counter,
+    /// Event-queue depth (high-water mark is the backlog measure).
+    pub queue_depth: Gauge,
+    /// Sampled per-message delivery delays, in virtual ticks.
+    pub delay_ticks: Histogram,
+}
+
+impl SimMetrics {
+    /// A zeroed metric set.
+    pub fn new() -> Self {
+        SimMetrics::default()
+    }
+
+    /// Flattens into a key-sorted map. `delay_model` labels the delay
+    /// histogram with the [`crate::net::DelayModel`] variant that produced
+    /// it.
+    pub fn export(&self, delay_model: &str) -> MetricMap {
+        let mut out = MetricMap::new();
+        out.insert("steps".into(), self.steps.get());
+        out.insert("messages_sent".into(), self.messages_sent.get());
+        out.insert("messages_delivered".into(), self.messages_delivered.get());
+        out.insert("messages_dropped".into(), self.messages_dropped.get());
+        out.insert("crash_events".into(), self.crash_events.get());
+        out.insert("timer_fires".into(), self.timer_fires.get());
+        out.insert("timers_set".into(), self.timers_set.get());
+        out.insert("queue_depth_high_water".into(), self.queue_depth.high_water());
+        out.insert("queue_depth_final".into(), self.queue_depth.get());
+        self.delay_ticks.export(&format!("delay_ticks.{delay_model}"), &mut out);
+        out
+    }
+}
+
+/// Wall-clock phase profiler for one experiment run.
+///
+/// Phases are timed with [`Profiler::time`]; [`Profiler::report`] closes
+/// the books and attributes the remainder to an `other` phase, so the
+/// reported phase durations always sum *exactly* to the reported total.
+#[derive(Debug)]
+pub struct Profiler {
+    origin: Instant,
+    phases: Vec<(&'static str, u64)>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
+}
+
+impl Profiler {
+    /// Starts the run clock.
+    pub fn new() -> Self {
+        Profiler { origin: Instant::now(), phases: Vec::new() }
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `name`. Repeated
+    /// phases accumulate under one entry.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let out = f();
+        self.add(name, started.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Attributes `nanos` of already-measured time to `name`.
+    pub fn add(&mut self, name: &'static str, nanos: u64) {
+        match self.phases.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, acc)) => *acc += nanos,
+            None => self.phases.push((name, nanos)),
+        }
+    }
+
+    /// Nanoseconds attributed to `name` so far.
+    pub fn phase_nanos(&self, name: &str) -> u64 {
+        self.phases.iter().find(|(n, _)| *n == name).map_or(0, |(_, ns)| *ns)
+    }
+
+    /// Closes the profile: total = wall-clock since construction, with the
+    /// unattributed remainder reported as the `other` phase.
+    pub fn report(&self) -> RunProfile {
+        let total = self.origin.elapsed().as_nanos() as u64;
+        let mut phases: Vec<(String, u64)> =
+            self.phases.iter().map(|&(n, ns)| (n.to_string(), ns)).collect();
+        let attributed: u64 = phases.iter().map(|(_, ns)| *ns).sum();
+        // Phase clocks and the total clock are read at different instants,
+        // so clamp rather than underflow when they disagree by nanoseconds.
+        let other = total.saturating_sub(attributed);
+        phases.push(("other".to_string(), other));
+        RunProfile { total_nanos: attributed + other, phases }
+    }
+}
+
+/// A closed wall-clock profile: named phase durations that sum exactly to
+/// the total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Total run duration in nanoseconds.
+    pub total_nanos: u64,
+    /// `(phase, nanoseconds)` in first-recorded order; the final `other`
+    /// entry absorbs unattributed time.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl RunProfile {
+    /// Nanoseconds of one phase (0 if absent).
+    pub fn phase_nanos(&self, name: &str) -> u64 {
+        self.phases.iter().find(|(n, _)| n == name).map_or(0, |(_, ns)| *ns)
+    }
+
+    /// Seconds of one phase (0.0 if absent).
+    pub fn phase_secs(&self, name: &str) -> f64 {
+        self.phase_nanos(name) as f64 / 1e9
+    }
+
+    /// Total seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_nanos as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let mut g = Gauge::new();
+        g.set(3);
+        g.set(9);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        // 0 and 1 → le_1; 2 → le_2; 3, 4 → le_4; 5 → le_8; 1e6 → overflow.
+        assert_eq!(buckets, vec![(1, 2), (2, 1), (4, 2), (8, 1), (u64::MAX, 1)]);
+        let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        // Exact powers of two must land in their own bucket, not the next.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let mut h = Histogram::new();
+            h.record(Histogram::bucket_bound(i));
+            let buckets: Vec<(u64, u64)> = h.buckets().collect();
+            assert_eq!(buckets, vec![(Histogram::bucket_bound(i), 1)]);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_from_above() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert!(h.quantile_bound(0.5) >= 50);
+        assert!(h.quantile_bound(0.5) <= 64);
+        assert_eq!(h.quantile_bound(1.0), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile_bound(0.99), 0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn sim_metrics_export_is_sorted_and_labeled() {
+        let mut m = SimMetrics::new();
+        m.steps.add(10);
+        m.messages_sent.add(4);
+        m.delay_ticks.record(3);
+        m.queue_depth.set(7);
+        m.queue_depth.set(2);
+        let map = m.export("uniform");
+        assert_eq!(map["steps"], 10);
+        assert_eq!(map["messages_sent"], 4);
+        assert_eq!(map["queue_depth_high_water"], 7);
+        assert_eq!(map["delay_ticks.uniform.count"], 1);
+        assert_eq!(map["delay_ticks.uniform.le_4"], 1);
+        let keys: Vec<&String> = map.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "BTreeMap export must iterate sorted");
+    }
+
+    #[test]
+    fn profiler_phases_sum_to_total() {
+        let mut p = Profiler::new();
+        p.time("simulate", || std::thread::sleep(std::time::Duration::from_millis(2)));
+        p.time("extract", || ());
+        p.time("simulate", || ()); // repeated phases accumulate
+        let r = p.report();
+        let sum: u64 = r.phases.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(sum, r.total_nanos, "phases (incl. `other`) must sum exactly");
+        assert!(r.phase_nanos("simulate") >= 2_000_000);
+        assert_eq!(r.phases.iter().filter(|(n, _)| n == "simulate").count(), 1);
+        assert_eq!(r.phases.last().unwrap().0, "other");
+    }
+
+    #[test]
+    fn profiler_returns_closure_value() {
+        let mut p = Profiler::new();
+        let v = p.time("phase", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(p.phase_nanos("phase") < 1_000_000_000);
+    }
+}

@@ -75,6 +75,11 @@ pub enum DelayModel {
     /// rely on ordering either way — experiments run under both disciplines
     /// to show it doesn't. (The hardened sequence-tagged ping/ack variant
     /// exists precisely because non-FIFO channels permit stale messages.)
+    ///
+    /// When the inner model is [`DelayModel::PartialSync`], the GST
+    /// contract takes precedence over ordering: sends at or after GST are
+    /// delivered within `bound` even if a pre-GST straggler is still in
+    /// flight on the channel (see [`DelayModel::post_gst_bound`]).
     Fifo {
         /// The delay model whose samples are clamped to preserve order.
         inner: Box<DelayModel>,
@@ -104,6 +109,38 @@ impl DelayModel {
         DelayModel::Fifo { inner: Box::new(inner), floors: HashMap::new() }
     }
 
+    /// Short variant label, used to tag metric exports (e.g. the delay
+    /// histogram of a run). Wrappers expose the wrapped variant too.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DelayModel::Fixed(_) => "fixed",
+            DelayModel::Uniform { .. } => "uniform",
+            DelayModel::HeavyTail { .. } => "heavy_tail",
+            DelayModel::PartialSync { .. } => "partial_sync",
+            DelayModel::Scripted(_) => "scripted",
+            DelayModel::Fifo { inner, .. } => match inner.as_ref() {
+                DelayModel::Fixed(_) => "fifo_fixed",
+                DelayModel::Uniform { .. } => "fifo_uniform",
+                DelayModel::HeavyTail { .. } => "fifo_heavy_tail",
+                DelayModel::PartialSync { .. } => "fifo_partial_sync",
+                DelayModel::Scripted(_) => "fifo_scripted",
+                DelayModel::Fifo { .. } => "fifo_fifo",
+            },
+        }
+    }
+
+    /// The delivery bound this model guarantees for a message sent at
+    /// `now`, if any: `Some(bound)` iff the model is (or wraps) a
+    /// [`DelayModel::PartialSync`] whose GST has passed. Wrappers such as
+    /// [`DelayModel::Fifo`] must not weaken this bound.
+    pub fn post_gst_bound(&self, now: Time) -> Option<u64> {
+        match self {
+            DelayModel::PartialSync { gst, bound, .. } if now >= *gst => Some((*bound).max(1)),
+            DelayModel::Fifo { inner, .. } => inner.post_gst_bound(now),
+            _ => None,
+        }
+    }
+
     /// Samples a delay for one message. Always at least 1 tick.
     pub fn sample(
         &mut self,
@@ -131,10 +168,26 @@ impl DelayModel {
             }
             DelayModel::Scripted(adv) => adv.delay(from, to, now, rng),
             DelayModel::Fifo { inner, floors } => {
+                // Regression (ISSUE 2): the per-channel floor used to lift
+                // *post-GST* deliveries arbitrarily — one pre-GST
+                // heavy-tail spike raised the floor past `gst + bound`,
+                // and every later send on that channel inherited it,
+                // silently voiding the PartialSync contract ("messages
+                // sent after GST are delivered within `bound`"). The GST
+                // guarantee takes precedence over FIFO ordering: a
+                // post-GST send is capped at `now + bound`, even if that
+                // means overtaking a still-in-flight pre-GST straggler.
+                // FIFO order among post-GST sends is preserved (up to
+                // same-tick ties, which the event queue resolves in send
+                // order).
+                let cap = inner.post_gst_bound(now);
                 let d = inner.sample(from, to, now, rng).max(1);
                 let floor = floors.entry((from.0, to.0)).or_insert(0);
-                let deliver_at = (now.ticks() + d).max(*floor + 1);
-                *floor = deliver_at;
+                let mut deliver_at = (now.ticks() + d).max(*floor + 1);
+                if let Some(bound) = cap {
+                    deliver_at = deliver_at.min(now.ticks() + bound);
+                }
+                *floor = (*floor).max(deliver_at);
                 return deliver_at - now.ticks();
             }
         };
@@ -253,6 +306,59 @@ mod tests {
         // Other channels are tracked independently.
         let d = m.sample(p(1), p(0), Time(0), &mut rng);
         assert!(d <= 200 + 1);
+    }
+
+    /// Regression (ISSUE 2): a pre-GST heavy-tail spike used to raise the
+    /// FIFO floor so high that *post-GST* deliveries exceeded the
+    /// `PartialSync` bound — the wrapper quietly weakened the GST
+    /// guarantee the heartbeat ◇P depends on.
+    #[test]
+    fn fifo_floor_does_not_lift_post_gst_delays_above_bound() {
+        let gst = Time(1_000);
+        let bound = 5;
+        // Scripted spike: every pre-GST message takes exactly 600 ticks.
+        let mut m = DelayModel::fifo(DelayModel::PartialSync {
+            gst,
+            pre: Box::new(DelayModel::Fixed(600)),
+            bound,
+        });
+        let mut rng = SplitMix64::new(7);
+        // Spike just before GST: floor jumps to 990 + 600 = 1590 > gst+bound.
+        let d = m.sample(p(0), p(1), Time(990), &mut rng);
+        assert_eq!(d, 600);
+        // Every post-GST send on the channel must meet the bound.
+        let mut last_delivery = 0u64;
+        for t in [1_100u64, 1_101, 1_120, 1_500] {
+            let d = m.sample(p(0), p(1), Time(t), &mut rng);
+            assert!(d >= 1 && d <= bound, "post-GST send at t={t} got delay {d} > bound {bound}");
+            // FIFO among post-GST sends still holds (non-decreasing).
+            let delivery = t + d;
+            assert!(
+                delivery >= last_delivery,
+                "post-GST FIFO broken: {delivery} < {last_delivery}"
+            );
+            last_delivery = delivery;
+        }
+        // A fresh channel post-GST is bounded too.
+        let d = m.sample(p(1), p(0), Time(2_000), &mut rng);
+        assert!(d <= bound);
+    }
+
+    #[test]
+    fn post_gst_bound_sees_through_fifo_wrapper() {
+        let m = DelayModel::fifo(DelayModel::partially_synchronous(Time(100), 7));
+        assert_eq!(m.post_gst_bound(Time(99)), None);
+        assert_eq!(m.post_gst_bound(Time(100)), Some(7));
+        assert_eq!(DelayModel::harsh().post_gst_bound(Time(0)), None);
+    }
+
+    #[test]
+    fn kind_labels_variants_and_wrappers() {
+        assert_eq!(DelayModel::Fixed(1).kind(), "fixed");
+        assert_eq!(DelayModel::default_async().kind(), "uniform");
+        assert_eq!(DelayModel::harsh().kind(), "heavy_tail");
+        assert_eq!(DelayModel::partially_synchronous(Time(1), 1).kind(), "partial_sync");
+        assert_eq!(DelayModel::fifo(DelayModel::harsh()).kind(), "fifo_heavy_tail");
     }
 
     #[test]

@@ -1,8 +1,21 @@
 //! The simulated world: processes + channels + faults + global clock.
+//!
+//! ## Crash semantics at time zero
+//!
+//! A process whose crash is scheduled at `Time::ZERO` is *dead from
+//! birth*: it takes no steps at all — in particular its `on_start` step is
+//! suppressed, so it can neither send messages nor arm timers. (The event
+//! queue only orders events popped during the run; start steps execute in
+//! `World::new` before the first pop, so a queued t=0 crash used to fire
+//! *after* the starts, letting a dead process speak. The crash plan is now
+//! applied to t=0 entries before start dispatch.) This matches the paper's
+//! model, where a faulty process "ceases execution without warning" — a
+//! process that crashes at the initial instant never executed at all.
 
 use crate::event::{EventKind, EventQueue};
 use crate::fault::CrashPlan;
 use crate::id::ProcessId;
+use crate::metrics::SimMetrics;
 use crate::net::DelayModel;
 use crate::node::{Context, Node, TimerId};
 use crate::rng::SplitMix64;
@@ -71,9 +84,7 @@ pub struct World<N: Node> {
     sends_buf: Vec<(ProcessId, N::Msg)>,
     timers_buf: Vec<(u64, TimerId)>,
     obs_buf: Vec<N::Obs>,
-    steps: u64,
-    messages_sent: u64,
-    messages_delivered: u64,
+    metrics: SimMetrics,
 }
 
 impl<N: Node> World<N> {
@@ -95,17 +106,28 @@ impl<N: Node> World<N> {
             sends_buf: Vec::new(),
             timers_buf: Vec::new(),
             obs_buf: Vec::new(),
-            steps: 0,
-            messages_sent: 0,
-            messages_delivered: 0,
+            metrics: SimMetrics::new(),
         };
         for &(pid, at) in cfg.crashes.crashes() {
             assert!(pid.index() < n, "crash plan names unknown process {pid}");
-            world.queue.push(at, EventKind::Crash { pid });
+            if at == Time::ZERO {
+                // Dead from birth: take effect before start dispatch so the
+                // process never runs `on_start` (see the module docs).
+                if !world.crashed[pid.index()] {
+                    world.crashed[pid.index()] = true;
+                    world.metrics.crash_events.inc();
+                    world.trace.push(TraceEvent::Crash { at: Time::ZERO, pid });
+                }
+            } else {
+                world.queue.push(at, EventKind::Crash { pid });
+            }
         }
+        world.metrics.queue_depth.set(world.queue.len() as u64);
         // Start steps run immediately, in id order, before any event.
         for i in 0..n {
-            world.dispatch_start(ProcessId::from_index(i));
+            if !world.crashed[i] {
+                world.dispatch_start(ProcessId::from_index(i));
+            }
         }
         world
     }
@@ -127,18 +149,31 @@ impl<N: Node> World<N> {
 
     /// Total atomic steps dispatched so far.
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.metrics.steps.get()
     }
 
     /// Total messages sent so far (counted even when the trace does not
     /// record message events).
     pub fn messages_sent(&self) -> u64 {
-        self.messages_sent
+        self.metrics.messages_sent.get()
     }
 
     /// Total messages delivered to live processes so far.
     pub fn messages_delivered(&self) -> u64 {
-        self.messages_delivered
+        self.metrics.messages_delivered.get()
+    }
+
+    /// The full metric set of this run (counters, queue-depth gauge, delay
+    /// histogram). All values are logical quantities: reruns of the same
+    /// seed produce identical metrics.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Flattened, key-sorted metric export; the delay histogram is labeled
+    /// with this world's [`DelayModel`] variant.
+    pub fn metrics_map(&self) -> crate::metrics::MetricMap {
+        self.metrics.export(self.delays.kind())
     }
 
     /// Read access to a node's state (for assertions and extraction).
@@ -178,17 +213,19 @@ impl<N: Node> World<N> {
             EventKind::Crash { pid } => {
                 if !self.crashed[pid.index()] {
                     self.crashed[pid.index()] = true;
+                    self.metrics.crash_events.inc();
                     self.trace.push(TraceEvent::Crash { at: self.now, pid });
                 }
             }
             EventKind::Timer { pid, id } => {
                 if !self.crashed[pid.index()] {
+                    self.metrics.timer_fires.inc();
                     self.dispatch_timer(pid, id);
                 }
             }
             EventKind::Deliver { from, to, msg } => {
                 if !self.crashed[to.index()] {
-                    self.messages_delivered += 1;
+                    self.metrics.messages_delivered.inc();
                     if self.trace.records_messages {
                         self.trace.push(TraceEvent::Deliver {
                             at: self.now,
@@ -198,11 +235,14 @@ impl<N: Node> World<N> {
                         });
                     }
                     self.dispatch_message(to, from, msg);
+                } else {
+                    // Messages to crashed processes vanish: the reliability
+                    // axiom only covers messages sent to correct processes.
+                    self.metrics.messages_dropped.inc();
                 }
-                // Messages to crashed processes vanish: the reliability axiom
-                // only covers messages sent to correct processes.
             }
         }
+        self.metrics.queue_depth.set(self.queue.len() as u64);
         true
     }
 
@@ -292,22 +332,25 @@ impl<N: Node> World<N> {
         mut timers: Vec<(u64, TimerId)>,
         mut obs: Vec<N::Obs>,
     ) {
-        self.steps += 1;
+        self.metrics.steps.inc();
         for o in obs.drain(..) {
             self.trace.push(TraceEvent::Obs { at: self.now, pid, obs: o });
         }
         for (to, msg) in sends.drain(..) {
             debug_assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
-            self.messages_sent += 1;
+            self.metrics.messages_sent.inc();
             if self.trace.records_messages {
                 self.trace.push(TraceEvent::Send { at: self.now, from: pid, to, msg: msg.clone() });
             }
             let d = self.delays.sample(pid, to, self.now, &mut self.rng);
+            self.metrics.delay_ticks.record(d);
             self.queue.push(self.now + d, EventKind::Deliver { from: pid, to, msg });
         }
         for (delay, id) in timers.drain(..) {
+            self.metrics.timers_set.inc();
             self.queue.push(self.now + delay, EventKind::Timer { pid, id });
         }
+        self.metrics.queue_depth.set(self.queue.len() as u64);
         // Return the (now empty) buffers for reuse.
         self.sends_buf = sends;
         self.timers_buf = timers;
@@ -388,6 +431,54 @@ mod tests {
         assert_eq!(w.trace().delivered_count(), 0);
         assert!(w.is_crashed(ProcessId(1)));
         assert!(!w.is_crashed(ProcessId(0)));
+    }
+
+    /// Regression (ISSUE 2): a crash scheduled at `Time::ZERO` used to be
+    /// enqueued as an ordinary event, which fires only after the start
+    /// steps — so a dead-from-birth process still ran `on_start` and could
+    /// send messages. It must take no steps at all.
+    #[test]
+    fn crash_at_time_zero_suppresses_start_step() {
+        // p0 is the ring initiator; crashing it at t=0 must kill the run
+        // before any message exists.
+        let cfg =
+            WorldConfig::new(3).crashes(CrashPlan::one(ProcessId(0), Time::ZERO)).record_messages();
+        let mut w = World::new(ring(3, 10), cfg);
+        assert!(w.is_crashed(ProcessId(0)), "t=0 crash must be effective before starts");
+        while w.step() {}
+        assert_eq!(w.trace().sent_count(), 0, "a dead-from-birth process must not send");
+        assert_eq!(w.steps(), 2, "only the two live processes take their start steps");
+        // The crash itself is still visible to the spec checkers.
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Crash { at: Time::ZERO, pid: ProcessId(0) })));
+    }
+
+    #[test]
+    fn crash_at_time_zero_also_silences_timers() {
+        let cfg = WorldConfig::new(2).crashes(CrashPlan::one(ProcessId(0), Time::ZERO));
+        let mut w = World::new(vec![TimerNode { fired: 0, limit: 5 }], cfg);
+        while w.step() {}
+        assert_eq!(w.node(ProcessId(0)).fired, 0);
+        assert_eq!(w.pending_events(), 0);
+    }
+
+    #[test]
+    fn metrics_mirror_legacy_accessors() {
+        let mut w = World::new(ring(4, 25), WorldConfig::new(3).record_messages());
+        while w.step() {}
+        let m = w.metrics();
+        assert_eq!(m.steps.get(), w.steps());
+        assert_eq!(m.messages_sent.get(), w.messages_sent());
+        assert_eq!(m.messages_delivered.get(), w.messages_delivered());
+        assert_eq!(m.delay_ticks.count(), w.messages_sent(), "every send samples one delay");
+        assert!(m.queue_depth.high_water() >= 1);
+        assert_eq!(m.queue_depth.get(), 0, "drained world has an empty queue");
+        let map = w.metrics_map();
+        assert_eq!(map["steps"], w.steps());
+        assert!(map.contains_key("delay_ticks.uniform.count"), "histogram labeled by model");
     }
 
     #[test]

@@ -200,6 +200,29 @@ impl<K: fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, 
     }
 }
 
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => {
+                fields.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
         match v {
