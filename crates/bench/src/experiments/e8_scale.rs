@@ -78,6 +78,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         ]);
     }
     let explorer = explorer_scaling(cfg, &mut metrics);
+    let frontier = depth_frontier(cfg, &mut metrics);
 
     Report {
         title: "E8 — cost of all-pairs extraction at scale".into(),
@@ -90,13 +91,20 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                    the lemma explorer's work-stealing engine over thread counts \
                    on a fixed state space."
             .into(),
-        tables: vec![table, explorer],
-        notes: vec!["Explorer speedup is relative to the serial (threads=1) mean and is \
+        tables: vec![table, explorer, frontier],
+        notes: vec![
+            "Explorer speedup is relative to the serial (threads=1) mean and is \
              bounded by the machine's core count — on a single-core host extra \
              workers only add coordination overhead (expect < 1x), and the sweep \
              degenerates into a determinism check: states and verdict must stay \
              identical at every thread count."
-            .into()],
+                .into(),
+            "The depth frontier sweeps the serial engine to increasing bounds; \
+             \"arena KiB\" is the resident footprint of the entire visited state \
+             set under the compact codec (the figure that used to be a cloned \
+             struct per HashMap key)."
+                .into(),
+        ],
         metrics,
     }
 }
@@ -143,6 +151,7 @@ fn explorer_scaling(cfg: &ExperimentConfig, metrics: &mut MetricMap) -> Table {
         }
         let agree = runs.iter().all(|r| {
             r.states_visited == serial.states_visited
+                && r.transitions == serial.transitions
                 && r.clean() == serial.clean()
                 && r.deadlocks == serial.deadlocks
         });
@@ -155,6 +164,33 @@ fn explorer_scaling(cfg: &ExperimentConfig, metrics: &mut MetricMap) -> Table {
             format!("{:.0}", steals.mean),
             format!("{:.0}", conflicts.mean),
             if agree { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    table
+}
+
+/// Depth-frontier sweep: how deep the serial engine pushes the pair model
+/// and what the visited set costs, row per depth bound. States, transitions,
+/// and arena bytes are deterministic; throughput is wall-clock.
+fn depth_frontier(cfg: &ExperimentConfig, metrics: &mut MetricMap) -> Table {
+    let depths: &[u32] = if cfg.seeds <= 3 { &[32, 48, 56] } else { &[32, 48, 64, 80] };
+    let mut table = Table::new(
+        "Serial explorer depth frontier (pair model, fingerprinted store)",
+        &["depth", "states", "transitions", "kstates/s", "arena KiB", "bytes/state"],
+    );
+    for &depth in depths {
+        let r = explore(&ExploreConfig { max_depth: depth, ..Default::default() });
+        assert!(r.clean(), "frontier row at depth {depth} found violations: {:?}", r.violations);
+        metrics.insert(format!("frontier.d{depth}.states"), r.states_visited as u64);
+        metrics.insert(format!("frontier.d{depth}.transitions"), r.transitions);
+        metrics.insert(format!("frontier.d{depth}.arena_bytes"), r.stats.arena_bytes);
+        table.row(vec![
+            depth.to_string(),
+            r.states_visited.to_string(),
+            r.transitions.to_string(),
+            format!("{:.0}", r.stats.states_per_sec / 1_000.0),
+            format!("{:.1}", r.stats.arena_bytes as f64 / 1024.0),
+            format!("{:.1}", r.stats.arena_bytes as f64 / r.states_visited as f64),
         ]);
     }
     table
@@ -177,6 +213,16 @@ mod tests {
         }
         assert!(report.metrics["explorer.states"] > 0);
         assert!(report.metrics.keys().any(|k| k.ends_with(".sim_steps_total")));
+    }
+
+    #[test]
+    fn e8_depth_frontier_grows_monotonically() {
+        let mut metrics = MetricMap::new();
+        let table = depth_frontier(&ExperimentConfig { seeds: 2 }, &mut metrics);
+        assert_eq!(table.rows.len(), 3);
+        let states: Vec<u64> = table.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(states.windows(2).all(|w| w[0] < w[1]), "deeper must see more: {states:?}");
+        assert!(metrics.keys().any(|k| k.ends_with(".arena_bytes")));
     }
 
     #[test]

@@ -115,29 +115,42 @@ pub fn sim_bench(quick: bool) -> BenchDoc {
 }
 
 /// Lemma-explorer benchmark: one fixed state space, serial engine vs the
-/// work-stealing engine, verdicts cross-checked. Steals/conflicts are
-/// schedule-dependent and land in `nondet`.
+/// work-stealing engine vs the POR serial run, verdicts cross-checked.
+/// `states`/`transitions`/`deadlocks`/`par_agree`/`por_agree` are
+/// deterministic and CI-gated (`perf-smoke`); steals/conflicts and the
+/// codec counters are schedule-dependent and land in `nondet`.
 pub fn explore_bench(quick: bool) -> BenchDoc {
     let mut doc = BenchDoc::new(if quick { "quick" } else { "full" });
-    let depth: u32 = if quick { 40 } else { 60 };
+    let depth: u32 = if quick { 56 } else { 64 };
     let base = ExploreConfig { max_depth: depth, ..Default::default() };
     let serial = explore(&base);
     let par = explore(&ExploreConfig { threads: 4, ..base });
+    let por = explore(&ExploreConfig { por: true, ..base });
     doc.metrics.insert("depth".into(), depth as u64);
     doc.metrics.insert("states".into(), serial.states_visited as u64);
-    doc.metrics.insert("transitions".into(), serial.transitions as u64);
+    doc.metrics.insert("transitions".into(), serial.transitions);
     doc.metrics.insert("violations".into(), serial.violations.len() as u64);
     doc.metrics.insert("deadlocks".into(), serial.deadlocks as u64);
     let agree = par.states_visited == serial.states_visited
+        && par.transitions == serial.transitions
         && par.clean() == serial.clean()
         && par.deadlocks == serial.deadlocks;
     doc.metrics.insert("par_agree".into(), agree as u64);
+    let por_agree = por.states_visited == serial.states_visited
+        && por.transitions == serial.transitions
+        && por.clean() == serial.clean()
+        && por.deadlocks == serial.deadlocks;
+    doc.metrics.insert("por_agree".into(), por_agree as u64);
+    doc.metrics.insert("arena_bytes".into(), serial.stats.arena_bytes);
     serial.stats.export("serial", &mut doc.nondet);
     par.stats.export("par", &mut doc.nondet);
+    por.stats.export("por", &mut doc.nondet);
     doc.wall_secs("serial.secs", serial.stats.duration_secs);
     doc.wall_secs("par.secs", par.stats.duration_secs);
+    doc.wall_secs("por.secs", por.stats.duration_secs);
     doc.wall_secs("serial.states_per_sec", serial.stats.states_per_sec);
     doc.wall_secs("par.states_per_sec", par.stats.states_per_sec);
+    doc.wall_secs("por.states_per_sec", por.stats.states_per_sec);
     doc
 }
 
@@ -208,9 +221,12 @@ mod tests {
     fn explore_bench_serial_and_parallel_agree() {
         let doc = explore_bench(true);
         assert_eq!(doc.metrics["par_agree"], 1, "engines must agree: {:?}", doc.metrics);
+        assert_eq!(doc.metrics["por_agree"], 1, "POR must change nothing: {:?}", doc.metrics);
         assert!(doc.metrics["states"] > 0);
+        assert!(doc.metrics["arena_bytes"] > 0);
         assert_eq!(doc.nondet["serial.threads"], 1);
         assert_eq!(doc.nondet["par.threads"], 4);
+        assert!(doc.nondet["serial.fp_confirms"] > 0, "revisits must be byte-confirmed");
     }
 
     #[test]

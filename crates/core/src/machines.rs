@@ -44,6 +44,7 @@
 //! them side by side).
 
 use dinefd_dining::DinerPhase;
+use dinefd_sim::codec;
 
 /// Index of a dining instance within a monitoring pair (`DX_0` / `DX_1`).
 pub type Dx = usize;
@@ -130,20 +131,26 @@ impl WitnessMachine {
     /// phases (`phases[i]` is `w_i`'s phase in `DX_i`).
     pub fn enabled(&self, phases: [DinerPhase; 2]) -> Vec<WitnessAction> {
         let mut out = Vec::with_capacity(2);
+        self.for_each_enabled(phases, |a| out.push(a));
+        out
+    }
+
+    /// Allocation-free form of [`WitnessMachine::enabled`]: invokes `f` for
+    /// each enabled action, in the same order (the explorers' hot path).
+    pub fn for_each_enabled(&self, phases: [DinerPhase; 2], mut f: impl FnMut(WitnessAction)) {
         for i in 0..2 {
             // W_h(i): both witnesses thinking and it is i's turn.
             if phases[i] == DinerPhase::Thinking
                 && phases[other(i)] == DinerPhase::Thinking
                 && self.switch as usize == i
             {
-                out.push(WitnessAction::Hungry(i));
+                f(WitnessAction::Hungry(i));
             }
             // W_x(i): w_i is eating.
             if phases[i] == DinerPhase::Eating {
-                out.push(WitnessAction::ExitCheck(i));
+                f(WitnessAction::ExitCheck(i));
             }
         }
-        out
     }
 
     /// Fires one enabled action, returning the host command.
@@ -168,6 +175,24 @@ impl WitnessMachine {
     pub fn on_ping(&mut self, i: Dx, seq: u64) -> WitnessCmd {
         self.haveping[i] = true;
         WitnessCmd::SendAck(i, seq)
+    }
+
+    /// Bit-packs the whole machine into one byte (explorer state codec):
+    /// bit 0 = `switch`, bits 1–2 = `haveping`, bit 3 = `suspect`.
+    pub fn pack(&self) -> u8 {
+        self.switch
+            | (self.haveping[0] as u8) << 1
+            | (self.haveping[1] as u8) << 2
+            | (self.suspect as u8) << 3
+    }
+
+    /// Inverse of [`WitnessMachine::pack`].
+    pub fn unpack(b: u8) -> Self {
+        WitnessMachine {
+            switch: b & 1,
+            haveping: [b & 0b10 != 0, b & 0b100 != 0],
+            suspect: b & 0b1000 != 0,
+        }
     }
 }
 
@@ -256,30 +281,36 @@ impl SubjectMachine {
     /// Guarded actions currently enabled, given the subject threads' phases.
     pub fn enabled(&self, phases: [DinerPhase; 2]) -> Vec<SubjectAction> {
         let mut out = Vec::with_capacity(2);
+        self.for_each_enabled(phases, |a| out.push(a));
+        out
+    }
+
+    /// Allocation-free form of [`SubjectMachine::enabled`]: invokes `f` for
+    /// each enabled action, in the same order (the explorers' hot path).
+    pub fn for_each_enabled(&self, phases: [DinerPhase; 2], mut f: impl FnMut(SubjectAction)) {
         for i in 0..2 {
             // S_h(i): s_i thinking and trigger = i.
             if phases[i] == DinerPhase::Thinking
                 && (self.trigger as usize == i
                     || self.mutation == SubjectMutation::IgnoreTriggerGuard)
             {
-                out.push(SubjectAction::Hungry(i));
+                f(SubjectAction::Hungry(i));
             }
             // S_p(i): s_i eating, s_{1-i} not eating, ping enabled.
             if phases[i] == DinerPhase::Eating
                 && phases[other(i)] != DinerPhase::Eating
                 && self.ping_enabled[i]
             {
-                out.push(SubjectAction::Ping(i));
+                f(SubjectAction::Ping(i));
             }
             // S_x(i): both eating and trigger = 1-i.
             if phases[i] == DinerPhase::Eating
                 && phases[other(i)] == DinerPhase::Eating
                 && self.trigger as usize == other(i)
             {
-                out.push(SubjectAction::Exit(i));
+                f(SubjectAction::Exit(i));
             }
         }
-        out
     }
 
     /// Fires one enabled action, returning the host command.
@@ -311,6 +342,48 @@ impl SubjectMachine {
             return;
         }
         self.trigger = other(i) as u8;
+    }
+
+    /// Bit-packs the machine for the explorer state codec: one flag byte
+    /// (bit 0 = `trigger`, bits 1–2 = `ping_enabled`, bit 3 = `strict_seq`,
+    /// bits 4–5 = the seeded mutation) followed by the two per-instance ping
+    /// sequence counters as varints.
+    pub fn pack_into(&self, out: &mut Vec<u8>) {
+        let m = match self.mutation {
+            SubjectMutation::None => 0u8,
+            SubjectMutation::SkipPingDisable => 1,
+            SubjectMutation::IgnoreTriggerGuard => 2,
+            SubjectMutation::SkipTriggerUpdate => 3,
+        };
+        codec::put_u8(
+            out,
+            self.trigger
+                | (self.ping_enabled[0] as u8) << 1
+                | (self.ping_enabled[1] as u8) << 2
+                | (self.strict_seq as u8) << 3
+                | m << 4,
+        );
+        codec::put_varint(out, self.seq[0]);
+        codec::put_varint(out, self.seq[1]);
+    }
+
+    /// Inverse of [`SubjectMachine::pack_into`]; `None` on a malformed
+    /// buffer.
+    pub fn unpack(input: &mut &[u8]) -> Option<Self> {
+        let b = codec::take_u8(input)?;
+        let mutation = match (b >> 4) & 0b11 {
+            0 => SubjectMutation::None,
+            1 => SubjectMutation::SkipPingDisable,
+            2 => SubjectMutation::IgnoreTriggerGuard,
+            _ => SubjectMutation::SkipTriggerUpdate,
+        };
+        Some(SubjectMachine {
+            trigger: b & 1,
+            ping_enabled: [b & 0b10 != 0, b & 0b100 != 0],
+            seq: [codec::take_varint(input)?, codec::take_varint(input)?],
+            strict_seq: b & 0b1000 != 0,
+            mutation,
+        })
     }
 }
 
@@ -496,5 +569,38 @@ mod tests {
         s.fire(SubjectAction::Hungry(1), [Eating, Thinking]);
         s.fire(SubjectAction::Exit(0), [Eating, Eating]); // s0 leaves eating
         assert!(s.ping_enabled(0), "Lemma 2: re-enabled before exiting");
+    }
+
+    #[test]
+    fn witness_pack_round_trips() {
+        let mut w = WitnessMachine::new();
+        assert_eq!(WitnessMachine::unpack(w.pack()), w);
+        w.fire(WitnessAction::Hungry(0), TT);
+        w.on_ping(0, 1);
+        w.fire(WitnessAction::ExitCheck(0), [Eating, Thinking]);
+        w.on_ping(1, 1);
+        assert_eq!(WitnessMachine::unpack(w.pack()), w);
+    }
+
+    #[test]
+    fn subject_pack_round_trips_all_mutations() {
+        for strict in [false, true] {
+            for mutation in [
+                SubjectMutation::None,
+                SubjectMutation::SkipPingDisable,
+                SubjectMutation::IgnoreTriggerGuard,
+                SubjectMutation::SkipTriggerUpdate,
+            ] {
+                let mut s = SubjectMachine::with_mutation(strict, mutation);
+                s.fire(SubjectAction::Hungry(0), TT);
+                s.fire(SubjectAction::Ping(0), [Eating, Thinking]);
+                s.on_ack(0, 1);
+                let mut buf = Vec::new();
+                s.pack_into(&mut buf);
+                let mut cursor = buf.as_slice();
+                assert_eq!(SubjectMachine::unpack(&mut cursor), Some(s));
+                assert!(cursor.is_empty());
+            }
+        }
     }
 }

@@ -37,7 +37,7 @@
 //! The same `ForkCore` parameterized with a trust-gated suspicion policy
 //! yields the perpetual-exclusion service of [`crate::ftme`].
 
-use dinefd_sim::ProcessId;
+use dinefd_sim::{codec, ProcessId};
 
 use crate::participant::{DiningIo, DiningMsg, DiningParticipant};
 use crate::state::DinerPhase;
@@ -72,6 +72,70 @@ pub enum WxMsg {
         /// Sender's clock (Lamport maintenance).
         clock: u64,
     },
+}
+
+impl Ts {
+    fn pack_into(&self, out: &mut Vec<u8>) {
+        codec::put_varint(out, self.clock);
+        codec::put_varint(out, u64::from(self.id));
+    }
+
+    fn unpack(input: &mut &[u8]) -> Option<Ts> {
+        Some(Ts {
+            clock: codec::take_varint(input)?,
+            id: u32::try_from(codec::take_varint(input)?).ok()?,
+        })
+    }
+}
+
+impl WxMsg {
+    /// Packs the message for the explorer state codec: a tag byte followed
+    /// by the payload varints.
+    pub fn pack_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            WxMsg::Request(ts) => {
+                codec::put_u8(out, 0);
+                ts.pack_into(out);
+            }
+            WxMsg::Fork { clock } => {
+                codec::put_u8(out, 1);
+                codec::put_varint(out, clock);
+            }
+            WxMsg::TokenReturn { clock } => {
+                codec::put_u8(out, 2);
+                codec::put_varint(out, clock);
+            }
+        }
+    }
+
+    /// Inverse of [`WxMsg::pack_into`]; `None` on a malformed buffer.
+    pub fn unpack(input: &mut &[u8]) -> Option<WxMsg> {
+        match codec::take_u8(input)? {
+            0 => Some(WxMsg::Request(Ts::unpack(input)?)),
+            1 => Some(WxMsg::Fork { clock: codec::take_varint(input)? }),
+            2 => Some(WxMsg::TokenReturn { clock: codec::take_varint(input)? }),
+            _ => None,
+        }
+    }
+}
+
+/// Two-bit [`DinerPhase`] codes for the packed encodings below.
+fn phase_bits(p: DinerPhase) -> u8 {
+    match p {
+        DinerPhase::Thinking => 0,
+        DinerPhase::Hungry => 1,
+        DinerPhase::Eating => 2,
+        DinerPhase::Exiting => 3,
+    }
+}
+
+fn phase_from_bits(b: u8) -> DinerPhase {
+    match b & 0b11 {
+        0 => DinerPhase::Thinking,
+        1 => DinerPhase::Hungry,
+        2 => DinerPhase::Eating,
+        _ => DinerPhase::Exiting,
+    }
 }
 
 /// How suspicion satisfies an edge.
@@ -426,6 +490,72 @@ impl WfDxDining {
     pub fn session(&self) -> Ts {
         self.core.session()
     }
+
+    /// Packs the full endpoint state (phase, per-edge fork/token/request
+    /// bits, clocks) into a compact byte string for the explorer state
+    /// codec. [`WfDxDining::unpack`] is the exact inverse.
+    pub fn pack_into(&self, out: &mut Vec<u8>) {
+        let c = &self.core;
+        codec::put_varint(out, u64::from(c.me.0));
+        let policy = matches!(c.policy, SuspicionPolicy::TrustGated) as u8;
+        codec::put_u8(out, phase_bits(c.phase) | policy << 2 | (c.gate_open as u8) << 3);
+        codec::put_varint(out, c.clock);
+        c.session.pack_into(out);
+        codec::put_varint(out, c.suspicion_eats);
+        codec::put_varint(out, c.edges.len() as u64);
+        for e in &c.edges {
+            codec::put_varint(out, u64::from(e.peer.0));
+            codec::put_u8(
+                out,
+                e.has_fork as u8
+                    | (e.has_token as u8) << 1
+                    | (e.requested as u8) << 2
+                    | (e.ever_trusted as u8) << 3
+                    | (e.pending.is_some() as u8) << 4,
+            );
+            if let Some(ts) = e.pending {
+                ts.pack_into(out);
+            }
+        }
+    }
+
+    /// Inverse of [`WfDxDining::pack_into`]; `None` on a malformed buffer.
+    pub fn unpack(input: &mut &[u8]) -> Option<Self> {
+        let me = ProcessId(u32::try_from(codec::take_varint(input)?).ok()?);
+        let b = codec::take_u8(input)?;
+        let policy =
+            if b & 0b100 != 0 { SuspicionPolicy::TrustGated } else { SuspicionPolicy::Direct };
+        let clock = codec::take_varint(input)?;
+        let session = Ts::unpack(input)?;
+        let suspicion_eats = codec::take_varint(input)?;
+        let n = usize::try_from(codec::take_varint(input)?).ok()?;
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let peer = ProcessId(u32::try_from(codec::take_varint(input)?).ok()?);
+            let f = codec::take_u8(input)?;
+            let pending = if f & 0b1_0000 != 0 { Some(Ts::unpack(input)?) } else { None };
+            edges.push(Edge {
+                peer,
+                has_fork: f & 1 != 0,
+                has_token: f & 0b10 != 0,
+                requested: f & 0b100 != 0,
+                pending,
+                ever_trusted: f & 0b1000 != 0,
+            });
+        }
+        Some(WfDxDining {
+            core: ForkCore {
+                me,
+                phase: phase_from_bits(b),
+                edges,
+                policy,
+                clock,
+                session,
+                suspicion_eats,
+                gate_open: b & 0b1000 != 0,
+            },
+        })
+    }
 }
 
 fn wrap(m: WxMsg) -> DiningMsg {
@@ -475,6 +605,50 @@ mod tests {
 
     fn fork(clock: u64) -> DiningMsg {
         DiningMsg::WfDx(WxMsg::Fork { clock })
+    }
+
+    #[test]
+    fn endpoint_pack_round_trips_through_a_session() {
+        let fd = NoOracle(2);
+        let mut d = WfDxDining::new(p(1), &[p(0)]);
+        let assert_rt = |d: &WfDxDining| {
+            let mut buf = Vec::new();
+            d.pack_into(&mut buf);
+            let mut cursor = buf.as_slice();
+            assert_eq!(WfDxDining::unpack(&mut cursor).as_ref(), Some(d));
+            assert!(cursor.is_empty(), "trailing bytes after decode");
+        };
+        assert_rt(&d);
+        let mut io = DiningIo::new(p(1), Time(0), &fd);
+        d.hungry(&mut io); // requested = true, session stamped
+        let _ = io.finish();
+        assert_rt(&d);
+        let mut io = DiningIo::new(p(1), Time(1), &fd);
+        d.on_message(&mut io, p(0), fork(3)); // eating, clocks advanced
+        let _ = io.finish();
+        assert_rt(&d);
+        // A deferred peer request exercises the `pending` branch.
+        let mut io = DiningIo::new(p(1), Time(2), &fd);
+        d.on_message(&mut io, p(0), request(9, 0));
+        let _ = io.finish();
+        assert_rt(&d);
+    }
+
+    #[test]
+    fn wx_msg_pack_round_trips() {
+        for m in [
+            WxMsg::Request(Ts { clock: 300, id: 7 }),
+            WxMsg::Fork { clock: 0 },
+            WxMsg::TokenReturn { clock: 129 },
+        ] {
+            let mut buf = Vec::new();
+            m.pack_into(&mut buf);
+            let mut cursor = buf.as_slice();
+            assert_eq!(WxMsg::unpack(&mut cursor), Some(m));
+            assert!(cursor.is_empty());
+        }
+        let mut bad: &[u8] = &[9];
+        assert_eq!(WxMsg::unpack(&mut bad), None, "unknown tag must fail loudly");
     }
 
     #[test]

@@ -24,17 +24,14 @@
 //! mistakes" adversary — enough to exercise the mistake paths without
 //! blowing up the state space).
 
-use std::time::Instant;
-
 use dinefd_core::machines::{SubjectCmd, SubjectMachine, WitnessCmd, WitnessMachine};
 use dinefd_dining::wfdx::WfDxDining;
 use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
 use dinefd_fd::FdQuery;
 use dinefd_sim::{ProcessId, Time};
 
-use crate::parallel::{
-    parallel_search, ParallelModel, SearchStats, ViolationKind, ViolationRecord,
-};
+use crate::parallel::{parallel_search, serial_search, SearchModel, SearchStats, ViolationRecord};
+use crate::por::DeliveryClass;
 use crate::search::fmt_path;
 
 const P: ProcessId = ProcessId(0); // watcher
@@ -93,6 +90,10 @@ pub struct ComposedConfig {
     /// Worker threads: `1` (default) runs the serial DFS, `>= 2` the
     /// work-stealing parallel engine. Verdicts are schedule-independent.
     pub threads: usize,
+    /// Enable sleep-set partial-order reduction over commuting
+    /// dx/ping/ack deliveries ([`crate::por`]). Off by default; every
+    /// reported figure is identical with POR on or off.
+    pub por: bool,
 }
 
 impl Default for ComposedConfig {
@@ -104,6 +105,7 @@ impl Default for ComposedConfig {
             allow_mistakes: true,
             strict_seq: false,
             threads: 1,
+            por: false,
         }
     }
 }
@@ -232,12 +234,19 @@ impl ComposedState {
         }
     }
 
-    /// Enumerates successors. Eat-start overlap legality is checked by the
-    /// caller comparing phases across the transition.
-    pub fn successors(&self, cfg: &ComposedConfig) -> Vec<(ComposedLabel, ComposedState)> {
-        let mut out: Vec<(ComposedLabel, ComposedState)> = Vec::new();
+    /// Enumerates successors into `out` (the allocation-free form the search
+    /// engines drive with a reused scratch buffer). Eat-start overlap
+    /// legality is checked by the caller comparing phases across the
+    /// transition.
+    pub fn successors_into(
+        &self,
+        cfg: &ComposedConfig,
+        out: &mut Vec<(ComposedLabel, ComposedState)>,
+    ) {
+        let start = out.len();
         // Witness machine actions.
-        for (idx, &a) in self.witness.enabled(self.w_phases()).iter().enumerate() {
+        let mut idx = 0;
+        self.witness.for_each_enabled(self.w_phases(), |a| {
             let mut s = self.clone();
             match s.witness.fire(a, s.w_phases()) {
                 WitnessCmd::BecomeHungry(i) => s.invoke_dx(true, i, |c, io| c.hungry(io)),
@@ -245,10 +254,12 @@ impl ComposedState {
                 WitnessCmd::SendAck(..) => unreachable!(),
             }
             out.push((ComposedLabel::WitnessAct(idx), s));
-        }
+            idx += 1;
+        });
         // Subject machine actions.
         if !self.crashed {
-            for (idx, &a) in self.subject.enabled(self.s_phases()).iter().enumerate() {
+            let mut idx = 0;
+            self.subject.for_each_enabled(self.s_phases(), |a| {
                 let mut s = self.clone();
                 match s.subject.fire(a, s.s_phases()) {
                     SubjectCmd::BecomeHungry(i) => s.invoke_dx(false, i, |c, io| c.hungry(io)),
@@ -256,7 +267,8 @@ impl ComposedState {
                     SubjectCmd::SendPing(i, seq) => s.pings.push((i as u8, seq)),
                 }
                 out.push((ComposedLabel::SubjectAct(idx), s));
-            }
+                idx += 1;
+            });
         }
         // Dining-message deliveries (non-FIFO: any index).
         for k in 0..self.dx_wire.len() {
@@ -342,9 +354,16 @@ impl ComposedState {
                 }
             }
         }
-        for (_, next) in out.iter_mut() {
+        for (_, next) in out[start..].iter_mut() {
             Self::update_taints(self, next);
         }
+    }
+
+    /// Enumerates successors as a fresh vector (trace replay and property
+    /// tests; the engines use [`ComposedState::successors_into`]).
+    pub fn successors(&self, cfg: &ComposedConfig) -> Vec<(ComposedLabel, ComposedState)> {
+        let mut out = Vec::new();
+        self.successors_into(cfg, &mut out);
         out
     }
 
@@ -450,6 +469,89 @@ impl ComposedState {
     }
 }
 
+impl crate::codec::StateCodec for ComposedState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        use dinefd_sim::codec::{put_u8, put_varint};
+        put_u8(out, self.witness.pack());
+        self.subject.pack_into(out);
+        for dx in self.w_dx.iter().chain(self.s_dx.iter()) {
+            dx.pack_into(out);
+        }
+        put_varint(out, self.dx_wire.len() as u64);
+        for &(i, to_subject, ref msg) in &self.dx_wire {
+            put_u8(out, i | (to_subject as u8) << 1);
+            match msg {
+                DiningMsg::WfDx(m) => m.pack_into(out),
+                other => unreachable!("composed wire carries only WfDx traffic, got {other:?}"),
+            }
+        }
+        crate::codec::put_wire_queue(out, &self.pings);
+        crate::codec::put_wire_queue(out, &self.acks);
+        let mistake_bits = |m: Mistake| match m {
+            Mistake::Fresh => 0u8,
+            Mistake::Active => 1,
+            Mistake::Spent => 2,
+        };
+        put_u8(
+            out,
+            self.crashed as u8
+                | mistake_bits(self.mistake_pq) << 1
+                | mistake_bits(self.mistake_qp) << 3,
+        );
+        put_u8(
+            out,
+            self.w_taint[0] as u8
+                | (self.w_taint[1] as u8) << 1
+                | (self.s_taint[0] as u8) << 2
+                | (self.s_taint[1] as u8) << 3,
+        );
+    }
+
+    fn decode(mut input: &[u8]) -> Option<Self> {
+        use dinefd_sim::codec::{take_u8, take_varint};
+        let input = &mut input;
+        let witness = WitnessMachine::unpack(take_u8(input)?);
+        let subject = SubjectMachine::unpack(input)?;
+        let mut dx = [None, None, None, None];
+        for slot in dx.iter_mut() {
+            *slot = Some(WfDxDining::unpack(input)?);
+        }
+        let [w0, w1, s0, s1] = dx;
+        let n = usize::try_from(take_varint(input)?).ok()?;
+        let mut dx_wire = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = take_u8(input)?;
+            let msg = dinefd_dining::wfdx::WxMsg::unpack(input)?;
+            dx_wire.push((tag & 1, tag & 0b10 != 0, DiningMsg::WfDx(msg)));
+        }
+        let pings = crate::codec::take_wire_queue(input)?;
+        let acks = crate::codec::take_wire_queue(input)?;
+        let flags = take_u8(input)?;
+        let mistake_from = |b: u8| match b & 0b11 {
+            0 => Some(Mistake::Fresh),
+            1 => Some(Mistake::Active),
+            2 => Some(Mistake::Spent),
+            _ => None,
+        };
+        let taints = take_u8(input)?;
+        let state = ComposedState {
+            witness,
+            subject,
+            w_dx: [w0?, w1?],
+            s_dx: [s0?, s1?],
+            dx_wire,
+            pings,
+            acks,
+            crashed: flags & 1 != 0,
+            mistake_pq: mistake_from(flags >> 1)?,
+            mistake_qp: mistake_from(flags >> 3)?,
+            w_taint: [taints & 1 != 0, taints & 0b10 != 0],
+            s_taint: [taints & 0b100 != 0, taints & 0b1000 != 0],
+        };
+        input.is_empty().then_some(state)
+    }
+}
+
 /// Emergent-exclusion check across one transition: an overlap may only
 /// BEGIN while a wrongful-suspicion flag is active, or when the endpoint
 /// that was already eating is in a tainted (mistake-era) session. Crashed
@@ -496,107 +598,60 @@ impl ComposedReport {
     }
 }
 
+/// The composed model seen through the engines' eyes.
+struct ComposedSearch<'a>(&'a ComposedConfig);
+
+impl SearchModel for ComposedSearch<'_> {
+    type State = ComposedState;
+    type Label = ComposedLabel;
+
+    fn successors_into(&self, s: &ComposedState, out: &mut Vec<(ComposedLabel, ComposedState)>) {
+        s.successors_into(self.0, out);
+    }
+
+    fn state_violations(&self, s: &ComposedState) -> Vec<String> {
+        s.check_invariants()
+    }
+
+    fn step_violations(
+        &self,
+        s: &ComposedState,
+        _label: ComposedLabel,
+        next: &ComposedState,
+    ) -> Vec<String> {
+        exclusion_step_violations(s, next)
+    }
+
+    fn delivery_class(&self, label: ComposedLabel) -> Option<DeliveryClass> {
+        // The three delivery labels each consume one message from one pool
+        // and step disjoint components (fork endpoints vs witness vs
+        // subject); see `crate::por` for the independence argument.
+        // Machine actions, ticks, crashes, and mistake flags stay
+        // unclassified and are never slept.
+        match label {
+            ComposedLabel::DeliverDx(d) => Some(DeliveryClass::Dx(d)),
+            ComposedLabel::DeliverPing(k) => Some(DeliveryClass::Ping(k)),
+            ComposedLabel::DeliverAck(j) => Some(DeliveryClass::Ack(j)),
+            _ => None,
+        }
+    }
+
+    fn por(&self) -> bool {
+        self.0.por
+    }
+}
+
 /// Depth-bounded exhaustive exploration of the composed model. Dispatches
-/// on [`ComposedConfig::threads`] exactly like [`crate::explore`].
+/// on [`ComposedConfig::threads`] exactly like [`crate::explore`], through
+/// the same engines and the same fingerprinted visited store.
 pub fn explore_composed(cfg: &ComposedConfig) -> ComposedReport {
-    if cfg.threads <= 1 {
-        explore_composed_serial(cfg)
-    } else {
-        explore_composed_parallel(cfg)
-    }
-}
-
-fn explore_composed_serial(cfg: &ComposedConfig) -> ComposedReport {
-    use std::collections::HashMap;
-    let started = Instant::now();
+    let model = ComposedSearch(cfg);
     let initial = ComposedState::initial(cfg);
-    let mut report = ComposedReport {
-        states_visited: 0,
-        transitions: 0,
-        violations: Vec::new(),
-        records: Vec::new(),
-        deadlocks: 0,
-        truncated: false,
-        stats: SearchStats::serial(0, 0.0),
+    let outcome = if cfg.threads <= 1 {
+        serial_search(&model, initial, cfg.max_depth, cfg.max_states)
+    } else {
+        parallel_search(&model, initial, cfg.max_depth, cfg.max_states, cfg.threads)
     };
-    let mut visited: HashMap<ComposedState, u32> = HashMap::new();
-    let mut stack: Vec<(ComposedState, u32, Vec<ComposedLabel>)> = Vec::new();
-    for v in initial.check_invariants() {
-        push_composed(&mut report, ViolationKind::StateInvariant, v, Vec::new());
-    }
-    visited.insert(initial.clone(), cfg.max_depth);
-    stack.push((initial, cfg.max_depth, Vec::new()));
-
-    while let Some((state, depth, path)) = stack.pop() {
-        if visited.len() >= cfg.max_states {
-            report.truncated = true;
-            break;
-        }
-        if depth == 0 {
-            continue;
-        }
-        let succ = state.successors(cfg);
-        if succ.is_empty() {
-            report.deadlocks += 1;
-            continue;
-        }
-        for (label, next) in succ {
-            report.transitions += 1;
-            for v in exclusion_step_violations(&state, &next) {
-                let mut p = path.clone();
-                p.push(label);
-                push_composed(&mut report, ViolationKind::ClosureStep, v, p);
-            }
-            let remaining = depth - 1;
-            if visited.get(&next).is_some_and(|&d| d >= remaining) {
-                continue;
-            }
-            let mut next_path = path.clone();
-            next_path.push(label);
-            for v in next.check_invariants() {
-                push_composed(&mut report, ViolationKind::StateInvariant, v, next_path.clone());
-            }
-            visited.insert(next.clone(), remaining);
-            stack.push((next, remaining, next_path));
-        }
-    }
-    report.states_visited = visited.len();
-    report.stats = SearchStats::serial(report.states_visited, started.elapsed().as_secs_f64());
-    report
-}
-
-fn explore_composed_parallel(cfg: &ComposedConfig) -> ComposedReport {
-    struct ComposedSearch<'a>(&'a ComposedConfig);
-
-    impl ParallelModel for ComposedSearch<'_> {
-        type State = ComposedState;
-        type Label = ComposedLabel;
-
-        fn successors(&self, s: &ComposedState) -> Vec<(ComposedLabel, ComposedState)> {
-            s.successors(self.0)
-        }
-
-        fn state_violations(&self, s: &ComposedState) -> Vec<String> {
-            s.check_invariants()
-        }
-
-        fn step_violations(
-            &self,
-            s: &ComposedState,
-            _label: ComposedLabel,
-            next: &ComposedState,
-        ) -> Vec<String> {
-            exclusion_step_violations(s, next)
-        }
-    }
-
-    let outcome = parallel_search(
-        &ComposedSearch(cfg),
-        ComposedState::initial(cfg),
-        cfg.max_depth,
-        cfg.max_states,
-        cfg.threads,
-    );
     ComposedReport {
         states_visited: outcome.states_visited,
         transitions: outcome.transitions,
@@ -610,16 +665,6 @@ fn explore_composed_parallel(cfg: &ComposedConfig) -> ComposedReport {
         truncated: outcome.truncated,
         stats: outcome.stats,
     }
-}
-
-fn push_composed(
-    report: &mut ComposedReport,
-    kind: ViolationKind,
-    message: String,
-    path: Vec<ComposedLabel>,
-) {
-    report.violations.push(format!("{message} (after {})", fmt_path(&path, None)));
-    report.records.push(ViolationRecord { kind, message, path });
 }
 
 #[cfg(test)]
@@ -675,11 +720,39 @@ mod tests {
         let serial = explore_composed(&base);
         let parallel = explore_composed(&ComposedConfig { threads: 4, ..base });
         assert_eq!(serial.states_visited, parallel.states_visited);
+        assert_eq!(serial.transitions, parallel.transitions);
         assert_eq!(serial.clean(), parallel.clean());
         assert_eq!(serial.deadlocks, parallel.deadlocks);
         assert!(!parallel.truncated);
         assert_eq!(parallel.stats.threads, 4);
         assert!(parallel.stats.states_per_sec > 0.0);
+    }
+
+    #[test]
+    fn composed_por_agrees_with_full_exploration() {
+        let base = ComposedConfig { max_depth: 9, ..Default::default() };
+        let full = explore_composed(&base);
+        let por = explore_composed(&ComposedConfig { por: true, ..base });
+        assert_eq!(full.states_visited, por.states_visited);
+        assert_eq!(full.transitions, por.transitions);
+        assert_eq!(full.deadlocks, por.deadlocks);
+        assert_eq!(full.violations, por.violations);
+        assert!(por.stats.sleep_skips.get() > 0, "POR never fired at depth 9");
+    }
+
+    #[test]
+    fn composed_state_codec_round_trips_along_a_walk() {
+        use crate::codec::StateCodec;
+        let cfg = ComposedConfig::default();
+        let mut s = ComposedState::initial(&cfg);
+        for pick in [0usize, 1, 0, 2, 1, 0, 3, 2] {
+            let succ = s.successors(&cfg);
+            assert!(!succ.is_empty());
+            let (label, next) = succ.into_iter().cycle().nth(pick).unwrap();
+            let bytes = next.encode();
+            assert_eq!(ComposedState::decode(&bytes).as_ref(), Some(&next), "after {label:?}");
+            s = next;
+        }
     }
 
     #[test]

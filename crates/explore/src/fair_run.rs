@@ -104,6 +104,7 @@ pub fn fair_run_mutated(
         allow_crash: true,
         start_converged: false,
         threads: 1,
+        por: false,
         subject_mutation,
         model_mutation,
     };

@@ -59,18 +59,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod composed;
 pub mod fair_run;
 pub mod pair_model;
 pub mod parallel;
+pub mod por;
 pub mod search;
+pub(crate) mod visited;
 
+pub use codec::{fingerprint, StateCodec};
 pub use composed::{
     explore_composed, ComposedConfig, ComposedLabel, ComposedReport, ComposedState,
 };
 pub use fair_run::{fair_run, fair_run_mutated, FairRunReport};
 pub use pair_model::{ExploreConfig, ModelMutation, PairState, TransitionLabel};
 pub use parallel::{SearchStats, ViolationKind, ViolationRecord, N_SHARDS};
+pub use por::DeliveryClass;
 pub use search::{explore, fmt_path, ExploreReport};
 
 /// Re-export: machine-level seeded bugs live next to the machines.

@@ -40,6 +40,11 @@ pub struct ExploreConfig {
     /// Worker threads for [`crate::explore`]: `1` (the default) runs the
     /// serial search; `≥ 2` runs the work-stealing parallel engine.
     pub threads: usize,
+    /// Enable sleep-set partial-order reduction over commuting ping/ack
+    /// deliveries ([`crate::por`]). Off by default. Sound: every reported
+    /// figure (`states_visited`, `transitions`, `deadlocks`, violations) is
+    /// identical with POR on or off; only redundant probe work is skipped.
+    pub por: bool,
     /// Seeded machine-level bug (mutation testing; `None` = faithful).
     pub subject_mutation: SubjectMutation,
     /// Seeded wire-level bug (mutation testing; `None` = faithful).
@@ -55,6 +60,7 @@ impl Default for ExploreConfig {
             allow_crash: true,
             start_converged: false,
             threads: 1,
+            por: false,
             subject_mutation: SubjectMutation::None,
             model_mutation: ModelMutation::None,
         }
@@ -194,33 +200,35 @@ impl PairState {
         s
     }
 
-    /// All enabled transitions with their successors.
-    pub fn successors(&self, cfg: &ExploreConfig) -> Vec<(TransitionLabel, PairState)> {
-        let mut out = Vec::new();
+    /// All enabled transitions with their successors, appended to `out` —
+    /// the allocation-free form the search engines drive with a reused
+    /// scratch buffer.
+    pub fn successors_into(
+        &self,
+        cfg: &ExploreConfig,
+        out: &mut Vec<(TransitionLabel, PairState)>,
+    ) {
+        let mut push = |l: TransitionLabel| out.push((l, self.apply(l, cfg)));
         // Witness actions (p is always correct in this model).
-        for a in self.witness.enabled(self.w_phase) {
-            out.push(TransitionLabel::Witness(a));
-        }
+        self.witness.for_each_enabled(self.w_phase, |a| push(TransitionLabel::Witness(a)));
         // Subject actions, if q lives.
         if !self.crashed {
-            for a in self.subject.enabled(self.s_phase) {
-                out.push(TransitionLabel::Subject(a));
-            }
+            self.subject.for_each_enabled(self.s_phase, |a| push(TransitionLabel::Subject(a)));
         }
         // Non-FIFO delivery: any in-flight message.
         for k in 0..self.pings.len() {
-            out.push(TransitionLabel::DeliverPing(k));
+            push(TransitionLabel::DeliverPing(k));
         }
         if !self.crashed {
             for k in 0..self.acks.len() {
-                out.push(TransitionLabel::DeliverAck(k));
+                push(TransitionLabel::DeliverAck(k));
             }
             // Seeded wire bug: an adversarial wire may duplicate an
             // in-flight ack (bounded so the mutated state space stays
             // finite).
             if cfg.model_mutation == ModelMutation::StaleAckReplay && self.acks.len() < 3 {
                 for k in 0..self.acks.len() {
-                    out.push(TransitionLabel::DuplicateAck(k));
+                    push(TransitionLabel::DuplicateAck(k));
                 }
             }
         }
@@ -232,25 +240,33 @@ impl PairState {
             if self.w_phase[i] == DinerPhase::Hungry
                 && (!self.converged || self.crashed || self.s_phase[i] != DinerPhase::Eating)
             {
-                out.push(TransitionLabel::GrantWitness(i));
+                push(TransitionLabel::GrantWitness(i));
             }
             if !self.crashed
                 && self.s_phase[i] == DinerPhase::Hungry
                 && (!self.converged || self.w_phase[i] != DinerPhase::Eating)
             {
-                out.push(TransitionLabel::GrantSubject(i));
+                push(TransitionLabel::GrantSubject(i));
             }
         }
         // Convergence may strike at any moment — but ◇WX's exclusive suffix
         // cannot begin while two live neighbors are mid-overlap.
         if !self.converged && !(0..2).any(|i| !self.crashed && self.both_endpoints_eating(i)) {
-            out.push(TransitionLabel::Converge);
+            push(TransitionLabel::Converge);
         }
         // q may crash at any moment.
         if cfg.allow_crash && !self.crashed {
-            out.push(TransitionLabel::CrashSubject);
+            push(TransitionLabel::CrashSubject);
         }
-        out.into_iter().map(|l| (l, self.apply(l, cfg))).collect()
+    }
+
+    /// All enabled transitions with their successors, as a fresh vector
+    /// (trace replay and property tests; the engines use
+    /// [`PairState::successors_into`]).
+    pub fn successors(&self, cfg: &ExploreConfig) -> Vec<(TransitionLabel, PairState)> {
+        let mut out = Vec::new();
+        self.successors_into(cfg, &mut out);
+        out
     }
 
     /// State-level invariant checks (the paper's safety lemmas). Returns

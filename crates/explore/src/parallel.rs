@@ -1,74 +1,90 @@
-//! Work-stealing parallel engine behind [`crate::explore`] and
-//! [`crate::explore_composed`].
+//! The search engines behind [`crate::explore`] and
+//! [`crate::explore_composed`] — one serial, one work-stealing parallel,
+//! both driving the same expansion logic over the same fingerprinted
+//! visited store.
 //!
-//! One engine serves both models through the [`ParallelModel`] trait. The
-//! design:
+//! One engine pair serves both models through the [`SearchModel`] trait.
+//! The design:
 //!
-//! * **Sharded visited table** — the visited map (state → largest remaining
-//!   depth it was expanded with, as in the serial searches) is split into
-//!   [`N_SHARDS`] lock-striped `parking_lot::Mutex<HashMap<…>>` shards keyed
-//!   by state hash. Workers `try_lock` first and count the misses, so shard
-//!   contention is observable in [`SearchStats::shard_conflicts`].
-//! * **Per-worker deques with stealing** — each worker owns a LIFO
+//! * **Fingerprinted visited store** — states are never used as hash-map
+//!   keys. Each state is encoded once ([`crate::codec::StateCodec`]) into a
+//!   per-worker scratch buffer, fingerprinted, and interned in an
+//!   open-addressing arena store ([`crate::visited`]); fingerprint hits are
+//!   confirmed by exact byte comparison, so the search stays exhaustive.
+//!   The parallel engine stripes the store across [`N_SHARDS`] mutexes
+//!   selected by the top fingerprint bits; workers `try_lock` first and
+//!   count the misses ([`SearchStats::shard_conflicts`]).
+//! * **Parent-chain paths** — tasks carry no path vector. The store records,
+//!   per state, the tree edge that first interned it; violations are held as
+//!   entry references during the search and resolved to label paths once,
+//!   at the end, by walking parent links.
+//! * **Per-worker deques with stealing** — each parallel worker owns a LIFO
 //!   `crossbeam::deque::Worker` (LIFO keeps the search depth-first-ish and
 //!   the frontier small); idle workers steal the *oldest* task from peers or
-//!   from the shared injector, which hands them the widest subtrees.
+//!   from the shared injector, which hands them the widest subtrees. The
+//!   serial engine runs the same expansion over a plain LIFO stack.
 //! * **Termination** — a global pending-task counter is incremented before
 //!   every push and decremented after every task completes; when a worker
 //!   finds every queue empty and the counter at zero, the frontier is
 //!   exhausted everywhere.
+//! * **Optional sleep-set POR** ([`crate::por`]) — when the model opts in,
+//!   deliveries whose commuted order was already explored skip the
+//!   encode/probe/queue work ([`SearchStats::sleep_skips`]). Successor
+//!   *enumeration* and every invariant/closure check remain exhaustive, so
+//!   all reported figures are identical with POR on or off.
 //!
 //! ## Determinism
 //!
-//! The visited table converges to a schedule-independent fixpoint: the value
-//! stored for a state only ever increases, a state is (re-)queued exactly
-//! when its value increases, and the final value is the maximum remaining
-//! depth over all paths that reach the state within the bound — a property
-//! of the graph, not of the schedule. Hence, when the search is not
-//! truncated by `max_states`:
+//! The visited store converges to a schedule-independent fixpoint: the
+//! depth stored for a state only increases (and its sleep mask only
+//! shrinks), a state is (re-)queued exactly when that metadata improves,
+//! and the final values are properties of the graph, not of the schedule.
+//! Hence, when the search is not truncated by `max_states`:
 //!
-//! * `states_visited` is deterministic and equal to the serial search's;
+//! * `states_visited` is deterministic and equal across the serial engine,
+//!   the parallel engine at any thread count, and POR on/off;
 //! * the set of states whose invariants are checked (every visited state,
 //!   checked exactly once, on first insertion) is deterministic, so
 //!   `clean()` and the deduplicated violation *messages* are deterministic;
-//! * `deadlocks` counts *distinct* dead states — deterministic (the serial
-//!   search counts dead-state *pops*, which coincides on deadlock-free
-//!   models such as both of ours);
-//! * `transitions` counts each state's out-degree once, on its first
-//!   expansion — deterministic, but a lower bound on the serial count,
-//!   which re-counts a state's out-edges when the state is re-expanded
-//!   with a larger depth budget.
+//! * `deadlocks` counts *distinct* dead states — deterministic;
+//! * `transitions` counts each state's out-degree exactly once, on its
+//!   first expansion — deterministic and engine-independent.
 //!
 //! Only the *representative path* attached to each violation (whichever
 //! worker reached the state first) and the figures in [`SearchStats`] are
 //! schedule-dependent. When the search *is* truncated, the subset of states
-//! visited before the budget tripped depends on the schedule, exactly as it
-//! depends on expansion order in the serial search.
+//! visited before the budget tripped depends on expansion order, in both
+//! engines.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasher, BuildHasherDefault, Hash};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use dinefd_sim::metrics::{Counter, MetricMap};
 use parking_lot::Mutex;
 
-/// Number of lock stripes in the visited table. Power of two; generous
-/// relative to any plausible worker count so that uniformly-hashed states
-/// rarely collide on a stripe.
+use crate::codec::{fingerprint, StateCodec};
+use crate::por::{child_sleep, DeliveryClass};
+use crate::visited::{path_through, ProbeOutcome, ShardedVisitedStore, VisitedStore, NO_PARENT};
+
+/// Number of lock stripes in the parallel visited store. Power of two;
+/// generous relative to any plausible worker count so that
+/// uniformly-fingerprinted states rarely collide on a stripe.
 pub const N_SHARDS: usize = 64;
 
-/// A state graph the engine can search. Implementations must be cheap to
+/// A state graph the engines can search. Implementations must be cheap to
 /// share across threads (`&self` methods are called concurrently).
-pub(crate) trait ParallelModel: Sync {
-    /// Model state (hashable — the visited-table key).
-    type State: Clone + Eq + Hash + Send;
-    /// Transition label (small and copyable — paths clone freely).
+pub(crate) trait SearchModel: Sync {
+    /// Model state. Identity is its [`StateCodec`] encoding; `PartialEq` is
+    /// only used to debug-assert codec round-trips on fresh insertions.
+    type State: Clone + Send + PartialEq + std::fmt::Debug + StateCodec;
+    /// Transition label (small and copyable).
     type Label: Copy + Send + std::fmt::Debug;
 
-    /// All enabled transitions out of `s` with their successors.
-    fn successors(&self, s: &Self::State) -> Vec<(Self::Label, Self::State)>;
+    /// Appends all enabled transitions out of `s` (with their successors)
+    /// to `out`. The engines clear and reuse `out` across expansions, so
+    /// implementations must only push.
+    fn successors_into(&self, s: &Self::State, out: &mut Vec<(Self::Label, Self::State)>);
     /// State-level invariant violations (core messages, no path suffix).
     fn state_violations(&self, s: &Self::State) -> Vec<String>;
     /// Transition-level violations for `s --label--> next`.
@@ -78,6 +94,16 @@ pub(crate) trait ParallelModel: Sync {
         label: Self::Label,
         next: &Self::State,
     ) -> Vec<String>;
+    /// POR classification of `label`: which wire pool it consumes from, or
+    /// `None` for everything that must never be slept. The default opts
+    /// every label out.
+    fn delivery_class(&self, _label: Self::Label) -> Option<DeliveryClass> {
+        None
+    }
+    /// Whether sleep-set POR is enabled for this run (default off).
+    fn por(&self) -> bool {
+        false
+    }
 }
 
 /// Which check produced a violation.
@@ -104,14 +130,14 @@ pub struct ViolationRecord<L> {
     pub path: Vec<L>,
 }
 
-/// Throughput and contention figures of one search run, built on the
-/// shared [`dinefd_sim::metrics`] primitives so the explorer reports
+/// Throughput, contention, and codec figures of one search run, built on
+/// the shared [`dinefd_sim::metrics`] primitives so the explorer reports
 /// through the same observability layer as the simulator.
 #[derive(Clone, Copy, Debug)]
 pub struct SearchStats {
-    /// Worker threads used (1 = the serial code path).
+    /// Worker threads used (1 = the serial engine).
     pub threads: usize,
-    /// Visited-table stripes (1 in the serial code path).
+    /// Visited-store stripes (1 in the serial engine).
     pub shards: usize,
     /// Wall-clock duration of the search, in seconds.
     pub duration_secs: f64,
@@ -119,24 +145,26 @@ pub struct SearchStats {
     pub states_per_sec: f64,
     /// Tasks acquired from a non-local queue (peer deques + injector).
     pub steals: Counter,
-    /// Visited-table `try_lock` misses that had to fall back to a blocking
+    /// Visited-store `try_lock` misses that had to fall back to a blocking
     /// lock — the contention measure of the sharding.
     pub shard_conflicts: Counter,
+    /// Fingerprint hits confirmed equal by exact byte comparison (every
+    /// re-visit of a seen state costs exactly one).
+    pub fp_confirms: Counter,
+    /// Fingerprint hits whose interned bytes differed — true 64-bit
+    /// collisions, resolved exactly by further probing (expected ≈ 0 at
+    /// explorable state counts).
+    pub fp_collisions: Counter,
+    /// Successor edges skipped by sleep-set POR (0 unless the model opts
+    /// in). Skips save probe work only; they never hide a state or a check.
+    pub sleep_skips: Counter,
+    /// Bytes of encoded state interned in the visited-store arena(s) — the
+    /// resident footprint of the state set itself. Deterministic when the
+    /// search is not truncated.
+    pub arena_bytes: u64,
 }
 
 impl SearchStats {
-    /// Stats of a single-threaded run (no stealing, no sharding).
-    pub(crate) fn serial(states: usize, duration_secs: f64) -> Self {
-        SearchStats {
-            threads: 1,
-            shards: 1,
-            duration_secs,
-            states_per_sec: if duration_secs > 0.0 { states as f64 / duration_secs } else { 0.0 },
-            steals: Counter::new(),
-            shard_conflicts: Counter::new(),
-        }
-    }
-
     /// Flattens the schedule-dependent counters under `prefix` (the
     /// wall-clock figures are exported separately by the perf reports, as
     /// they are never rerun-stable).
@@ -145,6 +173,10 @@ impl SearchStats {
         out.insert(format!("{prefix}.shards"), self.shards as u64);
         out.insert(format!("{prefix}.steals"), self.steals.get());
         out.insert(format!("{prefix}.shard_conflicts"), self.shard_conflicts.get());
+        out.insert(format!("{prefix}.fp_confirms"), self.fp_confirms.get());
+        out.insert(format!("{prefix}.fp_collisions"), self.fp_collisions.get());
+        out.insert(format!("{prefix}.sleep_skips"), self.sleep_skips.get());
+        out.insert(format!("{prefix}.arena_bytes"), self.arena_bytes);
     }
 }
 
@@ -152,17 +184,22 @@ impl std::fmt::Display for SearchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} thread(s), {:.0} states/s, {} steals, {} shard conflicts",
+            "{} thread(s), {:.0} states/s, {} steals, {} shard conflicts, \
+             {} fp confirms, {} fp collisions, {} sleep skips, {} arena bytes",
             self.threads,
             self.states_per_sec,
             self.steals.get(),
-            self.shard_conflicts.get()
+            self.shard_conflicts.get(),
+            self.fp_confirms.get(),
+            self.fp_collisions.get(),
+            self.sleep_skips.get(),
+            self.arena_bytes
         )
     }
 }
 
-/// Everything the engine reports back to the model-specific wrappers.
-pub(crate) struct ParallelOutcome<L> {
+/// Everything the engines report back to the model-specific wrappers.
+pub(crate) struct SearchOutcome<L> {
     pub states_visited: usize,
     pub transitions: u64,
     pub deadlocks: usize,
@@ -173,138 +210,308 @@ pub(crate) struct ParallelOutcome<L> {
     pub stats: SearchStats,
 }
 
-struct VisitEntry {
-    /// Largest remaining depth this state was queued with.
-    remaining: u32,
-    /// Whether some worker already expanded it (first expansion counts
-    /// transitions/deadlocks; re-expansions only propagate depth upgrades).
-    expanded: bool,
-}
-
-enum InsertOutcome {
-    /// Never seen before — check invariants, queue for expansion.
-    Fresh,
-    /// Seen, but now reachable with more remaining depth — requeue.
-    Deeper,
-    /// Seen with at least this much depth — prune.
-    Pruned,
-}
-
-/// The lock-striped visited table.
-struct ShardedVisited<S> {
-    shards: Vec<Mutex<HashMap<S, VisitEntry>>>,
-    hasher: BuildHasherDefault<std::collections::hash_map::DefaultHasher>,
-    conflicts: AtomicU64,
-}
-
-impl<S: Clone + Eq + Hash> ShardedVisited<S> {
-    fn new() -> Self {
-        ShardedVisited {
-            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hasher: BuildHasherDefault::default(),
-            conflicts: AtomicU64::new(0),
-        }
-    }
-
-    fn shard(&self, s: &S) -> &Mutex<HashMap<S, VisitEntry>> {
-        &self.shards[(self.hasher.hash_one(s) as usize) & (N_SHARDS - 1)]
-    }
-
-    fn lock_counting<'a>(
-        &'a self,
-        m: &'a Mutex<HashMap<S, VisitEntry>>,
-    ) -> parking_lot::MutexGuard<'a, HashMap<S, VisitEntry>> {
-        match m.try_lock() {
-            Some(g) => g,
-            None => {
-                self.conflicts.fetch_add(1, Ordering::Relaxed);
-                m.lock()
-            }
-        }
-    }
-
-    fn insert_if_deeper(&self, s: &S, remaining: u32) -> InsertOutcome {
-        let mut g = self.lock_counting(self.shard(s));
-        match g.get_mut(s) {
-            Some(e) if e.remaining >= remaining => InsertOutcome::Pruned,
-            Some(e) => {
-                e.remaining = remaining;
-                InsertOutcome::Deeper
-            }
-            None => {
-                g.insert(s.clone(), VisitEntry { remaining, expanded: false });
-                InsertOutcome::Fresh
-            }
-        }
-    }
-
-    /// Marks `s` expanded; true iff this is the first expansion.
-    fn mark_expanded(&self, s: &S) -> bool {
-        let mut g = self.lock_counting(self.shard(s));
-        let e = g.get_mut(s).expect("expanding a state that was never inserted");
-        !std::mem::replace(&mut e.expanded, true)
-    }
-
-    fn len(&self) -> usize {
-        self.shards.iter().map(|m| m.lock().len()).sum()
-    }
-}
-
-struct Task<S, L> {
+/// A queued unit of work: the state itself (kept decoded so expansion never
+/// re-decodes), its store entry reference (for parent links and the
+/// expanded flag), and the depth/sleep metadata it was queued with.
+struct Task<S> {
     state: S,
+    entry: u64,
     remaining: u32,
-    path: Vec<L>,
+    sleep: u32,
 }
 
-/// Per-worker tallies, merged after the scope joins.
-struct WorkerTally<L> {
+/// A violation captured mid-search: the path is reconstructed from `entry`'s
+/// parent chain only once the search has finished.
+struct PendingViolation<L> {
+    kind: ViolationKind,
+    message: String,
+    entry: u64,
+    extra: Option<L>,
+}
+
+/// Per-worker tallies, merged after the scope joins. The serial engine uses
+/// a single one.
+struct Tally<L> {
     transitions: u64,
     deadlocks: usize,
     steals: u64,
-    violations: Vec<ViolationRecord<L>>,
+    sleep_skips: u64,
+    pending: Vec<PendingViolation<L>>,
+}
+
+impl<L> Tally<L> {
+    fn new() -> Self {
+        Tally { transitions: 0, deadlocks: 0, steals: 0, sleep_skips: 0, pending: Vec::new() }
+    }
+}
+
+/// Store operations the shared expansion logic needs, implemented by both
+/// the single [`VisitedStore`] (serial) and the sharded wrapper (parallel).
+/// Entry references are the packed `(shard, index)` form of
+/// [`crate::visited::entry_ref`]; the serial store is shard 0.
+trait StoreAccess<L: Copy> {
+    fn probe(
+        &mut self,
+        fp: u64,
+        bytes: &[u8],
+        remaining: u32,
+        sleep: u32,
+        parent: u64,
+        label: Option<L>,
+    ) -> (ProbeOutcome, u64, u32, u32);
+    fn mark_expanded(&mut self, entry: u64) -> bool;
+}
+
+impl<L: Copy> StoreAccess<L> for VisitedStore<L> {
+    fn probe(
+        &mut self,
+        fp: u64,
+        bytes: &[u8],
+        remaining: u32,
+        sleep: u32,
+        parent: u64,
+        label: Option<L>,
+    ) -> (ProbeOutcome, u64, u32, u32) {
+        let p = VisitedStore::probe(self, fp, bytes, remaining, sleep, parent, label);
+        (p.outcome, crate::visited::entry_ref(0, p.index), p.remaining, p.sleep)
+    }
+
+    fn mark_expanded(&mut self, entry: u64) -> bool {
+        VisitedStore::mark_expanded(self, entry as u32)
+    }
+}
+
+impl<L: Copy> StoreAccess<L> for &ShardedVisitedStore<L> {
+    fn probe(
+        &mut self,
+        fp: u64,
+        bytes: &[u8],
+        remaining: u32,
+        sleep: u32,
+        parent: u64,
+        label: Option<L>,
+    ) -> (ProbeOutcome, u64, u32, u32) {
+        ShardedVisitedStore::probe(self, fp, bytes, remaining, sleep, parent, label)
+    }
+
+    fn mark_expanded(&mut self, entry: u64) -> bool {
+        ShardedVisitedStore::mark_expanded(self, entry)
+    }
+}
+
+/// Interns and checks the initial state, returning its root task. Shared by
+/// both engines so the seed semantics cannot diverge.
+fn seed_root<M: SearchModel>(
+    model: &M,
+    initial: M::State,
+    max_depth: u32,
+    store: &mut impl StoreAccess<M::Label>,
+    buf: &mut Vec<u8>,
+    tally: &mut Tally<M::Label>,
+) -> Task<M::State> {
+    buf.clear();
+    initial.encode_into(buf);
+    let (outcome, entry, _, _) = store.probe(fingerprint(buf), buf, max_depth, 0, NO_PARENT, None);
+    debug_assert_eq!(outcome, ProbeOutcome::Fresh, "seeding into a non-empty store");
+    for message in model.state_violations(&initial) {
+        tally.pending.push(PendingViolation {
+            kind: ViolationKind::StateInvariant,
+            message,
+            entry,
+            extra: None,
+        });
+    }
+    Task { state: initial, entry, remaining: max_depth, sleep: 0 }
+}
+
+/// Expands one task: enumerates successors into the reusable `succ` scratch,
+/// runs the once-per-state checks, probes each child, and hands fresh or
+/// upgraded children to `push(task, is_fresh)`. This single function defines
+/// the expansion semantics of *both* engines — the once-per-state
+/// `transitions`/`deadlocks` figures, the once-per-state closure checks, the
+/// once-per-insertion invariant checks, and the POR skip rule.
+fn expand_task<M: SearchModel>(
+    model: &M,
+    task: &Task<M::State>,
+    store: &mut impl StoreAccess<M::Label>,
+    succ: &mut Vec<(M::Label, M::State)>,
+    buf: &mut Vec<u8>,
+    tally: &mut Tally<M::Label>,
+    mut push: impl FnMut(Task<M::State>, bool),
+) {
+    let first_expansion = store.mark_expanded(task.entry);
+    succ.clear();
+    model.successors_into(&task.state, succ);
+    if succ.is_empty() {
+        if first_expansion {
+            tally.deadlocks += 1;
+        }
+        return;
+    }
+    if first_expansion {
+        // Out-degree is counted in full even under POR — enumeration (and
+        // with it every check below) is never reduced, only probe work is.
+        tally.transitions += succ.len() as u64;
+    }
+    let remaining = task.remaining - 1;
+    let por = model.por();
+    // Sleep bits of delivery labels already probed at *this* expansion;
+    // later independent siblings inherit them (the sleep-set recurrence).
+    let mut earlier = 0u32;
+    for (label, next) in succ.drain(..) {
+        if first_expansion {
+            for message in model.step_violations(&task.state, label, &next) {
+                tally.pending.push(PendingViolation {
+                    kind: ViolationKind::ClosureStep,
+                    message,
+                    entry: task.entry,
+                    extra: Some(label),
+                });
+            }
+        }
+        let class = if por { model.delivery_class(label) } else { None };
+        if let Some(c) = class {
+            let bit = c.bit();
+            if bit != 0 && task.sleep & bit != 0 {
+                // A commuted order through an earlier-explored independent
+                // delivery reaches the same child; skip the probe.
+                tally.sleep_skips += 1;
+                continue;
+            }
+        }
+        buf.clear();
+        next.encode_into(buf);
+        let sleep = if por { child_sleep(task.sleep, earlier, class) } else { 0 };
+        if let Some(c) = class {
+            earlier |= c.bit();
+        }
+        let (outcome, entry, up_remaining, up_sleep) =
+            store.probe(fingerprint(buf), buf, remaining, sleep, task.entry, Some(label));
+        match outcome {
+            ProbeOutcome::Pruned => {}
+            ProbeOutcome::Fresh => {
+                debug_assert_eq!(
+                    M::State::decode(buf).as_ref(),
+                    Some(&next),
+                    "codec round-trip failed on a fresh insertion"
+                );
+                for message in model.state_violations(&next) {
+                    tally.pending.push(PendingViolation {
+                        kind: ViolationKind::StateInvariant,
+                        message,
+                        entry,
+                        extra: None,
+                    });
+                }
+                push(Task { state: next, entry, remaining: up_remaining, sleep: up_sleep }, true);
+            }
+            ProbeOutcome::Requeue => {
+                push(Task { state: next, entry, remaining: up_remaining, sleep: up_sleep }, false);
+            }
+        }
+    }
+}
+
+/// Depth-bounded exhaustive search, single-threaded: one visited store, one
+/// LIFO stack, the shared [`expand_task`] semantics.
+pub(crate) fn serial_search<M: SearchModel>(
+    model: &M,
+    initial: M::State,
+    max_depth: u32,
+    max_states: usize,
+) -> SearchOutcome<M::Label> {
+    let started = Instant::now();
+    let mut store: VisitedStore<M::Label> = VisitedStore::new();
+    let mut tally: Tally<M::Label> = Tally::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(64);
+    let mut succ: Vec<(M::Label, M::State)> = Vec::new();
+    let mut stack: Vec<Task<M::State>> = Vec::new();
+    let mut truncated = false;
+
+    stack.push(seed_root(model, initial, max_depth, &mut store, &mut buf, &mut tally));
+    while let Some(task) = stack.pop() {
+        // Budget semantics shared with the parallel engine: tested when a
+        // state comes up for expansion, so the store may overshoot
+        // `max_states` by at most one expansion's successors.
+        if store.len() >= max_states {
+            truncated = true;
+            break;
+        }
+        if task.remaining == 0 {
+            continue;
+        }
+        expand_task(model, &task, &mut store, &mut succ, &mut buf, &mut tally, |t, _| {
+            stack.push(t)
+        });
+    }
+
+    let states_visited = store.len();
+    let duration_secs = started.elapsed().as_secs_f64();
+    let store_stats = store.stats();
+    let violations = merge_violations(tally.pending.drain(..).map(|p| ViolationRecord {
+        kind: p.kind,
+        message: p.message,
+        path: path_through(p.entry, p.extra, |_| &store),
+    }));
+    SearchOutcome {
+        states_visited,
+        transitions: tally.transitions,
+        deadlocks: tally.deadlocks,
+        truncated,
+        violations,
+        stats: SearchStats {
+            threads: 1,
+            shards: 1,
+            duration_secs,
+            states_per_sec: if duration_secs > 0.0 {
+                states_visited as f64 / duration_secs
+            } else {
+                0.0
+            },
+            steals: Counter::new(),
+            shard_conflicts: Counter::new(),
+            fp_confirms: Counter::from(store_stats.confirms),
+            fp_collisions: Counter::from(store_stats.collisions),
+            sleep_skips: Counter::from(tally.sleep_skips),
+            arena_bytes: store.arena_bytes() as u64,
+        },
+    }
 }
 
 /// Runs the work-stealing search. `threads` must be ≥ 2 (the callers route
-/// `threads <= 1` to their serial code paths).
-pub(crate) fn parallel_search<M: ParallelModel>(
+/// `threads <= 1` to [`serial_search`]).
+pub(crate) fn parallel_search<M: SearchModel>(
     model: &M,
     initial: M::State,
     max_depth: u32,
     max_states: usize,
     threads: usize,
-) -> ParallelOutcome<M::Label> {
+) -> SearchOutcome<M::Label> {
     debug_assert!(threads >= 2, "serial searches bypass the engine");
     let started = Instant::now();
 
-    let visited: ShardedVisited<M::State> = ShardedVisited::new();
-    let injector: Injector<Task<M::State, M::Label>> = Injector::new();
-    let locals: Vec<Worker<Task<M::State, M::Label>>> =
-        (0..threads).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<Task<M::State, M::Label>>> =
-        locals.iter().map(Worker::stealer).collect();
+    let visited: ShardedVisitedStore<M::Label> = ShardedVisitedStore::new();
+    let injector: Injector<Task<M::State>> = Injector::new();
+    let locals: Vec<Worker<Task<M::State>>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Task<M::State>>> = locals.iter().map(Worker::stealer).collect();
 
     // Tasks queued but not yet fully processed; 0 ⇒ the frontier is drained.
     let pending = AtomicUsize::new(0);
     let fresh_states = AtomicUsize::new(0);
     let truncated = AtomicBool::new(false);
 
-    // Seed: the initial state is visited and checked up front, exactly like
-    // the serial searches do.
-    let mut seed_violations: Vec<ViolationRecord<M::Label>> = model
-        .state_violations(&initial)
-        .into_iter()
-        .map(|message| ViolationRecord {
-            kind: ViolationKind::StateInvariant,
-            message,
-            path: Vec::new(),
-        })
-        .collect();
-    visited.insert_if_deeper(&initial, max_depth);
-    fresh_states.store(1, Ordering::Relaxed);
-    pending.store(1, Ordering::SeqCst);
-    injector.push(Task { state: initial, remaining: max_depth, path: Vec::new() });
+    // Seed: the initial state is interned and checked up front, through the
+    // same path the serial engine uses.
+    let mut seed_tally: Tally<M::Label> = Tally::new();
+    {
+        let mut buf = Vec::with_capacity(64);
+        let root = seed_root(model, initial, max_depth, &mut (&visited), &mut buf, &mut seed_tally);
+        fresh_states.store(1, Ordering::Relaxed);
+        pending.store(1, Ordering::SeqCst);
+        injector.push(root);
+    }
 
-    let tallies: Mutex<Vec<WorkerTally<M::Label>>> = Mutex::new(Vec::new());
+    let tallies: Mutex<Vec<Tally<M::Label>>> = Mutex::new(Vec::new());
 
     crossbeam::thread::scope(|scope| {
         for local in locals {
@@ -312,8 +519,9 @@ pub(crate) fn parallel_search<M: ParallelModel>(
             let (pending, fresh_states, truncated) = (&pending, &fresh_states, &truncated);
             let tallies = &tallies;
             scope.spawn(move |_| {
-                let mut tally =
-                    WorkerTally { transitions: 0, deadlocks: 0, steals: 0, violations: Vec::new() };
+                let mut tally: Tally<M::Label> = Tally::new();
+                let mut buf: Vec<u8> = Vec::with_capacity(64);
+                let mut succ: Vec<(M::Label, M::State)> = Vec::new();
                 loop {
                     let task = local
                         .pop()
@@ -329,6 +537,8 @@ pub(crate) fn parallel_search<M: ParallelModel>(
                                 fresh_states,
                                 truncated,
                                 max_states,
+                                &mut buf,
+                                &mut succ,
                                 &mut tally,
                             );
                             pending.fetch_sub(1, Ordering::SeqCst);
@@ -347,21 +557,27 @@ pub(crate) fn parallel_search<M: ParallelModel>(
     })
     .expect("explorer worker panicked");
 
-    let tallies = tallies.into_inner();
+    let mut tallies = tallies.into_inner();
+    tallies.push(seed_tally);
     let states_visited = visited.len();
     let duration_secs = started.elapsed().as_secs_f64();
-    let (transitions, deadlocks, steals) =
-        tallies.iter().fold((0u64, 0usize, 0u64), |(t, d, s), w| {
-            (t + w.transitions, d + w.deadlocks, s + w.steals)
+    let (transitions, deadlocks, steals, sleep_skips) =
+        tallies.iter().fold((0u64, 0usize, 0u64, 0u64), |(t, d, s, z), w| {
+            (t + w.transitions, d + w.deadlocks, s + w.steals, z + w.sleep_skips)
         });
-    ParallelOutcome {
+    let store_stats = visited.stats();
+    let violations =
+        merge_violations(tallies.into_iter().flat_map(|t| t.pending).map(|p| ViolationRecord {
+            kind: p.kind,
+            message: p.message,
+            path: visited.path_to(p.entry, p.extra),
+        }));
+    SearchOutcome {
         states_visited,
         transitions,
         deadlocks,
         truncated: truncated.load(Ordering::SeqCst),
-        violations: merge_violations(
-            seed_violations.drain(..).chain(tallies.into_iter().flat_map(|t| t.violations)),
-        ),
+        violations,
         stats: SearchStats {
             threads,
             shards: N_SHARDS,
@@ -372,16 +588,17 @@ pub(crate) fn parallel_search<M: ParallelModel>(
                 0.0
             },
             steals: Counter::from(steals),
-            shard_conflicts: Counter::from(visited.conflicts.load(Ordering::Relaxed)),
+            shard_conflicts: Counter::from(visited.conflicts()),
+            fp_confirms: Counter::from(store_stats.confirms),
+            fp_collisions: Counter::from(store_stats.collisions),
+            sleep_skips: Counter::from(sleep_skips),
+            arena_bytes: visited.arena_bytes() as u64,
         },
     }
 }
 
 /// Steals one task: the shared injector first (widest subtrees), then peers.
-fn steal_task<S, L>(
-    injector: &Injector<Task<S, L>>,
-    stealers: &[Stealer<Task<S, L>>],
-) -> Option<Task<S, L>> {
+fn steal_task<S>(injector: &Injector<Task<S>>, stealers: &[Stealer<Task<S>>]) -> Option<Task<S>> {
     loop {
         let mut retry = false;
         match injector.steal() {
@@ -404,20 +621,22 @@ fn steal_task<S, L>(
 }
 
 #[allow(clippy::too_many_arguments)] // engine internals, bundled by role
-fn process_task<M: ParallelModel>(
+fn process_task<M: SearchModel>(
     model: &M,
-    task: Task<M::State, M::Label>,
-    visited: &ShardedVisited<M::State>,
-    local: &Worker<Task<M::State, M::Label>>,
+    task: Task<M::State>,
+    visited: &ShardedVisitedStore<M::Label>,
+    local: &Worker<Task<M::State>>,
     pending: &AtomicUsize,
     fresh_states: &AtomicUsize,
     truncated: &AtomicBool,
     max_states: usize,
-    tally: &mut WorkerTally<M::Label>,
+    buf: &mut Vec<u8>,
+    succ: &mut Vec<(M::Label, M::State)>,
+    tally: &mut Tally<M::Label>,
 ) {
-    // Budget check mirrors the serial searches: tested when a state comes up
-    // for expansion, so the table may slightly overshoot `max_states` (by at
-    // most one expansion's successors per worker).
+    // Budget semantics shared with the serial engine: tested when a state
+    // comes up for expansion, so the store may overshoot `max_states` by at
+    // most one expansion's successors per worker.
     if truncated.load(Ordering::Relaxed) {
         return; // drain mode: complete outstanding tasks without expanding
     }
@@ -428,52 +647,13 @@ fn process_task<M: ParallelModel>(
     if task.remaining == 0 {
         return;
     }
-    let first_expansion = visited.mark_expanded(&task.state);
-    let succ = model.successors(&task.state);
-    if succ.is_empty() {
-        if first_expansion {
-            tally.deadlocks += 1;
+    expand_task(model, &task, &mut (&*visited), succ, buf, tally, |t, is_fresh| {
+        if is_fresh {
+            fresh_states.fetch_add(1, Ordering::Relaxed);
         }
-        return;
-    }
-    if first_expansion {
-        tally.transitions += succ.len() as u64;
-    }
-    let remaining = task.remaining - 1;
-    for (label, next) in succ {
-        if first_expansion {
-            for message in model.step_violations(&task.state, label, &next) {
-                let mut path = task.path.clone();
-                path.push(label);
-                tally.violations.push(ViolationRecord {
-                    kind: ViolationKind::ClosureStep,
-                    message,
-                    path,
-                });
-            }
-        }
-        match visited.insert_if_deeper(&next, remaining) {
-            InsertOutcome::Pruned => {}
-            outcome => {
-                if matches!(outcome, InsertOutcome::Fresh) {
-                    fresh_states.fetch_add(1, Ordering::Relaxed);
-                    for message in model.state_violations(&next) {
-                        let mut path = task.path.clone();
-                        path.push(label);
-                        tally.violations.push(ViolationRecord {
-                            kind: ViolationKind::StateInvariant,
-                            message,
-                            path,
-                        });
-                    }
-                }
-                let mut path = task.path.clone();
-                path.push(label);
-                pending.fetch_add(1, Ordering::SeqCst);
-                local.push(Task { state: next, remaining, path });
-            }
-        }
-    }
+        pending.fetch_add(1, Ordering::SeqCst);
+        local.push(t);
+    });
 }
 
 /// Dedups by `(kind, message)` keeping one representative path, and sorts —

@@ -1,29 +1,26 @@
 //! Depth-bounded exhaustive search over the pair model.
 //!
-//! [`explore`] dispatches on [`ExploreConfig::threads`]: `1` runs the
-//! classic serial DFS below; `≥ 2` runs the work-stealing parallel engine in
-//! [`crate::parallel`] over the same model, same checks, same pruning rule.
-//! Serial and parallel agree on `states_visited`, `clean()`, and `deadlocks`
-//! whenever the search is not truncated (see the determinism notes on
-//! [`crate::parallel`]).
-
-use std::collections::HashMap;
-use std::time::Instant;
+//! [`explore`] dispatches on [`ExploreConfig::threads`]: `1` runs the serial
+//! engine, `≥ 2` the work-stealing parallel engine — both in
+//! [`crate::parallel`], over the same model adapter, same checks, same
+//! fingerprinted visited store, same pruning rule. All deterministic figures
+//! (`states_visited`, `transitions`, `clean()`, `deadlocks`, the violation
+//! message set) agree across engines, thread counts, and
+//! [`ExploreConfig::por`] whenever the search is not truncated (see the
+//! determinism notes on [`crate::parallel`]).
 
 use crate::pair_model::{ExploreConfig, PairState, TransitionLabel};
-use crate::parallel::{
-    parallel_search, ParallelModel, SearchStats, ViolationKind, ViolationRecord,
-};
+use crate::parallel::{parallel_search, serial_search, SearchModel, SearchStats, ViolationRecord};
+use crate::por::DeliveryClass;
 
 /// Outcome of one exhaustive exploration.
 #[derive(Clone, Debug)]
 pub struct ExploreReport {
     /// Distinct states visited.
     pub states_visited: usize,
-    /// Transitions traversed. (The serial search re-counts a state's
-    /// out-edges when the state is re-expanded with a larger depth budget;
-    /// the parallel engine counts each state's out-degree exactly once, so
-    /// its figure is a deterministic lower bound of the serial one.)
+    /// Transitions traversed: each visited state's out-degree, counted
+    /// exactly once on the state's first expansion. Deterministic and equal
+    /// across the serial engine, the parallel engine, and POR on/off.
     pub transitions: u64,
     /// Invariant violations found (empty = all lemmas hold in the explored
     /// region). Each entry carries a short trace prefix for diagnosis.
@@ -37,7 +34,7 @@ pub struct ExploreReport {
     /// Whether the search hit its state budget before exhausting the
     /// depth-bounded region.
     pub truncated: bool,
-    /// Throughput and contention counters of this run.
+    /// Throughput, contention, and codec counters of this run.
     pub stats: SearchStats,
 }
 
@@ -48,15 +45,57 @@ impl ExploreReport {
     }
 }
 
+/// The pair model seen through the engines' eyes.
+struct PairSearch<'a>(&'a ExploreConfig);
+
+impl SearchModel for PairSearch<'_> {
+    type State = PairState;
+    type Label = TransitionLabel;
+
+    fn successors_into(&self, s: &PairState, out: &mut Vec<(TransitionLabel, PairState)>) {
+        s.successors_into(self.0, out);
+    }
+
+    fn state_violations(&self, s: &PairState) -> Vec<String> {
+        s.check_invariants()
+    }
+
+    fn step_violations(
+        &self,
+        s: &PairState,
+        _label: TransitionLabel,
+        next: &PairState,
+    ) -> Vec<String> {
+        s.check_closure_step(next).into_iter().collect()
+    }
+
+    fn delivery_class(&self, label: TransitionLabel) -> Option<DeliveryClass> {
+        // Only the two plain delivery labels are classified: they consume
+        // one message from one pool and step disjoint machines, the
+        // independence proven in `crate::por`. `DuplicateAck` (the seeded
+        // wire bug) and every machine/service action stay unclassified and
+        // are never slept.
+        match label {
+            TransitionLabel::DeliverPing(k) => Some(DeliveryClass::Ping(k)),
+            TransitionLabel::DeliverAck(k) => Some(DeliveryClass::Ack(k)),
+            _ => None,
+        }
+    }
+
+    fn por(&self) -> bool {
+        self.0.por
+    }
+}
+
 /// Exhaustively explores all interleavings up to `cfg.max_depth`, checking
 /// the paper's safety lemmas at every state and the Theorem-1 closure across
 /// every transition.
 ///
-/// The visited map remembers the largest remaining depth each state was
+/// The visited store remembers the largest remaining depth each state was
 /// expanded with, so re-entering a state with less budget is pruned soundly.
 /// With `cfg.threads >= 2` the search runs on the work-stealing parallel
-/// engine; the verdict (`clean()`, `states_visited`, `deadlocks`) is
-/// schedule-independent.
+/// engine; the verdict (`clean()`, `states_visited`, `transitions`,
+/// `deadlocks`) is schedule-independent.
 ///
 /// ```
 /// use dinefd_explore::{explore, ExploreConfig};
@@ -66,110 +105,13 @@ impl ExploreReport {
 /// assert!(report.states_visited > 100);
 /// ```
 pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
-    if cfg.threads <= 1 {
-        explore_serial(cfg)
-    } else {
-        explore_parallel(cfg)
-    }
-}
-
-/// The classic single-threaded DFS (exact semantics of the original serial
-/// explorer, plus structured violation records).
-fn explore_serial(cfg: &ExploreConfig) -> ExploreReport {
-    let started = Instant::now();
+    let model = PairSearch(cfg);
     let initial = PairState::initial(cfg);
-    let mut report = ExploreReport {
-        states_visited: 0,
-        transitions: 0,
-        violations: Vec::new(),
-        records: Vec::new(),
-        deadlocks: 0,
-        truncated: false,
-        stats: SearchStats::serial(0, 0.0),
+    let outcome = if cfg.threads <= 1 {
+        serial_search(&model, initial, cfg.max_depth, cfg.max_states)
+    } else {
+        parallel_search(&model, initial, cfg.max_depth, cfg.max_states, cfg.threads)
     };
-    let mut visited: HashMap<PairState, u32> = HashMap::new();
-    // Explicit stack: (state, remaining depth, path label for diagnostics).
-    let mut stack: Vec<(PairState, u32, Vec<TransitionLabel>)> = Vec::new();
-
-    if let Some(v) = joined_invariants(&initial) {
-        push_violation(&mut report, ViolationKind::StateInvariant, v, Vec::new());
-    }
-    visited.insert(initial.clone(), cfg.max_depth);
-    stack.push((initial, cfg.max_depth, Vec::new()));
-
-    while let Some((state, depth, path)) = stack.pop() {
-        report.states_visited = visited.len();
-        if visited.len() >= cfg.max_states {
-            report.truncated = true;
-            break;
-        }
-        if depth == 0 {
-            continue;
-        }
-        let succ = state.successors(cfg);
-        if succ.is_empty() {
-            report.deadlocks += 1;
-            continue;
-        }
-        for (label, next) in succ {
-            report.transitions += 1;
-            if let Some(v) = state.check_closure_step(&next) {
-                let mut p = path.clone();
-                p.push(label);
-                push_violation(&mut report, ViolationKind::ClosureStep, v, p);
-            }
-            let remaining = depth - 1;
-            let seen = visited.get(&next).copied();
-            if seen.is_some_and(|d| d >= remaining) {
-                continue;
-            }
-            let mut next_path = path.clone();
-            next_path.push(label);
-            if let Some(v) = joined_invariants(&next) {
-                push_violation(&mut report, ViolationKind::StateInvariant, v, next_path.clone());
-            }
-            visited.insert(next.clone(), remaining);
-            stack.push((next, remaining, next_path));
-        }
-    }
-    report.states_visited = visited.len();
-    report.stats = SearchStats::serial(report.states_visited, started.elapsed().as_secs_f64());
-    report
-}
-
-/// The work-stealing parallel search over the same model.
-fn explore_parallel(cfg: &ExploreConfig) -> ExploreReport {
-    struct PairSearch<'a>(&'a ExploreConfig);
-
-    impl ParallelModel for PairSearch<'_> {
-        type State = PairState;
-        type Label = TransitionLabel;
-
-        fn successors(&self, s: &PairState) -> Vec<(TransitionLabel, PairState)> {
-            s.successors(self.0)
-        }
-
-        fn state_violations(&self, s: &PairState) -> Vec<String> {
-            s.check_invariants()
-        }
-
-        fn step_violations(
-            &self,
-            s: &PairState,
-            _label: TransitionLabel,
-            next: &PairState,
-        ) -> Vec<String> {
-            s.check_closure_step(next).into_iter().collect()
-        }
-    }
-
-    let outcome = parallel_search(
-        &PairSearch(cfg),
-        PairState::initial(cfg),
-        cfg.max_depth,
-        cfg.max_states,
-        cfg.threads,
-    );
     ExploreReport {
         states_visited: outcome.states_visited,
         transitions: outcome.transitions,
@@ -179,27 +121,6 @@ fn explore_parallel(cfg: &ExploreConfig) -> ExploreReport {
         truncated: outcome.truncated,
         stats: outcome.stats,
     }
-}
-
-/// All invariant failures of one state, joined into the serial explorer's
-/// one-record-per-state core message.
-fn joined_invariants(state: &PairState) -> Option<String> {
-    let v = state.check_invariants();
-    if v.is_empty() {
-        None
-    } else {
-        Some(v.join("; "))
-    }
-}
-
-fn push_violation(
-    report: &mut ExploreReport,
-    kind: ViolationKind,
-    message: String,
-    path: Vec<TransitionLabel>,
-) {
-    report.violations.push(render(&message, &path));
-    report.records.push(ViolationRecord { kind, message, path });
 }
 
 fn render(message: &str, path: &[TransitionLabel]) -> String {
@@ -269,6 +190,20 @@ mod tests {
     }
 
     #[test]
+    fn minimal_state_budget_is_enforced_in_both_engines() {
+        // `max_states: 1` must truncate before the first expansion in both
+        // engines — the budget is checked when a state comes up for
+        // expansion, not after its successors have been interned.
+        for threads in [1, 4] {
+            let cfg = ExploreConfig { max_depth: 50, max_states: 1, threads, ..Default::default() };
+            let report = explore(&cfg);
+            assert!(report.truncated, "threads={threads}");
+            assert_eq!(report.states_visited, 1, "threads={threads}");
+            assert_eq!(report.transitions, 0, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn parallel_agrees_with_serial_on_all_variants() {
         for (strict, crash, converged) in
             [(false, true, false), (true, true, false), (false, false, false), (false, true, true)]
@@ -286,11 +221,35 @@ mod tests {
                 serial.states_visited, parallel.states_visited,
                 "state count diverged (strict={strict} crash={crash} conv={converged})"
             );
+            assert_eq!(
+                serial.transitions, parallel.transitions,
+                "transition count diverged (strict={strict} crash={crash} conv={converged})"
+            );
             assert_eq!(serial.clean(), parallel.clean());
             assert_eq!(serial.deadlocks, parallel.deadlocks);
             assert!(!parallel.truncated);
             assert_eq!(parallel.stats.threads, 4);
         }
+    }
+
+    #[test]
+    fn por_agrees_with_full_exploration() {
+        // POR must change no reported figure — it only skips probe work
+        // (visible in `sleep_skips`). In the *faithful* pair model the
+        // ping/ack handshake is strictly sequential (no reachable state has
+        // a ping and an ack in flight together), so cross-class sleeps have
+        // zero opportunities and the skip counter stays 0 — POR earns its
+        // keep on the composed model's fork traffic and on mutated wires
+        // (see `tests/por_equivalence.rs`).
+        let base = ExploreConfig { max_depth: 16, ..Default::default() };
+        let full = explore(&base);
+        let por = explore(&ExploreConfig { por: true, ..base });
+        assert_eq!(full.states_visited, por.states_visited);
+        assert_eq!(full.transitions, por.transitions);
+        assert_eq!(full.deadlocks, por.deadlocks);
+        assert_eq!(full.violations, por.violations);
+        assert_eq!(full.stats.sleep_skips.get(), 0);
+        assert_eq!(por.stats.sleep_skips.get(), 0, "the faithful pair wire is sequential");
     }
 
     #[test]
@@ -308,6 +267,7 @@ mod tests {
         assert_eq!(serial.stats.threads, 1);
         assert_eq!(serial.stats.shards, 1);
         assert!(serial.stats.states_per_sec > 0.0);
+        assert!(serial.stats.fp_confirms.get() > 0, "revisits must be byte-confirmed");
         let par = explore(&ExploreConfig { max_depth: 10, threads: 3, ..Default::default() });
         assert_eq!(par.stats.threads, 3);
         assert_eq!(par.stats.shards, crate::parallel::N_SHARDS);

@@ -1,16 +1,26 @@
 //! Differential testing of the parallel engine: for random configurations,
 //! the serial search (`threads = 1`) and the work-stealing search
 //! (`threads in 2..=8`) must report identical verdicts — same distinct
-//! state count, same `clean()`, same deadlock count. This is the executable
-//! form of the determinism argument documented on `dinefd_explore::parallel`
-//! (the visited table converges to a schedule-independent max-remaining-depth
-//! fixpoint). `max_states` is left at its huge default so no run truncates;
-//! truncated runs are the one place the engines may legitimately differ.
+//! state count, same once-per-state transition count, same `clean()`, same
+//! deadlock count, same violation message set. This is the executable form
+//! of the determinism argument documented on `dinefd_explore::parallel`
+//! (the visited table converges to a schedule-independent
+//! max-remaining-depth fixpoint). `max_states` is left at its huge default
+//! so no run truncates; truncated runs are the one place the engines may
+//! legitimately differ.
 
 use dinefd_explore::{
     explore, explore_composed, ComposedConfig, ExploreConfig, ModelMutation, SubjectMutation,
+    ViolationKind, ViolationRecord,
 };
 use proptest::prelude::*;
+
+/// The schedule-independent part of a violation list: the deduplicated,
+/// sorted `(kind, message)` set (representative *paths* may differ between
+/// engines).
+fn message_set<L>(records: &[ViolationRecord<L>]) -> Vec<(ViolationKind, &str)> {
+    records.iter().map(|r| (r.kind, r.message.as_str())).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -34,8 +44,10 @@ proptest! {
         let parallel = explore(&ExploreConfig { threads, ..base });
         prop_assert!(!serial.truncated && !parallel.truncated);
         prop_assert_eq!(serial.states_visited, parallel.states_visited);
+        prop_assert_eq!(serial.transitions, parallel.transitions);
         prop_assert_eq!(serial.clean(), parallel.clean());
         prop_assert_eq!(serial.deadlocks, parallel.deadlocks);
+        prop_assert_eq!(message_set(&serial.records), message_set(&parallel.records));
     }
 
     #[test]
@@ -59,8 +71,10 @@ proptest! {
         let serial = explore(&base);
         let parallel = explore(&ExploreConfig { threads, ..base });
         prop_assert_eq!(serial.states_visited, parallel.states_visited);
+        prop_assert_eq!(serial.transitions, parallel.transitions);
         prop_assert_eq!(serial.clean(), parallel.clean());
         prop_assert_eq!(serial.deadlocks, parallel.deadlocks);
+        prop_assert_eq!(message_set(&serial.records), message_set(&parallel.records));
     }
 
     #[test]
@@ -80,8 +94,10 @@ proptest! {
         let parallel = explore_composed(&ComposedConfig { threads, ..base });
         prop_assert!(!serial.truncated && !parallel.truncated);
         prop_assert_eq!(serial.states_visited, parallel.states_visited);
+        prop_assert_eq!(serial.transitions, parallel.transitions);
         prop_assert_eq!(serial.clean(), parallel.clean());
         prop_assert_eq!(serial.deadlocks, parallel.deadlocks);
+        prop_assert_eq!(message_set(&serial.records), message_set(&parallel.records));
     }
 }
 
@@ -94,6 +110,7 @@ fn parallel_search_is_self_consistent_across_runs() {
     for _ in 0..3 {
         let again = explore(&cfg);
         assert_eq!(first.states_visited, again.states_visited);
+        assert_eq!(first.transitions, again.transitions);
         assert_eq!(first.clean(), again.clean());
         assert_eq!(first.deadlocks, again.deadlocks);
     }

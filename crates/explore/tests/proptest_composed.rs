@@ -59,6 +59,7 @@ proptest! {
             allow_mistakes,
             strict_seq: strict,
             threads: 1,
+            por: false,
         };
         let r = walk(&cfg, &choices);
         prop_assert!(r.is_ok(), "{}", r.err().unwrap());
