@@ -11,72 +11,17 @@ use dinefd_sim::{CrashPlan, MetricMap, ProcessId, Summary, Time};
 use crate::table::{Report, Table};
 use crate::{parallel_map, ExperimentConfig};
 
+/// Sizes from which the scale sweep switches to the streaming pipeline
+/// (online history sink + envelope batching): beyond here a full trace
+/// would dominate memory, which is exactly what the pipeline removes.
+const STREAM_FROM: usize = 32;
+
 /// Runs E8 and returns the report.
 pub fn run(cfg: &ExperimentConfig) -> Report {
-    let sizes: &[usize] = if cfg.seeds <= 3 { &[2, 4, 8] } else { &[2, 4, 8, 12, 16] };
-    let horizon = Time(10_000);
-    let mut table = Table::new(
-        "All-pairs extraction cost vs system size (horizon 10k ticks)",
-        &[
-            "n",
-            "pairs",
-            "runs",
-            "accurate",
-            "complete",
-            "msgs/pair/ktick",
-            "steps (mean)",
-            "trust stabilized by (max)",
-            "wall ms/run",
-        ],
-    );
+    let sizes: &[usize] =
+        if cfg.seeds <= 3 { &[2, 4, 8, 32, 64] } else { &[2, 4, 8, 12, 16, 32, 64] };
     let mut metrics = MetricMap::new();
-    for &n in sizes {
-        let results = parallel_map(0..cfg.seeds.min(4), move |seed| {
-            let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 8_000 + seed);
-            sc.oracle = OracleSpec::DiamondP {
-                lag: 20,
-                convergence: Time(1_500),
-                max_mistakes: 2,
-                max_len: 100,
-            };
-            sc.horizon = horizon;
-            sc.crashes = CrashPlan::one(ProcessId::from_index(n - 1), Time(4_000));
-            let crashes = sc.crashes.clone();
-            let start = Instant::now();
-            let res = run_extraction(sc);
-            let wall = start.elapsed().as_secs_f64() * 1_000.0;
-            let acc = res.history.eventual_strong_accuracy(&crashes);
-            let complete = res.history.strong_completeness(&crashes).is_ok();
-            let stabilized = acc
-                .as_ref()
-                .ok()
-                .and_then(|rows| rows.iter().map(|r| r.trusted_from).max())
-                .unwrap_or(Time::INFINITY);
-            (acc.is_ok(), complete, res.messages_sent, res.steps, stabilized, wall)
-        });
-        let pairs = n * (n - 1);
-        let acc = results.iter().filter(|r| r.0).count();
-        let comp = results.iter().filter(|r| r.1).count();
-        let msgs = results.iter().map(|r| r.2 as f64).sum::<f64>() / results.len() as f64;
-        let steps = results.iter().map(|r| r.3 as f64).sum::<f64>() / results.len() as f64;
-        // n=2 with one crash has no correct-correct pair: no trust datum.
-        let stab =
-            results.iter().map(|r| r.4).filter(|&t| t != Time::INFINITY).map(|t| t.ticks()).max();
-        let wall = results.iter().map(|r| r.5).sum::<f64>() / results.len() as f64;
-        metrics.insert(format!("n{n}.messages_sent_total"), results.iter().map(|r| r.2).sum());
-        metrics.insert(format!("n{n}.sim_steps_total"), results.iter().map(|r| r.3).sum());
-        table.row(vec![
-            n.to_string(),
-            pairs.to_string(),
-            results.len().to_string(),
-            format!("{acc}/{}", results.len()),
-            format!("{comp}/{}", results.len()),
-            format!("{:.0}", msgs / pairs as f64 / (horizon.ticks() as f64 / 1_000.0)),
-            format!("{steps:.0}"),
-            stab.map_or("-".into(), |s| s.to_string()),
-            format!("{wall:.0}"),
-        ]);
-    }
+    let table = scale_table(cfg, sizes, STREAM_FROM, &mut metrics);
     let explorer = explorer_scaling(cfg, &mut metrics);
     let frontier = depth_frontier(cfg, &mut metrics);
 
@@ -87,12 +32,21 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                    processes imply 2·n·(n-1) concurrent instances. Measured: \
                    per-pair message rate (≈ constant — each pair's machinery is \
                    independent), correctness at every size, convergence latency, \
-                   and wall-clock cost of the simulation. The second table sweeps \
-                   the lemma explorer's work-stealing engine over thread counts \
-                   on a fixed state space."
+                   peak resident extraction state, and wall-clock cost of the \
+                   simulation. Rows at n ≥ 32 run the streaming pipeline \
+                   (online history sink + envelope batching), so their resident \
+                   state is O(pairs) history entries instead of a full trace. \
+                   The second table sweeps the lemma explorer's work-stealing \
+                   engine over thread counts on a fixed state space."
             .into(),
         tables: vec![table, explorer, frontier],
         notes: vec![
+            "\"peak resident (entries)\" counts the extraction-side state the run \
+             must hold: trace events for post-hoc rows, n² timelines + recorded \
+             suspicion changes for streaming rows. \"env occ (mean)\" is \
+             messages per wire envelope (streamed rows batch each step's sends \
+             per destination under one delay draw); \"-\" = batching off."
+                .into(),
             "Explorer speedup is relative to the serial (threads=1) mean and is \
              bounded by the machine's core count — on a single-core host extra \
              workers only add coordination overhead (expect < 1x), and the sweep \
@@ -107,6 +61,139 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         ],
         metrics,
     }
+}
+
+/// Everything one extraction run of the scale sweep reports back.
+struct ScaleRun {
+    accurate: bool,
+    complete: bool,
+    messages: u64,
+    steps: u64,
+    stabilized: Time,
+    wall_ms: f64,
+    /// Extraction-side resident state in logical entries: trace events for
+    /// post-hoc runs, n² timelines + suspicion changes for streaming runs.
+    peak_resident: u64,
+    envelopes: u64,
+    history_changes: u64,
+}
+
+/// The all-pairs extraction sweep over `sizes`; rows at `stream_from` and
+/// beyond use the streaming pipeline (online sink + envelope batching) and
+/// fewer seeds (they are per-run expensive but per-run deterministic).
+fn scale_table(
+    cfg: &ExperimentConfig,
+    sizes: &[usize],
+    stream_from: usize,
+    metrics: &mut MetricMap,
+) -> Table {
+    let horizon = Time(10_000);
+    let mut table = Table::new(
+        "All-pairs extraction cost vs system size (horizon 10k ticks)",
+        &[
+            "n",
+            "pairs",
+            "runs",
+            "mode",
+            "accurate",
+            "complete",
+            "msgs/pair/ktick",
+            "steps (mean)",
+            "trust stabilized by (max)",
+            "peak resident (entries)",
+            "env occ (mean)",
+            "wall ms/run",
+        ],
+    );
+    for &n in sizes {
+        let streaming = n >= stream_from;
+        let seeds = if streaming { cfg.seeds.min(2) } else { cfg.seeds.min(4) };
+        let results = parallel_map(0..seeds, move |seed| {
+            let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 8_000 + seed);
+            sc.oracle = OracleSpec::DiamondP {
+                lag: 20,
+                convergence: Time(1_500),
+                max_mistakes: 2,
+                max_len: 100,
+            };
+            sc.horizon = horizon;
+            sc.crashes = CrashPlan::one(ProcessId::from_index(n - 1), Time(4_000));
+            sc.streaming = streaming;
+            sc.batch_envelopes = streaming;
+            let crashes = sc.crashes.clone();
+            let start = Instant::now();
+            let res = run_extraction(sc);
+            let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+            let acc = res.history.eventual_strong_accuracy(&crashes);
+            let complete = res.history.strong_completeness(&crashes).is_ok();
+            let stabilized = acc
+                .as_ref()
+                .ok()
+                .and_then(|rows| rows.iter().map(|r| r.trusted_from).max())
+                .unwrap_or(Time::INFINITY);
+            let peak_resident = if res.streaming {
+                (res.n * res.n) as u64 + res.history_changes
+            } else {
+                res.trace.len() as u64
+            };
+            ScaleRun {
+                accurate: acc.is_ok(),
+                complete,
+                messages: res.messages_sent,
+                steps: res.steps,
+                stabilized,
+                wall_ms,
+                peak_resident,
+                envelopes: res.metrics.get("envelopes_sent").copied().unwrap_or(0),
+                history_changes: res.history_changes,
+            }
+        });
+        let pairs = n * (n - 1);
+        let acc = results.iter().filter(|r| r.accurate).count();
+        let comp = results.iter().filter(|r| r.complete).count();
+        let runs = results.len() as f64;
+        let msgs = results.iter().map(|r| r.messages as f64).sum::<f64>() / runs;
+        let steps = results.iter().map(|r| r.steps as f64).sum::<f64>() / runs;
+        // n=2 with one crash has no correct-correct pair: no trust datum.
+        let stab = results
+            .iter()
+            .map(|r| r.stabilized)
+            .filter(|&t| t != Time::INFINITY)
+            .map(|t| t.ticks())
+            .max();
+        let wall = results.iter().map(|r| r.wall_ms).sum::<f64>() / runs;
+        let peak = results.iter().map(|r| r.peak_resident).max().unwrap_or(0);
+        let envelopes: u64 = results.iter().map(|r| r.envelopes).sum();
+        let messages: u64 = results.iter().map(|r| r.messages).sum();
+        metrics.insert(format!("n{n}.messages_sent_total"), messages);
+        metrics.insert(format!("n{n}.sim_steps_total"), results.iter().map(|r| r.steps).sum());
+        metrics.insert(
+            format!("n{n}.history_changes_total"),
+            results.iter().map(|r| r.history_changes).sum(),
+        );
+        metrics.insert(format!("n{n}.envelopes_sent_total"), envelopes);
+        metrics.insert(format!("n{n}.peak_resident_entries_max"), peak);
+        metrics.insert(format!("n{n}.streaming"), streaming as u64);
+        table.row(vec![
+            n.to_string(),
+            pairs.to_string(),
+            results.len().to_string(),
+            if streaming { "streaming+batch".into() } else { "post-hoc".to_string() },
+            format!("{acc}/{}", results.len()),
+            format!("{comp}/{}", results.len()),
+            format!("{:.0}", msgs / pairs as f64 / (horizon.ticks() as f64 / 1_000.0)),
+            format!("{steps:.0}"),
+            stab.map_or("-".into(), |s| s.to_string()),
+            peak.to_string(),
+            if streaming && envelopes > 0 {
+                format!("{:.1}", messages as f64 / envelopes as f64)
+            } else {
+                "-".to_string()
+            },
+            format!("{wall:.0}"),
+        ]);
+    }
+    table
 }
 
 /// Thread-scaling sweep of the parallel lemma explorer: same state space,
@@ -203,16 +290,49 @@ mod tests {
 
     #[test]
     fn e8_small_sizes_correct() {
+        // Exercise both pipeline modes at debug-friendly sizes: post-hoc
+        // below the threshold, streaming+batching at and above it (the
+        // release-profile sweep raises the threshold to n=32/64).
         let cfg = ExperimentConfig { seeds: 2 };
-        let report = run(&cfg);
-        for row in &report.tables[0].rows {
-            let (a, t) = parse_frac(&row[3]);
+        let mut metrics = MetricMap::new();
+        let table = scale_table(&cfg, &[2, 4, 8], 8, &mut metrics);
+        for row in &table.rows {
+            let (a, t) = parse_frac(&row[4]);
             assert_eq!(a, t, "accuracy failed at scale: {row:?}");
-            let (c, t) = parse_frac(&row[4]);
+            let (c, t) = parse_frac(&row[5]);
             assert_eq!(c, t, "completeness failed at scale: {row:?}");
         }
-        assert!(report.metrics["explorer.states"] > 0);
-        assert!(report.metrics.keys().any(|k| k.ends_with(".sim_steps_total")));
+        assert_eq!(table.rows[0][3], "post-hoc");
+        assert_eq!(table.rows[2][3], "streaming+batch");
+        assert!(metrics.keys().any(|k| k.ends_with(".sim_steps_total")));
+        assert!(metrics.keys().any(|k| k.ends_with(".peak_resident_entries_max")));
+        assert_eq!(metrics["n8.streaming"], 1);
+        assert_eq!(metrics["n2.streaming"], 0);
+        assert!(metrics["n8.envelopes_sent_total"] > 0);
+        assert_eq!(metrics["n2.envelopes_sent_total"], metrics["n2.messages_sent_total"]);
+    }
+
+    #[test]
+    fn e8_streaming_rows_hold_less_than_a_trace() {
+        // At the same size, the streaming row's resident entries must be far
+        // below the post-hoc row's trace length — the pipeline's whole point.
+        let cfg = ExperimentConfig { seeds: 1 };
+        let mut m_posthoc = MetricMap::new();
+        let mut m_stream = MetricMap::new();
+        let posthoc = scale_table(&cfg, &[8], 9, &mut m_posthoc);
+        let streamed = scale_table(&cfg, &[8], 8, &mut m_stream);
+        let peak = |t: &Table| t.rows[0][9].parse::<u64>().unwrap();
+        assert!(
+            peak(&streamed) * 10 < peak(&posthoc),
+            "streaming {} vs post-hoc {} resident entries",
+            peak(&streamed),
+            peak(&posthoc)
+        );
+        // Streaming resident state is O(pairs + changes), not O(horizon).
+        assert_eq!(
+            m_stream["n8.peak_resident_entries_max"],
+            64 + m_stream["n8.history_changes_total"]
+        );
     }
 
     #[test]

@@ -37,6 +37,11 @@ impl ExperimentConfig {
 /// Maps `f` over `items` in parallel (bounded by the machine's parallelism),
 /// preserving order. Each invocation is independent and owns its inputs, so
 /// determinism is untouched — parallelism only buys wall-clock.
+///
+/// Workers take items in index order (a shared FIFO iterator), so the first
+/// configurations of a sweep finish first and long tail items don't pin the
+/// whole sweep behind one late-started worker; results land in their
+/// original slots regardless of completion order.
 pub fn parallel_map<I, T, F>(items: I, f: F) -> Vec<T>
 where
     I: IntoIterator,
@@ -51,12 +56,12 @@ where
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(items.len());
     let results: Vec<std::sync::Mutex<Option<T>>> =
         items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let work: std::sync::Mutex<Vec<(usize, I::Item)>> =
-        std::sync::Mutex::new(items.into_iter().enumerate().collect());
+    let work: std::sync::Mutex<std::vec::IntoIter<(usize, I::Item)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
     thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
-                let next = work.lock().expect("work queue").pop();
+                let next = work.lock().expect("work queue").next();
                 match next {
                     Some((i, item)) => {
                         let value = f(item);
@@ -93,5 +98,34 @@ mod tests {
     #[test]
     fn parallel_map_single_item() {
         assert_eq!(parallel_map([7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_hands_out_items_in_index_order() {
+        // Record the order items are *taken* by workers. With one worker the
+        // pick-up order is fully deterministic and must be FIFO (the old
+        // `Vec::pop` hand-out was LIFO); with many workers it must still be
+        // a permutation where pick-up order is monotone per worker.
+        let picked = std::sync::Mutex::new(Vec::new());
+        let out = parallel_map(0..64u64, |x| {
+            picked.lock().unwrap().push(x);
+            x
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        let picked = picked.into_inner().unwrap();
+        // Item 0 is handed out before item 63 ever is: index order, not LIFO.
+        let pos = |v: u64| picked.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(63), "hand-out went LIFO: {picked:?}");
+    }
+
+    #[test]
+    fn parallel_map_order_independent_of_completion_order() {
+        // Early items sleep longer, so later items complete first; the
+        // result vector must still be in input order.
+        let out = parallel_map(0..16u64, |x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x * 10
+        });
+        assert_eq!(out, (0..16u64).map(|x| x * 10).collect::<Vec<_>>());
     }
 }

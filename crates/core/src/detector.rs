@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use dinefd_dining::DiningHistory;
 use dinefd_fd::{FdQuery, SuspicionHistory};
-use dinefd_sim::{ProcessId, Time, Trace};
+use dinefd_sim::{ObsSink, ProcessId, Time, Trace};
 
 use crate::host::{RedObs, Role};
 
@@ -26,6 +26,64 @@ pub fn suspicion_history<M>(
         }
     }
     h
+}
+
+/// Streaming twin of [`suspicion_history`]: an [`ObsSink`] that folds each
+/// [`RedObs::Suspicion`] observation into a [`SuspicionHistory`] the moment
+/// the simulator routes it, so extraction needs `O(pairs + changes)` resident
+/// memory instead of a full trace.
+///
+/// Attach with [`dinefd_sim::World::new_with_sink`] (sinks must be present
+/// from construction — the start steps already emit observations) and call
+/// [`HistorySink::finish`] once the run is over. By construction the result
+/// is identical to running [`suspicion_history`] over the same run's trace;
+/// `crates/core/tests/streaming_differential.rs` asserts byte-identity.
+#[derive(Clone, Debug)]
+pub struct HistorySink {
+    history: SuspicionHistory,
+    observations_folded: u64,
+    suspicion_changes: u64,
+}
+
+impl HistorySink {
+    /// An empty sink over `n` processes monitoring `pairs`, with the
+    /// reduction's pessimistic initial output.
+    pub fn new(n: usize, pairs: &[(ProcessId, ProcessId)]) -> Self {
+        let mut history = SuspicionHistory::new(n, true);
+        history.restrict_to(pairs);
+        HistorySink { history, observations_folded: 0, suspicion_changes: 0 }
+    }
+
+    /// The history folded so far (readable mid-run through the shared
+    /// `Rc<RefCell<..>>` handle).
+    pub fn history(&self) -> &SuspicionHistory {
+        &self.history
+    }
+
+    /// Total observations seen (all kinds, including `DxPhase`).
+    pub fn observations_folded(&self) -> u64 {
+        self.observations_folded
+    }
+
+    /// How many of them were suspicion-output changes.
+    pub fn suspicion_changes(&self) -> u64 {
+        self.suspicion_changes
+    }
+
+    /// Consumes the sink, yielding the finished history.
+    pub fn finish(self) -> SuspicionHistory {
+        self.history
+    }
+}
+
+impl ObsSink<RedObs> for HistorySink {
+    fn on_obs(&mut self, at: Time, pid: ProcessId, obs: &RedObs) {
+        self.observations_folded += 1;
+        if let RedObs::Suspicion { subject, suspected } = *obs {
+            self.suspicion_changes += 1;
+            self.history.record(at, pid, subject, suspected);
+        }
+    }
 }
 
 /// The four threads of one monitoring pair, as phase timelines — the raw

@@ -60,6 +60,9 @@ pub struct FairOverExtractionNode {
     last_phase: DinerPhase,
     meals_eaten: u64,
     tick_every: u64,
+    /// Pooled reduction-effect buffer (see [`crate::host::Out`]): reused
+    /// across steps so the composed hot loop stays allocation-free.
+    red_out: crate::host::Out,
 }
 
 impl std::fmt::Debug for FairOverExtractionNode {
@@ -95,21 +98,31 @@ impl FairOverExtractionNode {
             last_phase: DinerPhase::Thinking,
             meals_eaten: 0,
             tick_every: 4,
+            red_out: crate::host::Out::default(),
         }
     }
 
-    /// Routes a reduction [`crate::host::Out`] into the context, updating the
-    /// shared suspicion cell on the way.
-    fn flush_red(&mut self, out: crate::host::Out, ctx: &mut Context<'_, FoeMsg, FoeObs>) {
-        for (to, msg) in out.sends {
+    /// Runs one reduction step through the pooled effect buffer and routes
+    /// the effects into the context, updating the shared suspicion cell on
+    /// the way.
+    fn step_red(
+        &mut self,
+        ctx: &mut Context<'_, FoeMsg, FoeObs>,
+        f: impl FnOnce(&mut ReductionNode, &mut crate::host::Out),
+    ) {
+        let mut out = std::mem::take(&mut self.red_out);
+        out.clear();
+        f(&mut self.red, &mut out);
+        for (to, msg) in out.sends.drain(..) {
             ctx.send(to, FoeMsg::Red(msg));
         }
-        for obs in out.obs {
+        for obs in out.obs.drain(..) {
             if let RedObs::Suspicion { subject, suspected } = obs {
                 self.cell.set(subject, suspected);
             }
             ctx.observe(FoeObs::Red(obs));
         }
+        self.red_out = out;
     }
 
     fn invoke_dining(
@@ -162,8 +175,8 @@ impl Node for FairOverExtractionNode {
     type Obs = FoeObs;
 
     fn on_start(&mut self, ctx: &mut Context<'_, FoeMsg, FoeObs>) {
-        let out = self.red.handle_start(ctx.now());
-        self.flush_red(out, ctx);
+        let now = ctx.now();
+        self.step_red(ctx, |red, out| red.handle_start_into(now, out));
         ctx.set_timer(self.tick_every, TICK);
         let d = ctx.rng().range(self.workload.think_lo, self.workload.think_hi);
         ctx.set_timer(d, GET_HUNGRY);
@@ -172,8 +185,8 @@ impl Node for FairOverExtractionNode {
     fn on_message(&mut self, ctx: &mut Context<'_, FoeMsg, FoeObs>, from: ProcessId, msg: FoeMsg) {
         match msg {
             FoeMsg::Red(m) => {
-                let out = self.red.handle_message(from, m, ctx.now());
-                self.flush_red(out, ctx);
+                let now = ctx.now();
+                self.step_red(ctx, |red, out| red.handle_message_into(from, m, now, out));
             }
             FoeMsg::Dine(m) => {
                 self.invoke_dining(ctx, |p, io| {
@@ -186,8 +199,8 @@ impl Node for FairOverExtractionNode {
     fn on_timer(&mut self, ctx: &mut Context<'_, FoeMsg, FoeObs>, timer: dinefd_sim::TimerId) {
         match timer {
             TICK => {
-                let out = self.red.handle_tick(ctx.now());
-                self.flush_red(out, ctx);
+                let now = ctx.now();
+                self.step_red(ctx, |red, out| red.handle_tick_into(now, out));
                 self.invoke_dining(ctx, DiningParticipant::on_tick);
                 ctx.set_timer(self.tick_every, TICK);
             }

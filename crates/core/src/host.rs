@@ -108,12 +108,26 @@ pub struct DxEndpoint {
 pub type DiningFactory<'a> = dyn Fn(DxEndpoint) -> Box<dyn DiningParticipant> + 'a;
 
 /// Effect collector shared by the components of one node invocation.
+///
+/// The hot loop never allocates one of these per step: [`ReductionNode`]
+/// pools a single `Out` across its [`Node`] handler invocations (and
+/// callers of the context-free `handle_*_into` methods are expected to do
+/// the same), so after warm-up the send/obs vectors only ever reuse their
+/// high-water capacity.
 #[derive(Debug, Default)]
 pub struct Out {
     /// Outgoing reduction messages.
     pub sends: Vec<(ProcessId, RedMsg)>,
     /// Observations (suspicion changes, thread phases).
     pub obs: Vec<RedObs>,
+}
+
+impl Out {
+    /// Empties both buffers, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.obs.clear();
+    }
 }
 
 /// Maximum machine actions fired per pump. Grant-immediately black boxes can
@@ -153,6 +167,8 @@ pub struct WitnessComponent {
     dx: [Box<dyn DiningParticipant>; 2],
     last_phase: [DinerPhase; 2],
     last_suspect: bool,
+    // Reused DiningIo send buffer (hot-loop allocation hygiene).
+    scratch: Vec<(ProcessId, DiningMsg)>,
 }
 
 impl std::fmt::Debug for WitnessComponent {
@@ -176,6 +192,7 @@ impl WitnessComponent {
             dx: [mk(0), mk(1)],
             last_phase: [DinerPhase::Thinking; 2],
             last_suspect: true,
+            scratch: Vec::new(),
         }
     }
 
@@ -192,13 +209,16 @@ impl WitnessComponent {
         out: &mut Out,
         f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
     ) {
-        let mut io = DiningIo::new(self.watcher, now, fd);
+        let mut io =
+            DiningIo::with_scratch(self.watcher, now, fd, std::mem::take(&mut self.scratch));
         f(&mut *self.dx[i], &mut io);
         let (watcher, subject) = (self.watcher, self.subject);
-        for (to, msg) in io.finish().sends {
+        let mut fx = io.finish();
+        for (to, msg) in fx.sends.drain(..) {
             debug_assert_eq!(to, subject);
             out.sends.push((to, RedMsg::Dx { watcher, subject, instance: i as u8, inner: msg }));
         }
+        self.scratch = fx.sends;
         let ph = self.dx[i].phase();
         emit_phase_chain(out, watcher, subject, Role::Witness, i as u8, self.last_phase[i], ph);
         self.last_phase[i] = ph;
@@ -271,6 +291,8 @@ pub struct SubjectComponent {
     machine: SubjectMachine,
     dx: [Box<dyn DiningParticipant>; 2],
     last_phase: [DinerPhase; 2],
+    // Reused DiningIo send buffer (hot-loop allocation hygiene).
+    scratch: Vec<(ProcessId, DiningMsg)>,
 }
 
 impl std::fmt::Debug for SubjectComponent {
@@ -298,6 +320,7 @@ impl SubjectComponent {
             machine: SubjectMachine::new(strict_seq),
             dx: [mk(0), mk(1)],
             last_phase: [DinerPhase::Thinking; 2],
+            scratch: Vec::new(),
         }
     }
 
@@ -309,13 +332,16 @@ impl SubjectComponent {
         out: &mut Out,
         f: impl FnOnce(&mut dyn DiningParticipant, &mut DiningIo<'_>),
     ) {
-        let mut io = DiningIo::new(self.subject, now, fd);
+        let mut io =
+            DiningIo::with_scratch(self.subject, now, fd, std::mem::take(&mut self.scratch));
         f(&mut *self.dx[i], &mut io);
         let (watcher, subject) = (self.watcher, self.subject);
-        for (to, msg) in io.finish().sends {
+        let mut fx = io.finish();
+        for (to, msg) in fx.sends.drain(..) {
             debug_assert_eq!(to, watcher);
             out.sends.push((to, RedMsg::Dx { watcher, subject, instance: i as u8, inner: msg }));
         }
+        self.scratch = fx.sends;
         let ph = self.dx[i].phase();
         emit_phase_chain(out, watcher, subject, Role::Subject, i as u8, self.last_phase[i], ph);
         self.last_phase[i] = ph;
@@ -384,14 +410,30 @@ impl SubjectComponent {
 
 const TICK: TimerId = TimerId(0);
 
+/// Sentinel for "this node hosts no component for that peer".
+const NO_COMPONENT: u32 = u32::MAX;
+
 /// One physical process of the reduction: all of its witness and subject
 /// components plus message routing.
+///
+/// Routing is O(1) per message: two peer-indexed tables map a message's
+/// pair tag straight to the owning component, so a node watching (or being
+/// watched by) hundreds of peers never scans its component lists on the
+/// hot path.
 pub struct ReductionNode {
     me: ProcessId,
     witnesses: Vec<WitnessComponent>,
     subjects: Vec<SubjectComponent>,
+    /// `witness_by_subject[q]` = index into `witnesses` of the component
+    /// watching `q`, or [`NO_COMPONENT`].
+    witness_by_subject: Vec<u32>,
+    /// `subject_by_watcher[w]` = index into `subjects` of the component
+    /// monitored by `w`, or [`NO_COMPONENT`].
+    subject_by_watcher: Vec<u32>,
     fd: Rc<dyn FdQuery>,
     tick_every: u64,
+    /// Pooled effect buffers for the [`Node`] handlers (see [`Out`]).
+    out_buf: Out,
 }
 
 impl std::fmt::Debug for ReductionNode {
@@ -416,104 +458,169 @@ impl ReductionNode {
         fd: Rc<dyn FdQuery>,
         strict_seq: bool,
     ) -> Self {
-        let witnesses = pairs
+        let witnesses: Vec<WitnessComponent> = pairs
             .iter()
             .filter(|&&(w, s)| w == me && s != me)
             .map(|&(w, s)| WitnessComponent::new(w, s, factory))
             .collect();
-        let subjects = pairs
+        let subjects: Vec<SubjectComponent> = pairs
             .iter()
             .filter(|&&(w, s)| s == me && w != me)
             .map(|&(w, s)| SubjectComponent::new(w, s, strict_seq, factory))
             .collect();
-        ReductionNode { me, witnesses, subjects, fd, tick_every: 4 }
+        // Peer-indexed routing tables, sized by the largest process id the
+        // pair list names (plus `me` itself).
+        let table_len = pairs
+            .iter()
+            .flat_map(|&(w, s)| [w.index(), s.index()])
+            .chain(std::iter::once(me.index()))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut witness_by_subject = vec![NO_COMPONENT; table_len];
+        for (i, w) in witnesses.iter().enumerate() {
+            witness_by_subject[w.subject.index()] = i as u32;
+        }
+        let mut subject_by_watcher = vec![NO_COMPONENT; table_len];
+        for (i, s) in subjects.iter().enumerate() {
+            subject_by_watcher[s.watcher.index()] = i as u32;
+        }
+        ReductionNode {
+            me,
+            witnesses,
+            subjects,
+            witness_by_subject,
+            subject_by_watcher,
+            fd,
+            tick_every: 4,
+            out_buf: Out::default(),
+        }
     }
 
     /// Overrides the self-tick period (scheduling-granularity ablation).
+    ///
+    /// A period of `0` is silently clamped to `1`: the reduction's liveness
+    /// arguments need the node to keep taking spontaneous steps, and a zero
+    /// period would ask the simulator for a timer that never advances time
+    /// (the simulator itself clamps timer delays to ≥ 1 tick, so the clamp
+    /// here just makes the node's own notion of its period honest).
     pub fn set_tick_every(&mut self, ticks: u64) {
         self.tick_every = ticks.max(1);
     }
 
+    /// The effective self-tick period (post-clamp; see
+    /// [`ReductionNode::set_tick_every`]).
+    pub fn tick_every(&self) -> u64 {
+        self.tick_every
+    }
+
     /// The extracted detector output of this node: does `me` suspect `q`?
-    /// `true` for pairs this node does not watch (matching the reduction's
-    /// pessimistic initialization).
+    ///
+    /// Returns `true` for any pair this node does not watch — including
+    /// `q == me` and peers outside the monitored pair set. This is the
+    /// reduction's *pessimistic initialization* contract (Alg. 1 starts
+    /// every `suspect_q` at `true`): an output only ever becomes
+    /// trustworthy through a witness component's evidence, so a pair with
+    /// no witness stays at its initial "suspected" value forever. Callers
+    /// restricting monitoring to a pair subset must therefore not read
+    /// unwatched pairs as detector claims.
     pub fn suspects(&self, q: ProcessId) -> bool {
-        self.witnesses.iter().find(|w| w.subject == q).is_none_or(|w| w.suspects())
+        match self.witness_by_subject.get(q.index()) {
+            Some(&i) if i != NO_COMPONENT => self.witnesses[i as usize].suspects(),
+            _ => true,
+        }
     }
 
     fn witness_mut(&mut self, subject: ProcessId) -> &mut WitnessComponent {
-        self.witnesses
-            .iter_mut()
-            .find(|w| w.subject == subject)
-            .expect("message for unknown witness pair")
+        let i = self.witness_by_subject.get(subject.index()).copied().unwrap_or(NO_COMPONENT);
+        assert!(i != NO_COMPONENT, "message for unknown witness pair");
+        &mut self.witnesses[i as usize]
     }
 
     fn subject_mut(&mut self, watcher: ProcessId) -> &mut SubjectComponent {
-        self.subjects
-            .iter_mut()
-            .find(|s| s.watcher == watcher)
-            .expect("message for unknown subject pair")
+        let i = self.subject_by_watcher.get(watcher.index()).copied().unwrap_or(NO_COMPONENT);
+        assert!(i != NO_COMPONENT, "message for unknown subject pair");
+        &mut self.subjects[i as usize]
     }
 
-    /// Context-free start step (for composition with other layers). The
-    /// caller is responsible for scheduling the recurring tick.
-    pub fn handle_start(&mut self, now: Time) -> Out {
-        let mut out = Out::default();
+    /// Context-free start step (for composition with other layers),
+    /// appending effects to a caller-pooled buffer. The caller is
+    /// responsible for scheduling the recurring tick.
+    pub fn handle_start_into(&mut self, now: Time, out: &mut Out) {
         let fd = Rc::clone(&self.fd);
         for w in &mut self.witnesses {
-            w.pump(now, &*fd, &mut out);
+            w.pump(now, &*fd, out);
         }
         for s in &mut self.subjects {
-            s.pump(now, &*fd, &mut out);
+            s.pump(now, &*fd, out);
         }
-        out
     }
 
-    /// Context-free message step.
-    pub fn handle_message(&mut self, from: ProcessId, msg: RedMsg, now: Time) -> Out {
-        let mut out = Out::default();
+    /// Context-free message step, appending effects to a caller-pooled
+    /// buffer.
+    pub fn handle_message_into(&mut self, from: ProcessId, msg: RedMsg, now: Time, out: &mut Out) {
         let fd = Rc::clone(&self.fd);
         match msg {
             RedMsg::Dx { watcher, subject, instance, inner } => {
                 if watcher == self.me {
-                    self.witness_mut(subject)
-                        .on_dx_message(instance, from, inner, now, &*fd, &mut out);
+                    self.witness_mut(subject).on_dx_message(instance, from, inner, now, &*fd, out);
                 } else {
                     debug_assert_eq!(subject, self.me);
-                    self.subject_mut(watcher)
-                        .on_dx_message(instance, from, inner, now, &*fd, &mut out);
+                    self.subject_mut(watcher).on_dx_message(instance, from, inner, now, &*fd, out);
                 }
             }
             RedMsg::Ping { watcher, subject, instance, seq } => {
                 debug_assert_eq!(watcher, self.me);
-                self.witness_mut(subject).on_ping(instance, seq, now, &*fd, &mut out);
+                self.witness_mut(subject).on_ping(instance, seq, now, &*fd, out);
             }
             RedMsg::Ack { watcher, subject, instance, seq } => {
                 debug_assert_eq!(subject, self.me);
-                self.subject_mut(watcher).on_ack(instance, seq, now, &*fd, &mut out);
+                self.subject_mut(watcher).on_ack(instance, seq, now, &*fd, out);
             }
         }
-        out
     }
 
-    /// Context-free tick step.
-    pub fn handle_tick(&mut self, now: Time) -> Out {
-        let mut out = Out::default();
+    /// Context-free tick step, appending effects to a caller-pooled buffer.
+    pub fn handle_tick_into(&mut self, now: Time, out: &mut Out) {
         let fd = Rc::clone(&self.fd);
         for w in &mut self.witnesses {
-            w.on_tick(now, &*fd, &mut out);
+            w.on_tick(now, &*fd, out);
         }
         for s in &mut self.subjects {
-            s.on_tick(now, &*fd, &mut out);
+            s.on_tick(now, &*fd, out);
         }
+    }
+
+    /// Convenience wrapper over [`ReductionNode::handle_start_into`]
+    /// allocating a fresh buffer.
+    pub fn handle_start(&mut self, now: Time) -> Out {
+        let mut out = Out::default();
+        self.handle_start_into(now, &mut out);
         out
     }
 
-    fn flush(out: Out, ctx: &mut Context<'_, RedMsg, RedObs>) {
-        for (to, msg) in out.sends {
+    /// Convenience wrapper over [`ReductionNode::handle_message_into`]
+    /// allocating a fresh buffer.
+    pub fn handle_message(&mut self, from: ProcessId, msg: RedMsg, now: Time) -> Out {
+        let mut out = Out::default();
+        self.handle_message_into(from, msg, now, &mut out);
+        out
+    }
+
+    /// Convenience wrapper over [`ReductionNode::handle_tick_into`]
+    /// allocating a fresh buffer.
+    pub fn handle_tick(&mut self, now: Time) -> Out {
+        let mut out = Out::default();
+        self.handle_tick_into(now, &mut out);
+        out
+    }
+
+    /// Drains a pooled buffer into the step context.
+    fn flush(out: &mut Out, ctx: &mut Context<'_, RedMsg, RedObs>) {
+        for (to, msg) in out.sends.drain(..) {
             ctx.send(to, msg);
         }
-        for obs in out.obs {
+        for obs in out.obs.drain(..) {
             ctx.observe(obs);
         }
     }
@@ -524,20 +631,125 @@ impl Node for ReductionNode {
     type Obs = RedObs;
 
     fn on_start(&mut self, ctx: &mut Context<'_, RedMsg, RedObs>) {
-        let out = self.handle_start(ctx.now());
-        Self::flush(out, ctx);
+        let mut out = std::mem::take(&mut self.out_buf);
+        out.clear();
+        self.handle_start_into(ctx.now(), &mut out);
+        Self::flush(&mut out, ctx);
+        self.out_buf = out;
         ctx.set_timer(self.tick_every, TICK);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, RedMsg, RedObs>, from: ProcessId, msg: RedMsg) {
-        let out = self.handle_message(from, msg, ctx.now());
-        Self::flush(out, ctx);
+        let mut out = std::mem::take(&mut self.out_buf);
+        out.clear();
+        self.handle_message_into(from, msg, ctx.now(), &mut out);
+        Self::flush(&mut out, ctx);
+        self.out_buf = out;
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, RedMsg, RedObs>, timer: TimerId) {
         debug_assert_eq!(timer, TICK);
-        let out = self.handle_tick(ctx.now());
-        Self::flush(out, ctx);
+        let mut out = std::mem::take(&mut self.out_buf);
+        out.clear();
+        self.handle_tick_into(ctx.now(), &mut out);
+        Self::flush(&mut out, ctx);
+        self.out_buf = out;
         ctx.set_timer(self.tick_every, TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{all_ordered_pairs, factory_for, BlackBox};
+    use dinefd_dining::participant::NoOracle;
+
+    fn node_for(me: u32, pairs: &[(ProcessId, ProcessId)]) -> ReductionNode {
+        let factory = factory_for(BlackBox::WfDx);
+        ReductionNode::new(ProcessId(me), pairs, &factory, Rc::new(NoOracle(8)), false)
+    }
+
+    #[test]
+    fn suspects_is_pessimistic_for_unwatched_pairs() {
+        // Node 1 in a 3-process all-pairs system watches 0 and 2 but never
+        // itself; a pair set restricted to (1,0) leaves 2 unwatched too.
+        let node = node_for(1, &all_ordered_pairs(3));
+        assert!(node.suspects(ProcessId(1)), "q == me is never watched: stays suspected");
+
+        let restricted = node_for(1, &[(ProcessId(1), ProcessId(0))]);
+        assert!(restricted.suspects(ProcessId(1)));
+        assert!(restricted.suspects(ProcessId(2)), "unwatched peer stays suspected");
+        assert!(restricted.suspects(ProcessId(7)), "peer outside the table stays suspected");
+        // The one watched pair starts suspected as well (pessimistic init),
+        // so everything is uniform at time zero.
+        assert!(restricted.suspects(ProcessId(0)));
+    }
+
+    #[test]
+    fn set_tick_every_zero_clamps_to_one() {
+        let mut node = node_for(0, &all_ordered_pairs(2));
+        assert_eq!(node.tick_every(), 4, "default period");
+        node.set_tick_every(0);
+        assert_eq!(node.tick_every(), 1, "zero silently clamps to one");
+        node.set_tick_every(9);
+        assert_eq!(node.tick_every(), 9);
+    }
+
+    #[test]
+    fn indexed_routing_matches_component_lists() {
+        // Sparse, shuffled pair set: the index tables must route exactly the
+        // pairs the component vectors hold, and nothing else.
+        let pairs = [
+            (ProcessId(2), ProcessId(5)),
+            (ProcessId(4), ProcessId(2)),
+            (ProcessId(2), ProcessId(0)),
+            (ProcessId(6), ProcessId(2)),
+            (ProcessId(0), ProcessId(4)),
+        ];
+        let mut node = node_for(2, &pairs);
+        assert_eq!(node.witnesses.len(), 2);
+        assert_eq!(node.subjects.len(), 2);
+        assert_eq!(node.witness_mut(ProcessId(5)).subject, ProcessId(5));
+        assert_eq!(node.witness_mut(ProcessId(0)).subject, ProcessId(0));
+        assert_eq!(node.subject_mut(ProcessId(4)).watcher, ProcessId(4));
+        assert_eq!(node.subject_mut(ProcessId(6)).watcher, ProcessId(6));
+        // Every unwatched peer (including out-of-range ids) reads as
+        // pessimistically suspected.
+        for q in [1u32, 3, 4, 6, 7, 99] {
+            assert!(node.suspects(ProcessId(q)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown witness pair")]
+    fn routing_panics_for_unknown_witness_pair() {
+        let mut node = node_for(0, &[(ProcessId(0), ProcessId(1))]);
+        node.witness_mut(ProcessId(3));
+    }
+
+    #[test]
+    fn pooled_handlers_match_allocating_wrappers() {
+        // Drive two identical nodes through the same step sequence, one via
+        // the allocating wrappers and one via the pooled `_into` variants
+        // with a single reused buffer; effects must be identical.
+        let pairs = all_ordered_pairs(3);
+        let mut a = node_for(1, &pairs);
+        let mut b = node_for(1, &pairs);
+        let mut pooled = Out::default();
+
+        let wrapped = a.handle_start(Time(0));
+        pooled.clear();
+        b.handle_start_into(Time(0), &mut pooled);
+        assert_eq!(format!("{:?}", wrapped.sends), format!("{:?}", pooled.sends));
+        assert_eq!(format!("{:?}", wrapped.obs), format!("{:?}", pooled.obs));
+
+        // Replay the start-step sends of witness components back as if the
+        // peers acked: a tick step on both nodes must also agree.
+        let wrapped = a.handle_tick(Time(4));
+        pooled.clear();
+        b.handle_tick_into(Time(4), &mut pooled);
+        assert_eq!(format!("{:?}", wrapped.sends), format!("{:?}", pooled.sends));
+        assert_eq!(format!("{:?}", wrapped.obs), format!("{:?}", pooled.obs));
+        assert!(!pooled.sends.is_empty() || !pooled.obs.is_empty() || wrapped.sends.is_empty());
     }
 }

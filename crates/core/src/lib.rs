@@ -52,7 +52,7 @@ pub mod machines;
 pub mod scenario;
 pub mod single_dx;
 
-pub use detector::{suspicion_history, PairTimelines, SharedSuspicion};
+pub use detector::{suspicion_history, HistorySink, PairTimelines, SharedSuspicion};
 pub use fairness::{run_fair_over_extraction, FairOverExtractionNode, FairnessResult};
 pub use flawed_cm::{run_flawed_pair, FlawedCmNode};
 pub use host::{DxEndpoint, RedMsg, RedObs, ReductionNode, Role};

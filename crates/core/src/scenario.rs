@@ -19,7 +19,7 @@ use dinefd_sim::{
     WorldConfig,
 };
 
-use crate::detector::{suspicion_history, PairTimelines};
+use crate::detector::{suspicion_history, HistorySink, PairTimelines};
 use crate::host::{DxEndpoint, RedMsg, RedObs, ReductionNode};
 
 /// Which WF-◇WX (or WX) black box the reduction runs against.
@@ -117,6 +117,16 @@ pub struct Scenario {
     pub strict_seq: bool,
     /// Self-tick period of the reduction nodes (scheduling granularity).
     pub tick_every: u64,
+    /// Fold the suspicion history online through a
+    /// [`crate::detector::HistorySink`] instead of materializing
+    /// observation events in the trace: `O(pairs + changes)` resident
+    /// memory, but [`ExtractionResult::pair_timelines`] becomes empty.
+    pub streaming: bool,
+    /// Coalesce each step's per-destination sends into single wire
+    /// envelopes (one delay draw per envelope; FIFO within). Off by
+    /// default — it changes delay sampling, hence schedules, under
+    /// stochastic delay models.
+    pub batch_envelopes: bool,
 }
 
 impl Scenario {
@@ -138,6 +148,8 @@ impl Scenario {
             horizon: Time(40_000),
             strict_seq: false,
             tick_every: 4,
+            streaming: false,
+            batch_envelopes: false,
         }
     }
 
@@ -167,8 +179,16 @@ pub fn all_ordered_pairs(n: usize) -> Vec<(ProcessId, ProcessId)> {
 pub struct ExtractionResult {
     /// The extracted detector's suspicion history.
     pub history: SuspicionHistory,
-    /// The raw trace (observations always present).
+    /// The raw trace. In post-hoc mode observations are always present; in
+    /// streaming mode they are folded into `history` as they happen and the
+    /// trace carries none (so [`ExtractionResult::pair_timelines`] is empty).
     pub trace: Trace<RedMsg, RedObs>,
+    /// Whether the history was folded online (see [`Scenario::streaming`]).
+    pub streaming: bool,
+    /// Logical resident size of the extracted history in timeline entries
+    /// ([`SuspicionHistory::change_count`]); with `n²` initial outputs this
+    /// is the whole streaming-mode memory footprint of extraction.
+    pub history_changes: u64,
     /// The run's crash plan (for the spec checkers).
     pub crashes: CrashPlan,
     /// System size.
@@ -245,6 +265,8 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
         horizon,
         strict_seq,
         tick_every,
+        streaming,
+        batch_envelopes,
     } = sc;
     let pairs = if pairs.is_empty() { all_ordered_pairs(n) } else { pairs };
     let mut rng = SplitMix64::new(seed ^ 0xD1CE_F00D);
@@ -257,25 +279,62 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
             node
         })
         .collect();
-    let cfg = WorldConfig::new(seed).delays(delays).crashes(crashes.clone());
+    let mut cfg = WorldConfig::new(seed).delays(delays).crashes(crashes.clone());
+    if batch_envelopes {
+        cfg = cfg.batch_envelopes();
+    }
     let mut profiler = Profiler::new();
-    let mut world = World::new(nodes, cfg);
-    profiler.time("simulate", || world.run_until(horizon));
-    let steps = world.steps();
-    let messages_sent = world.messages_sent();
-    let metrics = world.metrics_map();
-    let trace = world.into_trace();
-    let history = profiler.time("extract", || suspicion_history(n, &trace, &pairs));
-    ExtractionResult {
-        history,
-        trace,
-        crashes,
-        n,
-        horizon,
-        steps,
-        messages_sent,
-        metrics,
-        profiler,
+    if streaming {
+        // Fold observations into the history as the simulator routes them;
+        // keep the trace free of observation events so the run's resident
+        // footprint is O(pairs + suspicion changes), not O(run length).
+        let sink = Rc::new(std::cell::RefCell::new(HistorySink::new(n, &pairs)));
+        let handle = Rc::clone(&sink);
+        let mut world = World::new_with_sink(nodes, cfg.observation_events_off(), Box::new(handle));
+        profiler.time("simulate", || world.run_until(horizon));
+        let steps = world.steps();
+        let messages_sent = world.messages_sent();
+        let metrics = world.metrics_map();
+        let trace = world.into_trace(); // drops the world's sink handle
+        let history = profiler.time("extract", || {
+            Rc::try_unwrap(sink).expect("world dropped its sink handle").into_inner().finish()
+        });
+        let history_changes = history.change_count();
+        ExtractionResult {
+            history,
+            trace,
+            streaming: true,
+            history_changes,
+            crashes,
+            n,
+            horizon,
+            steps,
+            messages_sent,
+            metrics,
+            profiler,
+        }
+    } else {
+        let mut world = World::new(nodes, cfg);
+        profiler.time("simulate", || world.run_until(horizon));
+        let steps = world.steps();
+        let messages_sent = world.messages_sent();
+        let metrics = world.metrics_map();
+        let trace = world.into_trace();
+        let history = profiler.time("extract", || suspicion_history(n, &trace, &pairs));
+        let history_changes = history.change_count();
+        ExtractionResult {
+            history,
+            trace,
+            streaming: false,
+            history_changes,
+            crashes,
+            n,
+            horizon,
+            steps,
+            messages_sent,
+            metrics,
+            profiler,
+        }
     }
 }
 

@@ -81,6 +81,20 @@ impl<'a> DiningIo<'a> {
         DiningIo { me, now, fd, sends: Vec::new() }
     }
 
+    /// Builds the capability reusing a caller-owned send buffer (cleared
+    /// here), so hosts invoking participants in a hot loop allocate nothing
+    /// per invocation: drain [`DiningEffects::sends`] after
+    /// [`DiningIo::finish`] and hand the vector back next time.
+    pub fn with_scratch(
+        me: ProcessId,
+        now: Time,
+        fd: &'a dyn FdQuery,
+        mut scratch: Vec<(ProcessId, DiningMsg)>,
+    ) -> Self {
+        scratch.clear();
+        DiningIo { me, now, fd, sends: scratch }
+    }
+
     /// The hosting process.
     pub fn me(&self) -> ProcessId {
         self.me

@@ -212,6 +212,15 @@ impl SuspicionHistory {
         &self.timelines[watcher.index() * self.n + subject.index()]
     }
 
+    /// Total number of recorded output changes across all pairs.
+    ///
+    /// Together with `len()²` this is the history's logical resident size:
+    /// a streamed extraction holds `O(n² + change_count)` timeline entries
+    /// and nothing else, however long the run was.
+    pub fn change_count(&self) -> u64 {
+        self.timelines.iter().map(|tl| tl.changes().len() as u64).sum()
+    }
+
     /// Number of wrongful-suspicion intervals of `watcher` about `subject`
     /// (every suspicion interval of a correct subject is wrongful).
     pub fn mistake_intervals(&self, watcher: ProcessId, subject: ProcessId) -> usize {

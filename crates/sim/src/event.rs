@@ -19,6 +19,18 @@ pub enum EventKind<M> {
         /// Payload.
         msg: M,
     },
+    /// Delivery of a batched envelope on the channel `from → to`: every
+    /// message some step flushed toward `to`, coalesced under one delay
+    /// draw. Messages are dispatched in send order (FIFO within the
+    /// envelope), each as its own atomic step of the receiver.
+    Envelope {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Payloads, in send order.
+        msgs: Vec<M>,
+    },
     /// A local timer of `pid` fires.
     Timer {
         /// Owner of the timer.

@@ -41,6 +41,16 @@
 //! (counters, queue-depth gauge, per-delay histogram) updated inline on the
 //! event loop; [`metrics::Profiler`] splits experiment wall-clock into
 //! phases. Both feed the machine-readable `BENCH_*.json` perf reports.
+//!
+//! Streaming: a [`world::ObsSink`] attached via [`world::World::new_with_sink`]
+//! receives every observation as it is routed, so consumers can fold run
+//! output online instead of materializing the full trace; combined with
+//! [`world::WorldConfig::observation_events_off`] the run's resident
+//! footprint no longer grows with its length. Optional *envelope batching*
+//! ([`world::WorldConfig::batch_envelopes`], off by default) coalesces all
+//! messages one step sends to the same destination into a single wire
+//! envelope with a single delay draw, FIFO-preserved within the envelope;
+//! occupancy lands in [`metrics::SimMetrics::envelope_occupancy`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,4 +79,4 @@ pub use rng::SplitMix64;
 pub use stats::Summary;
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};
-pub use world::{World, WorldConfig};
+pub use world::{ObsSink, World, WorldConfig};

@@ -243,9 +243,20 @@ pub struct SimMetrics {
     pub timer_fires: Counter,
     /// Timers armed by nodes.
     pub timers_set: Counter,
+    /// Application-level observations emitted by nodes (counted whether or
+    /// not the trace records them — streaming sinks rely on this).
+    pub observations: Counter,
+    /// Wire envelopes handed to the network (equals `messages_sent` when
+    /// envelope batching is off: every message rides alone).
+    pub envelopes_sent: Counter,
+    /// Messages per envelope. Only populated when envelope batching is on;
+    /// with batching off the histogram stays empty (occupancy is trivially
+    /// 1 and recording it would cost the default hot path).
+    pub envelope_occupancy: Histogram,
     /// Event-queue depth (high-water mark is the backlog measure).
     pub queue_depth: Gauge,
-    /// Sampled per-message delivery delays, in virtual ticks.
+    /// Sampled delivery delays, in virtual ticks — one sample per delay
+    /// draw, i.e. per message without batching and per envelope with it.
     pub delay_ticks: Histogram,
 }
 
@@ -267,8 +278,11 @@ impl SimMetrics {
         out.insert("crash_events".into(), self.crash_events.get());
         out.insert("timer_fires".into(), self.timer_fires.get());
         out.insert("timers_set".into(), self.timers_set.get());
+        out.insert("observations".into(), self.observations.get());
+        out.insert("envelopes_sent".into(), self.envelopes_sent.get());
         out.insert("queue_depth_high_water".into(), self.queue_depth.high_water());
         out.insert("queue_depth_final".into(), self.queue_depth.get());
+        self.envelope_occupancy.export("envelope_occupancy", &mut out);
         self.delay_ticks.export(&format!("delay_ticks.{delay_model}"), &mut out);
         out
     }

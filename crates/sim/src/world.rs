@@ -22,6 +22,32 @@ use crate::rng::SplitMix64;
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 
+/// A streaming consumer of observations.
+///
+/// Attached via [`World::new_with_sink`], the sink sees every observation
+/// *as its emitting step's effects are routed* — in exactly the order the
+/// trace would record them — so consumers can fold run output online
+/// instead of materializing the full event log and replaying it through
+/// [`World::into_trace`]. Combined with
+/// [`WorldConfig::observation_events_off`], a run's resident footprint
+/// becomes whatever the sink keeps, independent of run length.
+///
+/// Sinks are observers only: they cannot influence the run, and attaching
+/// one never changes the schedule (no RNG draws, no event reordering).
+pub trait ObsSink<O> {
+    /// Called once per observation, in dispatch order.
+    fn on_obs(&mut self, at: Time, pid: ProcessId, obs: &O);
+}
+
+/// Shared-handle convenience: a `Rc<RefCell<S>>` sink lets the caller keep
+/// a handle while the world owns the boxed clone (the usual pattern for
+/// recovering the folded state after the run).
+impl<O, S: ObsSink<O>> ObsSink<O> for std::rc::Rc<std::cell::RefCell<S>> {
+    fn on_obs(&mut self, at: Time, pid: ProcessId, obs: &O) {
+        self.borrow_mut().on_obs(at, pid, obs);
+    }
+}
+
 /// Configuration of one run.
 #[derive(Debug)]
 pub struct WorldConfig {
@@ -31,9 +57,19 @@ pub struct WorldConfig {
     pub delays: DelayModel,
     /// Crash schedule.
     pub crashes: CrashPlan,
-    /// Record `Send`/`Deliver` events in the trace (observations are always
-    /// recorded). Off by default: long sweeps only need observations.
+    /// Record `Send`/`Deliver` events in the trace. Off by default: long
+    /// sweeps only need observations.
     pub record_messages: bool,
+    /// Record `Obs` events in the trace. On by default; streaming consumers
+    /// turn it off and attach an [`ObsSink`] instead, so the trace no longer
+    /// grows with the observation count.
+    pub record_observations: bool,
+    /// Coalesce all messages one atomic step sends to the same destination
+    /// into a single wire envelope with a single delay draw (FIFO within
+    /// the envelope). Off by default — the paper's model puts every message
+    /// on the wire alone; batching is a throughput knob whose occupancy is
+    /// measured by [`SimMetrics::envelope_occupancy`].
+    pub batch_envelopes: bool,
 }
 
 impl WorldConfig {
@@ -44,6 +80,8 @@ impl WorldConfig {
             delays: DelayModel::default_async(),
             crashes: CrashPlan::none(),
             record_messages: false,
+            record_observations: true,
+            batch_envelopes: false,
         }
     }
 
@@ -64,6 +102,19 @@ impl WorldConfig {
         self.record_messages = true;
         self
     }
+
+    /// Disables observation recording in the trace (builder style) — for
+    /// streaming runs where an [`ObsSink`] consumes observations online.
+    pub fn observation_events_off(mut self) -> Self {
+        self.record_observations = false;
+        self
+    }
+
+    /// Enables envelope batching (builder style).
+    pub fn batch_envelopes(mut self) -> Self {
+        self.batch_envelopes = true;
+        self
+    }
 }
 
 /// A complete simulated system executing one run.
@@ -80,6 +131,9 @@ pub struct World<N: Node> {
     rng: SplitMix64,
     node_rngs: Vec<SplitMix64>,
     trace: Trace<N::Msg, N::Obs>,
+    record_observations: bool,
+    batch_envelopes: bool,
+    obs_sink: Option<Box<dyn ObsSink<N::Obs>>>,
     // Reusable effect buffers (avoid per-step allocation).
     sends_buf: Vec<(ProcessId, N::Msg)>,
     timers_buf: Vec<(u64, TimerId)>,
@@ -91,6 +145,17 @@ impl<N: Node> World<N> {
     /// Builds a world over `nodes` and delivers every node's `on_start` step
     /// at time zero.
     pub fn new(nodes: Vec<N>, cfg: WorldConfig) -> Self {
+        Self::build(nodes, cfg, None)
+    }
+
+    /// Builds a world with a streaming [`ObsSink`] attached. The sink must
+    /// be present from construction because the `on_start` steps run inside
+    /// it — attaching a sink after `new` would miss their observations.
+    pub fn new_with_sink(nodes: Vec<N>, cfg: WorldConfig, sink: Box<dyn ObsSink<N::Obs>>) -> Self {
+        Self::build(nodes, cfg, Some(sink))
+    }
+
+    fn build(nodes: Vec<N>, cfg: WorldConfig, obs_sink: Option<Box<dyn ObsSink<N::Obs>>>) -> Self {
         let n = nodes.len();
         let mut rng = SplitMix64::new(cfg.seed);
         let node_rngs = (0..n).map(|_| rng.fork()).collect();
@@ -103,6 +168,9 @@ impl<N: Node> World<N> {
             rng,
             node_rngs,
             trace: Trace::new(cfg.record_messages),
+            record_observations: cfg.record_observations,
+            batch_envelopes: cfg.batch_envelopes,
+            obs_sink,
             sends_buf: Vec::new(),
             timers_buf: Vec::new(),
             obs_buf: Vec::new(),
@@ -191,9 +259,17 @@ impl<N: Node> World<N> {
         &self.trace
     }
 
-    /// Consumes the world, returning the trace.
+    /// Consumes the world, returning the trace. Any attached [`ObsSink`] is
+    /// dropped here; keep a shared handle (see the `Rc<RefCell<_>>` blanket
+    /// impl) or call [`World::take_obs_sink`] first to recover its state.
     pub fn into_trace(self) -> Trace<N::Msg, N::Obs> {
         self.trace
+    }
+
+    /// Detaches and returns the streaming sink, if one was attached. Later
+    /// observations are no longer streamed anywhere.
+    pub fn take_obs_sink(&mut self) -> Option<Box<dyn ObsSink<N::Obs>>> {
+        self.obs_sink.take()
     }
 
     /// Number of events still pending.
@@ -239,6 +315,27 @@ impl<N: Node> World<N> {
                     // Messages to crashed processes vanish: the reliability
                     // axiom only covers messages sent to correct processes.
                     self.metrics.messages_dropped.inc();
+                }
+            }
+            EventKind::Envelope { from, to, msgs } => {
+                if !self.crashed[to.index()] {
+                    // FIFO within the envelope: dispatch in send order, one
+                    // atomic step per message (delivering k messages is
+                    // equivalent to k consecutive steps in the model).
+                    for msg in msgs {
+                        self.metrics.messages_delivered.inc();
+                        if self.trace.records_messages {
+                            self.trace.push(TraceEvent::Deliver {
+                                at: self.now,
+                                from,
+                                to,
+                                msg: msg.clone(),
+                            });
+                        }
+                        self.dispatch_message(to, from, msg);
+                    }
+                } else {
+                    self.metrics.messages_dropped.add(msgs.len() as u64);
                 }
             }
         }
@@ -334,17 +431,33 @@ impl<N: Node> World<N> {
     ) {
         self.metrics.steps.inc();
         for o in obs.drain(..) {
-            self.trace.push(TraceEvent::Obs { at: self.now, pid, obs: o });
-        }
-        for (to, msg) in sends.drain(..) {
-            debug_assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
-            self.metrics.messages_sent.inc();
-            if self.trace.records_messages {
-                self.trace.push(TraceEvent::Send { at: self.now, from: pid, to, msg: msg.clone() });
+            self.metrics.observations.inc();
+            if let Some(sink) = self.obs_sink.as_mut() {
+                sink.on_obs(self.now, pid, &o);
             }
-            let d = self.delays.sample(pid, to, self.now, &mut self.rng);
-            self.metrics.delay_ticks.record(d);
-            self.queue.push(self.now + d, EventKind::Deliver { from: pid, to, msg });
+            if self.record_observations {
+                self.trace.push(TraceEvent::Obs { at: self.now, pid, obs: o });
+            }
+        }
+        if self.batch_envelopes {
+            self.route_sends_batched(pid, &mut sends);
+        } else {
+            for (to, msg) in sends.drain(..) {
+                debug_assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
+                self.metrics.messages_sent.inc();
+                self.metrics.envelopes_sent.inc();
+                if self.trace.records_messages {
+                    self.trace.push(TraceEvent::Send {
+                        at: self.now,
+                        from: pid,
+                        to,
+                        msg: msg.clone(),
+                    });
+                }
+                let d = self.delays.sample(pid, to, self.now, &mut self.rng);
+                self.metrics.delay_ticks.record(d);
+                self.queue.push(self.now + d, EventKind::Deliver { from: pid, to, msg });
+            }
         }
         for (delay, id) in timers.drain(..) {
             self.metrics.timers_set.inc();
@@ -355,6 +468,33 @@ impl<N: Node> World<N> {
         self.sends_buf = sends;
         self.timers_buf = timers;
         self.obs_buf = obs;
+    }
+
+    /// Envelope batching: coalesce this step's sends by destination —
+    /// first-occurrence destination order, send order within a destination
+    /// (FIFO inside the envelope) — and give each envelope one delay draw.
+    /// The destination count per step is small, so the grouping is a linear
+    /// scan, not a map.
+    fn route_sends_batched(&mut self, pid: ProcessId, sends: &mut Vec<(ProcessId, N::Msg)>) {
+        let mut groups: Vec<(ProcessId, Vec<N::Msg>)> = Vec::new();
+        for (to, msg) in sends.drain(..) {
+            debug_assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
+            self.metrics.messages_sent.inc();
+            if self.trace.records_messages {
+                self.trace.push(TraceEvent::Send { at: self.now, from: pid, to, msg: msg.clone() });
+            }
+            match groups.iter_mut().find(|(t, _)| *t == to) {
+                Some((_, msgs)) => msgs.push(msg),
+                None => groups.push((to, vec![msg])),
+            }
+        }
+        for (to, msgs) in groups {
+            self.metrics.envelopes_sent.inc();
+            self.metrics.envelope_occupancy.record(msgs.len() as u64);
+            let d = self.delays.sample(pid, to, self.now, &mut self.rng);
+            self.metrics.delay_ticks.record(d);
+            self.queue.push(self.now + d, EventKind::Envelope { from: pid, to, msgs });
+        }
     }
 }
 
@@ -532,6 +672,161 @@ mod tests {
         while w.step() {}
         assert_eq!(w.node(ProcessId(0)).fired, 7);
         assert_eq!(w.now(), Time(35));
+    }
+
+    /// A sink that folds observations into a running count + checksum.
+    #[derive(Debug, Default)]
+    struct FoldSink {
+        seen: Vec<(Time, ProcessId, u32)>,
+    }
+
+    impl ObsSink<u32> for FoldSink {
+        fn on_obs(&mut self, at: Time, pid: ProcessId, obs: &u32) {
+            self.seen.push((at, pid, *obs));
+        }
+    }
+
+    #[test]
+    fn obs_sink_streams_exactly_the_trace_observations() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let sink = Rc::new(RefCell::new(FoldSink::default()));
+        let mut w =
+            World::new_with_sink(ring(4, 23), WorldConfig::new(9), Box::new(Rc::clone(&sink)));
+        while w.step() {}
+        let from_trace: Vec<(Time, ProcessId, u32)> =
+            w.trace().observations().map(|(t, p, &o)| (t, p, o)).collect();
+        assert!(!from_trace.is_empty());
+        assert_eq!(sink.borrow().seen, from_trace, "sink must mirror the trace stream");
+        assert_eq!(w.metrics().observations.get(), from_trace.len() as u64);
+    }
+
+    #[test]
+    fn observation_events_off_keeps_sink_fed_but_trace_lean() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let sink = Rc::new(RefCell::new(FoldSink::default()));
+        let cfg = WorldConfig::new(9).observation_events_off();
+        let mut w = World::new_with_sink(ring(4, 23), cfg, Box::new(Rc::clone(&sink)));
+        while w.step() {}
+        assert_eq!(w.trace().observations().count(), 0, "trace must not retain observations");
+        assert_eq!(w.trace().len(), 0, "nothing else recorded either (messages off)");
+        assert_eq!(sink.borrow().seen.len() as u64, w.metrics().observations.get());
+        assert!(w.metrics().observations.get() > 0);
+    }
+
+    #[test]
+    fn obs_sink_attachment_does_not_change_the_schedule() {
+        let bare = {
+            let mut w = World::new(ring(5, 40), WorldConfig::new(77));
+            while w.step() {}
+            (w.now(), w.steps(), w.messages_sent())
+        };
+        let sunk = {
+            let sink = std::rc::Rc::new(std::cell::RefCell::new(FoldSink::default()));
+            let mut w = World::new_with_sink(ring(5, 40), WorldConfig::new(77), Box::new(sink));
+            while w.step() {}
+            (w.now(), w.steps(), w.messages_sent())
+        };
+        assert_eq!(bare, sunk);
+    }
+
+    /// A node that sends a burst of messages to one peer per timer fire —
+    /// the shape envelope batching coalesces.
+    #[derive(Debug)]
+    struct Burst {
+        rounds_left: u32,
+        burst: u32,
+        received: Vec<u32>,
+    }
+
+    impl Node for Burst {
+        type Msg = u32;
+        type Obs = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32, u32>) {
+            if ctx.me() == ProcessId(0) {
+                ctx.set_timer(5, TimerId(0));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, u32, u32>, _from: ProcessId, msg: u32) {
+            self.received.push(msg);
+            ctx.observe(msg);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32, u32>, _id: TimerId) {
+            for k in 0..self.burst {
+                ctx.send(ProcessId(1), self.rounds_left * 100 + k);
+            }
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.set_timer(5, TimerId(0));
+            }
+        }
+    }
+
+    fn burst_nodes(rounds: u32, burst: u32) -> Vec<Burst> {
+        (0..2).map(|_| Burst { rounds_left: rounds, burst, received: Vec::new() }).collect()
+    }
+
+    #[test]
+    fn envelope_batching_coalesces_per_step_sends_with_one_delay_draw() {
+        let cfg = WorldConfig::new(3).batch_envelopes();
+        let mut w = World::new(burst_nodes(9, 4), cfg);
+        while w.step() {}
+        let m = w.metrics();
+        assert_eq!(m.messages_sent.get(), 40, "10 timer fires x 4 msgs");
+        assert_eq!(m.envelopes_sent.get(), 10, "one envelope per bursting step");
+        assert_eq!(m.delay_ticks.count(), 10, "one delay draw per envelope");
+        assert_eq!(m.envelope_occupancy.count(), 10);
+        assert_eq!(m.envelope_occupancy.max(), 4);
+        assert_eq!(m.envelope_occupancy.sum(), m.messages_sent.get());
+        assert_eq!(m.messages_delivered.get(), 40, "every message still delivered");
+    }
+
+    #[test]
+    fn envelope_batching_preserves_fifo_within_an_envelope() {
+        let cfg = WorldConfig::new(5).batch_envelopes();
+        let mut w = World::new(burst_nodes(5, 6), cfg);
+        while w.step() {}
+        // Messages of one burst share an envelope, so their receive order is
+        // their send order: within each round, k ascends 0..6.
+        let received = &w.node(ProcessId(1)).received;
+        assert_eq!(received.len(), 36);
+        for chunk in received.chunks(6) {
+            let ks: Vec<u32> = chunk.iter().map(|m| m % 100).collect();
+            assert_eq!(ks, vec![0, 1, 2, 3, 4, 5], "within-envelope order broken: {received:?}");
+        }
+    }
+
+    #[test]
+    fn envelope_batching_off_matches_on_under_fixed_delays() {
+        // With a deterministic delay model the single envelope draw equals
+        // every per-message draw, so the two schedules are identical up to
+        // within-instant interleaving across *different* destinations —
+        // for a single destination the runs must agree exactly.
+        let run = |batch: bool| {
+            let cfg = WorldConfig::new(8).delays(DelayModel::Fixed(7));
+            let cfg = if batch { cfg.batch_envelopes() } else { cfg };
+            let mut w = World::new(burst_nodes(7, 3), cfg);
+            while w.step() {}
+            (w.now(), w.node(ProcessId(1)).received.clone())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn envelopes_to_crashed_receivers_are_dropped_whole() {
+        let cfg = WorldConfig::new(4)
+            .batch_envelopes()
+            .delays(DelayModel::Fixed(10))
+            .crashes(CrashPlan::one(ProcessId(1), Time(1)));
+        let mut w = World::new(burst_nodes(2, 5), cfg);
+        while w.step() {}
+        let m = w.metrics();
+        assert_eq!(m.messages_delivered.get(), 0);
+        assert_eq!(m.messages_dropped.get(), m.messages_sent.get());
     }
 
     #[test]
