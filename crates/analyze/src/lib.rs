@@ -1,0 +1,41 @@
+//! # `dinefd-analyze` — static analysis of the reduction
+//!
+//! The explorer (`dinefd-explore`) checks the paper's safety lemmas up to a
+//! depth bound; this crate removes the bound. It re-expresses the whole
+//! closed pair model as a **guarded-command IR** ([`ir`]) over a finite
+//! abstract domain (machine bits + phases + a saturating-counter wire),
+//! proves the IR equivalent to the executable machines by differential
+//! property testing (`tests/ir_conformance.rs`), and then checks each lemma
+//! **inductively** ([`induct`]): every action fired from every
+//! invariant-satisfying typed state must land back inside the invariant.
+//! What passes holds at *any* depth, for *any* schedule.
+//!
+//! Failures come back as concrete counterexamples-to-induction — (pre,
+//! action, post) triples — classified *real* (pre-state reachable; the
+//! seeded explorer replays it into a genuine violation) or *spurious*
+//! (an abstraction artifact; a prompt to strengthen the invariant). The
+//! seeded-mutation gate in `tests/induction.rs` keeps the checker honest in
+//! both directions: safety-breaking mutations must produce real CTIs,
+//! safety-silent ones must still pass induction.
+//!
+//! [`lints`] adds four cheap semantic audits of the IR and the machine
+//! codecs (guard disjointness, dead guards, duplicate-delivery idempotence,
+//! pack/unpack codomain completeness).
+//!
+//! Entry points: [`run_induction`] and [`run_lints`]; the `dinefd analyze`
+//! CLI subcommand (`crates/apps`) and bench experiment E11 wrap both.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod induct;
+pub mod ir;
+pub mod lints;
+
+pub use induct::{
+    clause_mask, run_induction, Clause, ClosureVerdict, Cti, CtiClass, InductOptions, InductionRun,
+    LemmaSpec, LemmaVerdict, ALL_CLAUSES, LEMMA_SPECS,
+};
+pub use ir::{AbsState, Action, ActionId, Ir, IrConfig, WIRE_CAP};
+pub use lints::{run_lints, LintReport};

@@ -1,0 +1,110 @@
+//! The `dinefd` command-line tool.
+//!
+//! ```text
+//! dinefd analyze [FLAGS]      static analysis: lints + inductive checking
+//! ```
+//!
+//! `dinefd analyze` runs the `dinefd-analyze` pipeline on one model
+//! configuration: the four IR lint passes, then the inductive invariant
+//! checker over the full typed abstract domain, classifying any
+//! counterexamples-to-induction against the concrete explorer. Exit status
+//! is `0` when every lemma is inductive and every lint is clean, `2`
+//! otherwise (so the faithful configuration doubles as a CI gate, and a
+//! mutated configuration's nonzero exit is the expected demonstration).
+//!
+//! Flags (all optional):
+//!
+//! ```text
+//! --strict                  sequence-checked acks (hardened subject)
+//! --no-crash                forbid the subject crash transition
+//! --subject-mutation NAME   skip-ping-disable | ignore-trigger-guard |
+//!                           skip-trigger-update
+//! --model-mutation NAME     drop-ping-send | stale-ack-replay
+//! --no-classify             skip concrete CTI classification (faster)
+//! --skip-lints              induction only
+//! --skip-induction          lints only
+//! ```
+
+use dinefd_analyze::induct::{render_summary, run_induction, InductOptions};
+use dinefd_analyze::ir::IrConfig;
+use dinefd_analyze::lints::{render_lints, run_lints};
+use dinefd_core::machines::SubjectMutation;
+use dinefd_explore::ModelMutation;
+use std::process::ExitCode;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: dinefd analyze [--strict] [--no-crash] \
+         [--subject-mutation NAME] [--model-mutation NAME] \
+         [--no-classify] [--skip-lints] [--skip-induction]"
+    );
+    ExitCode::from(64)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some(other) => usage(&format!("unknown subcommand `{other}`")),
+        None => usage("missing subcommand"),
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut cfg = IrConfig::faithful();
+    let mut classify = true;
+    let mut do_lints = true;
+    let mut do_induction = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strict" => cfg.strict_seq = true,
+            "--no-crash" => cfg.allow_crash = false,
+            "--no-classify" => classify = false,
+            "--skip-lints" => do_lints = false,
+            "--skip-induction" => do_induction = false,
+            "--subject-mutation" => {
+                let Some(name) = it.next() else {
+                    return usage("--subject-mutation needs a value");
+                };
+                cfg.subject_mutation = match name.as_str() {
+                    "skip-ping-disable" => SubjectMutation::SkipPingDisable,
+                    "ignore-trigger-guard" => SubjectMutation::IgnoreTriggerGuard,
+                    "skip-trigger-update" => SubjectMutation::SkipTriggerUpdate,
+                    other => return usage(&format!("unknown subject mutation `{other}`")),
+                };
+            }
+            "--model-mutation" => {
+                let Some(name) = it.next() else {
+                    return usage("--model-mutation needs a value");
+                };
+                cfg.model_mutation = match name.as_str() {
+                    "drop-ping-send" => ModelMutation::DropPingSend,
+                    "stale-ack-replay" => ModelMutation::StaleAckReplay,
+                    other => return usage(&format!("unknown model mutation `{other}`")),
+                };
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut clean = true;
+    if do_lints {
+        let report = run_lints(&cfg);
+        print!("{}", render_lints(&report));
+        clean &= report.clean();
+    }
+    if do_induction {
+        let opts =
+            InductOptions { classify: if classify { 2 } else { 0 }, ..InductOptions::default() };
+        let run = run_induction(&cfg, &opts);
+        print!("{}", render_summary(&run));
+        clean &= run.all_inductive();
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

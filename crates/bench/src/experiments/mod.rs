@@ -1,7 +1,8 @@
-//! The experiment suite (E1–E10). Each module's `run` produces the report for
+//! The experiment suite (E1–E11). Each module's `run` produces the report for
 //! one EXPERIMENTS.md entry.
 
 pub mod e10_substrates;
+pub mod e11_induct;
 pub mod e1_completeness;
 pub mod e2_accuracy;
 pub mod e3_handoff;
@@ -28,9 +29,10 @@ pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Report> {
         "e8" => Some(e8_scale::run(cfg)),
         "e9" => Some(e9_ablation::run(cfg)),
         "e10" => Some(e10_substrates::run(cfg)),
+        "e11" => Some(e11_induct::run(cfg)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];

@@ -7,6 +7,7 @@
 //! results — only wall-clock).
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod experiments;

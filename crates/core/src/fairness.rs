@@ -222,6 +222,7 @@ impl Node for FairOverExtractionNode {
 }
 
 /// Result of a fairness-composition run.
+#[derive(Debug)]
 pub struct FairnessResult {
     /// Phase history of the fair dining layer.
     pub dining: DiningHistory,

@@ -42,6 +42,7 @@
 //! checks the extracted history against T's specification.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod detector;

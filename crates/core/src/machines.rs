@@ -112,6 +112,14 @@ impl WitnessMachine {
         WitnessMachine { switch: 0, haveping: [false, false], suspect: true }
     }
 
+    /// Constructs an arbitrary machine state from its components — the
+    /// introspection hook the guarded-command IR (`dinefd-analyze`) and its
+    /// conformance suite use to sweep the whole 4-bit state domain.
+    pub fn from_parts(switch: Dx, haveping: [bool; 2], suspect: bool) -> Self {
+        debug_assert!(switch < 2, "switch is a thread index");
+        WitnessMachine { switch: switch as u8, haveping, suspect }
+    }
+
     /// The machine's current output: does `p` suspect `q`?
     pub fn suspects(&self) -> bool {
         self.suspect
@@ -186,13 +194,21 @@ impl WitnessMachine {
             | (self.suspect as u8) << 3
     }
 
-    /// Inverse of [`WitnessMachine::pack`].
-    pub fn unpack(b: u8) -> Self {
-        WitnessMachine {
+    /// Inverse of [`WitnessMachine::pack`]. The codomain is exactly the
+    /// 4-bit range `0..16`: bytes with any of bits 4–7 set are **not** the
+    /// image of any machine state and yield `None` (they used to be
+    /// silently truncated, constructing a state whose `pack()` differed
+    /// from the input byte — the codec-completeness lint in
+    /// `dinefd-analyze` flags exactly that kind of hole).
+    pub fn unpack(b: u8) -> Option<Self> {
+        if b & 0xF0 != 0 {
+            return None;
+        }
+        Some(WitnessMachine {
             switch: b & 1,
             haveping: [b & 0b10 != 0, b & 0b100 != 0],
             suspect: b & 0b1000 != 0,
-        }
+        })
     }
 }
 
@@ -266,6 +282,54 @@ impl SubjectMachine {
     /// A machine carrying a seeded bug (for checker mutation tests).
     pub fn with_mutation(strict_seq: bool, mutation: SubjectMutation) -> Self {
         SubjectMachine { trigger: 0, ping_enabled: [true, true], seq: [0, 0], strict_seq, mutation }
+    }
+
+    /// Constructs an arbitrary machine state from its components — the
+    /// introspection hook for the guarded-command IR (`dinefd-analyze`) and
+    /// its conformance suite.
+    pub fn from_parts(
+        trigger: Dx,
+        ping_enabled: [bool; 2],
+        seq: [u64; 2],
+        strict_seq: bool,
+        mutation: SubjectMutation,
+    ) -> Self {
+        debug_assert!(trigger < 2, "trigger is a thread index");
+        SubjectMachine { trigger: trigger as u8, ping_enabled, seq, strict_seq, mutation }
+    }
+
+    /// Whether this machine ignores acks that do not echo the outstanding
+    /// ping's sequence number (the hardened variant).
+    pub fn strict_seq(&self) -> bool {
+        self.strict_seq
+    }
+
+    /// The seeded bug this machine carries (`None` = the faithful Alg. 2).
+    pub fn mutation(&self) -> SubjectMutation {
+        self.mutation
+    }
+
+    /// Sequence number of the most recent ping sent for `DX_i`.
+    pub fn seq(&self, i: Dx) -> u64 {
+        self.seq[i]
+    }
+
+    /// The machine's packed flag byte (the first byte of
+    /// [`SubjectMachine::pack_into`]): bit 0 = `trigger`, bits 1–2 =
+    /// `ping_enabled`, bit 3 = `strict_seq`, bits 4–5 = the seeded
+    /// mutation. Bits 6–7 are outside the codomain and always zero.
+    pub fn flag_bits(&self) -> u8 {
+        let m = match self.mutation {
+            SubjectMutation::None => 0u8,
+            SubjectMutation::SkipPingDisable => 1,
+            SubjectMutation::IgnoreTriggerGuard => 2,
+            SubjectMutation::SkipTriggerUpdate => 3,
+        };
+        self.trigger
+            | (self.ping_enabled[0] as u8) << 1
+            | (self.ping_enabled[1] as u8) << 2
+            | (self.strict_seq as u8) << 3
+            | m << 4
     }
 
     /// Which instance's subject is scheduled to become hungry next.
@@ -349,28 +413,20 @@ impl SubjectMachine {
     /// bits 4–5 = the seeded mutation) followed by the two per-instance ping
     /// sequence counters as varints.
     pub fn pack_into(&self, out: &mut Vec<u8>) {
-        let m = match self.mutation {
-            SubjectMutation::None => 0u8,
-            SubjectMutation::SkipPingDisable => 1,
-            SubjectMutation::IgnoreTriggerGuard => 2,
-            SubjectMutation::SkipTriggerUpdate => 3,
-        };
-        codec::put_u8(
-            out,
-            self.trigger
-                | (self.ping_enabled[0] as u8) << 1
-                | (self.ping_enabled[1] as u8) << 2
-                | (self.strict_seq as u8) << 3
-                | m << 4,
-        );
+        codec::put_u8(out, self.flag_bits());
         codec::put_varint(out, self.seq[0]);
         codec::put_varint(out, self.seq[1]);
     }
 
     /// Inverse of [`SubjectMachine::pack_into`]; `None` on a malformed
-    /// buffer.
+    /// buffer. Flag bytes with bit 6 or 7 set are outside the codomain of
+    /// [`SubjectMachine::flag_bits`] and are rejected rather than silently
+    /// truncated (see the codec-completeness lint in `dinefd-analyze`).
     pub fn unpack(input: &mut &[u8]) -> Option<Self> {
         let b = codec::take_u8(input)?;
+        if b & 0b1100_0000 != 0 {
+            return None;
+        }
         let mutation = match (b >> 4) & 0b11 {
             0 => SubjectMutation::None,
             1 => SubjectMutation::SkipPingDisable,
@@ -574,12 +630,56 @@ mod tests {
     #[test]
     fn witness_pack_round_trips() {
         let mut w = WitnessMachine::new();
-        assert_eq!(WitnessMachine::unpack(w.pack()), w);
+        assert_eq!(WitnessMachine::unpack(w.pack()), Some(w.clone()));
         w.fire(WitnessAction::Hungry(0), TT);
         w.on_ping(0, 1);
         w.fire(WitnessAction::ExitCheck(0), [Eating, Thinking]);
         w.on_ping(1, 1);
-        assert_eq!(WitnessMachine::unpack(w.pack()), w);
+        assert_eq!(WitnessMachine::unpack(w.pack()), Some(w));
+    }
+
+    #[test]
+    fn witness_unpack_codomain_is_exactly_four_bits() {
+        // Every byte below 16 is the image of exactly one state; every byte
+        // with a high bit set is rejected instead of silently truncated.
+        for b in 0u8..16 {
+            let w = WitnessMachine::unpack(b).expect("in-codomain byte");
+            assert_eq!(w.pack(), b, "unpack must be a right inverse of pack");
+        }
+        for b in 16u8..=255 {
+            assert_eq!(WitnessMachine::unpack(b), None, "byte {b:#04x} is out of codomain");
+        }
+    }
+
+    #[test]
+    fn subject_unpack_rejects_flag_bytes_outside_codomain() {
+        // Bits 6-7 of the flag byte are never produced by flag_bits().
+        for b in 0u8..=255 {
+            let buf = [b, 0, 0]; // flag byte + two zero varint seqs
+            let mut cursor = &buf[..];
+            let decoded = SubjectMachine::unpack(&mut cursor);
+            if b & 0b1100_0000 != 0 {
+                assert_eq!(decoded, None, "flag byte {b:#04x} is out of codomain");
+            } else {
+                let s = decoded.expect("in-codomain flag byte");
+                assert_eq!(s.flag_bits(), b, "unpack must be a right inverse of flag_bits");
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_through_pack() {
+        let w = WitnessMachine::from_parts(1, [true, false], false);
+        assert_eq!(WitnessMachine::unpack(w.pack()), Some(w));
+        let s = SubjectMachine::from_parts(1, [false, true], [3, 7], true, SubjectMutation::None);
+        assert_eq!(s.trigger(), 1);
+        assert!(!s.ping_enabled(0) && s.ping_enabled(1));
+        assert!(s.strict_seq());
+        assert_eq!((s.seq(0), s.seq(1)), (3, 7));
+        let mut buf = Vec::new();
+        s.pack_into(&mut buf);
+        let mut cursor = buf.as_slice();
+        assert_eq!(SubjectMachine::unpack(&mut cursor), Some(s));
     }
 
     #[test]

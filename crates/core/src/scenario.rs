@@ -176,6 +176,7 @@ pub fn all_ordered_pairs(n: usize) -> Vec<(ProcessId, ProcessId)> {
 }
 
 /// Everything measured in one extraction run.
+#[derive(Debug)]
 pub struct ExtractionResult {
     /// The extracted detector's suspicion history.
     pub history: SuspicionHistory,

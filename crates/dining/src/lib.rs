@@ -30,6 +30,7 @@
 //!   experiments.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod abstract_dining;

@@ -127,7 +127,7 @@ impl StateCodec for PairState {
             s_phase: [phase_from_bits(phases >> 4), phase_from_bits(phases >> 6)],
             converged: flags & 1 != 0,
             crashed: flags & 0b10 != 0,
-            witness: dinefd_core::machines::WitnessMachine::unpack(take_u8(input)?),
+            witness: dinefd_core::machines::WitnessMachine::unpack(take_u8(input)?)?,
             subject: dinefd_core::machines::SubjectMachine::unpack(input)?,
             pings: take_wire_queue(input)?,
             acks: take_wire_queue(input)?,

@@ -510,7 +510,7 @@ impl crate::codec::StateCodec for ComposedState {
     fn decode(mut input: &[u8]) -> Option<Self> {
         use dinefd_sim::codec::{take_u8, take_varint};
         let input = &mut input;
-        let witness = WitnessMachine::unpack(take_u8(input)?);
+        let witness = WitnessMachine::unpack(take_u8(input)?)?;
         let subject = SubjectMachine::unpack(input)?;
         let mut dx = [None, None, None, None];
         for slot in dx.iter_mut() {

@@ -57,11 +57,13 @@
 //! ([`parallel::ViolationRecord`]).
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod composed;
 pub mod fair_run;
+pub mod invariants;
 pub mod pair_model;
 pub mod parallel;
 pub mod por;
@@ -73,10 +75,14 @@ pub use composed::{
     explore_composed, ComposedConfig, ComposedLabel, ComposedReport, ComposedState,
 };
 pub use fair_run::{fair_run, fair_run_mutated, FairRunReport};
+pub use invariants::{
+    check_closure_step, check_state, exclusion_holds, in_completeness_closure, lemma2_holds,
+    lemma3_holds, lemma4_holds, lemma9_holds, InvariantView,
+};
 pub use pair_model::{ExploreConfig, ModelMutation, PairState, TransitionLabel};
 pub use parallel::{SearchStats, ViolationKind, ViolationRecord, N_SHARDS};
 pub use por::DeliveryClass;
-pub use search::{explore, fmt_path, ExploreReport};
+pub use search::{explore, explore_seeded, find_reachable, fmt_path, ExploreReport};
 
 /// Re-export: machine-level seeded bugs live next to the machines.
 pub use dinefd_core::machines::SubjectMutation;

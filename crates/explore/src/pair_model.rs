@@ -270,76 +270,59 @@ impl PairState {
     }
 
     /// State-level invariant checks (the paper's safety lemmas). Returns
-    /// human-readable violation descriptions.
+    /// human-readable violation descriptions. The predicates themselves live
+    /// in [`crate::invariants`], shared with the inductive checker in
+    /// `dinefd-analyze`.
     pub fn check_invariants(&self) -> Vec<String> {
         let mut v = Vec::new();
-        for i in 0..2 {
-            // Lemma 2: (s_i.state ≠ eating) ⇒ ping_i.
-            if !self.crashed
-                && self.s_phase[i] != DinerPhase::Eating
-                && !self.subject.ping_enabled(i)
-            {
-                v.push(format!("Lemma 2 violated: s_{i} not eating but ping_{i} = false"));
-            }
-            // Lemma 4: (s_i.state = hungry) ⇒ trigger = i.
-            if !self.crashed && self.s_phase[i] == DinerPhase::Hungry && self.subject.trigger() != i
-            {
-                v.push(format!(
-                    "Lemma 4 violated: s_{i} hungry but trigger = {}",
-                    self.subject.trigger()
-                ));
-            }
-            // Lemma 3: (s_i ≠ eating ∧ ping_i) ⇒ no DX_i messages in transit.
-            if !self.crashed
-                && self.s_phase[i] != DinerPhase::Eating
-                && self.subject.ping_enabled(i)
-            {
-                let in_transit = self.pings.iter().any(|&(j, _)| j as usize == i)
-                    || self.acks.iter().any(|&(j, _)| j as usize == i);
-                if in_transit {
-                    v.push(format!(
-                        "Lemma 3 violated: s_{i} not eating, ping_{i} = true, \
-                         yet a DX_{i} message is in transit"
-                    ));
-                }
-            }
-            // Model soundness: exclusive regime truly exclusive for live q.
-            if self.converged && !self.crashed && self.both_endpoints_eating(i) {
-                v.push(format!("model soundness violated: DX_{i} overlap after convergence"));
-            }
-        }
-        // Lemma 9: some witness is thinking.
-        if self.w_phase[0] != DinerPhase::Thinking && self.w_phase[1] != DinerPhase::Thinking {
-            v.push(format!(
-                "Lemma 9 violated: w_0 = {}, w_1 = {}",
-                self.w_phase[0], self.w_phase[1]
-            ));
-        }
+        crate::invariants::check_state(self, &mut v);
         v
     }
 
     /// Membership in the Theorem-1 closure set: `q` crashed, no pings in
     /// flight, no banked ping.
     pub fn in_completeness_closure(&self) -> bool {
-        self.crashed
-            && self.pings.is_empty()
-            && !self.witness.haveping(0)
-            && !self.witness.haveping(1)
+        crate::invariants::in_completeness_closure(self)
     }
 
     /// Transition-level check for the Theorem-1 closure: from a closure
     /// state, every successor stays in the closure and suspicion is monotone.
     pub fn check_closure_step(&self, succ: &PairState) -> Option<String> {
-        if !self.in_completeness_closure() {
-            return None;
-        }
-        if !succ.in_completeness_closure() {
-            return Some("completeness closure not invariant".to_string());
-        }
-        if self.witness.suspects() && !succ.witness.suspects() {
-            return Some("suspicion of crashed q regressed to trust".to_string());
-        }
-        None
+        crate::invariants::check_closure_step(self, succ)
+    }
+}
+
+impl crate::invariants::InvariantView for PairState {
+    fn w_phase(&self, i: usize) -> DinerPhase {
+        self.w_phase[i]
+    }
+    fn s_phase(&self, i: usize) -> DinerPhase {
+        self.s_phase[i]
+    }
+    fn ping_enabled(&self, i: usize) -> bool {
+        self.subject.ping_enabled(i)
+    }
+    fn trigger(&self) -> usize {
+        self.subject.trigger()
+    }
+    fn crashed(&self) -> bool {
+        self.crashed
+    }
+    fn converged(&self) -> bool {
+        self.converged
+    }
+    fn dx_in_transit(&self, i: usize) -> bool {
+        self.pings.iter().any(|&(j, _)| j as usize == i)
+            || self.acks.iter().any(|&(j, _)| j as usize == i)
+    }
+    fn pings_in_transit(&self) -> bool {
+        !self.pings.is_empty()
+    }
+    fn haveping(&self, i: usize) -> bool {
+        self.witness.haveping(i)
+    }
+    fn suspects(&self) -> bool {
+        self.witness.suspects()
     }
 }
 

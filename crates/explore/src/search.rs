@@ -105,12 +105,24 @@ impl SearchModel for PairSearch<'_> {
 /// assert!(report.states_visited > 100);
 /// ```
 pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
+    explore_seeded(PairState::initial(cfg), cfg)
+}
+
+/// Like [`explore`], but starts from an arbitrary **seed state** instead of
+/// the model's initial state — the replay entry point the inductive checker
+/// (`dinefd-analyze`) uses to hand a counterexample-to-induction back to the
+/// explorer: seeding the search at the CTI's post-state makes the violated
+/// lemma fire on the very first state checked, confirming that the abstract
+/// counterexample denotes a state this engine also rejects.
+///
+/// All engine guarantees (determinism, exhaustiveness up to the depth bound,
+/// budget semantics) are unchanged; only the root differs.
+pub fn explore_seeded(seed: PairState, cfg: &ExploreConfig) -> ExploreReport {
     let model = PairSearch(cfg);
-    let initial = PairState::initial(cfg);
     let outcome = if cfg.threads <= 1 {
-        serial_search(&model, initial, cfg.max_depth, cfg.max_states)
+        serial_search(&model, seed, cfg.max_depth, cfg.max_states)
     } else {
-        parallel_search(&model, initial, cfg.max_depth, cfg.max_states, cfg.threads)
+        parallel_search(&model, seed, cfg.max_depth, cfg.max_states, cfg.threads)
     };
     ExploreReport {
         states_visited: outcome.states_visited,
@@ -125,6 +137,73 @@ pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
 
 fn render(message: &str, path: &[TransitionLabel]) -> String {
     format!("{message} (after {})", fmt_path(path, None))
+}
+
+/// Breadth-first reachability probe: searches from the model's initial
+/// state for any state satisfying `pred`, returning a **shortest** label
+/// path to the first hit (deterministic: BFS over the deterministic
+/// successor order). `None` when no matching state exists within
+/// `cfg.max_depth` / `cfg.max_states`.
+///
+/// This is the classification oracle for counterexamples-to-induction: a
+/// CTI whose pre-state is reachable is a *real* bug witness, one that is
+/// not (within the bound) is spurious and calls for invariant
+/// strengthening.
+pub fn find_reachable(
+    cfg: &ExploreConfig,
+    pred: impl Fn(&PairState) -> bool,
+) -> Option<Vec<TransitionLabel>> {
+    use std::collections::HashMap;
+    use std::collections::VecDeque;
+
+    use crate::codec::StateCodec;
+
+    let initial = PairState::initial(cfg);
+    // nodes[i] = (state, parent index + incoming label); parent chain
+    // reconstructs the path without storing one per node.
+    let mut nodes: Vec<(PairState, Option<(usize, TransitionLabel)>)> = Vec::new();
+    let mut seen: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut queue: VecDeque<(usize, u32)> = VecDeque::new();
+
+    let path_to = |nodes: &[(PairState, Option<(usize, TransitionLabel)>)], mut at: usize| {
+        let mut labels = Vec::new();
+        while let Some((parent, label)) = nodes[at].1 {
+            labels.push(label);
+            at = parent;
+        }
+        labels.reverse();
+        labels
+    };
+
+    seen.insert(initial.encode(), 0);
+    nodes.push((initial, None));
+    if pred(&nodes[0].0) {
+        return Some(Vec::new());
+    }
+    queue.push_back((0, 0));
+    let mut succ = Vec::new();
+    while let Some((at, depth)) = queue.pop_front() {
+        if depth >= cfg.max_depth || nodes.len() >= cfg.max_states {
+            continue;
+        }
+        succ.clear();
+        nodes[at].0.successors_into(cfg, &mut succ);
+        for (label, next) in succ.drain(..) {
+            let key = next.encode();
+            if seen.contains_key(&key) {
+                continue;
+            }
+            let idx = nodes.len();
+            seen.insert(key, idx);
+            let hit = pred(&next);
+            nodes.push((next, Some((at, label))));
+            if hit {
+                return Some(path_to(&nodes, idx));
+            }
+            queue.push_back((idx, depth + 1));
+        }
+    }
+    None
 }
 
 /// Renders a transition path for diagnostics (`"initial state"` when empty).

@@ -34,6 +34,7 @@
 //!    implementable artifact.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod class;

@@ -53,6 +53,7 @@
 //! occupancy lands in [`metrics::SimMetrics::envelope_occupancy`].
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod codec;

@@ -60,6 +60,18 @@ pub struct Context<'a, M, O> {
     pub(crate) rng: &'a mut SplitMix64,
 }
 
+impl<M, O> std::fmt::Debug for Context<'_, M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("me", &self.me)
+            .field("now", &self.now)
+            .field("sends", &self.sends.len())
+            .field("timers", &self.timers.len())
+            .field("observations", &self.observations.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, M, O> Context<'a, M, O> {
     /// The id of the process taking this step.
     #[inline]

@@ -141,6 +141,17 @@ pub struct World<N: Node> {
     metrics: SimMetrics,
 }
 
+impl<N: Node> std::fmt::Debug for World<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("nodes", &self.nodes.len())
+            .field("crashed", &self.crashed)
+            .field("now", &self.now)
+            .field("queue_len", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<N: Node> World<N> {
     /// Builds a world over `nodes` and delivers every node's `on_start` step
     /// at time zero.

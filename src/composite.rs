@@ -218,6 +218,7 @@ impl Node for HeartbeatDiningNode {
 }
 
 /// Result of a full-stack run.
+#[derive(Debug)]
 pub struct FullStackResult {
     /// The dining layer's phase history.
     pub dining: DiningHistory,
