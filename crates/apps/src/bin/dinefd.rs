@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dinefd analyze [FLAGS]      static analysis: lints + inductive checking
+//! dinefd fuzz [FLAGS]         coverage-guided schedule fuzzing
 //! ```
 //!
 //! `dinefd analyze` runs the `dinefd-analyze` pipeline on one model
@@ -24,20 +25,46 @@
 //! --skip-lints              induction only
 //! --skip-induction          lints only
 //! ```
+//!
+//! `dinefd fuzz` runs the `dinefd-fuzz` coverage-guided schedule fuzzer
+//! against one model configuration — from a scenario-DSL file, from
+//! flags, or both (flags override the file). Findings are printed with
+//! their ddmin-minimized replayable prefixes, and the `fuzz.*` metric
+//! block is emitted for perf tooling. Exit status is `0` for a clean run,
+//! `2` when any lemma violation was found, `64` for bad usage (including
+//! scenario parse errors, which carry their line number).
+//!
+//! ```text
+//! --scenario FILE           load a scenario-DSL document
+//! --seed N                  fuzzer seed             (default 1)
+//! --iterations N            mutation iterations     (default 2000)
+//! --max-steps N             schedule length cap     (default 40)
+//! --corpus-seeds N          initial random corpus   (default 16)
+//! --time-budget-secs N      wall-clock cap; truncation only, never
+//!                           extension (omit for fully deterministic runs)
+//! --strict | --no-crash | --subject-mutation | --model-mutation
+//!                           as for `analyze`
+//! ```
 
 use dinefd_analyze::induct::{render_summary, run_induction, InductOptions};
 use dinefd_analyze::ir::IrConfig;
 use dinefd_analyze::lints::{render_lints, run_lints};
 use dinefd_core::machines::SubjectMutation;
 use dinefd_explore::ModelMutation;
+use dinefd_fuzz::{FuzzConfig, Fuzzer};
+use dinefd_sim::scenario_dsl::Scenario;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: dinefd analyze [--strict] [--no-crash] \
          [--subject-mutation NAME] [--model-mutation NAME] \
-         [--no-classify] [--skip-lints] [--skip-induction]"
+         [--no-classify] [--skip-lints] [--skip-induction]\n\
+         \x20      dinefd fuzz [--scenario FILE] [--seed N] [--iterations N] \
+         [--max-steps N] [--corpus-seeds N] [--time-budget-secs N] \
+         [--strict] [--no-crash] [--subject-mutation NAME] [--model-mutation NAME]"
     );
     ExitCode::from(64)
 }
@@ -46,8 +73,118 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         Some(other) => usage(&format!("unknown subcommand `{other}`")),
         None => usage("missing subcommand"),
+    }
+}
+
+fn fuzz(args: &[String]) -> ExitCode {
+    let mut doc = Scenario::default();
+    let mut time_budget: Option<u64> = None;
+    let mut it = args.iter();
+    let parse_u64 = |name: &str, v: Option<&String>| -> Result<u64, String> {
+        let Some(v) = v else { return Err(format!("{name} needs a value")) };
+        v.parse::<u64>().map_err(|_| format!("{name}: `{v}` is not an integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                let Some(path) = it.next() else {
+                    return usage("--scenario needs a file path");
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => return usage(&format!("cannot read {path}: {e}")),
+                };
+                doc = match Scenario::parse(&text) {
+                    Ok(d) => d,
+                    Err(e) => return usage(&format!("{path}: {e}")),
+                };
+            }
+            "--seed" => match parse_u64("--seed", it.next()) {
+                Ok(v) => doc.fuzz.seed = v,
+                Err(e) => return usage(&e),
+            },
+            "--iterations" => match parse_u64("--iterations", it.next()) {
+                Ok(0) => return usage("--iterations must be at least 1"),
+                Ok(v) => doc.fuzz.iterations = v,
+                Err(e) => return usage(&e),
+            },
+            "--max-steps" => match parse_u64("--max-steps", it.next()) {
+                Ok(v @ 1..=100_000) => doc.fuzz.max_steps = v as u32,
+                Ok(v) => return usage(&format!("--max-steps {v} out of range [1, 100000]")),
+                Err(e) => return usage(&e),
+            },
+            "--corpus-seeds" => match parse_u64("--corpus-seeds", it.next()) {
+                Ok(v @ 0..=1_000_000) => doc.fuzz.corpus_seeds = v as u32,
+                Ok(v) => return usage(&format!("--corpus-seeds {v} out of range")),
+                Err(e) => return usage(&e),
+            },
+            "--time-budget-secs" => match parse_u64("--time-budget-secs", it.next()) {
+                Ok(v) => time_budget = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--strict" => doc.model.strict_seq = true,
+            "--no-crash" => doc.model.allow_crash = false,
+            "--subject-mutation" => {
+                let Some(name) = it.next() else {
+                    return usage("--subject-mutation needs a value");
+                };
+                use dinefd_sim::scenario_dsl::SubjectMutationSpec as S;
+                doc.model.subject_mutation = match name.as_str() {
+                    "skip-ping-disable" => S::SkipPingDisable,
+                    "ignore-trigger-guard" => S::IgnoreTriggerGuard,
+                    "skip-trigger-update" => S::SkipTriggerUpdate,
+                    other => return usage(&format!("unknown subject mutation `{other}`")),
+                };
+            }
+            "--model-mutation" => {
+                let Some(name) = it.next() else {
+                    return usage("--model-mutation needs a value");
+                };
+                use dinefd_sim::scenario_dsl::ModelMutationSpec as M;
+                doc.model.model_mutation = match name.as_str() {
+                    "drop-ping-send" => M::DropPingSend,
+                    "stale-ack-replay" => M::StaleAckReplay,
+                    other => return usage(&format!("unknown model mutation `{other}`")),
+                };
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut fuzzer = Fuzzer::new(FuzzConfig::from_scenario(&doc));
+    if let Some(secs) = time_budget {
+        fuzzer = fuzzer.with_time_budget(Duration::from_secs(secs));
+    }
+    let report = fuzzer.run();
+
+    println!(
+        "fuzz: {} executions, {} iterations, {} states covered, {} corpus entries{}",
+        report.executions,
+        report.iterations_run,
+        report.coverage_states,
+        report.corpus_entries,
+        if report.timed_out { " (time budget expired)" } else { "" },
+    );
+    for f in &report.findings {
+        println!("FINDING [{}] at iteration {}: {}", f.lemma, f.iteration, f.message);
+        println!(
+            "  minimized prefix ({} of {} steps): {}",
+            f.minimized.len(),
+            f.path.len(),
+            dinefd_explore::fmt_path(&f.minimized, None),
+        );
+    }
+    for (k, v) in report.metrics() {
+        println!("{k} = {v}");
+    }
+    if report.findings.is_empty() {
+        println!("fuzz: no lemma violations found");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     }
 }
 

@@ -160,6 +160,21 @@ impl Scenario {
         sc.pairs = all_ordered_pairs(n);
         sc
     }
+
+    /// Builds the extraction run a scenario-DSL document describes: the
+    /// `[sim]` section supplies size, seed, horizon, delay model and crash
+    /// plan; `[model]` contributes the `strict_seq` hardening knob (the
+    /// other `[model]` keys parameterize the explorer/fuzzer engines, which
+    /// read the same document through
+    /// `dinefd_explore::ExploreConfig::from_scenario`).
+    pub fn from_dsl(doc: &dinefd_sim::scenario_dsl::Scenario, black_box: BlackBox) -> Self {
+        let mut sc = Scenario::all_pairs(doc.sim.n as usize, black_box, doc.sim.seed);
+        sc.delays = doc.sim.delay_model();
+        sc.crashes = doc.sim.crash_plan();
+        sc.horizon = Time(doc.sim.horizon);
+        sc.strict_seq = doc.model.strict_seq;
+        sc
+    }
 }
 
 /// All ordered pairs `(w, s)`, `w ≠ s`, over `n` processes.

@@ -67,6 +67,38 @@ impl Default for ExploreConfig {
     }
 }
 
+impl ExploreConfig {
+    /// Builds an exploration config from the `[model]` section of a
+    /// [`dinefd_sim::scenario_dsl::Scenario`], mapping the DSL's
+    /// engine-neutral mutation names onto the explorer's enums. The
+    /// execution-strategy knobs (`threads`, `por`) are not scenario data —
+    /// they describe *how* to search, not *what* to search — and keep
+    /// their defaults.
+    pub fn from_scenario(sc: &dinefd_sim::scenario_dsl::Scenario) -> Self {
+        use dinefd_sim::scenario_dsl::{ModelMutationSpec, SubjectMutationSpec};
+        ExploreConfig {
+            max_depth: sc.model.max_depth,
+            max_states: usize::try_from(sc.model.max_states).unwrap_or(usize::MAX),
+            strict_seq: sc.model.strict_seq,
+            allow_crash: sc.model.allow_crash,
+            start_converged: sc.model.start_converged,
+            threads: 1,
+            por: false,
+            subject_mutation: match sc.model.subject_mutation {
+                SubjectMutationSpec::None => SubjectMutation::None,
+                SubjectMutationSpec::SkipPingDisable => SubjectMutation::SkipPingDisable,
+                SubjectMutationSpec::IgnoreTriggerGuard => SubjectMutation::IgnoreTriggerGuard,
+                SubjectMutationSpec::SkipTriggerUpdate => SubjectMutation::SkipTriggerUpdate,
+            },
+            model_mutation: match sc.model.model_mutation {
+                ModelMutationSpec::None => ModelMutation::None,
+                ModelMutationSpec::DropPingSend => ModelMutation::DropPingSend,
+                ModelMutationSpec::StaleAckReplay => ModelMutation::StaleAckReplay,
+            },
+        }
+    }
+}
+
 /// One transition choice of the explorer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TransitionLabel {

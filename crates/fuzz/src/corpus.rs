@@ -1,0 +1,151 @@
+//! The corpus: schedules that earned their keep, and the coverage set.
+//!
+//! A schedule joins the corpus when its execution visits at least one
+//! state fingerprint no earlier execution visited — novelty is the sole
+//! admission ticket (violating schedules are reported as findings, not
+//! hoarded). Entries are stored in insertion order and the coverage set is
+//! only ever probed, never iterated, so the whole structure is a pure
+//! function of the seed: [`Corpus::digest`] over two same-seed runs is
+//! byte-for-byte identical, and the determinism gate in CI holds it to
+//! that.
+
+use std::collections::HashSet;
+
+use crate::schedule::Schedule;
+use dinefd_sim::codec::hash64;
+
+/// One retained schedule.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// How many fingerprints were new to the coverage set when this entry
+    /// was admitted (its "energy": higher-novelty entries are picked more).
+    pub novelty: u32,
+    /// The iteration that produced it (0 = initial seeding).
+    pub iteration: u64,
+    /// Whether the entry's execution ended in a violation.
+    pub violating: bool,
+}
+
+/// Insertion-ordered corpus plus the global fingerprint coverage set.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    coverage: HashSet<u64>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Folds `fingerprints` into the coverage set, returning how many were
+    /// novel. (Pure set arithmetic — no iteration-order dependence.)
+    pub fn absorb_coverage(&mut self, fingerprints: &[u64]) -> u32 {
+        let mut novel = 0;
+        for &fp in fingerprints {
+            if self.coverage.insert(fp) {
+                novel += 1;
+            }
+        }
+        novel
+    }
+
+    /// Admits a schedule to the corpus.
+    pub fn admit(&mut self, schedule: Schedule, novelty: u32, iteration: u64, violating: bool) {
+        self.entries.push(CorpusEntry { schedule, novelty, iteration, violating });
+    }
+
+    /// Distinct states covered so far.
+    pub fn coverage_states(&self) -> u64 {
+        self.coverage.len() as u64
+    }
+
+    /// Number of retained schedules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retained schedules, in admission order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Picks a parent entry for mutation, biased toward novelty: an entry's
+    /// weight is `1 + novelty`, accumulated in admission order, so the
+    /// draw is deterministic in (`corpus contents`, `roll`).
+    pub fn pick(&self, roll: u64) -> Option<&CorpusEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let total: u64 = self.entries.iter().map(|e| 1 + u64::from(e.novelty)).sum();
+        let mut target = roll % total;
+        for e in &self.entries {
+            let w = 1 + u64::from(e.novelty);
+            if target < w {
+                return Some(e);
+            }
+            target -= w;
+        }
+        self.entries.last()
+    }
+
+    /// Order-sensitive digest of every retained schedule's canonical byte
+    /// encoding. Two corpora are digest-equal iff they retain the same
+    /// schedules in the same order — the "byte-identical corpus across
+    /// reruns" acceptance gate hashes exactly this.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.entries.len() * 64);
+        for e in &self.entries {
+            bytes.extend_from_slice(&e.schedule.encode());
+            bytes.push(u8::from(e.violating));
+        }
+        hash64(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_novel_fingerprints_once() {
+        let mut c = Corpus::new();
+        assert_eq!(c.absorb_coverage(&[1, 2, 2, 3]), 3);
+        assert_eq!(c.absorb_coverage(&[2, 3, 4]), 1);
+        assert_eq!(c.coverage_states(), 4);
+    }
+
+    #[test]
+    fn digest_depends_on_content_and_order() {
+        let mk = |words: Vec<u64>| Schedule { words };
+        let mut a = Corpus::new();
+        a.admit(mk(vec![1, 2]), 1, 0, false);
+        a.admit(mk(vec![3]), 1, 1, false);
+        let mut b = Corpus::new();
+        b.admit(mk(vec![3]), 1, 0, false);
+        b.admit(mk(vec![1, 2]), 1, 1, false);
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+        let mut c = Corpus::new();
+        c.admit(mk(vec![1, 2]), 9, 5, false);
+        c.admit(mk(vec![3]), 0, 7, false);
+        assert_eq!(a.digest(), c.digest(), "digest covers schedules, not metadata");
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_novelty_weighted() {
+        let mut c = Corpus::new();
+        assert!(c.pick(0).is_none());
+        c.admit(Schedule { words: vec![1] }, 0, 0, false); // weight 1
+        c.admit(Schedule { words: vec![2] }, 9, 0, false); // weight 10
+        let hits = (0..11u64).filter(|&r| c.pick(r).unwrap().schedule.words == [2]).count();
+        assert_eq!(hits, 10, "weights are 1 vs 10 over an 11-roll cycle");
+    }
+}

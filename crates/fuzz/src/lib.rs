@@ -1,0 +1,49 @@
+//! # `dinefd-fuzz` — coverage-guided schedule fuzzing of the pair model
+//!
+//! Between the bounded explorer (exhaustive, but only to a depth frontier)
+//! and the inductive checker (depth-unbounded, but abstract) sits a gap:
+//! long adversarial schedules — late crashes, pathological delivery
+//! orders, far-out convergence points — that neither engine visits. This
+//! crate closes it with a coverage-guided fuzzer in the AFL tradition,
+//! specialized to the closed pair model of `dinefd-explore`:
+//!
+//! * a **schedule** ([`schedule::Schedule`]) is a word of `u64` decisions;
+//!   each word selects one enabled transition (`word % out_degree`), so
+//!   every word sequence is a valid schedule and mutation is closed over
+//!   the schedule space;
+//! * **coverage** is the set of bit-packed [`dinefd_explore::StateCodec`]
+//!   state fingerprints a run visits — a schedule earns a place in the
+//!   [`corpus::Corpus`] exactly when it reaches a state no earlier
+//!   schedule reached;
+//! * the **oracle** is the paper's safety lemmas: every visited state runs
+//!   through `PairState::check_invariants`, every transition through the
+//!   completeness-closure check, so a finding carries the same
+//!   `"Lemma N violated: …"` message the explorer would report;
+//! * every lemma-violating schedule is shrunk by the delta-debugging
+//!   [`minimize`] pass to a locally-minimal **replayable label prefix**
+//!   that the `trace_replay` harness (and `PairState::successors` walking
+//!   in general) reproduces.
+//!
+//! Determinism is load-bearing: all randomness flows from one
+//! [`dinefd_sim::SplitMix64`] seed, the coverage set is only ever probed
+//! (never iterated), and the corpus preserves insertion order — identical
+//! seeds produce byte-identical corpora (checked via
+//! [`corpus::Corpus::digest`]) and identical `fuzz.*` metrics.
+//!
+//! The fuzzer, the simulator, and the explorer all read the same
+//! [`dinefd_sim::scenario_dsl::Scenario`] document; see
+//! [`engine::FuzzConfig::from_scenario`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engine;
+pub mod minimize;
+pub mod schedule;
+
+pub use corpus::{Corpus, CorpusEntry};
+pub use engine::{fuzz_scenario, Finding, FuzzConfig, FuzzReport, Fuzzer};
+pub use minimize::{lemma_key, minimize, replay, MinimizeResult, ReplayOutcome};
+pub use schedule::{execute, ExecOutcome, Schedule};

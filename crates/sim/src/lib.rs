@@ -51,6 +51,11 @@
 //! messages one step sends to the same destination into a single wire
 //! envelope with a single delay draw, FIFO-preserved within the envelope;
 //! occupancy lands in [`metrics::SimMetrics::envelope_occupancy`].
+//!
+//! Scenarios: [`scenario_dsl::Scenario`] is a serializable description of
+//! one adversarial setup — delay model, crash schedule, seeded mutation,
+//! fuzz budgets — shared verbatim by the simulator, the bounded explorer,
+//! and the `dinefd-fuzz` schedule fuzzer.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -65,6 +70,7 @@ pub mod net;
 pub mod node;
 pub mod props;
 pub mod rng;
+pub mod scenario_dsl;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -77,6 +83,7 @@ pub use net::{Adversary, DelayModel};
 pub use node::{Context, Node, TimerId};
 pub use props::{stabilization_time, BoolTimeline};
 pub use rng::SplitMix64;
+pub use scenario_dsl::{Scenario as ScenarioDoc, ScenarioError};
 pub use stats::Summary;
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};

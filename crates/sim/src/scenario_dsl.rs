@@ -1,0 +1,699 @@
+//! The unified scenario DSL — one description, three execution engines.
+//!
+//! Historically every engine grew its own adversary knobs: the simulator
+//! took a [`DelayModel`] + [`CrashPlan`] pair, the explorer an
+//! `ExploreConfig`, and ad-hoc test code wired seeds and mutation names by
+//! hand. A [`Scenario`] folds all of them into one serializable, diffable
+//! text document so a *single file* can drive
+//!
+//! * a simulator run ([`SimSection::delay_model`] / [`SimSection::crash_plan`]
+//!   feed [`crate::world::World`]),
+//! * the bounded explorer (`dinefd_explore::ExploreConfig::from_scenario`),
+//! * the coverage-guided schedule fuzzer (`dinefd-fuzz`).
+//!
+//! The format is deliberately small: `#` comments, `[section]` headers, and
+//! `key = value` lines. [`Scenario::parse`] validates everything it reads
+//! and reports failures as [`ScenarioError`]s carrying the **1-based line
+//! number**; [`Scenario::render`] writes the canonical form (every key,
+//! fixed order), so `parse(render(s)) == s` holds exactly for every valid
+//! scenario (property-tested in `crates/fuzz/tests/proptest_dsl.rs`).
+//!
+//! ```
+//! use dinefd_sim::scenario_dsl::Scenario;
+//!
+//! let s = Scenario::default();
+//! let text = s.render();
+//! assert_eq!(Scenario::parse(&text).unwrap(), s);
+//! assert!(Scenario::parse("[model]\nmax_depth = zero\n").is_err());
+//! ```
+
+use std::fmt;
+
+use crate::fault::CrashPlan;
+use crate::id::ProcessId;
+use crate::net::DelayModel;
+use crate::time::Time;
+
+/// A parse/validation failure, anchored to its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ScenarioError> {
+    Err(ScenarioError { line, message: message.into() })
+}
+
+/// Seeded subject-machine bugs, named exactly as the `dinefd` CLI names
+/// them. The DSL layer cannot reference `dinefd_core::machines` (the
+/// dependency points the other way), so engines map these onto their own
+/// mutation enums.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SubjectMutationSpec {
+    /// The faithful subject.
+    #[default]
+    None,
+    /// Forget to disable `ping_i` after sending (breaks Lemma 3).
+    SkipPingDisable,
+    /// Go hungry out of turn (breaks Lemma 4).
+    IgnoreTriggerGuard,
+    /// Never advance the trigger (safety-silent; starves the hand-off).
+    SkipTriggerUpdate,
+}
+
+impl SubjectMutationSpec {
+    /// The CLI/DSL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubjectMutationSpec::None => "none",
+            SubjectMutationSpec::SkipPingDisable => "skip-ping-disable",
+            SubjectMutationSpec::IgnoreTriggerGuard => "ignore-trigger-guard",
+            SubjectMutationSpec::SkipTriggerUpdate => "skip-trigger-update",
+        }
+    }
+
+    fn from_name(name: &str, line: usize) -> Result<Self, ScenarioError> {
+        match name {
+            "none" => Ok(SubjectMutationSpec::None),
+            "skip-ping-disable" => Ok(SubjectMutationSpec::SkipPingDisable),
+            "ignore-trigger-guard" => Ok(SubjectMutationSpec::IgnoreTriggerGuard),
+            "skip-trigger-update" => Ok(SubjectMutationSpec::SkipTriggerUpdate),
+            other => err(line, format!("unknown subject mutation `{other}`")),
+        }
+    }
+}
+
+/// Seeded wire-level bugs (see `dinefd_explore::ModelMutation`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ModelMutationSpec {
+    /// The faithful wire.
+    #[default]
+    None,
+    /// Silently lose sent pings (safety-silent; starves the hand-off).
+    DropPingSend,
+    /// Duplicate an in-flight ack (breaks Lemmas 3/4).
+    StaleAckReplay,
+}
+
+impl ModelMutationSpec {
+    /// The CLI/DSL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelMutationSpec::None => "none",
+            ModelMutationSpec::DropPingSend => "drop-ping-send",
+            ModelMutationSpec::StaleAckReplay => "stale-ack-replay",
+        }
+    }
+
+    fn from_name(name: &str, line: usize) -> Result<Self, ScenarioError> {
+        match name {
+            "none" => Ok(ModelMutationSpec::None),
+            "drop-ping-send" => Ok(ModelMutationSpec::DropPingSend),
+            "stale-ack-replay" => Ok(ModelMutationSpec::StaleAckReplay),
+            other => err(line, format!("unknown model mutation `{other}`")),
+        }
+    }
+}
+
+/// A serializable [`DelayModel`] description (everything except fully
+/// scripted adversaries, which are code, not data).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelaySpec {
+    /// `fixed D` — every message takes exactly `D` ticks.
+    Fixed(u64),
+    /// `uniform LO HI` — uniform over the inclusive range.
+    Uniform {
+        /// Minimum delay.
+        lo: u64,
+        /// Maximum delay.
+        hi: u64,
+    },
+    /// `heavy_tail LO HI NUM/DEN SPIKE_HI` — mostly uniform with spikes.
+    HeavyTail {
+        /// Common-case minimum.
+        lo: u64,
+        /// Common-case maximum.
+        hi: u64,
+        /// Spike probability numerator.
+        spike_num: u64,
+        /// Spike probability denominator.
+        spike_den: u64,
+        /// Spiked maximum.
+        spike_hi: u64,
+    },
+    /// `partial_sync GST BOUND` — harsh until GST, bounded after. This is
+    /// where a scenario places the global stabilization time.
+    PartialSync {
+        /// The global stabilization time, in ticks.
+        gst: u64,
+        /// Post-GST delay bound.
+        bound: u64,
+    },
+    /// `fifo <inner…>` — per-channel FIFO discipline over any inner spec.
+    Fifo(Box<DelaySpec>),
+}
+
+impl DelaySpec {
+    /// Renders the canonical token form (`uniform 1 16`, `fifo fixed 3`…).
+    pub fn render(&self) -> String {
+        match self {
+            DelaySpec::Fixed(d) => format!("fixed {d}"),
+            DelaySpec::Uniform { lo, hi } => format!("uniform {lo} {hi}"),
+            DelaySpec::HeavyTail { lo, hi, spike_num, spike_den, spike_hi } => {
+                format!("heavy_tail {lo} {hi} {spike_num}/{spike_den} {spike_hi}")
+            }
+            DelaySpec::PartialSync { gst, bound } => format!("partial_sync {gst} {bound}"),
+            DelaySpec::Fifo(inner) => format!("fifo {}", inner.render()),
+        }
+    }
+
+    fn parse_tokens(tokens: &[&str], line: usize) -> Result<Self, ScenarioError> {
+        let int = |tok: &str, what: &str| -> Result<u64, ScenarioError> {
+            tok.parse::<u64>().map_err(|_| ScenarioError {
+                line,
+                message: format!("{what}: expected an integer, got `{tok}`"),
+            })
+        };
+        let expect_arity = |n: usize, shape: &str| -> Result<(), ScenarioError> {
+            if tokens.len() == n + 1 {
+                Ok(())
+            } else {
+                err(line, format!("`{}` takes the form `{shape}`", tokens[0]))
+            }
+        };
+        match tokens.first().copied() {
+            Some("fixed") => {
+                expect_arity(1, "fixed D")?;
+                Ok(DelaySpec::Fixed(int(tokens[1], "fixed delay")?))
+            }
+            Some("uniform") => {
+                expect_arity(2, "uniform LO HI")?;
+                let (lo, hi) = (int(tokens[1], "lo")?, int(tokens[2], "hi")?);
+                if lo > hi {
+                    return err(line, format!("uniform range is empty: lo {lo} > hi {hi}"));
+                }
+                Ok(DelaySpec::Uniform { lo, hi })
+            }
+            Some("heavy_tail") => {
+                expect_arity(4, "heavy_tail LO HI NUM/DEN SPIKE_HI")?;
+                let (lo, hi) = (int(tokens[1], "lo")?, int(tokens[2], "hi")?);
+                let Some((num, den)) = tokens[3].split_once('/') else {
+                    return err(line, format!("spike probability `{}` is not NUM/DEN", tokens[3]));
+                };
+                let (spike_num, spike_den) =
+                    (int(num, "spike numerator")?, int(den, "spike denominator")?);
+                let spike_hi = int(tokens[4], "spike_hi")?;
+                if lo > hi {
+                    return err(line, format!("heavy_tail range is empty: lo {lo} > hi {hi}"));
+                }
+                if spike_den == 0 || spike_num > spike_den {
+                    return err(
+                        line,
+                        format!("spike probability {spike_num}/{spike_den} is not in [0, 1]"),
+                    );
+                }
+                if spike_hi < hi {
+                    return err(line, format!("spike_hi {spike_hi} below common-case hi {hi}"));
+                }
+                Ok(DelaySpec::HeavyTail { lo, hi, spike_num, spike_den, spike_hi })
+            }
+            Some("partial_sync") => {
+                expect_arity(2, "partial_sync GST BOUND")?;
+                let (gst, bound) = (int(tokens[1], "gst")?, int(tokens[2], "bound")?);
+                if bound == 0 {
+                    return err(line, "partial_sync bound must be at least 1");
+                }
+                Ok(DelaySpec::PartialSync { gst, bound })
+            }
+            Some("fifo") => {
+                if tokens.len() < 2 {
+                    return err(line, "`fifo` wraps an inner delay spec: `fifo uniform 1 16`");
+                }
+                if tokens[1] == "fifo" {
+                    return err(line, "`fifo fifo …` is redundant; wrap once");
+                }
+                Ok(DelaySpec::Fifo(Box::new(DelaySpec::parse_tokens(&tokens[1..], line)?)))
+            }
+            Some(other) => err(line, format!("unknown delay model `{other}`")),
+            None => err(line, "empty delay spec"),
+        }
+    }
+
+    /// Materializes the [`DelayModel`] this spec describes. `PartialSync`
+    /// uses [`DelayModel::harsh`] as its pre-GST regime (the canonical
+    /// worst case; a scenario that needs a different prefix can nest specs).
+    pub fn build(&self) -> DelayModel {
+        match self {
+            DelaySpec::Fixed(d) => DelayModel::Fixed(*d),
+            DelaySpec::Uniform { lo, hi } => DelayModel::Uniform { lo: *lo, hi: *hi },
+            DelaySpec::HeavyTail { lo, hi, spike_num, spike_den, spike_hi } => {
+                DelayModel::HeavyTail {
+                    lo: *lo,
+                    hi: *hi,
+                    spike_num: *spike_num,
+                    spike_den: *spike_den,
+                    spike_hi: *spike_hi,
+                }
+            }
+            DelaySpec::PartialSync { gst, bound } => {
+                DelayModel::partially_synchronous(Time(*gst), *bound)
+            }
+            DelaySpec::Fifo(inner) => DelayModel::fifo(inner.build()),
+        }
+    }
+}
+
+/// `[model]` — the closed pair model the explorer and the fuzzer share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelSection {
+    /// Explorer interleaving depth bound.
+    pub max_depth: u32,
+    /// Explorer state budget.
+    pub max_states: u64,
+    /// Harden the subject with sequence-checked acks.
+    pub strict_seq: bool,
+    /// Allow the subject process to crash.
+    pub allow_crash: bool,
+    /// Start inside ◇WX's exclusive suffix.
+    pub start_converged: bool,
+    /// Seeded subject-machine bug.
+    pub subject_mutation: SubjectMutationSpec,
+    /// Seeded wire bug.
+    pub model_mutation: ModelMutationSpec,
+}
+
+impl Default for ModelSection {
+    fn default() -> Self {
+        ModelSection {
+            max_depth: 14,
+            max_states: 2_000_000,
+            strict_seq: false,
+            allow_crash: true,
+            start_converged: false,
+            subject_mutation: SubjectMutationSpec::None,
+            model_mutation: ModelMutationSpec::None,
+        }
+    }
+}
+
+/// `[sim]` — the discrete-event simulator's environment knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimSection {
+    /// System size.
+    pub n: u32,
+    /// Root seed.
+    pub seed: u64,
+    /// Run length in ticks.
+    pub horizon: u64,
+    /// Channel delay behaviour (GST placement lives here).
+    pub delay: DelaySpec,
+    /// Crash schedule: `(process, tick)` pairs, one `crash =` line each.
+    pub crashes: Vec<(u32, u64)>,
+}
+
+impl Default for SimSection {
+    fn default() -> Self {
+        SimSection {
+            n: 4,
+            seed: 42,
+            horizon: 20_000,
+            delay: DelaySpec::Uniform { lo: 1, hi: 16 },
+            crashes: Vec::new(),
+        }
+    }
+}
+
+impl SimSection {
+    /// The [`DelayModel`] this section describes (fresh internal state).
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay.build()
+    }
+
+    /// The [`CrashPlan`] this section describes.
+    pub fn crash_plan(&self) -> CrashPlan {
+        let mut plan = CrashPlan::none();
+        for &(pid, at) in &self.crashes {
+            plan.add(ProcessId(pid), Time(at));
+        }
+        plan
+    }
+}
+
+/// `[fuzz]` — budgets for the coverage-guided schedule fuzzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzSection {
+    /// Fuzzer seed (independent of the sim seed: the two engines draw from
+    /// different streams by construction).
+    pub seed: u64,
+    /// Mutation iterations to run.
+    pub iterations: u64,
+    /// Schedule length cap = longest concrete walk per execution.
+    pub max_steps: u32,
+    /// Random schedules seeding the initial corpus.
+    pub corpus_seeds: u32,
+}
+
+impl Default for FuzzSection {
+    fn default() -> Self {
+        FuzzSection { seed: 1, iterations: 2_000, max_steps: 40, corpus_seeds: 16 }
+    }
+}
+
+/// One complete scenario: the unified adversary description.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Scenario {
+    /// Pair-model knobs (explorer + fuzzer).
+    pub model: ModelSection,
+    /// Simulator environment.
+    pub sim: SimSection,
+    /// Fuzzer budgets.
+    pub fuzz: FuzzSection,
+}
+
+impl Scenario {
+    /// Parses the DSL text. Sections and keys may appear in any order and
+    /// may be omitted (defaults apply); unknown sections, unknown keys,
+    /// malformed values, and inconsistent combinations are rejected with
+    /// the offending line number.
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Section {
+            Preamble,
+            Model,
+            Sim,
+            Fuzz,
+        }
+        let mut sc = Scenario::default();
+        sc.sim.crashes.clear();
+        let mut section = Section::Preamble;
+        let mut crash_lines: Vec<usize> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            if let Some(name) = content.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return err(line, format!("unterminated section header `{content}`"));
+                };
+                section = match name.trim() {
+                    "model" => Section::Model,
+                    "sim" => Section::Sim,
+                    "fuzz" => Section::Fuzz,
+                    other => return err(line, format!("unknown section `[{other}]`")),
+                };
+                continue;
+            }
+            let Some((key, value)) = content.split_once('=') else {
+                return err(line, format!("expected `key = value`, got `{content}`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return err(line, format!("`{key}` has no value"));
+            }
+            let int = |what: &str| -> Result<u64, ScenarioError> {
+                value.parse::<u64>().map_err(|_| ScenarioError {
+                    line,
+                    message: format!("{what}: expected an integer, got `{value}`"),
+                })
+            };
+            let boolean = |what: &str| -> Result<bool, ScenarioError> {
+                match value {
+                    "true" => Ok(true),
+                    "false" => Ok(false),
+                    other => err(line, format!("{what}: expected true/false, got `{other}`")),
+                }
+            };
+            match (section, key) {
+                (Section::Preamble, _) => {
+                    return err(line, format!("`{key}` appears before any [section] header"));
+                }
+                (Section::Model, "max_depth") => {
+                    sc.model.max_depth =
+                        u32::try_from(int("max_depth")?).map_err(|_| ScenarioError {
+                            line,
+                            message: format!("max_depth {value} does not fit in 32 bits"),
+                        })?;
+                    if sc.model.max_depth == 0 {
+                        return err(line, "max_depth must be at least 1");
+                    }
+                }
+                (Section::Model, "max_states") => {
+                    sc.model.max_states = int("max_states")?;
+                    if sc.model.max_states == 0 {
+                        return err(line, "max_states must be at least 1");
+                    }
+                }
+                (Section::Model, "strict_seq") => sc.model.strict_seq = boolean("strict_seq")?,
+                (Section::Model, "allow_crash") => sc.model.allow_crash = boolean("allow_crash")?,
+                (Section::Model, "start_converged") => {
+                    sc.model.start_converged = boolean("start_converged")?;
+                }
+                (Section::Model, "subject_mutation") => {
+                    sc.model.subject_mutation = SubjectMutationSpec::from_name(value, line)?;
+                }
+                (Section::Model, "model_mutation") => {
+                    sc.model.model_mutation = ModelMutationSpec::from_name(value, line)?;
+                }
+                (Section::Sim, "n") => {
+                    sc.sim.n = u32::try_from(int("n")?).map_err(|_| ScenarioError {
+                        line,
+                        message: format!("n {value} does not fit in 32 bits"),
+                    })?;
+                    if sc.sim.n < 2 {
+                        return err(line, "n must be at least 2 (a witness and a subject)");
+                    }
+                }
+                (Section::Sim, "seed") => sc.sim.seed = int("seed")?,
+                (Section::Sim, "horizon") => {
+                    sc.sim.horizon = int("horizon")?;
+                    if sc.sim.horizon == 0 {
+                        return err(line, "horizon must be at least 1 tick");
+                    }
+                }
+                (Section::Sim, "delay") => {
+                    let tokens: Vec<&str> = value.split_whitespace().collect();
+                    sc.sim.delay = DelaySpec::parse_tokens(&tokens, line)?;
+                }
+                (Section::Sim, "crash") => {
+                    let Some((pid, at)) = value.split_once('@') else {
+                        return err(line, format!("crash `{value}` is not PID@TICK"));
+                    };
+                    let pid = pid.trim().parse::<u32>().map_err(|_| ScenarioError {
+                        line,
+                        message: format!("crash pid: expected an integer, got `{pid}`"),
+                    })?;
+                    let at = at.trim().parse::<u64>().map_err(|_| ScenarioError {
+                        line,
+                        message: format!("crash tick: expected an integer, got `{at}`"),
+                    })?;
+                    if sc.sim.crashes.iter().any(|&(p, _)| p == pid) {
+                        return err(line, format!("process {pid} already has a crash scheduled"));
+                    }
+                    sc.sim.crashes.push((pid, at));
+                    crash_lines.push(line);
+                }
+                (Section::Fuzz, "seed") => sc.fuzz.seed = int("seed")?,
+                (Section::Fuzz, "iterations") => {
+                    sc.fuzz.iterations = int("iterations")?;
+                    if sc.fuzz.iterations == 0 {
+                        return err(line, "iterations must be at least 1");
+                    }
+                }
+                (Section::Fuzz, "max_steps") => {
+                    sc.fuzz.max_steps =
+                        u32::try_from(int("max_steps")?).map_err(|_| ScenarioError {
+                            line,
+                            message: format!("max_steps {value} does not fit in 32 bits"),
+                        })?;
+                    if sc.fuzz.max_steps == 0 {
+                        return err(line, "max_steps must be at least 1");
+                    }
+                }
+                (Section::Fuzz, "corpus_seeds") => {
+                    sc.fuzz.corpus_seeds =
+                        u32::try_from(int("corpus_seeds")?).map_err(|_| ScenarioError {
+                            line,
+                            message: format!("corpus_seeds {value} does not fit in 32 bits"),
+                        })?;
+                }
+                (Section::Model, other) => {
+                    return err(line, format!("unknown [model] key `{other}`"));
+                }
+                (Section::Sim, other) => return err(line, format!("unknown [sim] key `{other}`")),
+                (Section::Fuzz, other) => {
+                    return err(line, format!("unknown [fuzz] key `{other}`"));
+                }
+            }
+        }
+        // Cross-field validation: crashes must name real processes.
+        for (i, &(pid, _)) in sc.sim.crashes.iter().enumerate() {
+            if pid >= sc.sim.n {
+                return err(
+                    crash_lines[i],
+                    format!("crash names process {pid}, but n = {}", sc.sim.n),
+                );
+            }
+        }
+        Ok(sc)
+    }
+
+    /// Renders the canonical text form: every key, fixed order, so that
+    /// `parse(render(s)) == s` and equal scenarios render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("# dinefd scenario (see crates/sim/src/scenario_dsl.rs)\n");
+        out.push_str("[model]\n");
+        out.push_str(&format!("max_depth = {}\n", self.model.max_depth));
+        out.push_str(&format!("max_states = {}\n", self.model.max_states));
+        out.push_str(&format!("strict_seq = {}\n", self.model.strict_seq));
+        out.push_str(&format!("allow_crash = {}\n", self.model.allow_crash));
+        out.push_str(&format!("start_converged = {}\n", self.model.start_converged));
+        out.push_str(&format!("subject_mutation = {}\n", self.model.subject_mutation.name()));
+        out.push_str(&format!("model_mutation = {}\n", self.model.model_mutation.name()));
+        out.push_str("\n[sim]\n");
+        out.push_str(&format!("n = {}\n", self.sim.n));
+        out.push_str(&format!("seed = {}\n", self.sim.seed));
+        out.push_str(&format!("horizon = {}\n", self.sim.horizon));
+        out.push_str(&format!("delay = {}\n", self.sim.delay.render()));
+        for &(pid, at) in &self.sim.crashes {
+            out.push_str(&format!("crash = {pid}@{at}\n"));
+        }
+        out.push_str("\n[fuzz]\n");
+        out.push_str(&format!("seed = {}\n", self.fuzz.seed));
+        out.push_str(&format!("iterations = {}\n", self.fuzz.iterations));
+        out.push_str(&format!("max_steps = {}\n", self.fuzz.max_steps));
+        out.push_str(&format!("corpus_seeds = {}\n", self.fuzz.corpus_seeds));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips() {
+        let s = Scenario::default();
+        let text = s.render();
+        assert_eq!(Scenario::parse(&text).expect("canonical form parses"), s);
+    }
+
+    #[test]
+    fn kitchen_sink_round_trips() {
+        let s = Scenario {
+            model: ModelSection {
+                max_depth: 22,
+                max_states: 77,
+                strict_seq: true,
+                allow_crash: false,
+                start_converged: true,
+                subject_mutation: SubjectMutationSpec::SkipPingDisable,
+                model_mutation: ModelMutationSpec::StaleAckReplay,
+            },
+            sim: SimSection {
+                n: 6,
+                seed: 9,
+                horizon: 1_234,
+                delay: DelaySpec::Fifo(Box::new(DelaySpec::HeavyTail {
+                    lo: 1,
+                    hi: 8,
+                    spike_num: 1,
+                    spike_den: 10,
+                    spike_hi: 200,
+                })),
+                crashes: vec![(5, 600), (0, 100)],
+            },
+            fuzz: FuzzSection { seed: 3, iterations: 10, max_steps: 7, corpus_seeds: 0 },
+        };
+        assert_eq!(Scenario::parse(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_reordering_parse() {
+        let text = "\n# leading comment\n[fuzz]\nseed = 5\n\n[model]\n\
+                    max_depth = 9 # trailing comment\n[sim]\ndelay = fixed 3\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.fuzz.seed, 5);
+        assert_eq!(s.model.max_depth, 9);
+        assert_eq!(s.sim.delay, DelaySpec::Fixed(3));
+        // Unset keys keep their defaults.
+        assert_eq!(s.model.max_states, ModelSection::default().max_states);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("[model]\nmax_depth = zero\n", 2, "expected an integer"),
+            ("[model]\nstrict_seq = yes\n", 2, "true/false"),
+            ("[nope]\n", 1, "unknown section"),
+            ("[model]\nwat = 1\n", 2, "unknown [model] key"),
+            ("max_depth = 1\n", 1, "before any [section]"),
+            ("[sim]\ndelay = warp 9\n", 2, "unknown delay model"),
+            ("[sim]\ndelay = uniform 9 3\n", 2, "range is empty"),
+            ("[sim]\ndelay = heavy_tail 1 4 2 100\n", 2, "not NUM/DEN"),
+            ("[sim]\ndelay = partial_sync 100 0\n", 2, "at least 1"),
+            ("[sim]\ndelay = fifo\n", 2, "wraps an inner"),
+            ("[sim]\ndelay = fifo fifo fixed 1\n", 2, "redundant"),
+            ("[sim]\ncrash = 1-200\n", 2, "not PID@TICK"),
+            ("[sim]\ncrash = 1@5\ncrash = 1@9\n", 3, "already has a crash"),
+            ("[sim]\nn = 4\n\ncrash = 7@5\n", 4, "but n = 4"),
+            ("[sim]\nn = 1\n", 2, "at least 2"),
+            ("[model]\nmax_depth =\n", 2, "no value"),
+            ("[model\n", 1, "unterminated section"),
+            ("[fuzz]\niterations = 0\n", 2, "at least 1"),
+        ];
+        for (text, want_line, want_msg) in cases {
+            let e = Scenario::parse(text).expect_err(text);
+            assert_eq!(e.line, *want_line, "wrong line for {text:?}: {e}");
+            assert!(e.message.contains(want_msg), "missing `{want_msg}` in `{e}` for {text:?}");
+        }
+    }
+
+    #[test]
+    fn sim_section_builds_world_inputs() {
+        let s = Scenario::parse(
+            "[sim]\nn = 3\ndelay = partial_sync 500 4\ncrash = 2@900\ncrash = 0@100\n",
+        )
+        .unwrap();
+        let plan = s.sim.crash_plan();
+        assert_eq!(plan.crash_time(ProcessId(2)), Some(Time(900)));
+        assert_eq!(plan.crash_time(ProcessId(0)), Some(Time(100)));
+        assert_eq!(plan.correct(3), vec![ProcessId(1)]);
+        let model = s.sim.delay_model();
+        assert_eq!(model.kind(), "partial_sync");
+        assert_eq!(model.post_gst_bound(Time(500)), Some(4));
+        assert_eq!(s.sim.delay_model().kind(), "partial_sync", "builder is reusable");
+    }
+
+    #[test]
+    fn mutation_names_match_the_cli_spellings() {
+        for m in [
+            SubjectMutationSpec::None,
+            SubjectMutationSpec::SkipPingDisable,
+            SubjectMutationSpec::IgnoreTriggerGuard,
+            SubjectMutationSpec::SkipTriggerUpdate,
+        ] {
+            assert_eq!(SubjectMutationSpec::from_name(m.name(), 1), Ok(m));
+        }
+        for m in [
+            ModelMutationSpec::None,
+            ModelMutationSpec::DropPingSend,
+            ModelMutationSpec::StaleAckReplay,
+        ] {
+            assert_eq!(ModelMutationSpec::from_name(m.name(), 1), Ok(m));
+        }
+    }
+}
