@@ -3,6 +3,7 @@
 //! ```text
 //! dinefd analyze [FLAGS]      static analysis: lints + inductive checking
 //! dinefd fuzz [FLAGS]         coverage-guided schedule fuzzing
+//! dinefd extract [FLAGS]      one ◇P-extraction run over n processes
 //! ```
 //!
 //! `dinefd analyze` runs the `dinefd-analyze` pipeline on one model
@@ -45,6 +46,28 @@
 //! --strict | --no-crash | --subject-mutation | --model-mutation
 //!                           as for `analyze`
 //! ```
+//!
+//! `dinefd extract` runs one simulator-backed ◇P-extraction over the full
+//! ordered-pair matrix of `n` processes (the E8 harness's hot path, exposed
+//! directly). It prints a one-line run summary followed by the
+//! deterministic metric block, and exits `0` on success — the run itself
+//! asserts internal invariants (routing, horizon saturation, cross-shard
+//! merge order) and aborts loudly if any fail. With `--shards K` the run
+//! uses the sharded-world family (shard-count invariant for fixed seed);
+//! `--heap` switches the event queue to the reference binary heap, which
+//! must reproduce the timer wheel byte-for-byte.
+//!
+//! ```text
+//! --n N                     system size             (default 8, min 2)
+//! --seed N                  run seed                (default 42)
+//! --horizon N               ticks to simulate       (default 5000)
+//! --shards K                sharded world, K shards (default 0 = classic)
+//! --crash PID@TICK          crash PID at TICK (repeatable)
+//! --streaming               extract through the streaming sink
+//! --batch                   coalesce same-instant sends into envelopes
+//! --heap                    binary-heap event queue (default timer wheel)
+//! --strict                  sequence-checked acks (hardened subject)
+//! ```
 
 use dinefd_analyze::induct::{render_summary, run_induction, InductOptions};
 use dinefd_analyze::ir::IrConfig;
@@ -64,7 +87,9 @@ fn usage(err: &str) -> ExitCode {
          [--no-classify] [--skip-lints] [--skip-induction]\n\
          \x20      dinefd fuzz [--scenario FILE] [--seed N] [--iterations N] \
          [--max-steps N] [--corpus-seeds N] [--time-budget-secs N] \
-         [--strict] [--no-crash] [--subject-mutation NAME] [--model-mutation NAME]"
+         [--strict] [--no-crash] [--subject-mutation NAME] [--model-mutation NAME]\n\
+         \x20      dinefd extract [--n N] [--seed N] [--horizon N] [--shards K] \
+         [--crash PID@TICK] [--streaming] [--batch] [--heap] [--strict]"
     );
     ExitCode::from(64)
 }
@@ -74,6 +99,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
+        Some("extract") => extract(&args[1..]),
         Some(other) => usage(&format!("unknown subcommand `{other}`")),
         None => usage("missing subcommand"),
     }
@@ -186,6 +212,97 @@ fn fuzz(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(2)
     }
+}
+
+fn extract(args: &[String]) -> ExitCode {
+    use dinefd_core::{run_extraction, BlackBox};
+    use dinefd_sim::{CrashPlan, ProcessId, QueueBackend, Time};
+
+    let mut n: usize = 8;
+    let mut seed: u64 = 42;
+    let mut horizon: u64 = 5_000;
+    let mut shards: usize = 0;
+    let mut crashes = CrashPlan::none();
+    let mut streaming = false;
+    let mut batch = false;
+    let mut queue = QueueBackend::Wheel;
+    let mut strict = false;
+    let mut it = args.iter();
+    let parse_u64 = |name: &str, v: Option<&String>| -> Result<u64, String> {
+        let Some(v) = v else { return Err(format!("{name} needs a value")) };
+        v.parse::<u64>().map_err(|_| format!("{name}: `{v}` is not an integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n" => match parse_u64("--n", it.next()) {
+                Ok(v @ 2..=4096) => n = v as usize,
+                Ok(v) => return usage(&format!("--n {v} out of range [2, 4096]")),
+                Err(e) => return usage(&e),
+            },
+            "--seed" => match parse_u64("--seed", it.next()) {
+                Ok(v) => seed = v,
+                Err(e) => return usage(&e),
+            },
+            "--horizon" => match parse_u64("--horizon", it.next()) {
+                Ok(0) => return usage("--horizon must be at least 1"),
+                Ok(v) => horizon = v,
+                Err(e) => return usage(&e),
+            },
+            "--shards" => match parse_u64("--shards", it.next()) {
+                Ok(v @ 0..=256) => shards = v as usize,
+                Ok(v) => return usage(&format!("--shards {v} out of range [0, 256]")),
+                Err(e) => return usage(&e),
+            },
+            "--crash" => {
+                let Some(spec) = it.next() else {
+                    return usage("--crash needs PID@TICK");
+                };
+                let Some((pid, at)) = spec.split_once('@') else {
+                    return usage(&format!("--crash `{spec}`: expected PID@TICK"));
+                };
+                let (Ok(pid), Ok(at)) = (pid.parse::<u32>(), at.parse::<u64>()) else {
+                    return usage(&format!("--crash `{spec}`: expected PID@TICK"));
+                };
+                crashes.add(ProcessId(pid), Time(at));
+            }
+            "--streaming" => streaming = true,
+            "--batch" => batch = true,
+            "--heap" => queue = QueueBackend::Heap,
+            "--strict" => strict = true,
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if crashes.crashes().iter().any(|&(p, _)| p.index() >= n) {
+        return usage("--crash PID must be below --n");
+    }
+
+    let mut sc = dinefd_core::Scenario::all_pairs(n, BlackBox::WfDx, seed);
+    sc.horizon = Time(horizon);
+    sc.crashes = crashes;
+    sc.streaming = streaming;
+    sc.batch_envelopes = batch;
+    sc.shards = shards;
+    sc.queue = queue;
+    sc.strict_seq = strict;
+    let res = run_extraction(sc);
+
+    println!(
+        "extract: n={n} pairs={} horizon={horizon} shards={shards} queue={} \
+         streaming={streaming}",
+        n * (n - 1),
+        match queue {
+            QueueBackend::Wheel => "wheel",
+            QueueBackend::Heap => "heap",
+        },
+    );
+    println!(
+        "extract: {} steps, {} messages, {} history changes, {} node-resident bytes",
+        res.steps, res.messages_sent, res.history_changes, res.node_resident_bytes,
+    );
+    for (k, v) in &res.metrics {
+        println!("{k} = {v}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn analyze(args: &[String]) -> ExitCode {

@@ -16,12 +16,27 @@ use crate::{parallel_map, ExperimentConfig};
 /// would dominate memory, which is exactly what the pipeline removes.
 const STREAM_FROM: usize = 32;
 
+/// The sharded scale frontier: `(n, horizon)` rows. Horizons shrink as n²
+/// pair machinery grows so every row stays inside the sweep's time box;
+/// the per-tick cost curves are what the frontier measures, not
+/// convergence (which the main table already certifies at smaller n).
+/// Debug builds (the test suites) run miniature rows — the committed
+/// baselines and the CI `e8.n128`–`e8.n1024` keys are release-generated.
+fn frontier_sizes() -> &'static [(usize, u64)] {
+    if cfg!(debug_assertions) {
+        &[(8, 256), (16, 128)]
+    } else {
+        &[(128, 512), (256, 256), (512, 128), (1024, 64)]
+    }
+}
+
 /// Runs E8 and returns the report.
 pub fn run(cfg: &ExperimentConfig) -> Report {
     let sizes: &[usize] =
         if cfg.seeds <= 3 { &[2, 4, 8, 32, 64] } else { &[2, 4, 8, 12, 16, 32, 64] };
     let mut metrics = MetricMap::new();
     let table = scale_table(cfg, sizes, STREAM_FROM, &mut metrics);
+    let sharded = frontier_table(frontier_sizes(), 4, &mut metrics);
     let explorer = explorer_scaling(cfg, &mut metrics);
     let frontier = depth_frontier(cfg, &mut metrics);
 
@@ -36,16 +51,28 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                    simulation. Rows at n ≥ 32 run the streaming pipeline \
                    (online history sink + envelope batching), so their resident \
                    state is O(pairs) history entries instead of a full trace. \
-                   The second table sweeps the lemma explorer's work-stealing \
+                   The frontier table pushes to n = 1024 on 4-way sharded \
+                   worlds (timer-wheel queues, pid-partitioned nodes) and \
+                   differentially re-runs every row post-hoc: the streaming \
+                   history must match the trace-derived one byte for byte. \
+                   The third table sweeps the lemma explorer's work-stealing \
                    engine over thread counts on a fixed state space."
             .into(),
-        tables: vec![table, explorer, frontier],
+        tables: vec![table, sharded, explorer, frontier],
         notes: vec![
             "\"peak resident (entries)\" counts the extraction-side state the run \
              must hold: trace events for post-hoc rows, n² timelines + recorded \
              suspicion changes for streaming rows. \"env occ (mean)\" is \
              messages per wire envelope (streamed rows batch each step's sends \
              per destination under one delay draw); \"-\" = batching off."
+                .into(),
+            "Frontier rows run shorter horizons as n grows (512 ticks at n=128 \
+             down to 64 at n=1024): the quantity under test is per-tick cost \
+             and memory at scale, not convergence latency. \"bytes/pair\" is \
+             the construction-time resident estimate of the reduction nodes' \
+             pair state (SoA banks + boxed dining participants) — \
+             layout-dependent, so it stays out of the deterministic metric \
+             keys."
                 .into(),
             "Explorer speedup is relative to the serial (threads=1) mean and is \
              bounded by the machine's core count — on a single-core host extra \
@@ -196,6 +223,82 @@ fn scale_table(
     table
 }
 
+/// The n ≥ 128 sharded frontier. One seed per size (each run is expensive
+/// but deterministic), streaming + envelope batching + `shards`-way
+/// [`dinefd_sim::ShardedWorld`]s, and a full streaming-vs-post-hoc
+/// differential at every size: both modes must agree on step and message
+/// counts, the metric export, and the extracted history.
+fn frontier_table(sizes: &[(usize, u64)], shards: usize, metrics: &mut MetricMap) -> Table {
+    let mut table = Table::new(
+        "Sharded scale frontier (4-way sharded worlds, timer-wheel queues)",
+        &[
+            "n",
+            "pairs",
+            "horizon",
+            "steps",
+            "msgs/pair",
+            "ksteps/s",
+            "bytes/pair",
+            "peak resident (entries)",
+            "stream≡post-hoc",
+            "wall ms",
+        ],
+    );
+    for &(n, horizon) in sizes {
+        let build = |streaming: bool| {
+            let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 8_000);
+            sc.oracle = OracleSpec::DiamondP {
+                lag: 20,
+                convergence: Time(horizon / 2),
+                max_mistakes: 1,
+                max_len: 16,
+            };
+            sc.horizon = Time(horizon);
+            sc.crashes = CrashPlan::one(ProcessId::from_index(n - 1), Time(horizon / 2));
+            sc.streaming = streaming;
+            sc.batch_envelopes = true;
+            sc.shards = shards;
+            sc
+        };
+        let start = Instant::now();
+        let streamed = run_extraction(build(true));
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let posthoc = run_extraction(build(false));
+        let differential_ok = streamed.steps == posthoc.steps
+            && streamed.messages_sent == posthoc.messages_sent
+            && streamed.metrics == posthoc.metrics
+            && format!("{:?}", streamed.history) == format!("{:?}", posthoc.history);
+        assert!(differential_ok, "n={n}: streaming and post-hoc sharded runs diverged");
+        let pairs = (n * (n - 1)) as u64;
+        let peak_resident = (n * n) as u64 + streamed.history_changes;
+        let sim_secs = streamed.profiler.report().phase_secs("simulate");
+        metrics.insert(format!("n{n}.sim_steps_total"), streamed.steps);
+        metrics.insert(format!("n{n}.messages_sent_total"), streamed.messages_sent);
+        metrics.insert(
+            format!("n{n}.envelopes_sent_total"),
+            streamed.metrics.get("envelopes_sent").copied().unwrap_or(0),
+        );
+        metrics.insert(format!("n{n}.history_changes_total"), streamed.history_changes);
+        metrics.insert(format!("n{n}.peak_resident_entries_max"), peak_resident);
+        metrics.insert(format!("n{n}.streaming"), 1);
+        metrics.insert(format!("n{n}.shards"), shards as u64);
+        metrics.insert(format!("n{n}.differential_ok"), differential_ok as u64);
+        table.row(vec![
+            n.to_string(),
+            pairs.to_string(),
+            horizon.to_string(),
+            streamed.steps.to_string(),
+            format!("{:.1}", streamed.messages_sent as f64 / pairs as f64),
+            format!("{:.0}", streamed.steps as f64 / sim_secs / 1_000.0),
+            format!("{:.0}", streamed.node_resident_bytes as f64 / pairs as f64),
+            peak_resident.to_string(),
+            if differential_ok { "yes".into() } else { "NO".to_string() },
+            format!("{wall_ms:.0}"),
+        ]);
+    }
+    table
+}
+
 /// Thread-scaling sweep of the parallel lemma explorer: same state space,
 /// increasing worker counts, verdicts cross-checked against serial. The
 /// seed-deterministic exploration counters land in `metrics`.
@@ -333,6 +436,29 @@ mod tests {
             m_stream["n8.peak_resident_entries_max"],
             64 + m_stream["n8.history_changes_total"]
         );
+    }
+
+    #[test]
+    fn e8_sharded_frontier_differential_holds_at_debug_sizes() {
+        // Same machinery as the release-profile n≤1024 frontier, at sizes a
+        // debug test can afford. The row asserts internally that streaming
+        // and post-hoc sharded runs are byte-identical; here we also pin
+        // the exported keyspace the CI baseline diff consumes.
+        let mut metrics = MetricMap::new();
+        let table = frontier_table(&[(8, 256), (12, 128)], 2, &mut metrics);
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row[8], "yes", "differential column: {row:?}");
+        }
+        for n in [8usize, 12] {
+            assert_eq!(metrics[&format!("n{n}.differential_ok")], 1);
+            assert_eq!(metrics[&format!("n{n}.shards")], 2);
+            assert_eq!(metrics[&format!("n{n}.streaming")], 1);
+            assert!(
+                metrics[&format!("n{n}.peak_resident_entries_max")] >= (n * n) as u64,
+                "peak resident must count the n² timelines"
+            );
+        }
     }
 
     #[test]

@@ -86,9 +86,24 @@ fn sim_sizes(quick: bool) -> &'static [usize] {
     }
 }
 
+/// Sharded-frontier sizes for the scaling curves: `(n, horizon)`, horizons
+/// shrinking with n² pair machinery (per-tick cost is what the curve
+/// measures). Same rows in both profiles so the curves always reach
+/// n = 1024; debug builds (the unit suite) run miniature rows — committed
+/// baselines and CI curves are always release-generated.
+fn shard_sizes(_quick: bool) -> &'static [(usize, u64)] {
+    if cfg!(debug_assertions) {
+        &[(8, 256), (12, 128)]
+    } else {
+        &[(128, 512), (256, 256), (512, 128), (1024, 64)]
+    }
+}
+
 /// Fixed-seed simulator benchmark: all-ordered-pairs ◇P extraction at a
 /// few system sizes, full metric export per size, simulate/extract phase
-/// split in `wall`.
+/// split in `wall`; plus the sharded scale frontier (streaming pipeline on
+/// 4-way sharded worlds up to n = 1024) with states/sec curves in `wall`
+/// and layout-dependent bytes/pair curves in `nondet`.
 pub fn sim_bench(quick: bool) -> BenchDoc {
     let mut doc = BenchDoc::new(if quick { "quick" } else { "full" });
     for &n in sim_sizes(quick) {
@@ -110,6 +125,34 @@ pub fn sim_bench(quick: bool) -> BenchDoc {
             doc.wall_secs(format!("n{n}.{phase}_secs"), profile.phase_secs(phase));
         }
         doc.wall_secs(format!("n{n}.total_secs"), profile.total_secs());
+    }
+    for &(n, horizon) in shard_sizes(quick) {
+        let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 42);
+        sc.oracle = OracleSpec::DiamondP {
+            lag: 20,
+            convergence: Time(horizon / 2),
+            max_mistakes: 1,
+            max_len: 16,
+        };
+        sc.horizon = Time(horizon);
+        sc.crashes = CrashPlan::one(ProcessId::from_index(n - 1), Time(horizon / 2));
+        sc.streaming = true;
+        sc.batch_envelopes = true;
+        sc.shards = 4;
+        let res = run_extraction(sc);
+        for (k, v) in &res.metrics {
+            doc.metrics.insert(format!("shard.n{n}.{k}"), *v);
+        }
+        doc.metrics.insert(format!("shard.n{n}.history_changes"), res.history_changes);
+        let pairs = (n * (n - 1)) as u64;
+        let profile = res.profiler.report();
+        let sim_secs = profile.phase_secs("simulate");
+        doc.wall_secs(format!("shard.n{n}.simulate_secs"), sim_secs);
+        doc.wall_secs(format!("shard.n{n}.steps_per_sec"), res.steps as f64 / sim_secs);
+        // Resident footprint is rustc-layout-dependent, so it lives in the
+        // nondet section (meaningful, never baseline-diffed).
+        doc.nondet.insert(format!("shard.n{n}.resident_bytes"), res.node_resident_bytes);
+        doc.nondet.insert(format!("shard.n{n}.bytes_per_pair"), res.node_resident_bytes / pairs);
     }
     doc
 }

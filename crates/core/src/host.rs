@@ -159,50 +159,87 @@ fn emit_phase_chain(
     }
 }
 
-/// The watcher-side component of one monitoring pair.
-pub struct WitnessComponent {
+/// The watcher-side pair state of one node, laid out struct-of-arrays:
+/// parallel vectors indexed by a dense pair slot, so the tick loop walking
+/// every pair streams each field contiguously instead of hopping across
+/// per-pair structs, and one scratch buffer serves every slot.
+pub struct WitnessBank {
     watcher: ProcessId,
-    subject: ProcessId,
-    machine: WitnessMachine,
-    dx: [Box<dyn DiningParticipant>; 2],
-    last_phase: [DinerPhase; 2],
-    last_suspect: bool,
-    // Reused DiningIo send buffer (hot-loop allocation hygiene).
+    subjects: Vec<ProcessId>,
+    machines: Vec<WitnessMachine>,
+    dx: Vec<[Box<dyn DiningParticipant>; 2]>,
+    last_phase: Vec<[DinerPhase; 2]>,
+    last_suspect: Vec<bool>,
+    // One reused DiningIo send buffer for the whole bank (hot-loop
+    // allocation hygiene).
     scratch: Vec<(ProcessId, DiningMsg)>,
 }
 
-impl std::fmt::Debug for WitnessComponent {
+impl std::fmt::Debug for WitnessBank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WitnessComponent")
-            .field("subject", &self.subject)
-            .field("machine", &self.machine)
+        f.debug_struct("WitnessBank")
+            .field("watcher", &self.watcher)
+            .field("pairs", &self.subjects.len())
             .finish()
     }
 }
 
-impl WitnessComponent {
-    fn new(watcher: ProcessId, subject: ProcessId, factory: &DiningFactory<'_>) -> Self {
-        let mk = |instance: u8| {
-            factory(DxEndpoint { me: watcher, peer: subject, watcher, subject, instance })
-        };
-        WitnessComponent {
+impl WitnessBank {
+    fn new(watcher: ProcessId) -> Self {
+        WitnessBank {
             watcher,
-            subject,
-            machine: WitnessMachine::new(),
-            dx: [mk(0), mk(1)],
-            last_phase: [DinerPhase::Thinking; 2],
-            last_suspect: true,
+            subjects: Vec::new(),
+            machines: Vec::new(),
+            dx: Vec::new(),
+            last_phase: Vec::new(),
+            last_suspect: Vec::new(),
             scratch: Vec::new(),
         }
     }
 
-    /// Current extracted output for this pair.
-    pub fn suspects(&self) -> bool {
-        self.machine.suspects()
+    fn push(&mut self, subject: ProcessId, factory: &DiningFactory<'_>) {
+        let watcher = self.watcher;
+        let mk = |instance: u8| {
+            factory(DxEndpoint { me: watcher, peer: subject, watcher, subject, instance })
+        };
+        self.subjects.push(subject);
+        self.machines.push(WitnessMachine::new());
+        self.dx.push([mk(0), mk(1)]);
+        self.last_phase.push([DinerPhase::Thinking; 2]);
+        self.last_suspect.push(true);
+    }
+
+    /// Number of pairs in the bank.
+    pub fn len(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Whether the bank holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+
+    /// Current extracted output for pair slot `slot`.
+    pub fn suspects(&self, slot: usize) -> bool {
+        self.machines[slot].suspects()
+    }
+
+    /// Estimated resident bytes of this bank's pair state (SoA vectors +
+    /// the boxed dining participants behind them).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        self.subjects.len()
+            * (size_of::<ProcessId>()
+                + size_of::<WitnessMachine>()
+                + size_of::<[usize; 2]>() // the two fat pointers
+                + size_of::<[DinerPhase; 2]>()
+                + size_of::<bool>())
+            + self.dx.iter().flatten().map(|p| size_of_val(&**p)).sum::<usize>()
     }
 
     fn invoke_dx(
         &mut self,
+        slot: usize,
         i: usize,
         now: Time,
         fd: &dyn FdQuery,
@@ -211,49 +248,59 @@ impl WitnessComponent {
     ) {
         let mut io =
             DiningIo::with_scratch(self.watcher, now, fd, std::mem::take(&mut self.scratch));
-        f(&mut *self.dx[i], &mut io);
-        let (watcher, subject) = (self.watcher, self.subject);
+        f(&mut *self.dx[slot][i], &mut io);
+        let (watcher, subject) = (self.watcher, self.subjects[slot]);
         let mut fx = io.finish();
         for (to, msg) in fx.sends.drain(..) {
             debug_assert_eq!(to, subject);
             out.sends.push((to, RedMsg::Dx { watcher, subject, instance: i as u8, inner: msg }));
         }
         self.scratch = fx.sends;
-        let ph = self.dx[i].phase();
-        emit_phase_chain(out, watcher, subject, Role::Witness, i as u8, self.last_phase[i], ph);
-        self.last_phase[i] = ph;
+        let ph = self.dx[slot][i].phase();
+        emit_phase_chain(
+            out,
+            watcher,
+            subject,
+            Role::Witness,
+            i as u8,
+            self.last_phase[slot][i],
+            ph,
+        );
+        self.last_phase[slot][i] = ph;
     }
 
-    fn note_suspicion(&mut self, out: &mut Out) {
-        let s = self.machine.suspects();
-        if s != self.last_suspect {
-            self.last_suspect = s;
-            out.obs.push(RedObs::Suspicion { subject: self.subject, suspected: s });
+    fn note_suspicion(&mut self, slot: usize, out: &mut Out) {
+        let s = self.machines[slot].suspects();
+        if s != self.last_suspect[slot] {
+            self.last_suspect[slot] = s;
+            out.obs.push(RedObs::Suspicion { subject: self.subjects[slot], suspected: s });
         }
     }
 
     /// Fires enabled witness actions (bounded) and applies their commands.
-    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+    fn pump(&mut self, slot: usize, now: Time, fd: &dyn FdQuery, out: &mut Out) {
         for _ in 0..PUMP_BUDGET {
-            let phases = [self.dx[0].phase(), self.dx[1].phase()];
-            let Some(&action) = self.machine.enabled(phases).first() else {
+            let phases = [self.dx[slot][0].phase(), self.dx[slot][1].phase()];
+            let Some(&action) = self.machines[slot].enabled(phases).first() else {
                 break;
             };
-            match self.machine.fire(action, phases) {
+            match self.machines[slot].fire(action, phases) {
                 WitnessCmd::BecomeHungry(i) => {
-                    self.invoke_dx(i, now, fd, out, |p, io| p.hungry(io));
+                    self.invoke_dx(slot, i, now, fd, out, |p, io| p.hungry(io));
                 }
                 WitnessCmd::Exit(i) => {
-                    self.invoke_dx(i, now, fd, out, |p, io| p.exit_eating(io));
+                    self.invoke_dx(slot, i, now, fd, out, |p, io| p.exit_eating(io));
                 }
                 WitnessCmd::SendAck(..) => unreachable!("acks are message-triggered"),
             }
-            self.note_suspicion(out);
+            self.note_suspicion(slot, out);
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // slot-addressed bank entry point
     fn on_dx_message(
         &mut self,
+        slot: usize,
         instance: u8,
         from: ProcessId,
         inner: DiningMsg,
@@ -261,71 +308,112 @@ impl WitnessComponent {
         fd: &dyn FdQuery,
         out: &mut Out,
     ) {
-        self.invoke_dx(instance as usize, now, fd, out, |p, io| p.on_message(io, from, inner));
-        self.pump(now, fd, out);
+        let f =
+            |p: &mut dyn DiningParticipant, io: &mut DiningIo<'_>| p.on_message(io, from, inner);
+        self.invoke_dx(slot, instance as usize, now, fd, out, f);
+        self.pump(slot, now, fd, out);
     }
 
-    fn on_ping(&mut self, instance: u8, seq: u64, now: Time, fd: &dyn FdQuery, out: &mut Out) {
-        let WitnessCmd::SendAck(i, seq) = self.machine.on_ping(instance as usize, seq) else {
+    fn on_ping(
+        &mut self,
+        slot: usize,
+        instance: u8,
+        seq: u64,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+    ) {
+        let WitnessCmd::SendAck(i, seq) = self.machines[slot].on_ping(instance as usize, seq)
+        else {
             unreachable!()
         };
         out.sends.push((
-            self.subject,
-            RedMsg::Ack { watcher: self.watcher, subject: self.subject, instance: i as u8, seq },
+            self.subjects[slot],
+            RedMsg::Ack {
+                watcher: self.watcher,
+                subject: self.subjects[slot],
+                instance: i as u8,
+                seq,
+            },
         ));
-        self.pump(now, fd, out);
+        self.pump(slot, now, fd, out);
     }
 
-    fn on_tick(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+    fn on_tick(&mut self, slot: usize, now: Time, fd: &dyn FdQuery, out: &mut Out) {
         for i in 0..2 {
-            self.invoke_dx(i, now, fd, out, |p, io| p.on_tick(io));
+            self.invoke_dx(slot, i, now, fd, out, |p, io| p.on_tick(io));
         }
-        self.pump(now, fd, out);
+        self.pump(slot, now, fd, out);
     }
 }
 
-/// The monitored-side component of one monitoring pair.
-pub struct SubjectComponent {
-    watcher: ProcessId,
+/// The monitored-side pair state of one node, struct-of-arrays like
+/// [`WitnessBank`].
+pub struct SubjectBank {
     subject: ProcessId,
-    machine: SubjectMachine,
-    dx: [Box<dyn DiningParticipant>; 2],
-    last_phase: [DinerPhase; 2],
-    // Reused DiningIo send buffer (hot-loop allocation hygiene).
+    watchers: Vec<ProcessId>,
+    machines: Vec<SubjectMachine>,
+    dx: Vec<[Box<dyn DiningParticipant>; 2]>,
+    last_phase: Vec<[DinerPhase; 2]>,
     scratch: Vec<(ProcessId, DiningMsg)>,
 }
 
-impl std::fmt::Debug for SubjectComponent {
+impl std::fmt::Debug for SubjectBank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SubjectComponent")
-            .field("watcher", &self.watcher)
-            .field("machine", &self.machine)
+        f.debug_struct("SubjectBank")
+            .field("subject", &self.subject)
+            .field("pairs", &self.watchers.len())
             .finish()
     }
 }
 
-impl SubjectComponent {
-    fn new(
-        watcher: ProcessId,
-        subject: ProcessId,
-        strict_seq: bool,
-        factory: &DiningFactory<'_>,
-    ) -> Self {
-        let mk = |instance: u8| {
-            factory(DxEndpoint { me: subject, peer: watcher, watcher, subject, instance })
-        };
-        SubjectComponent {
-            watcher,
+impl SubjectBank {
+    fn new(subject: ProcessId) -> Self {
+        SubjectBank {
             subject,
-            machine: SubjectMachine::new(strict_seq),
-            dx: [mk(0), mk(1)],
-            last_phase: [DinerPhase::Thinking; 2],
+            watchers: Vec::new(),
+            machines: Vec::new(),
+            dx: Vec::new(),
+            last_phase: Vec::new(),
             scratch: Vec::new(),
         }
     }
 
+    fn push(&mut self, watcher: ProcessId, strict_seq: bool, factory: &DiningFactory<'_>) {
+        let subject = self.subject;
+        let mk = |instance: u8| {
+            factory(DxEndpoint { me: subject, peer: watcher, watcher, subject, instance })
+        };
+        self.watchers.push(watcher);
+        self.machines.push(SubjectMachine::new(strict_seq));
+        self.dx.push([mk(0), mk(1)]);
+        self.last_phase.push([DinerPhase::Thinking; 2]);
+    }
+
+    /// Number of pairs in the bank.
+    pub fn len(&self) -> usize {
+        self.watchers.len()
+    }
+
+    /// Whether the bank holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.watchers.is_empty()
+    }
+
+    /// Estimated resident bytes of this bank's pair state.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        self.watchers.len()
+            * (size_of::<ProcessId>()
+                + size_of::<SubjectMachine>()
+                + size_of::<[usize; 2]>()
+                + size_of::<[DinerPhase; 2]>())
+            + self.dx.iter().flatten().map(|p| size_of_val(&**p)).sum::<usize>()
+    }
+
     fn invoke_dx(
         &mut self,
+        slot: usize,
         i: usize,
         now: Time,
         fd: &dyn FdQuery,
@@ -334,23 +422,31 @@ impl SubjectComponent {
     ) {
         let mut io =
             DiningIo::with_scratch(self.subject, now, fd, std::mem::take(&mut self.scratch));
-        f(&mut *self.dx[i], &mut io);
-        let (watcher, subject) = (self.watcher, self.subject);
+        f(&mut *self.dx[slot][i], &mut io);
+        let (watcher, subject) = (self.watchers[slot], self.subject);
         let mut fx = io.finish();
         for (to, msg) in fx.sends.drain(..) {
             debug_assert_eq!(to, watcher);
             out.sends.push((to, RedMsg::Dx { watcher, subject, instance: i as u8, inner: msg }));
         }
         self.scratch = fx.sends;
-        let ph = self.dx[i].phase();
-        emit_phase_chain(out, watcher, subject, Role::Subject, i as u8, self.last_phase[i], ph);
-        self.last_phase[i] = ph;
+        let ph = self.dx[slot][i].phase();
+        emit_phase_chain(
+            out,
+            watcher,
+            subject,
+            Role::Subject,
+            i as u8,
+            self.last_phase[slot][i],
+            ph,
+        );
+        self.last_phase[slot][i] = ph;
     }
 
-    fn pump(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+    fn pump(&mut self, slot: usize, now: Time, fd: &dyn FdQuery, out: &mut Out) {
         for _ in 0..PUMP_BUDGET {
-            let phases = [self.dx[0].phase(), self.dx[1].phase()];
-            let enabled = self.machine.enabled(phases);
+            let phases = [self.dx[slot][0].phase(), self.dx[slot][1].phase()];
+            let enabled = self.machines[slot].enabled(phases);
             // Prefer pings over hunger so a lone eater's ping is never
             // starved by the other thread's bookkeeping.
             let Some(&action) = enabled
@@ -360,18 +456,18 @@ impl SubjectComponent {
             else {
                 break;
             };
-            match self.machine.fire(action, phases) {
+            match self.machines[slot].fire(action, phases) {
                 SubjectCmd::BecomeHungry(i) => {
-                    self.invoke_dx(i, now, fd, out, |p, io| p.hungry(io));
+                    self.invoke_dx(slot, i, now, fd, out, |p, io| p.hungry(io));
                 }
                 SubjectCmd::Exit(i) => {
-                    self.invoke_dx(i, now, fd, out, |p, io| p.exit_eating(io));
+                    self.invoke_dx(slot, i, now, fd, out, |p, io| p.exit_eating(io));
                 }
                 SubjectCmd::SendPing(i, seq) => {
                     out.sends.push((
-                        self.watcher,
+                        self.watchers[slot],
                         RedMsg::Ping {
-                            watcher: self.watcher,
+                            watcher: self.watchers[slot],
                             subject: self.subject,
                             instance: i as u8,
                             seq,
@@ -382,8 +478,10 @@ impl SubjectComponent {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // slot-addressed bank entry point
     fn on_dx_message(
         &mut self,
+        slot: usize,
         instance: u8,
         from: ProcessId,
         inner: DiningMsg,
@@ -391,20 +489,30 @@ impl SubjectComponent {
         fd: &dyn FdQuery,
         out: &mut Out,
     ) {
-        self.invoke_dx(instance as usize, now, fd, out, |p, io| p.on_message(io, from, inner));
-        self.pump(now, fd, out);
+        let f =
+            |p: &mut dyn DiningParticipant, io: &mut DiningIo<'_>| p.on_message(io, from, inner);
+        self.invoke_dx(slot, instance as usize, now, fd, out, f);
+        self.pump(slot, now, fd, out);
     }
 
-    fn on_ack(&mut self, instance: u8, seq: u64, now: Time, fd: &dyn FdQuery, out: &mut Out) {
-        self.machine.on_ack(instance as usize, seq);
-        self.pump(now, fd, out);
+    fn on_ack(
+        &mut self,
+        slot: usize,
+        instance: u8,
+        seq: u64,
+        now: Time,
+        fd: &dyn FdQuery,
+        out: &mut Out,
+    ) {
+        self.machines[slot].on_ack(instance as usize, seq);
+        self.pump(slot, now, fd, out);
     }
 
-    fn on_tick(&mut self, now: Time, fd: &dyn FdQuery, out: &mut Out) {
+    fn on_tick(&mut self, slot: usize, now: Time, fd: &dyn FdQuery, out: &mut Out) {
         for i in 0..2 {
-            self.invoke_dx(i, now, fd, out, |p, io| p.on_tick(io));
+            self.invoke_dx(slot, i, now, fd, out, |p, io| p.on_tick(io));
         }
-        self.pump(now, fd, out);
+        self.pump(slot, now, fd, out);
     }
 }
 
@@ -414,21 +522,21 @@ const TICK: TimerId = TimerId(0);
 const NO_COMPONENT: u32 = u32::MAX;
 
 /// One physical process of the reduction: all of its witness and subject
-/// components plus message routing.
+/// pair state (struct-of-arrays banks) plus message routing.
 ///
 /// Routing is O(1) per message: two peer-indexed tables map a message's
-/// pair tag straight to the owning component, so a node watching (or being
-/// watched by) hundreds of peers never scans its component lists on the
-/// hot path.
+/// pair tag straight to the owning bank slot, so a node watching (or being
+/// watched by) hundreds of peers never scans its pair lists on the hot
+/// path.
 pub struct ReductionNode {
     me: ProcessId,
-    witnesses: Vec<WitnessComponent>,
-    subjects: Vec<SubjectComponent>,
-    /// `witness_by_subject[q]` = index into `witnesses` of the component
-    /// watching `q`, or [`NO_COMPONENT`].
+    witnesses: WitnessBank,
+    subjects: SubjectBank,
+    /// `witness_by_subject[q]` = slot in `witnesses` of the pair watching
+    /// `q`, or [`NO_COMPONENT`].
     witness_by_subject: Vec<u32>,
-    /// `subject_by_watcher[w]` = index into `subjects` of the component
-    /// monitored by `w`, or [`NO_COMPONENT`].
+    /// `subject_by_watcher[w]` = slot in `subjects` of the pair monitored
+    /// by `w`, or [`NO_COMPONENT`].
     subject_by_watcher: Vec<u32>,
     fd: Rc<dyn FdQuery>,
     tick_every: u64,
@@ -451,6 +559,11 @@ impl ReductionNode {
     /// pairs, the black-box dining factory, and the oracle handle consumed by
     /// the dining implementations (NOT by the reduction itself — the
     /// reduction is oracle-free, that is the whole point).
+    ///
+    /// This scans `pairs` once per call; when constructing many nodes over
+    /// one shared pair list, pre-group it and use
+    /// [`ReductionNode::from_groups`] instead, which turns the O(n · P)
+    /// total construction scan into O(P).
     pub fn new(
         me: ProcessId,
         pairs: &[(ProcessId, ProcessId)],
@@ -458,32 +571,51 @@ impl ReductionNode {
         fd: Rc<dyn FdQuery>,
         strict_seq: bool,
     ) -> Self {
-        let witnesses: Vec<WitnessComponent> = pairs
-            .iter()
-            .filter(|&&(w, s)| w == me && s != me)
-            .map(|&(w, s)| WitnessComponent::new(w, s, factory))
-            .collect();
-        let subjects: Vec<SubjectComponent> = pairs
-            .iter()
-            .filter(|&&(w, s)| s == me && w != me)
-            .map(|&(w, s)| SubjectComponent::new(w, s, strict_seq, factory))
-            .collect();
+        let watch: Vec<ProcessId> =
+            pairs.iter().filter(|&&(w, s)| w == me && s != me).map(|&(_, s)| s).collect();
+        let watched_by: Vec<ProcessId> =
+            pairs.iter().filter(|&&(w, s)| s == me && w != me).map(|&(w, _)| w).collect();
+        Self::from_groups(me, &watch, &watched_by, factory, fd, strict_seq)
+    }
+
+    /// Builds the node for `me` from pre-grouped pair lists: the subjects
+    /// `me` watches and the watchers monitoring `me`, both in pair-list
+    /// order. Self-pairs must already be filtered out.
+    pub fn from_groups(
+        me: ProcessId,
+        watch: &[ProcessId],
+        watched_by: &[ProcessId],
+        factory: &DiningFactory<'_>,
+        fd: Rc<dyn FdQuery>,
+        strict_seq: bool,
+    ) -> Self {
+        let mut witnesses = WitnessBank::new(me);
+        for &s in watch {
+            debug_assert_ne!(s, me, "self-pairs must be pre-filtered");
+            witnesses.push(s, factory);
+        }
+        let mut subjects = SubjectBank::new(me);
+        for &w in watched_by {
+            debug_assert_ne!(w, me, "self-pairs must be pre-filtered");
+            subjects.push(w, strict_seq, factory);
+        }
         // Peer-indexed routing tables, sized by the largest process id the
-        // pair list names (plus `me` itself).
-        let table_len = pairs
+        // grouped lists name (plus `me` itself).
+        let table_len = watch
             .iter()
-            .flat_map(|&(w, s)| [w.index(), s.index()])
+            .chain(watched_by.iter())
+            .map(|p| p.index())
             .chain(std::iter::once(me.index()))
             .max()
             .unwrap_or(0)
             + 1;
         let mut witness_by_subject = vec![NO_COMPONENT; table_len];
-        for (i, w) in witnesses.iter().enumerate() {
-            witness_by_subject[w.subject.index()] = i as u32;
+        for (i, s) in witnesses.subjects.iter().enumerate() {
+            witness_by_subject[s.index()] = i as u32;
         }
         let mut subject_by_watcher = vec![NO_COMPONENT; table_len];
-        for (i, s) in subjects.iter().enumerate() {
-            subject_by_watcher[s.watcher.index()] = i as u32;
+        for (i, w) in subjects.watchers.iter().enumerate() {
+            subject_by_watcher[w.index()] = i as u32;
         }
         ReductionNode {
             me,
@@ -526,21 +658,32 @@ impl ReductionNode {
     /// unwatched pairs as detector claims.
     pub fn suspects(&self, q: ProcessId) -> bool {
         match self.witness_by_subject.get(q.index()) {
-            Some(&i) if i != NO_COMPONENT => self.witnesses[i as usize].suspects(),
+            Some(&i) if i != NO_COMPONENT => self.witnesses.suspects(i as usize),
             _ => true,
         }
     }
 
-    fn witness_mut(&mut self, subject: ProcessId) -> &mut WitnessComponent {
-        let i = self.witness_by_subject.get(subject.index()).copied().unwrap_or(NO_COMPONENT);
-        assert!(i != NO_COMPONENT, "message for unknown witness pair");
-        &mut self.witnesses[i as usize]
+    /// Estimated resident bytes of this node's pair state (both banks plus
+    /// the routing tables). A deliberately coarse footprint figure for the
+    /// bytes/pair scaling curves — it counts the SoA vectors and the boxed
+    /// dining participants, not allocator slack.
+    pub fn resident_bytes(&self) -> usize {
+        self.witnesses.resident_bytes()
+            + self.subjects.resident_bytes()
+            + (self.witness_by_subject.len() + self.subject_by_watcher.len())
+                * std::mem::size_of::<u32>()
     }
 
-    fn subject_mut(&mut self, watcher: ProcessId) -> &mut SubjectComponent {
+    fn witness_slot(&self, subject: ProcessId) -> usize {
+        let i = self.witness_by_subject.get(subject.index()).copied().unwrap_or(NO_COMPONENT);
+        assert!(i != NO_COMPONENT, "message for unknown witness pair");
+        i as usize
+    }
+
+    fn subject_slot(&self, watcher: ProcessId) -> usize {
         let i = self.subject_by_watcher.get(watcher.index()).copied().unwrap_or(NO_COMPONENT);
         assert!(i != NO_COMPONENT, "message for unknown subject pair");
-        &mut self.subjects[i as usize]
+        i as usize
     }
 
     /// Context-free start step (for composition with other layers),
@@ -548,11 +691,11 @@ impl ReductionNode {
     /// responsible for scheduling the recurring tick.
     pub fn handle_start_into(&mut self, now: Time, out: &mut Out) {
         let fd = Rc::clone(&self.fd);
-        for w in &mut self.witnesses {
-            w.pump(now, &*fd, out);
+        for slot in 0..self.witnesses.len() {
+            self.witnesses.pump(slot, now, &*fd, out);
         }
-        for s in &mut self.subjects {
-            s.pump(now, &*fd, out);
+        for slot in 0..self.subjects.len() {
+            self.subjects.pump(slot, now, &*fd, out);
         }
     }
 
@@ -563,19 +706,23 @@ impl ReductionNode {
         match msg {
             RedMsg::Dx { watcher, subject, instance, inner } => {
                 if watcher == self.me {
-                    self.witness_mut(subject).on_dx_message(instance, from, inner, now, &*fd, out);
+                    let slot = self.witness_slot(subject);
+                    self.witnesses.on_dx_message(slot, instance, from, inner, now, &*fd, out);
                 } else {
                     debug_assert_eq!(subject, self.me);
-                    self.subject_mut(watcher).on_dx_message(instance, from, inner, now, &*fd, out);
+                    let slot = self.subject_slot(watcher);
+                    self.subjects.on_dx_message(slot, instance, from, inner, now, &*fd, out);
                 }
             }
             RedMsg::Ping { watcher, subject, instance, seq } => {
                 debug_assert_eq!(watcher, self.me);
-                self.witness_mut(subject).on_ping(instance, seq, now, &*fd, out);
+                let slot = self.witness_slot(subject);
+                self.witnesses.on_ping(slot, instance, seq, now, &*fd, out);
             }
             RedMsg::Ack { watcher, subject, instance, seq } => {
                 debug_assert_eq!(subject, self.me);
-                self.subject_mut(watcher).on_ack(instance, seq, now, &*fd, out);
+                let slot = self.subject_slot(watcher);
+                self.subjects.on_ack(slot, instance, seq, now, &*fd, out);
             }
         }
     }
@@ -583,11 +730,11 @@ impl ReductionNode {
     /// Context-free tick step, appending effects to a caller-pooled buffer.
     pub fn handle_tick_into(&mut self, now: Time, out: &mut Out) {
         let fd = Rc::clone(&self.fd);
-        for w in &mut self.witnesses {
-            w.on_tick(now, &*fd, out);
+        for slot in 0..self.witnesses.len() {
+            self.witnesses.on_tick(slot, now, &*fd, out);
         }
-        for s in &mut self.subjects {
-            s.on_tick(now, &*fd, out);
+        for slot in 0..self.subjects.len() {
+            self.subjects.on_tick(slot, now, &*fd, out);
         }
     }
 
@@ -706,13 +853,17 @@ mod tests {
             (ProcessId(6), ProcessId(2)),
             (ProcessId(0), ProcessId(4)),
         ];
-        let mut node = node_for(2, &pairs);
+        let node = node_for(2, &pairs);
         assert_eq!(node.witnesses.len(), 2);
         assert_eq!(node.subjects.len(), 2);
-        assert_eq!(node.witness_mut(ProcessId(5)).subject, ProcessId(5));
-        assert_eq!(node.witness_mut(ProcessId(0)).subject, ProcessId(0));
-        assert_eq!(node.subject_mut(ProcessId(4)).watcher, ProcessId(4));
-        assert_eq!(node.subject_mut(ProcessId(6)).watcher, ProcessId(6));
+        let w5 = node.witness_slot(ProcessId(5));
+        let w0 = node.witness_slot(ProcessId(0));
+        assert_eq!(node.witnesses.subjects[w5], ProcessId(5));
+        assert_eq!(node.witnesses.subjects[w0], ProcessId(0));
+        let s4 = node.subject_slot(ProcessId(4));
+        let s6 = node.subject_slot(ProcessId(6));
+        assert_eq!(node.subjects.watchers[s4], ProcessId(4));
+        assert_eq!(node.subjects.watchers[s6], ProcessId(6));
         // Every unwatched peer (including out-of-range ids) reads as
         // pessimistically suspected.
         for q in [1u32, 3, 4, 6, 7, 99] {
@@ -723,8 +874,52 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown witness pair")]
     fn routing_panics_for_unknown_witness_pair() {
-        let mut node = node_for(0, &[(ProcessId(0), ProcessId(1))]);
-        node.witness_mut(ProcessId(3));
+        let node = node_for(0, &[(ProcessId(0), ProcessId(1))]);
+        node.witness_slot(ProcessId(3));
+    }
+
+    #[test]
+    fn grouped_constructor_matches_pair_list_constructor() {
+        // `new` over a pair list and `from_groups` over its pre-grouped form
+        // must build behaviourally identical nodes.
+        let pairs = all_ordered_pairs(4);
+        let factory = factory_for(BlackBox::WfDx);
+        let me = ProcessId(1);
+        let watch: Vec<ProcessId> =
+            pairs.iter().filter(|&&(w, s)| w == me && s != me).map(|&(_, s)| s).collect();
+        let watched_by: Vec<ProcessId> =
+            pairs.iter().filter(|&&(w, s)| s == me && w != me).map(|&(w, _)| w).collect();
+        let mut a = node_for(1, &pairs);
+        let mut b = ReductionNode::from_groups(
+            me,
+            &watch,
+            &watched_by,
+            &factory,
+            Rc::new(NoOracle(8)),
+            false,
+        );
+        assert_eq!(a.witnesses.len(), b.witnesses.len());
+        assert_eq!(a.subjects.len(), b.subjects.len());
+        assert_eq!(a.resident_bytes(), b.resident_bytes());
+        let (oa, ob) = (a.handle_start(Time(0)), b.handle_start(Time(0)));
+        assert_eq!(format!("{:?}", oa.sends), format!("{:?}", ob.sends));
+        assert_eq!(format!("{:?}", oa.obs), format!("{:?}", ob.obs));
+        let (oa, ob) = (a.handle_tick(Time(4)), b.handle_tick(Time(4)));
+        assert_eq!(format!("{:?}", oa.sends), format!("{:?}", ob.sends));
+        assert_eq!(format!("{:?}", oa.obs), format!("{:?}", ob.obs));
+    }
+
+    #[test]
+    fn resident_bytes_grows_with_pair_count() {
+        let small = node_for(0, &all_ordered_pairs(2));
+        let large = node_for(0, &all_ordered_pairs(8));
+        assert!(small.resident_bytes() > 0);
+        assert!(
+            large.resident_bytes() > small.resident_bytes(),
+            "more pairs must mean more resident state ({} vs {})",
+            large.resident_bytes(),
+            small.resident_bytes()
+        );
     }
 
     #[test]

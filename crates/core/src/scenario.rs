@@ -15,8 +15,8 @@ use dinefd_dining::wfdx::WfDxDining;
 use dinefd_dining::DiningParticipant;
 use dinefd_fd::{FdQuery, InjectedOracle, SuspicionHistory};
 use dinefd_sim::{
-    CrashPlan, DelayModel, MetricMap, ProcessId, Profiler, SplitMix64, Time, Trace, World,
-    WorldConfig,
+    CrashPlan, DelayModel, MetricMap, ProcessId, Profiler, QueueBackend, ShardedWorld, SplitMix64,
+    Time, Trace, World, WorldConfig,
 };
 
 use crate::detector::{suspicion_history, HistorySink, PairTimelines};
@@ -127,6 +127,18 @@ pub struct Scenario {
     /// default — it changes delay sampling, hence schedules, under
     /// stochastic delay models.
     pub batch_envelopes: bool,
+    /// Run on a [`ShardedWorld`] partitioned into this many shards instead
+    /// of a classic [`World`]. `0` (the default) means the classic world;
+    /// any `k ≥ 1` selects the sharded family, whose schedules are
+    /// shard-count invariant but differ from the classic world's (the
+    /// sharded family draws per-sender delay streams). Requires a cloneable
+    /// delay model (everything but `Scripted`).
+    pub shards: usize,
+    /// Event-queue backend of the classic world (ignored by the sharded
+    /// family, which always runs per-shard timer wheels). Wheel and heap
+    /// produce byte-identical runs; the knob exists for differential
+    /// assertion.
+    pub queue: QueueBackend,
 }
 
 impl Scenario {
@@ -150,6 +162,8 @@ impl Scenario {
             tick_every: 4,
             streaming: false,
             batch_envelopes: false,
+            shards: 0,
+            queue: QueueBackend::default(),
         }
     }
 
@@ -215,6 +229,11 @@ pub struct ExtractionResult {
     pub steps: u64,
     /// Total messages sent.
     pub messages_sent: u64,
+    /// Estimated resident bytes of the reduction nodes' pair state at
+    /// construction (summed [`ReductionNode::resident_bytes`]); divide by
+    /// the pair count for the bytes/pair scaling curves. Layout-dependent,
+    /// so report it outside any determinism-diffed section.
+    pub node_resident_bytes: u64,
     /// Full simulator metric export for the run (counters, queue-depth
     /// high-water, delay histogram), key-sorted and seed-deterministic.
     pub metrics: MetricMap,
@@ -283,19 +302,45 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
         tick_every,
         streaming,
         batch_envelopes,
+        shards,
+        queue,
     } = sc;
     let pairs = if pairs.is_empty() { all_ordered_pairs(n) } else { pairs };
     let mut rng = SplitMix64::new(seed ^ 0xD1CE_F00D);
     let oracle: Rc<dyn FdQuery> = Rc::new(oracle.build(n, crashes.clone(), &mut rng));
     let factory = factory_for(black_box);
+    // Pre-group the pair list once (O(P)) instead of letting every node
+    // rescan it (O(n·P) ≈ O(n³) total for all-pairs systems — ruinous at
+    // n ≥ 1024).
+    let mut watch: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
+    let mut watched_by: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
+    for &(w, s) in &pairs {
+        if w != s {
+            if w.index() < n {
+                watch[w.index()].push(s);
+            }
+            if s.index() < n {
+                watched_by[s.index()].push(w);
+            }
+        }
+    }
     let nodes: Vec<ReductionNode> = ProcessId::all(n)
         .map(|me| {
-            let mut node = ReductionNode::new(me, &pairs, &factory, Rc::clone(&oracle), strict_seq);
+            let mut node = ReductionNode::from_groups(
+                me,
+                &watch[me.index()],
+                &watched_by[me.index()],
+                &factory,
+                Rc::clone(&oracle),
+                strict_seq,
+            );
             node.set_tick_every(tick_every);
             node
         })
         .collect();
-    let mut cfg = WorldConfig::new(seed).delays(delays).crashes(crashes.clone());
+    let node_resident_bytes: u64 = nodes.iter().map(|nd| nd.resident_bytes() as u64).sum();
+    let mut cfg =
+        WorldConfig::new(seed).delays(delays).crashes(crashes.clone()).queue_backend(queue);
     if batch_envelopes {
         cfg = cfg.batch_envelopes();
     }
@@ -306,12 +351,16 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
         // footprint is O(pairs + suspicion changes), not O(run length).
         let sink = Rc::new(std::cell::RefCell::new(HistorySink::new(n, &pairs)));
         let handle = Rc::clone(&sink);
-        let mut world = World::new_with_sink(nodes, cfg.observation_events_off(), Box::new(handle));
-        profiler.time("simulate", || world.run_until(horizon));
-        let steps = world.steps();
-        let messages_sent = world.messages_sent();
-        let metrics = world.metrics_map();
-        let trace = world.into_trace(); // drops the world's sink handle
+        let cfg = cfg.observation_events_off();
+        let (steps, messages_sent, metrics, trace) = if shards > 0 {
+            let mut world = ShardedWorld::new_with_sink(nodes, cfg, shards, Box::new(handle));
+            profiler.time("simulate", || world.run_until(horizon));
+            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+        } else {
+            let mut world = World::new_with_sink(nodes, cfg, Box::new(handle));
+            profiler.time("simulate", || world.run_until(horizon));
+            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+        };
         let history = profiler.time("extract", || {
             Rc::try_unwrap(sink).expect("world dropped its sink handle").into_inner().finish()
         });
@@ -326,16 +375,20 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
             horizon,
             steps,
             messages_sent,
+            node_resident_bytes,
             metrics,
             profiler,
         }
     } else {
-        let mut world = World::new(nodes, cfg);
-        profiler.time("simulate", || world.run_until(horizon));
-        let steps = world.steps();
-        let messages_sent = world.messages_sent();
-        let metrics = world.metrics_map();
-        let trace = world.into_trace();
+        let (steps, messages_sent, metrics, trace) = if shards > 0 {
+            let mut world = ShardedWorld::new(nodes, cfg, shards);
+            profiler.time("simulate", || world.run_until(horizon));
+            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+        } else {
+            let mut world = World::new(nodes, cfg);
+            profiler.time("simulate", || world.run_until(horizon));
+            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+        };
         let history = profiler.time("extract", || suspicion_history(n, &trace, &pairs));
         let history_changes = history.change_count();
         ExtractionResult {
@@ -348,6 +401,7 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
             horizon,
             steps,
             messages_sent,
+            node_resident_bytes,
             metrics,
             profiler,
         }
@@ -411,6 +465,66 @@ mod tests {
         let det = res.history.strong_completeness(&crashes).unwrap();
         assert_eq!(det.len(), 1);
         assert!(det[0].detected_from > det[0].crashed_at);
+    }
+
+    #[test]
+    fn sharded_extraction_is_shard_count_invariant() {
+        // The sharded family's schedule must not depend on the shard count:
+        // 1 shard is the family's reference, and every k must reproduce its
+        // history, step/message counts, and metric export byte-for-byte.
+        let run = |shards: usize| {
+            let mut sc = Scenario::all_pairs(3, BlackBox::WfDx, 23);
+            sc.horizon = Time(6_000);
+            sc.crashes = CrashPlan::one(ProcessId(2), Time(3_000));
+            sc.shards = shards;
+            let res = run_extraction(sc);
+            (res.steps, res.messages_sent, format!("{:?}", res.history), res.metrics)
+        };
+        let reference = run(1);
+        for shards in [2, 4] {
+            assert_eq!(run(shards), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_streaming_matches_sharded_post_hoc() {
+        // Streaming folds the same observation stream the post-hoc trace
+        // carries, so the extracted histories must agree exactly — also on
+        // sharded worlds.
+        let run = |streaming: bool| {
+            let mut sc = Scenario::all_pairs(3, BlackBox::WfDx, 29);
+            sc.horizon = Time(6_000);
+            sc.crashes = CrashPlan::one(ProcessId(1), Time(3_000));
+            sc.shards = 2;
+            sc.streaming = streaming;
+            let res = run_extraction(sc);
+            (res.steps, res.messages_sent, format!("{:?}", res.history))
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn heap_queue_reproduces_wheel_runs() {
+        // The classic world's two queue backends are drop-in replacements:
+        // byte-identical histories and metric exports.
+        let run = |queue: QueueBackend| {
+            let mut sc = Scenario::pair(BlackBox::WfDx, 37);
+            sc.horizon = Time(8_000);
+            sc.queue = queue;
+            let res = run_extraction(sc);
+            (res.steps, res.messages_sent, format!("{:?}", res.history), res.metrics)
+        };
+        assert_eq!(run(QueueBackend::Wheel), run(QueueBackend::Heap));
+    }
+
+    #[test]
+    fn extraction_reports_resident_bytes() {
+        let small = run_extraction(Scenario::pair(BlackBox::WfDx, 41));
+        let mut large_sc = Scenario::all_pairs(4, BlackBox::WfDx, 41);
+        large_sc.horizon = Time(4_000);
+        let large = run_extraction(large_sc);
+        assert!(small.node_resident_bytes > 0);
+        assert!(large.node_resident_bytes > small.node_resident_bytes);
     }
 
     #[test]

@@ -287,6 +287,40 @@ mod tests {
     }
 
     #[test]
+    fn stale_ack_replay_is_attributed_to_its_first_tripped_check() {
+        // First-tripped-check semantics (see the crate docs): the explorer
+        // headlines StaleAckReplay as a Lemma-4 bug, but along any fuzzed
+        // execution the duplicate ack violates Lemma 3 (a DX message in
+        // transit while the subject is not eating with its ping raised)
+        // strictly before the stale ack can flip the trigger, so the
+        // fuzzer's one-finding-per-key report must carry Lemma 3.
+        // Budget mirrors the `seeded_bug_gate` suite: under seed 1 the
+        // slowest stale-ack find lands around iteration 525.
+        let r = Fuzzer::new(FuzzConfig {
+            explore: ExploreConfig {
+                model_mutation: dinefd_explore::ModelMutation::StaleAckReplay,
+                ..Default::default()
+            },
+            seed: 1,
+            iterations: 2_000,
+            max_steps: 40,
+            corpus_seeds: 16,
+        })
+        .run();
+        assert!(!r.findings.is_empty(), "seeded StaleAckReplay bug never found");
+        assert_eq!(r.findings[0].lemma, "Lemma 3 violated", "first-tripped check must win");
+        // The minimized prefix replays to the same key — attribution is a
+        // property of the trajectory, not of which schedule found it.
+        for f in &r.findings {
+            assert_eq!(
+                crate::minimize::lemma_key(&f.message),
+                f.lemma,
+                "finding message and key disagree"
+            );
+        }
+    }
+
+    #[test]
     fn time_budget_truncates_but_never_extends() {
         let cfg = FuzzConfig { iterations: 50, corpus_seeds: 4, ..Default::default() };
         let untimed = Fuzzer::new(cfg.clone()).run();

@@ -24,6 +24,25 @@
 //!   that the `trace_replay` harness (and `PairState::successors` walking
 //!   in general) reproduces.
 //!
+//! ## First-tripped-check attribution
+//!
+//! A finding's lemma key names the **first** check that trips along the
+//! violating execution, not every lemma the underlying bug can break:
+//! both [`schedule::execute`] and [`minimize::replay`] stop at the first
+//! violated invariant or closure check, and [`engine::FuzzReport`] keeps
+//! one [`engine::Finding`] per distinct key. The exhaustive explorer
+//! (E7) instead enumerates *states*, so it reports every lemma a
+//! mutation reaches. Concretely: `ModelMutation::StaleAckReplay` is
+//! headlined by E7 as a Lemma-4 bug (the stale ack eventually flips the
+//! trigger out of turn), but the fuzzer attributes the same incident to
+//! `"Lemma 3 violated"` — the duplicate puts a `DX_i` message in transit
+//! while `s_i` is not eating with `ping_i` raised, which Lemma 3 forbids
+//! a step *before* the trigger flips, so Lemma 3 is what the replay
+//! trips first. Both reports name
+//! the same seeded bug; they differ only in which symptom along the
+//! trajectory each engine stops at (pinned by the engine's unit suite
+//! and the `seeded_bug_gate` integration tests).
+//!
 //! Determinism is load-bearing: all randomness flows from one
 //! [`dinefd_sim::SplitMix64`] seed, the coverage set is only ever probed
 //! (never iterated), and the corpus preserves insertion order — identical

@@ -71,11 +71,14 @@ pub mod node;
 pub mod props;
 pub mod rng;
 pub mod scenario_dsl;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 pub mod world;
 
+pub use event::QueueBackend;
 pub use fault::CrashPlan;
 pub use id::ProcessId;
 pub use metrics::{Counter, Gauge, Histogram, MetricMap, Profiler, RunProfile, SimMetrics};
@@ -84,6 +87,7 @@ pub use node::{Context, Node, TimerId};
 pub use props::{stabilization_time, BoolTimeline};
 pub use rng::SplitMix64;
 pub use scenario_dsl::{Scenario as ScenarioDoc, ScenarioError};
+pub use shard::ShardedWorld;
 pub use stats::Summary;
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};

@@ -91,6 +91,17 @@ impl Gauge {
     pub fn high_water(&self) -> u64 {
         self.high_water
     }
+
+    /// Merges another gauge into this one: levels add (the combined level
+    /// of two disjoint backlogs is their sum), and the high-water mark is
+    /// the max of the two marks — a *lower bound* on the true high water of
+    /// the combined level, since the two peaks need not coincide in time.
+    /// Callers needing the exact combined high water must track a combined
+    /// gauge live (see `crate::shard::ShardedWorld`'s global depth gauge).
+    pub fn absorb(&mut self, other: &Gauge) {
+        self.current += other.current;
+        self.high_water = self.high_water.max(other.high_water);
+    }
 }
 
 /// Number of finite histogram buckets: bucket `i` counts values
@@ -200,6 +211,21 @@ impl Histogram {
         self.max
     }
 
+    /// Merges another histogram into this one — bucket-wise addition, so
+    /// `a.absorb(&b)` equals the histogram of the concatenated sample
+    /// streams exactly (counts, sum, min, max, and every bucket).
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Flattens into `prefix.count`, `prefix.sum`, `prefix.min`,
     /// `prefix.max`, and one `prefix.le_N` / `prefix.inf` key per
     /// non-empty bucket.
@@ -264,6 +290,25 @@ impl SimMetrics {
     /// A zeroed metric set.
     pub fn new() -> Self {
         SimMetrics::default()
+    }
+
+    /// Merges a shard's metrics into this set: counters and histograms add
+    /// exactly; the queue-depth gauge adds levels and takes the max of
+    /// high-water marks (see [`Gauge::absorb`] for why that is a lower
+    /// bound rather than the true combined peak).
+    pub fn absorb(&mut self, other: &SimMetrics) {
+        self.steps.add(other.steps.get());
+        self.messages_sent.add(other.messages_sent.get());
+        self.messages_delivered.add(other.messages_delivered.get());
+        self.messages_dropped.add(other.messages_dropped.get());
+        self.crash_events.add(other.crash_events.get());
+        self.timer_fires.add(other.timer_fires.get());
+        self.timers_set.add(other.timers_set.get());
+        self.observations.add(other.observations.get());
+        self.envelopes_sent.add(other.envelopes_sent.get());
+        self.envelope_occupancy.absorb(&other.envelope_occupancy);
+        self.queue_depth.absorb(&other.queue_depth);
+        self.delay_ticks.absorb(&other.delay_ticks);
     }
 
     /// Flattens into a key-sorted map. `delay_model` labels the delay
@@ -445,6 +490,56 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile_bound(0.99), 0);
         assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn histogram_absorb_equals_concatenated_stream() {
+        let (mut a, mut b, mut whole) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 7, 900, 3] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 40_000, 5] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a, whole);
+        // Absorbing an empty histogram changes nothing (min stays intact).
+        let snapshot = a.clone();
+        a.absorb(&Histogram::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn gauge_absorb_adds_levels_and_maxes_high_water() {
+        let mut a = Gauge::new();
+        a.set(10);
+        a.set(4);
+        let mut b = Gauge::new();
+        b.set(7);
+        b.set(5);
+        a.absorb(&b);
+        assert_eq!(a.get(), 9, "levels add");
+        assert_eq!(a.high_water(), 10, "high water is the max of marks");
+    }
+
+    #[test]
+    fn sim_metrics_absorb_sums_counters() {
+        let mut a = SimMetrics::new();
+        a.steps.add(3);
+        a.messages_sent.add(2);
+        a.delay_ticks.record(4);
+        let mut b = SimMetrics::new();
+        b.steps.add(5);
+        b.observations.add(1);
+        b.delay_ticks.record(9);
+        a.absorb(&b);
+        assert_eq!(a.steps.get(), 8);
+        assert_eq!(a.messages_sent.get(), 2);
+        assert_eq!(a.observations.get(), 1);
+        assert_eq!(a.delay_ticks.count(), 2);
+        assert_eq!(a.delay_ticks.sum(), 13);
     }
 
     #[test]

@@ -141,6 +141,40 @@ impl DelayModel {
         }
     }
 
+    /// A fresh, state-independent copy of this model, or `None` for
+    /// [`DelayModel::Scripted`] (a boxed adversary has no generic clone).
+    ///
+    /// "Fresh" matters for [`DelayModel::Fifo`]: the copy starts with empty
+    /// per-channel floors, so it is only equivalent to the original *before
+    /// any sample is drawn*. [`crate::shard::ShardedWorld`] clones the
+    /// configured model once per process at construction — giving every
+    /// sender its own delay state is what makes the schedule independent of
+    /// the shard count.
+    pub fn try_clone(&self) -> Option<DelayModel> {
+        Some(match self {
+            DelayModel::Fixed(d) => DelayModel::Fixed(*d),
+            DelayModel::Uniform { lo, hi } => DelayModel::Uniform { lo: *lo, hi: *hi },
+            DelayModel::HeavyTail { lo, hi, spike_num, spike_den, spike_hi } => {
+                DelayModel::HeavyTail {
+                    lo: *lo,
+                    hi: *hi,
+                    spike_num: *spike_num,
+                    spike_den: *spike_den,
+                    spike_hi: *spike_hi,
+                }
+            }
+            DelayModel::PartialSync { gst, pre, bound } => DelayModel::PartialSync {
+                gst: *gst,
+                pre: Box::new(pre.try_clone()?),
+                bound: *bound,
+            },
+            DelayModel::Scripted(_) => return None,
+            DelayModel::Fifo { inner, .. } => {
+                DelayModel::Fifo { inner: Box::new(inner.try_clone()?), floors: HashMap::new() }
+            }
+        })
+    }
+
     /// Samples a delay for one message. Always at least 1 tick.
     pub fn sample(
         &mut self,
@@ -359,6 +393,35 @@ mod tests {
         assert_eq!(DelayModel::harsh().kind(), "heavy_tail");
         assert_eq!(DelayModel::partially_synchronous(Time(1), 1).kind(), "partial_sync");
         assert_eq!(DelayModel::fifo(DelayModel::harsh()).kind(), "fifo_heavy_tail");
+    }
+
+    #[test]
+    fn try_clone_copies_everything_but_scripted() {
+        let models = [
+            DelayModel::Fixed(3),
+            DelayModel::default_async(),
+            DelayModel::harsh(),
+            DelayModel::partially_synchronous(Time(100), 5),
+            DelayModel::fifo(DelayModel::harsh()),
+        ];
+        for m in models {
+            let mut clone = m.try_clone().expect("stateless models clone");
+            assert_eq!(clone.kind(), m.kind());
+            // A fresh clone samples identically to the original under the
+            // same RNG stream (no hidden state carried over).
+            let mut orig = m.try_clone().unwrap();
+            let (mut r1, mut r2) = (SplitMix64::new(9), SplitMix64::new(9));
+            for t in 0..200u64 {
+                assert_eq!(
+                    orig.sample(p(0), p(1), Time(t * 3), &mut r1),
+                    clone.sample(p(0), p(1), Time(t * 3), &mut r2),
+                    "{} clone diverged",
+                    m.kind()
+                );
+            }
+        }
+        let staller = ChannelStaller { stalled: vec![], release_at: Time(1), benign_hi: 1 };
+        assert!(DelayModel::Scripted(Box::new(staller)).try_clone().is_none());
     }
 
     #[test]

@@ -31,6 +31,21 @@ impl Time {
     pub fn since(self, earlier: Time) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
+
+    /// Checked advance: `self + rhs`, or `None` past the clock horizon.
+    ///
+    /// The `Add`/`AddAssign` operators saturate at [`Time::INFINITY`], which
+    /// is the right arithmetic for *deadlines* (`run_for` near the horizon
+    /// just runs to the end of time) but silently wrong for *scheduling*: an
+    /// event "scheduled" at a saturated instant stays at `INFINITY` forever,
+    /// and a node that re-arms a timer there livelocks
+    /// `World::run_until(Time::INFINITY)` — the queue never drains and time
+    /// never advances. Event scheduling therefore goes through this method
+    /// and treats overflow as a hard error.
+    #[inline]
+    pub fn checked_add(self, rhs: u64) -> Option<Time> {
+        self.0.checked_add(rhs).map(Time)
+    }
 }
 
 impl Add<u64> for Time {
@@ -83,6 +98,14 @@ mod tests {
     fn since_is_saturating_difference() {
         assert_eq!(Time(10).since(Time(3)), 7);
         assert_eq!(Time(3).since(Time(10)), 0);
+    }
+
+    #[test]
+    fn checked_add_rejects_horizon_overflow() {
+        assert_eq!(Time(5).checked_add(3), Some(Time(8)));
+        assert_eq!(Time(u64::MAX - 1).checked_add(1), Some(Time::INFINITY));
+        assert_eq!(Time::INFINITY.checked_add(1), None);
+        assert_eq!(Time(1).checked_add(u64::MAX), None);
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! A hierarchical timer wheel — the event queue's scale backend.
+//!
+//! A simulated run schedules almost everything *near* the current instant:
+//! message delays are small (the delay models top out at a few hundred
+//! ticks) and node self-ticks are single digits, so the global
+//! `BinaryHeap`'s `O(log n)` per operation — with its cache-hostile
+//! percolation over a million pending events at `n = 1024` — buys
+//! generality the workload never uses. The wheel splits the horizon into
+//! two levels:
+//!
+//! * **near**: a fixed ring of [`NEAR_SLOTS`] one-tick slots covering the
+//!   window `[window_start, window_start + NEAR_SLOTS)`, with a bitmap of
+//!   occupied slots so finding the next non-empty instant is a couple of
+//!   `trailing_zeros` instructions. Push and pop are `O(1)`.
+//! * **far**: a `BTreeMap` keyed by exact instant for the rare event beyond
+//!   the window (GST-scale delays, late crash plans). When the near window
+//!   drains, the wheel jumps straight to the window containing the earliest
+//!   far instant and moves every bucket that now fits into the ring.
+//!
+//! ## Ordering contract
+//!
+//! [`TimerWheel::pop`] yields items in ascending `(time, insertion order)`
+//! — exactly the `(time, seq)` order of the heap-backed
+//! [`crate::event::EventQueue`], *provided same-time items are pushed in
+//! ascending order of their intended tie-break* (the event queue's `seq` is
+//! a monotone push counter, so this holds by construction). Within a slot
+//! the wheel appends on push and pops from the front; far buckets preserve
+//! append order and whole buckets move into the ring at window roll, so
+//! insertion order survives every path. `crates/sim` pins wheel ≡ heap with
+//! randomized differential tests.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::time::Time;
+
+/// Size of the near ring in one-tick slots. Covers every delay the stock
+/// models draw in the common case (uniform/heavy-tail common range ≤ 16,
+/// spikes to 400 occasionally go far). Must be a power of two.
+pub const NEAR_SLOTS: usize = 512;
+
+const WORDS: usize = NEAR_SLOTS / 64;
+
+/// A two-level timer wheel holding values of type `V`, popped in ascending
+/// `(time, insertion order)`. See the module docs for the ordering contract.
+#[derive(Debug)]
+pub struct TimerWheel<V> {
+    /// One-tick slots; slot `t % NEAR_SLOTS` holds the events of instant
+    /// `t` while `t` lies inside the current window.
+    slots: Vec<VecDeque<V>>,
+    /// Occupancy bitmap over `slots` (bit set ⇔ slot non-empty).
+    occupied: [u64; WORDS],
+    /// First instant of the near window; always `≡ 0 (mod NEAR_SLOTS)`.
+    window_start: u64,
+    /// Lower bound on the next pop's instant (the scan cursor). Invariant:
+    /// `window_start <= cursor < window_start + NEAR_SLOTS`.
+    cursor: u64,
+    /// Events beyond the near window, keyed by exact instant; bucket order
+    /// is append order.
+    far: BTreeMap<u64, Vec<V>>,
+    len: usize,
+}
+
+impl<V> Default for TimerWheel<V> {
+    fn default() -> Self {
+        TimerWheel {
+            slots: (0..NEAR_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WORDS],
+            window_start: 0,
+            cursor: 0,
+            far: BTreeMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> TimerWheel<V> {
+    /// An empty wheel with its window at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// End of the near window, `None` when the window touches the horizon.
+    #[inline]
+    fn window_end(&self) -> Option<u64> {
+        self.window_start.checked_add(NEAR_SLOTS as u64)
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// Schedules `v` at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// If `at` lies before an already-popped instant — the simulation clock
+    /// never runs backwards, so such a push is a caller bug the heap would
+    /// have masked by re-sorting.
+    pub fn push(&mut self, at: Time, v: V) {
+        let t = at.ticks();
+        assert!(t >= self.cursor, "wheel push at t{t} behind the cursor t{}", self.cursor);
+        if self.window_end().is_some_and(|end| t < end) {
+            let slot = (t % NEAR_SLOTS as u64) as usize;
+            self.slots[slot].push_back(v);
+            self.mark(slot);
+        } else {
+            self.far.entry(t).or_default().push(v);
+        }
+        self.len += 1;
+    }
+
+    /// First occupied slot index at or after `from_slot`, if any.
+    fn scan_from(&self, from_slot: usize) -> Option<usize> {
+        let (mut word, bit) = (from_slot / 64, from_slot % 64);
+        let mut bits = self.occupied[word] & (!0u64 << bit);
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word == WORDS {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+
+    /// Rolls the window forward to the one containing the earliest far
+    /// instant and moves every bucket that now fits into the ring. Requires
+    /// the ring to be empty and `far` non-empty.
+    fn roll(&mut self) {
+        debug_assert!(self.scan_from(0).is_none(), "roll with a non-empty ring");
+        let &earliest = self.far.keys().next().expect("roll with an empty far level");
+        self.window_start = earliest - (earliest % NEAR_SLOTS as u64);
+        self.cursor = earliest;
+        match self.window_end() {
+            Some(end) => {
+                let beyond = self.far.split_off(&end);
+                let within = std::mem::replace(&mut self.far, beyond);
+                for (t, bucket) in within {
+                    let slot = (t % NEAR_SLOTS as u64) as usize;
+                    self.slots[slot].extend(bucket);
+                    self.mark(slot);
+                }
+            }
+            None => {
+                // The window touches the horizon: everything left fits.
+                for (t, bucket) in std::mem::take(&mut self.far) {
+                    let slot = (t % NEAR_SLOTS as u64) as usize;
+                    self.slots[slot].extend(bucket);
+                    self.mark(slot);
+                }
+            }
+        }
+    }
+
+    /// Advances the cursor to the next non-empty instant. Requires
+    /// `len > 0`. Returns the slot holding it.
+    fn seek(&mut self) -> usize {
+        debug_assert!(self.len > 0);
+        // The cursor may lag arbitrarily (pops drain slots lazily), so scan
+        // the ring from it; if the rest of the window is empty, the
+        // remaining events are all far.
+        let from = (self.cursor % NEAR_SLOTS as u64) as usize;
+        // A slot below `from` can only belong to a *later* window lap; the
+        // ring never holds two laps at once because `push` bounds near
+        // times to the current window. So scanning upward is complete.
+        if let Some(slot) = self.scan_from(from) {
+            self.cursor = self.window_start + slot as u64;
+            return slot;
+        }
+        self.roll();
+        (self.cursor % NEAR_SLOTS as u64) as usize
+    }
+
+    /// Instant of the earliest pending item.
+    ///
+    /// Non-mutating by design: a peek commits to nothing, so a caller
+    /// coordinating several wheels (e.g. [`crate::shard::ShardedWorld`])
+    /// may peek a wheel arbitrarily far ahead of the instants it will
+    /// still push into. Only [`TimerWheel::pop`] advances the cursor and
+    /// rolls windows. The min is cheap without mutation because far keys
+    /// are always `≥` the near window's end: if the ring is non-empty its
+    /// first occupied slot is the min, otherwise the first far key is.
+    pub fn peek_time(&self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        let from = (self.cursor % NEAR_SLOTS as u64) as usize;
+        if let Some(slot) = self.scan_from(from) {
+            return Some(Time(self.window_start + slot as u64));
+        }
+        self.far.keys().next().map(|&t| Time(t))
+    }
+
+    /// Removes and returns the earliest item with its instant.
+    pub fn pop(&mut self) -> Option<(Time, V)> {
+        if self.len == 0 {
+            return None;
+        }
+        let slot = self.seek();
+        let v = self.slots[slot].pop_front().expect("seek found an occupied slot");
+        if self.slots[slot].is_empty() {
+            self.unmark(slot);
+        }
+        self.len -= 1;
+        Some((Time(self.cursor), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(Time(30), 0);
+        w.push(Time(10), 1);
+        w.push(Time(100_000), 2); // far
+        w.push(Time(20), 3);
+        let order: Vec<(u64, u32)> =
+            std::iter::from_fn(|| w.pop()).map(|(t, v)| (t.ticks(), v)).collect();
+        assert_eq!(order, vec![(10, 1), (20, 3), (30, 0), (100_000, 2)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        for i in 0..100 {
+            w.push(Time(7), i);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|(_, v)| v).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_buckets_preserve_insertion_order_through_a_roll() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let far_t = Time(10 * NEAR_SLOTS as u64 + 3);
+        for i in 0..10 {
+            w.push(far_t, i);
+        }
+        w.push(Time(1), 99);
+        assert_eq!(w.pop(), Some((Time(1), 99)));
+        let popped: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|(_, v)| v).collect();
+        assert_eq!(popped, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_at_the_cursor_instant() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(Time(5), 0);
+        assert_eq!(w.pop(), Some((Time(5), 0)));
+        // Same-instant push after a pop is legal and pops next.
+        w.push(Time(5), 1);
+        w.push(Time(6), 2);
+        assert_eq!(w.pop(), Some((Time(5), 1)));
+        assert_eq!(w.pop(), Some((Time(6), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the cursor")]
+    fn pushing_into_the_past_is_rejected() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(Time(50), 0);
+        w.pop();
+        w.push(Time(49), 1);
+    }
+
+    #[test]
+    fn window_rolls_skip_empty_space() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        // Several rolls' worth of sparse far events.
+        let times = [3u64, 700, 45_000, 46_000, 9_000_000];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(Time(t), i as u32);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| w.pop()).map(|(t, _)| t.ticks()).collect();
+        assert_eq!(popped, times.to_vec());
+    }
+
+    #[test]
+    fn horizon_instants_are_reachable() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(Time::INFINITY, 1);
+        w.push(Time(u64::MAX - 1), 0);
+        assert_eq!(w.peek_time(), Some(Time(u64::MAX - 1)));
+        assert_eq!(w.pop(), Some((Time(u64::MAX - 1), 0)));
+        assert_eq!(w.pop(), Some((Time::INFINITY, 1)));
+        assert_eq!(w.pop(), None);
+    }
+
+    /// Randomized differential: the wheel must agree with a sorted-vector
+    /// reference on `(time, insertion order)` for interleaved push/pop
+    /// workloads whose delays mix near and far scales.
+    #[test]
+    fn differential_against_stable_sort_reference() {
+        let mut rng = SplitMix64::new(0xD1FF);
+        for trial in 0..20 {
+            let mut w: TimerWheel<u64> = TimerWheel::new();
+            let mut reference: Vec<(u64, u64)> = Vec::new(); // (time, id)
+            let mut now = 0u64;
+            let mut next_id = 0u64;
+            let mut popped_wheel = Vec::new();
+            let mut popped_ref = Vec::new();
+            for _ in 0..2_000 {
+                if rng.chance(3, 5) || reference.is_empty() {
+                    let delay = match rng.below(4) {
+                        0 => rng.range(1, 16),
+                        1 => rng.range(1, 2 * NEAR_SLOTS as u64),
+                        2 => rng.range(1, 50_000),
+                        _ => rng.range(1, 5_000_000),
+                    };
+                    w.push(Time(now + delay), next_id);
+                    reference.push((now + delay, next_id));
+                    next_id += 1;
+                } else {
+                    let (t, v) = w.pop().expect("reference non-empty");
+                    let min = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &(rt, _))| (rt, i))
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    let (rt, rv) = reference.remove(min);
+                    popped_wheel.push((t.ticks(), v));
+                    popped_ref.push((rt, rv));
+                    now = t.ticks();
+                }
+            }
+            while let Some((t, v)) = w.pop() {
+                popped_wheel.push((t.ticks(), v));
+            }
+            reference.sort_by_key(|&(t, id)| (t, id));
+            popped_ref.extend(reference);
+            assert_eq!(popped_wheel, popped_ref, "trial {trial} diverged");
+        }
+    }
+}

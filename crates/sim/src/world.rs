@@ -12,7 +12,7 @@
 //! model, where a faulty process "ceases execution without warning" — a
 //! process that crashes at the initial instant never executed at all.
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, QueueBackend};
 use crate::fault::CrashPlan;
 use crate::id::ProcessId;
 use crate::metrics::SimMetrics;
@@ -70,6 +70,10 @@ pub struct WorldConfig {
     /// on the wire alone; batching is a throughput knob whose occupancy is
     /// measured by [`SimMetrics::envelope_occupancy`].
     pub batch_envelopes: bool,
+    /// Which data structure backs the event queue. The timer wheel is the
+    /// default; the heap is kept for differential runs (the two are
+    /// asserted pop-identical, so this knob never changes a schedule).
+    pub queue: QueueBackend,
 }
 
 impl WorldConfig {
@@ -82,6 +86,7 @@ impl WorldConfig {
             record_messages: false,
             record_observations: true,
             batch_envelopes: false,
+            queue: QueueBackend::default(),
         }
     }
 
@@ -115,6 +120,12 @@ impl WorldConfig {
         self.batch_envelopes = true;
         self
     }
+
+    /// Selects the event-queue backend (builder style).
+    pub fn queue_backend(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
 }
 
 /// A complete simulated system executing one run.
@@ -138,6 +149,11 @@ pub struct World<N: Node> {
     sends_buf: Vec<(ProcessId, N::Msg)>,
     timers_buf: Vec<(u64, TimerId)>,
     obs_buf: Vec<N::Obs>,
+    // Envelope pooling: payload vectors cycle world → event → world instead
+    // of being allocated per envelope, and the batching group list keeps its
+    // capacity across steps.
+    envelope_pool: Vec<Vec<N::Msg>>,
+    groups_buf: Vec<(ProcessId, Vec<N::Msg>)>,
     metrics: SimMetrics,
 }
 
@@ -174,7 +190,7 @@ impl<N: Node> World<N> {
             nodes,
             crashed: vec![false; n],
             now: Time::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(cfg.queue),
             delays: cfg.delays,
             rng,
             node_rngs,
@@ -185,6 +201,8 @@ impl<N: Node> World<N> {
             sends_buf: Vec::new(),
             timers_buf: Vec::new(),
             obs_buf: Vec::new(),
+            envelope_pool: Vec::new(),
+            groups_buf: Vec::new(),
             metrics: SimMetrics::new(),
         };
         for &(pid, at) in cfg.crashes.crashes() {
@@ -328,12 +346,12 @@ impl<N: Node> World<N> {
                     self.metrics.messages_dropped.inc();
                 }
             }
-            EventKind::Envelope { from, to, msgs } => {
+            EventKind::Envelope { from, to, mut msgs } => {
                 if !self.crashed[to.index()] {
                     // FIFO within the envelope: dispatch in send order, one
                     // atomic step per message (delivering k messages is
                     // equivalent to k consecutive steps in the model).
-                    for msg in msgs {
+                    for msg in msgs.drain(..) {
                         self.metrics.messages_delivered.inc();
                         if self.trace.records_messages {
                             self.trace.push(TraceEvent::Deliver {
@@ -347,7 +365,10 @@ impl<N: Node> World<N> {
                     }
                 } else {
                     self.metrics.messages_dropped.add(msgs.len() as u64);
+                    msgs.clear();
                 }
+                // Recycle the payload vector for a future envelope.
+                self.envelope_pool.push(msgs);
             }
         }
         self.metrics.queue_depth.set(self.queue.len() as u64);
@@ -454,7 +475,7 @@ impl<N: Node> World<N> {
             self.route_sends_batched(pid, &mut sends);
         } else {
             for (to, msg) in sends.drain(..) {
-                debug_assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
+                assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
                 self.metrics.messages_sent.inc();
                 self.metrics.envelopes_sent.inc();
                 if self.trace.records_messages {
@@ -467,12 +488,14 @@ impl<N: Node> World<N> {
                 }
                 let d = self.delays.sample(pid, to, self.now, &mut self.rng);
                 self.metrics.delay_ticks.record(d);
-                self.queue.push(self.now + d, EventKind::Deliver { from: pid, to, msg });
+                let at = Self::schedule_at(self.now, d, "delivery");
+                self.queue.push(at, EventKind::Deliver { from: pid, to, msg });
             }
         }
         for (delay, id) in timers.drain(..) {
             self.metrics.timers_set.inc();
-            self.queue.push(self.now + delay, EventKind::Timer { pid, id });
+            let at = Self::schedule_at(self.now, delay, "timer");
+            self.queue.push(at, EventKind::Timer { pid, id });
         }
         self.metrics.queue_depth.set(self.queue.len() as u64);
         // Return the (now empty) buffers for reuse.
@@ -481,31 +504,50 @@ impl<N: Node> World<N> {
         self.obs_buf = obs;
     }
 
+    /// Resolves the absolute instant of an effect scheduled `delay` ticks
+    /// from `now`, treating clock-horizon overflow as a hard error: a
+    /// saturated instant would park the event at [`Time::INFINITY`] forever
+    /// and livelock `run_until(Time::INFINITY)` (see [`Time::checked_add`]).
+    #[inline]
+    fn schedule_at(now: Time, delay: u64, what: &str) -> Time {
+        match now.checked_add(delay) {
+            Some(at) => at,
+            None => panic!("{what} scheduled past the clock horizon (t{now} + {delay} ticks)"),
+        }
+    }
+
     /// Envelope batching: coalesce this step's sends by destination —
     /// first-occurrence destination order, send order within a destination
     /// (FIFO inside the envelope) — and give each envelope one delay draw.
     /// The destination count per step is small, so the grouping is a linear
-    /// scan, not a map.
+    /// scan, not a map. Payload vectors come from the envelope pool and
+    /// return to it when the envelope is dispatched.
     fn route_sends_batched(&mut self, pid: ProcessId, sends: &mut Vec<(ProcessId, N::Msg)>) {
-        let mut groups: Vec<(ProcessId, Vec<N::Msg>)> = Vec::new();
+        let mut groups = std::mem::take(&mut self.groups_buf);
         for (to, msg) in sends.drain(..) {
-            debug_assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
+            assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
             self.metrics.messages_sent.inc();
             if self.trace.records_messages {
                 self.trace.push(TraceEvent::Send { at: self.now, from: pid, to, msg: msg.clone() });
             }
             match groups.iter_mut().find(|(t, _)| *t == to) {
                 Some((_, msgs)) => msgs.push(msg),
-                None => groups.push((to, vec![msg])),
+                None => {
+                    let mut msgs = self.envelope_pool.pop().unwrap_or_default();
+                    msgs.push(msg);
+                    groups.push((to, msgs));
+                }
             }
         }
-        for (to, msgs) in groups {
+        for (to, msgs) in groups.drain(..) {
             self.metrics.envelopes_sent.inc();
             self.metrics.envelope_occupancy.record(msgs.len() as u64);
             let d = self.delays.sample(pid, to, self.now, &mut self.rng);
             self.metrics.delay_ticks.record(d);
-            self.queue.push(self.now + d, EventKind::Envelope { from: pid, to, msgs });
+            let at = Self::schedule_at(self.now, d, "envelope");
+            self.queue.push(at, EventKind::Envelope { from: pid, to, msgs });
         }
+        self.groups_buf = groups;
     }
 }
 
@@ -847,5 +889,100 @@ mod tests {
         while w.step() {}
         // Fires at t=5 and t=10; crash at t=12 silences the rest.
         assert_eq!(w.node(ProcessId(0)).fired, 2);
+    }
+
+    /// A node that jumps to the clock horizon and keeps re-arming there —
+    /// the shape that used to livelock `run_until(Time::INFINITY)`.
+    #[derive(Debug)]
+    struct HorizonNode;
+
+    impl Node for HorizonNode {
+        type Msg = ();
+        type Obs = ();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, (), ()>) {
+            // t=0 + u64::MAX lands exactly on Time::INFINITY — legal.
+            ctx.set_timer(u64::MAX, TimerId(0));
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_, (), ()>, _from: ProcessId, _msg: ()) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, (), ()>, _id: TimerId) {
+            // Re-arming at the horizon used to *saturate* back to
+            // Time::INFINITY, so this timer fired again and again at the
+            // same instant and the run never terminated.
+            ctx.set_timer(1, TimerId(0));
+        }
+    }
+
+    /// Regression (ISSUE 7): `Time`'s saturating `Add` silently pinned
+    /// past-horizon events at `Time::INFINITY`, so a node re-arming a timer
+    /// there livelocked `run_until(Time::INFINITY)` — the queue never
+    /// drained and time never advanced. Past-horizon scheduling is now a
+    /// hard error instead of an infinite loop.
+    #[test]
+    #[should_panic(expected = "timer scheduled past the clock horizon")]
+    fn rearming_at_the_horizon_is_a_hard_error_not_a_livelock() {
+        let mut w = World::new(vec![HorizonNode], WorldConfig::new(1));
+        w.run_until(Time::INFINITY);
+    }
+
+    /// A node that sends one message to a process that does not exist.
+    #[derive(Debug)]
+    struct StraySender;
+
+    impl Node for StraySender {
+        type Msg = ();
+        type Obs = ();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, (), ()>) {
+            ctx.send(ProcessId(99), ());
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_, (), ()>, _from: ProcessId, _msg: ()) {}
+    }
+
+    /// Regression (ISSUE 7): unknown destinations were guarded only by
+    /// `debug_assert!`, so a release build silently enqueued the delivery
+    /// and corrupted routing state downstream. The guard is now an
+    /// `assert!` in every build profile and both routing paths — CI runs
+    /// this test under `--release` to pin the release-mode behavior.
+    #[test]
+    #[should_panic(expected = "send to unknown process p99")]
+    fn sending_to_an_unknown_process_panics_unbatched() {
+        World::new(vec![StraySender], WorldConfig::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "send to unknown process p99")]
+    fn sending_to_an_unknown_process_panics_batched() {
+        World::new(vec![StraySender], WorldConfig::new(1).batch_envelopes());
+    }
+
+    /// Tentpole differential: the timer wheel and the binary heap must
+    /// produce byte-identical runs — same final clock, same trace, same
+    /// metrics — across delay models, batching, and crashes.
+    #[test]
+    fn wheel_and_heap_worlds_are_byte_identical() {
+        let delay_models: [fn() -> DelayModel; 3] =
+            [DelayModel::default_async, DelayModel::harsh, || DelayModel::Fixed(3)];
+        let run = |backend: QueueBackend, delays: fn() -> DelayModel, batch: bool| {
+            let cfg = WorldConfig::new(41)
+                .delays(delays())
+                .crashes(CrashPlan::one(ProcessId(2), Time(60)))
+                .record_messages()
+                .queue_backend(backend);
+            let cfg = if batch { cfg.batch_envelopes() } else { cfg };
+            let mut w = World::new(ring(5, 200), cfg);
+            while w.step() {}
+            (w.now(), w.metrics_map(), format!("{:?}", w.trace().events()))
+        };
+        for batch in [false, true] {
+            for delays in delay_models {
+                let wheel = run(QueueBackend::Wheel, delays, batch);
+                let heap = run(QueueBackend::Heap, delays, batch);
+                assert_eq!(wheel, heap, "backend divergence (batch={batch})");
+            }
+        }
     }
 }
