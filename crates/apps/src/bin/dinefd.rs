@@ -54,14 +54,22 @@
 //! asserts internal invariants (routing, horizon saturation, cross-shard
 //! merge order) and aborts loudly if any fail. With `--shards K` the run
 //! uses the sharded-world family (shard-count invariant for fixed seed);
-//! `--heap` switches the event queue to the reference binary heap, which
-//! must reproduce the timer wheel byte-for-byte.
+//! `--threads T` runs the shards on the simulator's worker pool behind its
+//! deterministic barrier merge — *everything printed to stdout is
+//! byte-identical for every thread count* (per-worker busy/barrier-wait
+//! wall-clock, which is inherently nondeterministic, goes to stderr), so
+//! `diff <(dinefd extract --shards 4 --threads 4) <(dinefd extract
+//! --shards 4 --threads 1)` is a direct determinism check; `--heap`
+//! switches the event queue to the reference binary heap, which must
+//! reproduce the timer wheel byte-for-byte.
 //!
 //! ```text
 //! --n N                     system size             (default 8, min 2)
 //! --seed N                  run seed                (default 42)
 //! --horizon N               ticks to simulate       (default 5000)
 //! --shards K                sharded world, K shards (default 0 = classic)
+//! --threads T               worker threads for sharded runs (default 1;
+//!                           needs --shards >= 2 to engage)
 //! --crash PID@TICK          crash PID at TICK (repeatable)
 //! --streaming               extract through the streaming sink
 //! --batch                   coalesce same-instant sends into envelopes
@@ -89,7 +97,7 @@ fn usage(err: &str) -> ExitCode {
          [--max-steps N] [--corpus-seeds N] [--time-budget-secs N] \
          [--strict] [--no-crash] [--subject-mutation NAME] [--model-mutation NAME]\n\
          \x20      dinefd extract [--n N] [--seed N] [--horizon N] [--shards K] \
-         [--crash PID@TICK] [--streaming] [--batch] [--heap] [--strict]"
+         [--threads T] [--crash PID@TICK] [--streaming] [--batch] [--heap] [--strict]"
     );
     ExitCode::from(64)
 }
@@ -222,6 +230,7 @@ fn extract(args: &[String]) -> ExitCode {
     let mut seed: u64 = 42;
     let mut horizon: u64 = 5_000;
     let mut shards: usize = 0;
+    let mut threads: usize = 1;
     let mut crashes = CrashPlan::none();
     let mut streaming = false;
     let mut batch = false;
@@ -251,6 +260,11 @@ fn extract(args: &[String]) -> ExitCode {
             "--shards" => match parse_u64("--shards", it.next()) {
                 Ok(v @ 0..=256) => shards = v as usize,
                 Ok(v) => return usage(&format!("--shards {v} out of range [0, 256]")),
+                Err(e) => return usage(&e),
+            },
+            "--threads" => match parse_u64("--threads", it.next()) {
+                Ok(v @ 1..=64) => threads = v as usize,
+                Ok(v) => return usage(&format!("--threads {v} out of range [1, 64]")),
                 Err(e) => return usage(&e),
             },
             "--crash" => {
@@ -284,6 +298,10 @@ fn extract(args: &[String]) -> ExitCode {
     sc.shards = shards;
     sc.queue = queue;
     sc.strict_seq = strict;
+    sc.threads = threads;
+    if threads > 1 && shards < 2 {
+        return usage("--threads needs --shards >= 2 (the classic world is single-threaded)");
+    }
     let res = run_extraction(sc);
 
     println!(
@@ -301,6 +319,16 @@ fn extract(args: &[String]) -> ExitCode {
     );
     for (k, v) in &res.metrics {
         println!("{k} = {v}");
+    }
+    // Wall-clock per-worker accounting is nondeterministic by nature, so it
+    // goes to stderr: stdout stays byte-identical across thread counts.
+    for (w, stats) in res.worker_stats.iter().enumerate() {
+        eprintln!(
+            "worker {w}: {} instants, busy {}us, barrier-wait {}us",
+            stats.instants.get(),
+            stats.busy_micros.sum(),
+            stats.barrier_wait_micros.sum(),
+        );
     }
     ExitCode::SUCCESS
 }

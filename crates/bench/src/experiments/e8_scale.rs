@@ -30,6 +30,17 @@ fn frontier_sizes() -> &'static [(usize, u64)] {
     }
 }
 
+/// The parallel frontier: the subset of [`frontier_sizes`] each thread
+/// count re-runs. Dropping the smallest release row keeps the sweep's
+/// wall-clock sane (4 thread counts × every row).
+fn par_frontier_sizes() -> &'static [(usize, u64)] {
+    if cfg!(debug_assertions) {
+        &[(8, 256), (16, 128)]
+    } else {
+        &[(256, 256), (512, 128), (1024, 64)]
+    }
+}
+
 /// Runs E8 and returns the report.
 pub fn run(cfg: &ExperimentConfig) -> Report {
     let sizes: &[usize] =
@@ -37,6 +48,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     let mut metrics = MetricMap::new();
     let table = scale_table(cfg, sizes, STREAM_FROM, &mut metrics);
     let sharded = frontier_table(frontier_sizes(), 4, &mut metrics);
+    let parallel = parallel_frontier(par_frontier_sizes(), 4, &mut metrics);
     let explorer = explorer_scaling(cfg, &mut metrics);
     let frontier = depth_frontier(cfg, &mut metrics);
 
@@ -55,10 +67,12 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                    worlds (timer-wheel queues, pid-partitioned nodes) and \
                    differentially re-runs every row post-hoc: the streaming \
                    history must match the trace-derived one byte for byte. \
-                   The third table sweeps the lemma explorer's work-stealing \
-                   engine over thread counts on a fixed state space."
+                   The parallel-frontier table re-runs the sharded worlds on \
+                   the shard-worker pool across thread counts; the fourth table \
+                   sweeps the lemma explorer's work-stealing engine over thread \
+                   counts on a fixed state space."
             .into(),
-        tables: vec![table, sharded, explorer, frontier],
+        tables: vec![table, sharded, parallel, explorer, frontier],
         notes: vec![
             "\"peak resident (entries)\" counts the extraction-side state the run \
              must hold: trace events for post-hoc rows, n² timelines + recorded \
@@ -73,6 +87,15 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
              pair state (SoA banks + boxed dining participants) — \
              layout-dependent, so it stays out of the deterministic metric \
              keys."
+                .into(),
+            "Parallel-frontier rows run the same sharded world on the shard-worker \
+             pool at each thread count; every parallel row is asserted \
+             byte-identical to its threads=1 reference in-process (steps, \
+             messages, metric export, extracted history) before its throughput \
+             is reported. \"barrier %\" is barrier-wait as a share of total \
+             worker wall-clock — on a single-core host expect speedup < 1x and \
+             a high barrier share; the determinism columns are the part that \
+             must hold everywhere."
                 .into(),
             "Explorer speedup is relative to the serial (threads=1) mean and is \
              bounded by the machine's core count — on a single-core host extra \
@@ -299,6 +322,67 @@ fn frontier_table(sizes: &[(usize, u64)], shards: usize, metrics: &mut MetricMap
     table
 }
 
+/// Thread-scaling sweep of the parallel shard workers: the same sharded
+/// extraction at each thread count, byte-identical results asserted
+/// in-process, throughput/speedup/barrier-overhead per row. Deterministic
+/// keys land once per size; per-thread throughput is wall-clock only.
+fn parallel_frontier(sizes: &[(usize, u64)], shards: usize, metrics: &mut MetricMap) -> Table {
+    let mut table = Table::new(
+        "Parallel shard-worker frontier (4-way sharded worlds, thread-scaling)",
+        &["n", "threads", "steps", "ksteps/s", "speedup", "barrier %", "identical"],
+    );
+    for &(n, horizon) in sizes {
+        let run = |threads: usize| {
+            let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 8_000);
+            sc.oracle = OracleSpec::DiamondP {
+                lag: 20,
+                convergence: Time(horizon / 2),
+                max_mistakes: 1,
+                max_len: 16,
+            };
+            sc.horizon = Time(horizon);
+            sc.crashes = CrashPlan::one(ProcessId::from_index(n - 1), Time(horizon / 2));
+            sc.streaming = true;
+            sc.batch_envelopes = true;
+            sc.shards = shards;
+            sc.threads = threads;
+            run_extraction(sc)
+        };
+        let reference = run(1);
+        metrics.insert(format!("par.n{n}.sim_steps_total"), reference.steps);
+        metrics.insert(format!("par.n{n}.messages_sent_total"), reference.messages_sent);
+        let ref_secs = reference.profiler.report().phase_secs("simulate");
+        for threads in [1usize, 2, 4, 8] {
+            let res = if threads == 1 { &reference } else { &run(threads) };
+            let identical = res.steps == reference.steps
+                && res.messages_sent == reference.messages_sent
+                && res.metrics == reference.metrics
+                && format!("{:?}", res.history) == format!("{:?}", reference.history);
+            assert!(identical, "n={n} threads={threads}: parallel run diverged from sequential");
+            metrics.insert(format!("par.t{threads}.n{n}.identical"), identical as u64);
+            let sim_secs = res.profiler.report().phase_secs("simulate");
+            let (busy, wait) = res.worker_stats.iter().fold((0u64, 0u64), |(b, w), s| {
+                (b + s.busy_micros.sum(), w + s.barrier_wait_micros.sum())
+            });
+            let barrier_pct = if busy + wait > 0 {
+                format!("{:.0}%", 100.0 * wait as f64 / (busy + wait) as f64)
+            } else {
+                "-".into()
+            };
+            table.row(vec![
+                n.to_string(),
+                threads.to_string(),
+                res.steps.to_string(),
+                format!("{:.0}", res.steps as f64 / sim_secs / 1_000.0),
+                format!("{:.2}x", ref_secs / sim_secs),
+                barrier_pct,
+                if identical { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    table
+}
+
 /// Thread-scaling sweep of the parallel lemma explorer: same state space,
 /// increasing worker counts, verdicts cross-checked against serial. The
 /// seed-deterministic exploration counters land in `metrics`.
@@ -436,6 +520,24 @@ mod tests {
             m_stream["n8.peak_resident_entries_max"],
             64 + m_stream["n8.history_changes_total"]
         );
+    }
+
+    #[test]
+    fn e8_parallel_frontier_is_identical_at_every_thread_count() {
+        // Same machinery as the release-profile parallel frontier, at sizes
+        // a debug test can afford. Every row asserts in-process that the
+        // parallel run reproduces the sequential one byte for byte; here we
+        // also pin the exported keyspace and the table shape.
+        let mut metrics = MetricMap::new();
+        let table = parallel_frontier(&[(8, 256)], 2, &mut metrics);
+        assert_eq!(table.rows.len(), 4, "one row per thread count");
+        for row in &table.rows {
+            assert_eq!(row[6], "yes", "identical column: {row:?}");
+        }
+        assert!(metrics["par.n8.sim_steps_total"] > 0);
+        for t in [1u64, 2, 4, 8] {
+            assert_eq!(metrics[&format!("par.t{t}.n8.identical")], 1);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod experiments;
 pub mod perfdump;
 pub mod table;
 
-use crossbeam::thread;
+use dinefd_sim::pool::{self, WorkerFn};
 
 /// Knobs shared by all experiments.
 #[derive(Clone, Copy, Debug)]
@@ -54,14 +54,14 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(items.len());
+    let workers = pool::recommended_workers(items.len());
     let results: Vec<std::sync::Mutex<Option<T>>> =
         items.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let work: std::sync::Mutex<std::vec::IntoIter<(usize, I::Item)>> =
         std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
-    thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
+    let tasks: Vec<WorkerFn<'_, ()>> = (0..workers)
+        .map(|_| {
+            Box::new(|| loop {
                 let next = work.lock().expect("work queue").next();
                 match next {
                     Some((i, item)) => {
@@ -70,10 +70,10 @@ where
                     }
                     None => break,
                 }
-            });
-        }
-    })
-    .expect("worker panicked");
+            }) as WorkerFn<'_, ()>
+        })
+        .collect();
+    pool::run_each(tasks);
     results
         .into_iter()
         .map(|m| m.into_inner().expect("poisoned").expect("missing result"))

@@ -99,11 +99,29 @@ fn shard_sizes(_quick: bool) -> &'static [(usize, u64)] {
     }
 }
 
+/// Parallel-frontier sizes for the thread-scaling curves: `(n, horizon)`.
+/// A subset of [`shard_sizes`] — each row runs once per thread count, so
+/// the smallest release row is dropped to keep the dump's wall-clock sane.
+fn par_sizes(_quick: bool) -> &'static [(usize, u64)] {
+    if cfg!(debug_assertions) {
+        &[(8, 256), (12, 128)]
+    } else {
+        &[(256, 256), (512, 128), (1024, 64)]
+    }
+}
+
+/// Thread counts swept by the parallel frontier.
+const PAR_THREADS: [usize; 4] = [1, 2, 4, 8];
+
 /// Fixed-seed simulator benchmark: all-ordered-pairs ◇P extraction at a
 /// few system sizes, full metric export per size, simulate/extract phase
 /// split in `wall`; plus the sharded scale frontier (streaming pipeline on
 /// 4-way sharded worlds up to n = 1024) with states/sec curves in `wall`
-/// and layout-dependent bytes/pair curves in `nondet`.
+/// and layout-dependent bytes/pair curves in `nondet`; plus the parallel
+/// frontier (`shard.par.t{1,2,4,8}` thread-scaling curves) where every
+/// parallel row is asserted byte-identical to its sequential reference
+/// in-process before its states/sec lands in `wall` and its per-worker
+/// busy/barrier-wait micros land in `nondet`.
 pub fn sim_bench(quick: bool) -> BenchDoc {
     let mut doc = BenchDoc::new(if quick { "quick" } else { "full" });
     for &n in sim_sizes(quick) {
@@ -153,6 +171,48 @@ pub fn sim_bench(quick: bool) -> BenchDoc {
         // nondet section (meaningful, never baseline-diffed).
         doc.nondet.insert(format!("shard.n{n}.resident_bytes"), res.node_resident_bytes);
         doc.nondet.insert(format!("shard.n{n}.bytes_per_pair"), res.node_resident_bytes / pairs);
+    }
+    for &(n, horizon) in par_sizes(quick) {
+        let run = |threads: usize| {
+            let mut sc = Scenario::all_pairs(n, BlackBox::WfDx, 42);
+            sc.oracle = OracleSpec::DiamondP {
+                lag: 20,
+                convergence: Time(horizon / 2),
+                max_mistakes: 1,
+                max_len: 16,
+            };
+            sc.horizon = Time(horizon);
+            sc.crashes = CrashPlan::one(ProcessId::from_index(n - 1), Time(horizon / 2));
+            sc.streaming = true;
+            sc.batch_envelopes = true;
+            sc.shards = 4;
+            sc.threads = threads;
+            run_extraction(sc)
+        };
+        let reference = run(1);
+        // One copy of the deterministic keys per row — every thread count
+        // below is asserted equal to it, so the curves never fork.
+        doc.metrics.insert(format!("shard.par.n{n}.steps"), reference.steps);
+        doc.metrics.insert(format!("shard.par.n{n}.messages_sent"), reference.messages_sent);
+        doc.metrics.insert(format!("shard.par.n{n}.history_changes"), reference.history_changes);
+        for threads in PAR_THREADS {
+            let res = if threads == 1 { &reference } else { &run(threads) };
+            assert_eq!(
+                (res.steps, res.messages_sent, &res.metrics),
+                (reference.steps, reference.messages_sent, &reference.metrics),
+                "parallel run diverged from sequential at n={n} threads={threads}"
+            );
+            let sim_secs = res.profiler.report().phase_secs("simulate");
+            doc.wall_secs(
+                format!("shard.par.t{threads}.n{n}.states_per_sec"),
+                res.steps as f64 / sim_secs,
+            );
+            let (busy, wait) = res.worker_stats.iter().fold((0u64, 0u64), |(b, w), s| {
+                (b + s.busy_micros.sum(), w + s.barrier_wait_micros.sum())
+            });
+            doc.nondet.insert(format!("shard.par.t{threads}.n{n}.busy_micros"), busy);
+            doc.nondet.insert(format!("shard.par.t{threads}.n{n}.barrier_wait_micros"), wait);
+        }
     }
     doc
 }

@@ -12,7 +12,7 @@
 //! fair dining layer therefore consumes exactly the oracle the reduction
 //! produces — no injected detector is visible to it.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dinefd_dining::driver::Workload;
 use dinefd_dining::fair::FairWfDxDining;
@@ -83,7 +83,7 @@ impl FairOverExtractionNode {
         n: usize,
         graph: &ConflictGraph,
         black_box: BlackBox,
-        oracle: Rc<dyn FdQuery>,
+        oracle: Arc<dyn FdQuery + Send + Sync>,
         workload: Workload,
         strict_seq: bool,
     ) -> Self {
@@ -249,7 +249,8 @@ pub fn run_fair_over_extraction(
 ) -> FairnessResult {
     let n = graph.len();
     let mut rng = SplitMix64::new(seed ^ 0xFA1F);
-    let oracle: Rc<dyn FdQuery> = Rc::new(oracle.build(n, crashes.clone(), &mut rng));
+    let oracle: Arc<dyn FdQuery + Send + Sync> =
+        Arc::new(oracle.build(n, crashes.clone(), &mut rng));
     let nodes: Vec<FairOverExtractionNode> = ProcessId::all(n)
         .map(|me| {
             FairOverExtractionNode::new(
@@ -257,7 +258,7 @@ pub fn run_fair_over_extraction(
                 n,
                 graph,
                 black_box,
-                Rc::clone(&oracle),
+                Arc::clone(&oracle),
                 workload,
                 false,
             )

@@ -8,7 +8,7 @@
 //! process it watches) and many subject components (one per process watching
 //! it); a [`ReductionNode`] bundles them and routes the tagged messages.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dinefd_dining::{DinerPhase, DiningIo, DiningMsg, DiningParticipant};
 use dinefd_fd::FdQuery;
@@ -538,7 +538,7 @@ pub struct ReductionNode {
     /// `subject_by_watcher[w]` = slot in `subjects` of the pair monitored
     /// by `w`, or [`NO_COMPONENT`].
     subject_by_watcher: Vec<u32>,
-    fd: Rc<dyn FdQuery>,
+    fd: Arc<dyn FdQuery + Send + Sync>,
     tick_every: u64,
     /// Pooled effect buffers for the [`Node`] handlers (see [`Out`]).
     out_buf: Out,
@@ -568,7 +568,7 @@ impl ReductionNode {
         me: ProcessId,
         pairs: &[(ProcessId, ProcessId)],
         factory: &DiningFactory<'_>,
-        fd: Rc<dyn FdQuery>,
+        fd: Arc<dyn FdQuery + Send + Sync>,
         strict_seq: bool,
     ) -> Self {
         let watch: Vec<ProcessId> =
@@ -586,7 +586,7 @@ impl ReductionNode {
         watch: &[ProcessId],
         watched_by: &[ProcessId],
         factory: &DiningFactory<'_>,
-        fd: Rc<dyn FdQuery>,
+        fd: Arc<dyn FdQuery + Send + Sync>,
         strict_seq: bool,
     ) -> Self {
         let mut witnesses = WitnessBank::new(me);
@@ -690,7 +690,7 @@ impl ReductionNode {
     /// appending effects to a caller-pooled buffer. The caller is
     /// responsible for scheduling the recurring tick.
     pub fn handle_start_into(&mut self, now: Time, out: &mut Out) {
-        let fd = Rc::clone(&self.fd);
+        let fd = Arc::clone(&self.fd);
         for slot in 0..self.witnesses.len() {
             self.witnesses.pump(slot, now, &*fd, out);
         }
@@ -702,7 +702,7 @@ impl ReductionNode {
     /// Context-free message step, appending effects to a caller-pooled
     /// buffer.
     pub fn handle_message_into(&mut self, from: ProcessId, msg: RedMsg, now: Time, out: &mut Out) {
-        let fd = Rc::clone(&self.fd);
+        let fd = Arc::clone(&self.fd);
         match msg {
             RedMsg::Dx { watcher, subject, instance, inner } => {
                 if watcher == self.me {
@@ -729,7 +729,7 @@ impl ReductionNode {
 
     /// Context-free tick step, appending effects to a caller-pooled buffer.
     pub fn handle_tick_into(&mut self, now: Time, out: &mut Out) {
-        let fd = Rc::clone(&self.fd);
+        let fd = Arc::clone(&self.fd);
         for slot in 0..self.witnesses.len() {
             self.witnesses.on_tick(slot, now, &*fd, out);
         }
@@ -813,7 +813,7 @@ mod tests {
 
     fn node_for(me: u32, pairs: &[(ProcessId, ProcessId)]) -> ReductionNode {
         let factory = factory_for(BlackBox::WfDx);
-        ReductionNode::new(ProcessId(me), pairs, &factory, Rc::new(NoOracle(8)), false)
+        ReductionNode::new(ProcessId(me), pairs, &factory, Arc::new(NoOracle(8)), false)
     }
 
     #[test]
@@ -895,7 +895,7 @@ mod tests {
             &watch,
             &watched_by,
             &factory,
-            Rc::new(NoOracle(8)),
+            Arc::new(NoOracle(8)),
             false,
         );
         assert_eq!(a.witnesses.len(), b.witnesses.len());

@@ -5,6 +5,7 @@
 //! harness (`dinefd-bench`) all drive.
 
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dinefd_dining::abstract_dining::AbstractDining;
 use dinefd_dining::delayed::DelayedConvergenceDining;
@@ -13,10 +14,11 @@ use dinefd_dining::hygienic::HygienicDining;
 use dinefd_dining::unfair::UnfairDining;
 use dinefd_dining::wfdx::WfDxDining;
 use dinefd_dining::DiningParticipant;
+use dinefd_fd::SuspicionHistory as FdHistory;
 use dinefd_fd::{FdQuery, InjectedOracle, SuspicionHistory};
 use dinefd_sim::{
-    CrashPlan, DelayModel, MetricMap, ProcessId, Profiler, QueueBackend, ShardedWorld, SplitMix64,
-    Time, Trace, World, WorldConfig,
+    CrashPlan, DelayModel, MetricMap, ObsSink, ProcessId, Profiler, QueueBackend, ShardedWorld,
+    SplitMix64, Time, Trace, WorkerStats, World, WorldConfig,
 };
 
 use crate::detector::{suspicion_history, HistorySink, PairTimelines};
@@ -139,6 +141,13 @@ pub struct Scenario {
     /// produce byte-identical runs; the knob exists for differential
     /// assertion.
     pub queue: QueueBackend,
+    /// Worker threads for the sharded family: with `threads ≥ 2` and
+    /// `shards ≥ 2` the run executes on the simulator's shard-worker pool
+    /// behind its deterministic barrier merge (byte-identical results for
+    /// any thread count), and streaming extraction folds one
+    /// [`HistorySink`] per shard, merged deterministically at the end.
+    /// Ignored by the classic world.
+    pub threads: usize,
 }
 
 impl Scenario {
@@ -164,6 +173,7 @@ impl Scenario {
             batch_envelopes: false,
             shards: 0,
             queue: QueueBackend::default(),
+            threads: 1,
         }
     }
 
@@ -187,6 +197,7 @@ impl Scenario {
         sc.crashes = doc.sim.crash_plan();
         sc.horizon = Time(doc.sim.horizon);
         sc.strict_seq = doc.model.strict_seq;
+        sc.threads = doc.sim.threads as usize;
         sc
     }
 }
@@ -241,6 +252,10 @@ pub struct ExtractionResult {
     /// callers may time further phases (e.g. spec checking) on it before
     /// calling [`Profiler::report`].
     pub profiler: Profiler,
+    /// Per-worker busy/barrier-wait wall-clock from parallel sharded runs;
+    /// empty for classic or single-threaded runs. Wall-clock is inherently
+    /// nondeterministic — report it outside any determinism-diffed section.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl ExtractionResult {
@@ -304,10 +319,12 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
         batch_envelopes,
         shards,
         queue,
+        threads,
     } = sc;
     let pairs = if pairs.is_empty() { all_ordered_pairs(n) } else { pairs };
     let mut rng = SplitMix64::new(seed ^ 0xD1CE_F00D);
-    let oracle: Rc<dyn FdQuery> = Rc::new(oracle.build(n, crashes.clone(), &mut rng));
+    let oracle: Arc<dyn FdQuery + Send + Sync> =
+        Arc::new(oracle.build(n, crashes.clone(), &mut rng));
     let factory = factory_for(black_box);
     // Pre-group the pair list once (O(P)) instead of letting every node
     // rescan it (O(n·P) ≈ O(n³) total for all-pairs systems — ruinous at
@@ -331,7 +348,7 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
                 &watch[me.index()],
                 &watched_by[me.index()],
                 &factory,
-                Rc::clone(&oracle),
+                Arc::clone(&oracle),
                 strict_seq,
             );
             node.set_tick_every(tick_every);
@@ -339,8 +356,11 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
         })
         .collect();
     let node_resident_bytes: u64 = nodes.iter().map(|nd| nd.resident_bytes() as u64).sum();
-    let mut cfg =
-        WorldConfig::new(seed).delays(delays).crashes(crashes.clone()).queue_backend(queue);
+    let mut cfg = WorldConfig::new(seed)
+        .delays(delays)
+        .crashes(crashes.clone())
+        .queue_backend(queue)
+        .threads(threads);
     if batch_envelopes {
         cfg = cfg.batch_envelopes();
     }
@@ -349,21 +369,59 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
         // Fold observations into the history as the simulator routes them;
         // keep the trace free of observation events so the run's resident
         // footprint is O(pairs + suspicion changes), not O(run length).
-        let sink = Rc::new(std::cell::RefCell::new(HistorySink::new(n, &pairs)));
-        let handle = Rc::clone(&sink);
         let cfg = cfg.observation_events_off();
-        let (steps, messages_sent, metrics, trace) = if shards > 0 {
-            let mut world = ShardedWorld::new_with_sink(nodes, cfg, shards, Box::new(handle));
+        let (steps, messages_sent, metrics, trace, worker_stats, history) = if shards >= 2
+            && threads >= 2
+        {
+            // Parallel sharded run: one sink per shard travels with its
+            // worker thread and folds that shard's watcher rows; the
+            // merge afterwards reassembles the sequential history row
+            // for row (see `SuspicionHistory::adopt_watcher_rows`).
+            let handles: Vec<Arc<Mutex<HistorySink>>> =
+                (0..shards).map(|_| Arc::new(Mutex::new(HistorySink::new(n, &pairs)))).collect();
+            let sinks: Vec<Box<dyn ObsSink<RedObs> + Send>> = handles
+                .iter()
+                .map(|h| Box::new(Arc::clone(h)) as Box<dyn ObsSink<RedObs> + Send>)
+                .collect();
+            let mut world = ShardedWorld::try_new_with_shard_sinks(nodes, cfg, shards, sinks)
+                .unwrap_or_else(|e| panic!("{e}"));
             profiler.time("simulate", || world.run_until(horizon));
-            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+            let stats = world.worker_stats().to_vec();
+            let (steps, sent, metrics, trace) =
+                (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace());
+            let history = profiler.time("extract", || {
+                let mut merged = FdHistory::new(n, true);
+                merged.restrict_to(&pairs);
+                for (s, handle) in handles.into_iter().enumerate() {
+                    let sink = Arc::try_unwrap(handle)
+                        .expect("world dropped its sink handles")
+                        .into_inner()
+                        .expect("sink lock poisoned");
+                    merged.adopt_watcher_rows(
+                        &sink.finish(),
+                        (s..n).step_by(shards).map(ProcessId::from_index),
+                    );
+                }
+                merged
+            });
+            (steps, sent, metrics, trace, stats, history)
         } else {
-            let mut world = World::new_with_sink(nodes, cfg, Box::new(handle));
-            profiler.time("simulate", || world.run_until(horizon));
-            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+            let sink = Rc::new(std::cell::RefCell::new(HistorySink::new(n, &pairs)));
+            let handle = Rc::clone(&sink);
+            let (steps, sent, metrics, trace) = if shards > 0 {
+                let mut world = ShardedWorld::new_with_sink(nodes, cfg, shards, Box::new(handle));
+                profiler.time("simulate", || world.run_until(horizon));
+                (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+            } else {
+                let mut world = World::new_with_sink(nodes, cfg, Box::new(handle));
+                profiler.time("simulate", || world.run_until(horizon));
+                (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+            };
+            let history = profiler.time("extract", || {
+                Rc::try_unwrap(sink).expect("world dropped its sink handle").into_inner().finish()
+            });
+            (steps, sent, metrics, trace, Vec::new(), history)
         };
-        let history = profiler.time("extract", || {
-            Rc::try_unwrap(sink).expect("world dropped its sink handle").into_inner().finish()
-        });
         let history_changes = history.change_count();
         ExtractionResult {
             history,
@@ -378,16 +436,24 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
             node_resident_bytes,
             metrics,
             profiler,
+            worker_stats,
         }
     } else {
-        let (steps, messages_sent, metrics, trace) = if shards > 0 {
+        let (steps, messages_sent, metrics, trace, worker_stats) = if shards > 0 {
             let mut world = ShardedWorld::new(nodes, cfg, shards);
             profiler.time("simulate", || world.run_until(horizon));
-            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+            let stats = world.worker_stats().to_vec();
+            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace(), stats)
         } else {
             let mut world = World::new(nodes, cfg);
             profiler.time("simulate", || world.run_until(horizon));
-            (world.steps(), world.messages_sent(), world.metrics_map(), world.into_trace())
+            (
+                world.steps(),
+                world.messages_sent(),
+                world.metrics_map(),
+                world.into_trace(),
+                Vec::new(),
+            )
         };
         let history = profiler.time("extract", || suspicion_history(n, &trace, &pairs));
         let history_changes = history.change_count();
@@ -404,6 +470,7 @@ pub fn run_extraction(sc: Scenario) -> ExtractionResult {
             node_resident_bytes,
             metrics,
             profiler,
+            worker_stats,
         }
     }
 }
@@ -501,6 +568,52 @@ mod tests {
             (res.steps, res.messages_sent, format!("{:?}", res.history))
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn parallel_extraction_is_byte_identical_to_sequential() {
+        // The shard-worker pool's barrier merge must make thread count
+        // unobservable end to end: history, counters, and the exported
+        // metric map of a parallel extraction reproduce the sequential
+        // sharded run byte-for-byte — on both extraction paths, including
+        // the per-shard streaming sinks.
+        for streaming in [false, true] {
+            let run = |shards: usize, threads: usize| {
+                let mut sc = Scenario::all_pairs(4, BlackBox::WfDx, 47);
+                sc.horizon = Time(6_000);
+                sc.crashes = CrashPlan::one(ProcessId(3), Time(3_000));
+                sc.shards = shards;
+                sc.threads = threads;
+                sc.streaming = streaming;
+                let res = run_extraction(sc);
+                (res.steps, res.messages_sent, format!("{:?}", res.history), res.metrics)
+            };
+            for shards in [2, 4] {
+                let reference = run(shards, 1);
+                for threads in [2, 4] {
+                    assert_eq!(
+                        run(shards, threads),
+                        reference,
+                        "streaming={streaming} shards={shards} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_extraction_reports_worker_stats() {
+        let run = |threads: usize| {
+            let mut sc = Scenario::all_pairs(4, BlackBox::WfDx, 53);
+            sc.horizon = Time(4_000);
+            sc.shards = 4;
+            sc.threads = threads;
+            run_extraction(sc).worker_stats
+        };
+        assert!(run(1).is_empty(), "sequential runs carry no worker stats");
+        let stats = run(4);
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|w| w.instants.get() > 0));
     }
 
     #[test]

@@ -136,7 +136,12 @@ impl fmt::Debug for DiningIo<'_> {
 }
 
 /// One diner's endpoint of one dining instance — the paper's black box.
-pub trait DiningParticipant: fmt::Debug {
+///
+/// `Send` is a supertrait so that reduction hosts holding boxed
+/// participants can ride the parallel shard workers of
+/// `dinefd_sim::ShardedWorld`; participants are self-contained state
+/// machines, so the bound costs implementations nothing.
+pub trait DiningParticipant: fmt::Debug + Send {
     /// The local client became hungry.
     fn hungry(&mut self, io: &mut DiningIo<'_>);
 

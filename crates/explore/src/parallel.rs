@@ -61,7 +61,7 @@ use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use dinefd_sim::metrics::{Counter, MetricMap};
-use parking_lot::Mutex;
+use dinefd_sim::pool::{self, WorkerFn};
 
 use crate::codec::{fingerprint, StateCodec};
 use crate::por::{child_sleep, DeliveryClass};
@@ -511,14 +511,14 @@ pub(crate) fn parallel_search<M: SearchModel>(
         injector.push(root);
     }
 
-    let tallies: Mutex<Vec<Tally<M::Label>>> = Mutex::new(Vec::new());
-
-    crossbeam::thread::scope(|scope| {
-        for local in locals {
+    // Each worker move-captures its own deque and returns its tally; the
+    // shared pool joins them all and re-raises the first worker panic.
+    let workers: Vec<WorkerFn<'_, Tally<M::Label>>> = locals
+        .into_iter()
+        .map(|local| {
             let (visited, injector, stealers) = (&visited, &injector, &stealers);
             let (pending, fresh_states, truncated) = (&pending, &fresh_states, &truncated);
-            let tallies = &tallies;
-            scope.spawn(move |_| {
+            Box::new(move || {
                 let mut tally: Tally<M::Label> = Tally::new();
                 let mut buf: Vec<u8> = Vec::with_capacity(64);
                 let mut succ: Vec<(M::Label, M::State)> = Vec::new();
@@ -551,13 +551,11 @@ pub(crate) fn parallel_search<M: SearchModel>(
                         }
                     }
                 }
-                tallies.lock().push(tally);
-            });
-        }
-    })
-    .expect("explorer worker panicked");
-
-    let mut tallies = tallies.into_inner();
+                tally
+            }) as WorkerFn<'_, Tally<M::Label>>
+        })
+        .collect();
+    let mut tallies = pool::run_each(workers);
     tallies.push(seed_tally);
     let states_visited = visited.len();
     let duration_secs = started.elapsed().as_secs_f64();

@@ -197,6 +197,30 @@ impl SuspicionHistory {
         self.timelines[watcher.index() * self.n + subject.index()].set(at, suspected);
     }
 
+    /// Adopts the full timeline rows of the given watchers from `other`,
+    /// replacing this history's rows wholesale (monitored flags are left
+    /// untouched — they describe the query restriction, not the data).
+    ///
+    /// This is the deterministic merge for *partitioned* folds: when each
+    /// partition has recorded exactly its own watchers' outputs (e.g. one
+    /// `HistorySink` per simulation shard, where a watcher's observations
+    /// all surface on its own shard), adopting each partition's watcher
+    /// rows reassembles the sequential history row for row — rows a
+    /// partition never recorded are still at their initial state on both
+    /// sides, so wholesale replacement is exact.
+    pub fn adopt_watcher_rows(
+        &mut self,
+        other: &SuspicionHistory,
+        watchers: impl IntoIterator<Item = ProcessId>,
+    ) {
+        assert_eq!(self.n, other.n, "histories must agree on system size");
+        for w in watchers {
+            let base = w.index() * self.n;
+            self.timelines[base..base + self.n]
+                .clone_from_slice(&other.timelines[base..base + self.n]);
+        }
+    }
+
     /// System size.
     pub fn len(&self) -> usize {
         self.n

@@ -72,13 +72,13 @@ fn model_section() -> BoxedStrategy<ModelSection> {
 
 fn sim_section() -> BoxedStrategy<SimSection> {
     (
-        2u32..8,
+        (2u32..8, 1u32..9),
         any::<u64>(),
         1u64..100_000,
         delay_spec(),
         proptest::collection::vec(0u64..9_999, 0..4),
     )
-        .prop_map(|(n, seed, horizon, delay, crash_ticks)| {
+        .prop_map(|((n, threads), seed, horizon, delay, crash_ticks)| {
             // Distinct pids below n: pid i crashes at crash_ticks[i].
             let crashes = crash_ticks
                 .into_iter()
@@ -89,7 +89,7 @@ fn sim_section() -> BoxedStrategy<SimSection> {
                     move |&(pid, _)| seen.insert(pid)
                 })
                 .collect();
-            SimSection { n, seed, horizon, delay, crashes }
+            SimSection { n, seed, horizon, delay, crashes, threads }
         })
         .boxed()
 }

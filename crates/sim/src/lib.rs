@@ -68,6 +68,7 @@ pub mod id;
 pub mod metrics;
 pub mod net;
 pub mod node;
+pub mod pool;
 pub mod props;
 pub mod rng;
 pub mod scenario_dsl;
@@ -81,13 +82,15 @@ pub mod world;
 pub use event::QueueBackend;
 pub use fault::CrashPlan;
 pub use id::ProcessId;
-pub use metrics::{Counter, Gauge, Histogram, MetricMap, Profiler, RunProfile, SimMetrics};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricMap, Profiler, RunProfile, SimMetrics, WorkerStats,
+};
 pub use net::{Adversary, DelayModel};
 pub use node::{Context, Node, TimerId};
 pub use props::{stabilization_time, BoolTimeline};
 pub use rng::SplitMix64;
 pub use scenario_dsl::{Scenario as ScenarioDoc, ScenarioError};
-pub use shard::ShardedWorld;
+pub use shard::{ShardBuildError, ShardedWorld};
 pub use stats::Summary;
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};

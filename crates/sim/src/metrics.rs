@@ -333,6 +333,62 @@ impl SimMetrics {
     }
 }
 
+/// Wall-clock accounting of one parallel shard worker: how long it spent
+/// executing shard instants (`busy`) versus blocked at the per-instant
+/// barrier waiting for the coordinator (`barrier_wait`), one sample per
+/// instant, in microseconds.
+///
+/// **Wall-clock, never deterministic** — this type is deliberately *not*
+/// part of [`SimMetrics`] (whose export is byte-diffed across reruns by the
+/// perf-smoke gate). It feeds the `wall`/`nondet` sections of the
+/// `BENCH_*.json` documents via [`WorkerStats::export`], which is where the
+/// barrier-overhead columns of the E8 parallel-frontier table come from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Microseconds spent executing shard instants, one sample per instant.
+    pub busy_micros: Histogram,
+    /// Microseconds spent blocked at the instant barrier, one sample per
+    /// wait.
+    pub barrier_wait_micros: Histogram,
+    /// Shard-instants this worker executed.
+    pub instants: Counter,
+}
+
+impl WorkerStats {
+    /// A zeroed stat set.
+    pub fn new() -> Self {
+        WorkerStats::default()
+    }
+
+    /// Merges another worker's samples into this set (exact).
+    pub fn absorb(&mut self, other: &WorkerStats) {
+        self.busy_micros.absorb(&other.busy_micros);
+        self.barrier_wait_micros.absorb(&other.barrier_wait_micros);
+        self.instants.add(other.instants.get());
+    }
+
+    /// Fraction of accounted wall-clock spent at the barrier, in `[0, 1]`
+    /// (0 when no time was accounted).
+    pub fn barrier_overhead(&self) -> f64 {
+        let busy = self.busy_micros.sum() as f64;
+        let wait = self.barrier_wait_micros.sum() as f64;
+        if busy + wait == 0.0 {
+            0.0
+        } else {
+            wait / (busy + wait)
+        }
+    }
+
+    /// Flattens into `prefix.busy_micros.*`, `prefix.barrier_wait_micros.*`
+    /// and `prefix.instants` — destined for a `nondet` section, never for a
+    /// determinism-diffed metric map.
+    pub fn export(&self, prefix: &str, out: &mut MetricMap) {
+        self.busy_micros.export(&format!("{prefix}.busy_micros"), out);
+        self.barrier_wait_micros.export(&format!("{prefix}.barrier_wait_micros"), out);
+        out.insert(format!("{prefix}.instants"), self.instants.get());
+    }
+}
+
 /// Wall-clock phase profiler for one experiment run.
 ///
 /// Phases are timed with [`Profiler::time`]; [`Profiler::report`] closes

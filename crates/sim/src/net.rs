@@ -25,7 +25,12 @@ use crate::time::Time;
 /// Implementations can starve particular channels for long finite prefixes,
 /// reorder aggressively, or correlate delays across channels — anything goes
 /// as long as the returned delay is finite, which the trait cannot violate.
-pub trait Adversary: std::fmt::Debug {
+///
+/// `Send` is a supertrait so that a [`DelayModel`] (which may box an
+/// adversary) can move into the shard-worker threads of
+/// [`crate::shard::ShardedWorld`]; adversaries are plain state machines, so
+/// this costs implementations nothing.
+pub trait Adversary: std::fmt::Debug + Send {
     /// Delay, in ticks, for a message sent `from → to` at time `now`.
     fn delay(&mut self, from: ProcessId, to: ProcessId, now: Time, rng: &mut SplitMix64) -> u64;
 }

@@ -320,6 +320,9 @@ pub struct SimSection {
     pub delay: DelaySpec,
     /// Crash schedule: `(process, tick)` pairs, one `crash =` line each.
     pub crashes: Vec<(u32, u64)>,
+    /// Worker threads for sharded runs (`1` = sequential; results are
+    /// byte-identical for every value thanks to the barrier merge).
+    pub threads: u32,
 }
 
 impl Default for SimSection {
@@ -330,6 +333,7 @@ impl Default for SimSection {
             horizon: 20_000,
             delay: DelaySpec::Uniform { lo: 1, hi: 16 },
             crashes: Vec::new(),
+            threads: 1,
         }
     }
 }
@@ -532,6 +536,15 @@ impl Scenario {
                 (Section::Model, other) => {
                     return err(line, format!("unknown [model] key `{other}`"));
                 }
+                (Section::Sim, "threads") => {
+                    sc.sim.threads = u32::try_from(int("threads")?).map_err(|_| ScenarioError {
+                        line,
+                        message: format!("threads {value} does not fit in 32 bits"),
+                    })?;
+                    if sc.sim.threads == 0 {
+                        return err(line, "threads must be at least 1");
+                    }
+                }
                 (Section::Sim, other) => return err(line, format!("unknown [sim] key `{other}`")),
                 (Section::Fuzz, other) => {
                     return err(line, format!("unknown [fuzz] key `{other}`"));
@@ -567,6 +580,7 @@ impl Scenario {
         out.push_str(&format!("n = {}\n", self.sim.n));
         out.push_str(&format!("seed = {}\n", self.sim.seed));
         out.push_str(&format!("horizon = {}\n", self.sim.horizon));
+        out.push_str(&format!("threads = {}\n", self.sim.threads));
         out.push_str(&format!("delay = {}\n", self.sim.delay.render()));
         for &(pid, at) in &self.sim.crashes {
             out.push_str(&format!("crash = {pid}@{at}\n"));
@@ -615,6 +629,7 @@ mod tests {
                     spike_hi: 200,
                 })),
                 crashes: vec![(5, 600), (0, 100)],
+                threads: 4,
             },
             fuzz: FuzzSection { seed: 3, iterations: 10, max_steps: 7, corpus_seeds: 0 },
         };

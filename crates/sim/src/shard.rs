@@ -1,4 +1,5 @@
-//! Sharded worlds: pair partitions with a deterministic cross-shard merge.
+//! Sharded worlds: pair partitions with a deterministic cross-shard merge,
+//! runnable sequentially or on a pool of shard-worker threads.
 //!
 //! A [`ShardedWorld`] runs the same discrete-event semantics as
 //! [`crate::world::World`] over `k` shards, each owning the processes with
@@ -19,14 +20,12 @@
 //! * `class 1` — node effects (sends, envelopes, timers); `source seq` is a
 //!   per-source-pid monotone effect counter.
 //!
-//! Each simulated instant, the coordinator pops *every* shard's events due
-//! at the minimum pending time, sorts them by canonical key, and executes
-//! them sequentially in that order. Keys are unique (per-source counters
-//! never repeat), so the order is total — and because it never mentions
-//! shards, the schedule is **independent of the shard count**: the same
-//! seed produces a byte-identical trace and metric set for any `k`. The
-//! per-instant barrier is sound because every delay and timer is at least
-//! one tick ([`crate::net::DelayModel::sample`] and
+//! Keys are unique (per-source counters never repeat), so ordering by key
+//! is a total order — and because it never mentions shards, the schedule is
+//! **independent of the shard count**: the same seed produces a
+//! byte-identical trace and metric set for any `k`. The per-instant barrier
+//! is sound because every delay and timer is at least one tick
+//! ([`crate::net::DelayModel::sample`] and
 //! [`crate::node::Context::set_timer`] both clamp), so executing an instant
 //! can only create strictly-later events.
 //!
@@ -36,9 +35,48 @@
 //! delay-RNG, so the draws a sender makes never depend on how senders are
 //! interleaved across shards.
 //!
-//! Execution is sequential today (the extraction host's `Rc`-shared oracle
-//! is not `Send`); the shard boundaries are the unit a parallel executor
-//! would fan out, with the canonical sort as its merge point.
+//! ## One engine, two drivers
+//!
+//! Every event's *state effects* are confined to the shard that executes it
+//! (a delivery steps the destination, a timer or crash its owner, and all
+//! of a step's metrics, RNG draws, and effect counters belong to that same
+//! pid), so a shard can execute its slice of an instant **locally, in local
+//! key order**, without observing any other shard. The only globally
+//! ordered artifacts — trace events and streamed observations — are not
+//! emitted inline but appended to a per-shard **emission log** tagged with
+//! the executing event's canonical key. After every instant the coordinator
+//! concatenates the shard logs (in shard order), stably sorts by key, and
+//! replays: because keys are unique per event and one event's emissions are
+//! contiguous in a single shard's log, the replay reproduces exactly the
+//! order a single global key-sorted execution would have produced.
+//!
+//! Both the sequential [`ShardedWorld::step_instant`] and the parallel
+//! runner drive this *same* engine, so parallel determinism is structural
+//! rather than a discipline over duplicated code.
+//!
+//! ## The instant-barrier protocol
+//!
+//! With [`crate::world::WorldConfig::threads`] ≥ 2 (and ≥ 2 shards),
+//! [`ShardedWorld::run_until`] moves the shard states onto a pool of
+//! scoped worker threads ([`crate::pool`]); worker `w` owns shards
+//! `s % workers == w`. Per simulated instant the coordinator:
+//!
+//! 1. computes the global minimum pending time over every shard's reported
+//!    wheel minimum *and* the not-yet-delivered cross-shard inbox entries;
+//! 2. sends each worker a step message carrying that instant plus all
+//!    pending inbox entries for its shards (whatever their delivery time —
+//!    the worker folds them into its wheels);
+//! 3. workers execute due shards concurrently — cross-shard effects go to
+//!    per-destination outboxes, emissions to the per-shard log — and reply
+//!    with logs, outboxes, and new queue minima;
+//! 4. the coordinator routes outboxes into inboxes, merges and replays the
+//!    logs exactly as in the sequential path, and updates the depth gauges.
+//!
+//! Dropping the step channels shuts the workers down; each returns its
+//! shard states (reinstalled in the world) and a [`WorkerStats`] of
+//! busy/barrier-wait wall-clock. Those stats are *deliberately not* part of
+//! [`ShardedWorld::metrics_map`], which stays byte-identical across thread
+//! counts; read them via [`ShardedWorld::worker_stats`].
 //!
 //! ## Queue-depth accounting
 //!
@@ -49,13 +87,20 @@
 //! every instant; its high water is what [`ShardedWorld::metrics_map`]
 //! exports as `queue_depth_high_water`, and it is byte-identical across
 //! shard counts. It never exceeds the summed per-shard marks — a pinned
-//! test invariant.
+//! test invariant. In parallel runs the coordinator maintains shadow
+//! gauges (a shard's depth is its wheel length plus its undelivered inbox
+//! entries — exactly its sequential wheel length) and writes them back on
+//! shutdown.
+
+use std::sync::mpsc;
+use std::time::Instant;
 
 use crate::event::EventKind;
 use crate::id::ProcessId;
-use crate::metrics::{Gauge, MetricMap, SimMetrics};
+use crate::metrics::{Gauge, MetricMap, SimMetrics, WorkerStats};
 use crate::net::DelayModel;
 use crate::node::{Context, Node, TimerId};
+use crate::pool;
 use crate::rng::SplitMix64;
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
@@ -67,40 +112,82 @@ const CLASS_CRASH: u8 = 0;
 /// Node effects (sends, envelopes, timers).
 const CLASS_EFFECT: u8 = 1;
 
-/// One pending event with its canonical merge key (minus the time, which
-/// the wheel itself keys).
+/// The canonical merge key minus the time (which the wheels key).
+type MergeKey = (u8, u32, u64);
+
+/// One pending event with its canonical merge key (minus the time).
 type Pending<M> = (u8, u32, u64, EventKind<M>);
 
-/// A shard: the event queue and metrics of one process partition.
+/// A globally ordered emission produced while executing one event: a trace
+/// record, or an observation bound for the coordinator-side sink.
 #[derive(Debug)]
-struct Shard<M> {
-    queue: TimerWheel<Pending<M>>,
-    metrics: SimMetrics,
+enum Emit<M, O> {
+    Trace(TraceEvent<M, O>),
+    Obs(ProcessId, O),
 }
 
-/// A sharded simulated world. Construction, stepping, and observation
-/// mirror [`crate::world::World`]; see the module docs for what sharding
-/// changes (and what it provably doesn't: the schedule).
-pub struct ShardedWorld<N: Node> {
+/// One emission-log entry: the executing event's key plus the emission.
+type LogEntry<M, O> = (MergeKey, Emit<M, O>);
+
+/// A cross-shard effect: destination shard, delivery instant, event.
+type OutboxEntry<M> = (usize, Time, Pending<M>);
+
+/// Cross-shard effects the coordinator holds for one destination shard.
+type Inbox<M> = Vec<(Time, Pending<M>)>;
+
+/// Why a [`ShardedWorld`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBuildError {
+    /// `shards == 0` was requested.
+    NoShards,
+    /// The configured delay model has no per-process clone
+    /// ([`DelayModel::try_clone`] returned `None` — it is
+    /// [`DelayModel::Scripted`]).
+    UncloneableDelayModel,
+}
+
+impl std::fmt::Display for ShardBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardBuildError::NoShards => f.write_str("a sharded world needs at least one shard"),
+            ShardBuildError::UncloneableDelayModel => f.write_str(
+                "sharded worlds need a cloneable delay model (Scripted is not; \
+                 use a World or a deterministic model instead)",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardBuildError {}
+
+/// One shard's complete execution state: its slice of the processes (local
+/// index `pid.index() / k`), their RNGs, delay models, and effect
+/// counters, the shard's event wheel, metrics, optional streaming sink,
+/// and scratch buffers. This is the unit a worker thread owns.
+struct ShardState<N: Node> {
+    idx: usize,
+    k: usize,
+    n_total: usize,
+    now: Time,
     nodes: Vec<N>,
     crashed: Vec<bool>,
-    now: Time,
-    shards: Vec<Shard<N::Msg>>,
-    /// Per-process delay models and RNGs (shard-count independence).
-    send_delays: Vec<DelayModel>,
-    send_rngs: Vec<SplitMix64>,
     node_rngs: Vec<SplitMix64>,
+    send_rngs: Vec<SplitMix64>,
+    send_delays: Vec<DelayModel>,
     /// Per-process monotone effect counters (the canonical-key `seq`).
     effect_seq: Vec<u64>,
-    /// Variant label of the configured delay model, for metric export.
-    delay_kind: &'static str,
-    trace: Trace<N::Msg, N::Obs>,
-    record_observations: bool,
+    queue: TimerWheel<Pending<N::Msg>>,
+    metrics: SimMetrics,
+    /// Per-shard streaming sink; sees this shard's observations in local
+    /// execution order (the sequential stream's projection onto the shard).
+    sink: Option<Box<dyn ObsSink<N::Obs> + Send>>,
+    record_messages: bool,
+    /// Whether observations must be logged for coordinator replay (trace
+    /// recording or a global sink is active).
+    log_obs: bool,
     batch_envelopes: bool,
-    obs_sink: Option<Box<dyn ObsSink<N::Obs>>>,
-    /// Instantaneous total backlog across all shards (the shard-count
-    /// invariant depth gauge; see the module docs).
-    global_depth: Gauge,
+    /// Canonical key of the event currently executing; tags log entries.
+    cur_key: MergeKey,
     // Reusable buffers, as in `World`.
     sends_buf: Vec<(ProcessId, N::Msg)>,
     timers_buf: Vec<(u64, TimerId)>,
@@ -110,11 +197,443 @@ pub struct ShardedWorld<N: Node> {
     batch_buf: Vec<Pending<N::Msg>>,
 }
 
+impl<N: Node> ShardState<N> {
+    /// Local index of an owned pid.
+    #[inline]
+    fn local(&self, pid: ProcessId) -> usize {
+        debug_assert_eq!(
+            pid.index() % self.k,
+            self.idx,
+            "{pid} does not live on shard {}",
+            self.idx
+        );
+        pid.index() / self.k
+    }
+
+    /// Executes every owned event due at instant `t`, in canonical-key
+    /// order, appending emissions to `log` and cross-shard effects to
+    /// `outbox`. The caller guarantees `t` is this shard's wheel minimum.
+    fn run_instant(
+        &mut self,
+        t: Time,
+        log: &mut Vec<LogEntry<N::Msg, N::Obs>>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        self.now = t;
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        debug_assert!(batch.is_empty());
+        while self.queue.peek_time() == Some(t) {
+            batch.push(self.queue.pop().expect("peeked event exists").1);
+        }
+        // Local slice of the deterministic merge: keys are unique, so
+        // shard-by-shard key order composes to the global key order.
+        batch.sort_by_key(|a| (a.0, a.1, a.2));
+        for (class, source, seq, kind) in batch.drain(..) {
+            self.cur_key = (class, source, seq);
+            self.execute(kind, log, outbox);
+        }
+        self.batch_buf = batch;
+    }
+
+    fn execute(
+        &mut self,
+        kind: EventKind<N::Msg>,
+        log: &mut Vec<LogEntry<N::Msg, N::Obs>>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        match kind {
+            EventKind::Crash { pid } => {
+                let l = self.local(pid);
+                if !self.crashed[l] {
+                    self.crashed[l] = true;
+                    self.metrics.crash_events.inc();
+                    log.push((self.cur_key, Emit::Trace(TraceEvent::Crash { at: self.now, pid })));
+                }
+            }
+            EventKind::Timer { pid, id } => {
+                if !self.crashed[self.local(pid)] {
+                    self.metrics.timer_fires.inc();
+                    self.dispatch_timer(pid, id, log, outbox);
+                }
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if !self.crashed[self.local(to)] {
+                    self.metrics.messages_delivered.inc();
+                    if self.record_messages {
+                        let at = self.now;
+                        log.push((
+                            self.cur_key,
+                            Emit::Trace(TraceEvent::Deliver { at, from, to, msg: msg.clone() }),
+                        ));
+                    }
+                    self.dispatch_message(to, from, msg, log, outbox);
+                } else {
+                    self.metrics.messages_dropped.inc();
+                }
+            }
+            EventKind::Envelope { from, to, mut msgs } => {
+                if !self.crashed[self.local(to)] {
+                    for msg in msgs.drain(..) {
+                        self.metrics.messages_delivered.inc();
+                        if self.record_messages {
+                            let at = self.now;
+                            log.push((
+                                self.cur_key,
+                                Emit::Trace(TraceEvent::Deliver { at, from, to, msg: msg.clone() }),
+                            ));
+                        }
+                        self.dispatch_message(to, from, msg, log, outbox);
+                    }
+                } else {
+                    self.metrics.messages_dropped.add(msgs.len() as u64);
+                    msgs.clear();
+                }
+                self.envelope_pool.push(msgs);
+            }
+        }
+    }
+
+    fn dispatch_start(
+        &mut self,
+        pid: ProcessId,
+        log: &mut Vec<LogEntry<N::Msg, N::Obs>>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        let l = self.local(pid);
+        let (sends, timers, obs) = {
+            let mut ctx = Context {
+                me: pid,
+                now: self.now,
+                sends: &mut self.sends_buf,
+                timers: &mut self.timers_buf,
+                observations: &mut self.obs_buf,
+                rng: &mut self.node_rngs[l],
+            };
+            self.nodes[l].on_start(&mut ctx);
+            (
+                std::mem::take(&mut self.sends_buf),
+                std::mem::take(&mut self.timers_buf),
+                std::mem::take(&mut self.obs_buf),
+            )
+        };
+        self.route_effects(pid, sends, timers, obs, log, outbox);
+    }
+
+    fn dispatch_message(
+        &mut self,
+        pid: ProcessId,
+        from: ProcessId,
+        msg: N::Msg,
+        log: &mut Vec<LogEntry<N::Msg, N::Obs>>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        let l = self.local(pid);
+        let (sends, timers, obs) = {
+            let mut ctx = Context {
+                me: pid,
+                now: self.now,
+                sends: &mut self.sends_buf,
+                timers: &mut self.timers_buf,
+                observations: &mut self.obs_buf,
+                rng: &mut self.node_rngs[l],
+            };
+            self.nodes[l].on_message(&mut ctx, from, msg);
+            (
+                std::mem::take(&mut self.sends_buf),
+                std::mem::take(&mut self.timers_buf),
+                std::mem::take(&mut self.obs_buf),
+            )
+        };
+        self.route_effects(pid, sends, timers, obs, log, outbox);
+    }
+
+    fn dispatch_timer(
+        &mut self,
+        pid: ProcessId,
+        id: TimerId,
+        log: &mut Vec<LogEntry<N::Msg, N::Obs>>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        let l = self.local(pid);
+        let (sends, timers, obs) = {
+            let mut ctx = Context {
+                me: pid,
+                now: self.now,
+                sends: &mut self.sends_buf,
+                timers: &mut self.timers_buf,
+                observations: &mut self.obs_buf,
+                rng: &mut self.node_rngs[l],
+            };
+            self.nodes[l].on_timer(&mut ctx, id);
+            (
+                std::mem::take(&mut self.sends_buf),
+                std::mem::take(&mut self.timers_buf),
+                std::mem::take(&mut self.obs_buf),
+            )
+        };
+        self.route_effects(pid, sends, timers, obs, log, outbox);
+    }
+
+    /// Next canonical-key sequence number for effects of local process `l`.
+    #[inline]
+    fn next_effect_seq(&mut self, l: usize) -> u64 {
+        let seq = self.effect_seq[l];
+        self.effect_seq[l] = seq + 1;
+        seq
+    }
+
+    /// Resolves an effect's absolute instant; overflow past the clock
+    /// horizon is a hard error (see `World::schedule_at`).
+    #[inline]
+    fn schedule_at(now: Time, delay: u64, what: &str) -> Time {
+        match now.checked_add(delay) {
+            Some(at) => at,
+            None => panic!("{what} scheduled past the clock horizon (t{now} + {delay} ticks)"),
+        }
+    }
+
+    /// Routes a stamped effect to its destination: the own wheel when the
+    /// destination pid lives here, the outbox otherwise.
+    #[inline]
+    fn push_effect(
+        &mut self,
+        to: ProcessId,
+        at: Time,
+        pending: Pending<N::Msg>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        let dest = to.index() % self.k;
+        if dest == self.idx {
+            self.queue.push(at, pending);
+        } else {
+            outbox.push((dest, at, pending));
+        }
+    }
+
+    fn route_effects(
+        &mut self,
+        pid: ProcessId,
+        mut sends: Vec<(ProcessId, N::Msg)>,
+        mut timers: Vec<(u64, TimerId)>,
+        mut obs: Vec<N::Obs>,
+        log: &mut Vec<LogEntry<N::Msg, N::Obs>>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        let l = self.local(pid);
+        self.metrics.steps.inc();
+        for o in obs.drain(..) {
+            self.metrics.observations.inc();
+            if let Some(sink) = self.sink.as_mut() {
+                sink.on_obs(self.now, pid, &o);
+            }
+            if self.log_obs {
+                log.push((self.cur_key, Emit::Obs(pid, o)));
+            }
+        }
+        if self.batch_envelopes {
+            self.route_sends_batched(pid, &mut sends, log, outbox);
+        } else {
+            for (to, msg) in sends.drain(..) {
+                assert!(to.index() < self.n_total, "send to unknown process {to}");
+                if self.record_messages {
+                    let at = self.now;
+                    log.push((
+                        self.cur_key,
+                        Emit::Trace(TraceEvent::Send { at, from: pid, to, msg: msg.clone() }),
+                    ));
+                }
+                let d = self.send_delays[l].sample(pid, to, self.now, &mut self.send_rngs[l]);
+                self.metrics.messages_sent.inc();
+                self.metrics.envelopes_sent.inc();
+                self.metrics.delay_ticks.record(d);
+                let at = Self::schedule_at(self.now, d, "delivery");
+                let seq = self.next_effect_seq(l);
+                self.push_effect(
+                    to,
+                    at,
+                    (CLASS_EFFECT, pid.0, seq, EventKind::Deliver { from: pid, to, msg }),
+                    outbox,
+                );
+            }
+        }
+        for (delay, id) in timers.drain(..) {
+            self.metrics.timers_set.inc();
+            let at = Self::schedule_at(self.now, delay, "timer");
+            let seq = self.next_effect_seq(l);
+            // Timers always land on the owner shard.
+            self.queue.push(at, (CLASS_EFFECT, pid.0, seq, EventKind::Timer { pid, id }));
+        }
+        self.sends_buf = sends;
+        self.timers_buf = timers;
+        self.obs_buf = obs;
+    }
+
+    /// Envelope batching, as in `World::route_sends_batched`, with pooled
+    /// payload vectors and canonical-key stamping.
+    fn route_sends_batched(
+        &mut self,
+        pid: ProcessId,
+        sends: &mut Vec<(ProcessId, N::Msg)>,
+        log: &mut Vec<LogEntry<N::Msg, N::Obs>>,
+        outbox: &mut Vec<OutboxEntry<N::Msg>>,
+    ) {
+        let l = self.local(pid);
+        let mut groups = std::mem::take(&mut self.groups_buf);
+        for (to, msg) in sends.drain(..) {
+            assert!(to.index() < self.n_total, "send to unknown process {to}");
+            self.metrics.messages_sent.inc();
+            if self.record_messages {
+                let at = self.now;
+                log.push((
+                    self.cur_key,
+                    Emit::Trace(TraceEvent::Send { at, from: pid, to, msg: msg.clone() }),
+                ));
+            }
+            match groups.iter_mut().find(|(t, _)| *t == to) {
+                Some((_, msgs)) => msgs.push(msg),
+                None => {
+                    let mut msgs = self.envelope_pool.pop().unwrap_or_default();
+                    msgs.push(msg);
+                    groups.push((to, msgs));
+                }
+            }
+        }
+        for (to, msgs) in groups.drain(..) {
+            let d = self.send_delays[l].sample(pid, to, self.now, &mut self.send_rngs[l]);
+            self.metrics.envelopes_sent.inc();
+            self.metrics.envelope_occupancy.record(msgs.len() as u64);
+            self.metrics.delay_ticks.record(d);
+            let at = Self::schedule_at(self.now, d, "envelope");
+            let seq = self.next_effect_seq(l);
+            self.push_effect(
+                to,
+                at,
+                (CLASS_EFFECT, pid.0, seq, EventKind::Envelope { from: pid, to, msgs }),
+                outbox,
+            );
+        }
+        self.groups_buf = groups;
+    }
+}
+
+/// Replays one merged emission on the coordinator: trace events verbatim,
+/// observations through the global sink first and then (if recorded) into
+/// the trace — the exact order the sequential inline path used.
+fn replay_entry<M, O>(
+    trace: &mut Trace<M, O>,
+    obs_sink: &mut Option<Box<dyn ObsSink<O>>>,
+    record_observations: bool,
+    at: Time,
+    e: Emit<M, O>,
+) {
+    match e {
+        Emit::Trace(ev) => trace.push(ev),
+        Emit::Obs(pid, obs) => {
+            if let Some(sink) = obs_sink.as_mut() {
+                sink.on_obs(at, pid, &obs);
+            }
+            if record_observations {
+                trace.push(TraceEvent::Obs { at, pid, obs });
+            }
+        }
+    }
+}
+
+/// One instant's marching orders for a worker: the instant to execute and
+/// every pending cross-shard delivery for its shards (any delivery time).
+struct StepMsg<M> {
+    t: Time,
+    inboxes: Vec<(usize, Inbox<M>)>,
+}
+
+/// One shard's report back to the coordinator after an instant.
+struct ShardReport<M, O> {
+    shard: usize,
+    qlen: usize,
+    qmin: Option<Time>,
+    log: Vec<LogEntry<M, O>>,
+    outbox: Vec<OutboxEntry<M>>,
+}
+
+/// What a worker hands back on shutdown: the shard states it owned
+/// (slot-tagged) and its wall-clock accounting.
+type WorkerReturn<N> = (Vec<(usize, ShardState<N>)>, WorkerStats);
+
+/// The worker side of the instant barrier: fold handed-over inbox entries
+/// into the owned wheels, execute due shards, report. Exits when the step
+/// channel closes (coordinator shutdown) and returns its shard states.
+fn worker_loop<N: Node>(
+    mut owned: Vec<(usize, ShardState<N>)>,
+    step_rx: mpsc::Receiver<StepMsg<N::Msg>>,
+    done_tx: mpsc::Sender<Vec<ShardReport<N::Msg, N::Obs>>>,
+) -> WorkerReturn<N> {
+    let mut stats = WorkerStats::new();
+    loop {
+        let waiting = Instant::now();
+        let Ok(StepMsg { t, inboxes }) = step_rx.recv() else { break };
+        stats.barrier_wait_micros.record(waiting.elapsed().as_micros() as u64);
+        let busy = Instant::now();
+        for (s, entries) in inboxes {
+            let st =
+                &mut owned.iter_mut().find(|(i, _)| *i == s).expect("inbox for an owned shard").1;
+            for (at, p) in entries {
+                st.queue.push(at, p);
+            }
+        }
+        let mut reports = Vec::with_capacity(owned.len());
+        for (s, st) in owned.iter_mut() {
+            let mut log = Vec::new();
+            let mut outbox = Vec::new();
+            if st.queue.peek_time() == Some(t) {
+                st.run_instant(t, &mut log, &mut outbox);
+            }
+            reports.push(ShardReport {
+                shard: *s,
+                qlen: st.queue.len(),
+                qmin: st.queue.peek_time(),
+                log,
+                outbox,
+            });
+        }
+        stats.instants.inc();
+        stats.busy_micros.record(busy.elapsed().as_micros() as u64);
+        if done_tx.send(reports).is_err() {
+            break;
+        }
+    }
+    (owned, stats)
+}
+
+/// A sharded simulated world. Construction, stepping, and observation
+/// mirror [`crate::world::World`]; see the module docs for what sharding
+/// changes (and what it provably doesn't: the schedule).
+pub struct ShardedWorld<N: Node> {
+    shards: Vec<ShardState<N>>,
+    n: usize,
+    now: Time,
+    /// Worker threads `run_until` may use (from [`WorldConfig::threads`]).
+    threads: usize,
+    /// Variant label of the configured delay model, for metric export.
+    delay_kind: &'static str,
+    trace: Trace<N::Msg, N::Obs>,
+    record_observations: bool,
+    obs_sink: Option<Box<dyn ObsSink<N::Obs>>>,
+    /// Instantaneous total backlog across all shards (the shard-count
+    /// invariant depth gauge; see the module docs).
+    global_depth: Gauge,
+    /// Per-worker wall-clock stats from parallel runs (empty otherwise).
+    worker_stats: Vec<WorkerStats>,
+    // Reusable merge buffers for the sequential path.
+    log_buf: Vec<LogEntry<N::Msg, N::Obs>>,
+    outbox_buf: Vec<OutboxEntry<N::Msg>>,
+}
+
 impl<N: Node> std::fmt::Debug for ShardedWorld<N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedWorld")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.n)
             .field("shards", &self.shards.len())
+            .field("threads", &self.threads)
             .field("now", &self.now)
             .field("pending", &self.pending_events())
             .finish_non_exhaustive()
@@ -127,24 +646,62 @@ impl<N: Node> ShardedWorld<N> {
     ///
     /// # Panics
     ///
-    /// If `shards == 0`, or the configured delay model is
-    /// [`DelayModel::Scripted`] (sharding needs one delay-state clone per
-    /// process; a boxed adversary has none — see
-    /// [`DelayModel::try_clone`]).
+    /// On any [`ShardBuildError`]; use [`ShardedWorld::try_new`] to handle
+    /// those as values.
     pub fn new(nodes: Vec<N>, cfg: WorldConfig, shards: usize) -> Self {
-        Self::build(nodes, cfg, shards, None)
+        Self::try_new(nodes, cfg, shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ShardedWorld::new`]: rejects `shards == 0` and delay
+    /// models without a per-process clone instead of panicking.
+    pub fn try_new(
+        nodes: Vec<N>,
+        cfg: WorldConfig,
+        shards: usize,
+    ) -> Result<Self, ShardBuildError> {
+        Self::build(nodes, cfg, shards, None, None)
     }
 
     /// Builds a sharded world with a streaming [`ObsSink`] attached (the
     /// `on_start` observations stream through it, as in
     /// [`crate::world::World::new_with_sink`]).
+    ///
+    /// # Panics
+    ///
+    /// On any [`ShardBuildError`]; see [`ShardedWorld::try_new_with_sink`].
     pub fn new_with_sink(
         nodes: Vec<N>,
         cfg: WorldConfig,
         shards: usize,
         sink: Box<dyn ObsSink<N::Obs>>,
     ) -> Self {
-        Self::build(nodes, cfg, shards, Some(sink))
+        Self::try_new_with_sink(nodes, cfg, shards, sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ShardedWorld::new_with_sink`].
+    pub fn try_new_with_sink(
+        nodes: Vec<N>,
+        cfg: WorldConfig,
+        shards: usize,
+        sink: Box<dyn ObsSink<N::Obs>>,
+    ) -> Result<Self, ShardBuildError> {
+        Self::build(nodes, cfg, shards, Some(sink), None)
+    }
+
+    /// Builds a sharded world with one `Send` streaming sink *per shard*:
+    /// `sinks[s]` travels with shard `s` onto its worker thread and
+    /// receives exactly the observations of processes `pid % shards == s`,
+    /// in that shard's execution order — which is the sequential stream's
+    /// projection onto those processes. This is the parallel-extraction
+    /// hook: per-shard folds merged deterministically afterwards.
+    pub fn try_new_with_shard_sinks(
+        nodes: Vec<N>,
+        cfg: WorldConfig,
+        shards: usize,
+        sinks: Vec<Box<dyn ObsSink<N::Obs> + Send>>,
+    ) -> Result<Self, ShardBuildError> {
+        assert_eq!(sinks.len(), shards, "one shard sink per shard");
+        Self::build(nodes, cfg, shards, None, Some(sinks))
     }
 
     fn build(
@@ -152,96 +709,148 @@ impl<N: Node> ShardedWorld<N> {
         cfg: WorldConfig,
         shards: usize,
         obs_sink: Option<Box<dyn ObsSink<N::Obs>>>,
-    ) -> Self {
-        assert!(shards > 0, "a sharded world needs at least one shard");
+        shard_sinks: Option<Vec<Box<dyn ObsSink<N::Obs> + Send>>>,
+    ) -> Result<Self, ShardBuildError> {
+        if shards == 0 {
+            return Err(ShardBuildError::NoShards);
+        }
+        if cfg.delays.try_clone().is_none() {
+            return Err(ShardBuildError::UncloneableDelayModel);
+        }
         let n = nodes.len();
+        let k = shards;
         let mut rng = SplitMix64::new(cfg.seed);
         // Fork order is load-bearing: node RNGs first (matching `World`),
-        // then one delay RNG per process, all in pid order.
+        // then one delay RNG per process, all in pid order — then
+        // distributed round-robin so the streams are shard-count invariant.
         let node_rngs: Vec<SplitMix64> = (0..n).map(|_| rng.fork()).collect();
         let send_rngs: Vec<SplitMix64> = (0..n).map(|_| rng.fork()).collect();
-        let send_delays: Vec<DelayModel> = (0..n)
-            .map(|_| {
-                cfg.delays.try_clone().expect(
-                    "sharded worlds need a cloneable delay model (Scripted is not; \
-                     use a World or a deterministic model instead)",
-                )
+        let log_obs = cfg.record_observations || obs_sink.is_some();
+        let mut states: Vec<ShardState<N>> = (0..k)
+            .map(|idx| ShardState {
+                idx,
+                k,
+                n_total: n,
+                now: Time::ZERO,
+                nodes: Vec::new(),
+                crashed: Vec::new(),
+                node_rngs: Vec::new(),
+                send_rngs: Vec::new(),
+                send_delays: Vec::new(),
+                effect_seq: Vec::new(),
+                queue: TimerWheel::new(),
+                metrics: SimMetrics::new(),
+                sink: None,
+                record_messages: cfg.record_messages,
+                log_obs,
+                batch_envelopes: cfg.batch_envelopes,
+                cur_key: (CLASS_EFFECT, 0, 0),
+                sends_buf: Vec::new(),
+                timers_buf: Vec::new(),
+                obs_buf: Vec::new(),
+                envelope_pool: Vec::new(),
+                groups_buf: Vec::new(),
+                batch_buf: Vec::new(),
             })
             .collect();
+        if let Some(sinks) = shard_sinks {
+            for (st, sink) in states.iter_mut().zip(sinks) {
+                st.sink = Some(sink);
+            }
+        }
+        for (i, (node, (nr, sr))) in
+            nodes.into_iter().zip(node_rngs.into_iter().zip(send_rngs)).enumerate()
+        {
+            let st = &mut states[i % k];
+            st.nodes.push(node);
+            st.crashed.push(false);
+            st.node_rngs.push(nr);
+            st.send_rngs.push(sr);
+            st.send_delays.push(cfg.delays.try_clone().expect("cloneability checked above"));
+            st.effect_seq.push(0);
+        }
         let mut world = ShardedWorld {
-            nodes,
-            crashed: vec![false; n],
+            shards: states,
+            n,
             now: Time::ZERO,
-            shards: (0..shards)
-                .map(|_| Shard { queue: TimerWheel::new(), metrics: SimMetrics::new() })
-                .collect(),
-            send_delays,
-            send_rngs,
-            node_rngs,
-            effect_seq: vec![0; n],
+            threads: cfg.threads.max(1),
             delay_kind: cfg.delays.kind(),
             trace: Trace::new(cfg.record_messages),
             record_observations: cfg.record_observations,
-            batch_envelopes: cfg.batch_envelopes,
             obs_sink,
             global_depth: Gauge::new(),
-            sends_buf: Vec::new(),
-            timers_buf: Vec::new(),
-            obs_buf: Vec::new(),
-            envelope_pool: Vec::new(),
-            groups_buf: Vec::new(),
-            batch_buf: Vec::new(),
+            worker_stats: Vec::new(),
+            log_buf: Vec::new(),
+            outbox_buf: Vec::new(),
         };
         for (plan_idx, &(pid, at)) in cfg.crashes.crashes().iter().enumerate() {
             assert!(pid.index() < n, "crash plan names unknown process {pid}");
+            let s = pid.index() % k;
             if at == Time::ZERO {
                 // Dead from birth, exactly as in `World` (see its module
                 // docs): effective before start dispatch.
-                if !world.crashed[pid.index()] {
-                    world.crashed[pid.index()] = true;
-                    world.shard_mut(pid).metrics.crash_events.inc();
+                let l = pid.index() / k;
+                let st = &mut world.shards[s];
+                if !st.crashed[l] {
+                    st.crashed[l] = true;
+                    st.metrics.crash_events.inc();
                     world.trace.push(TraceEvent::Crash { at: Time::ZERO, pid });
                 }
             } else {
-                let shard = world.shard_of(pid);
-                world.shards[shard]
+                world.shards[s]
                     .queue
                     .push(at, (CLASS_CRASH, pid.0, plan_idx as u64, EventKind::Crash { pid }));
             }
         }
         world.update_depth_gauges();
+        // Start steps in pid order with immediate replay and outbox
+        // routing, reproducing exactly the sequential inline emissions.
+        let mut log = Vec::new();
+        let mut outbox = Vec::new();
         for i in 0..n {
-            if !world.crashed[i] {
-                world.dispatch_start(ProcessId::from_index(i));
+            let (s, l) = (i % k, i / k);
+            if world.shards[s].crashed[l] {
+                continue;
+            }
+            let pid = ProcessId::from_index(i);
+            world.shards[s].cur_key = (CLASS_EFFECT, pid.0, 0);
+            world.shards[s].dispatch_start(pid, &mut log, &mut outbox);
+            for (dest, at, p) in outbox.drain(..) {
+                world.shards[dest].queue.push(at, p);
+            }
+            for (_, e) in log.drain(..) {
+                replay_entry(
+                    &mut world.trace,
+                    &mut world.obs_sink,
+                    world.record_observations,
+                    Time::ZERO,
+                    e,
+                );
             }
         }
-        world
-    }
-
-    #[inline]
-    fn shard_of(&self, pid: ProcessId) -> usize {
-        pid.index() % self.shards.len()
-    }
-
-    #[inline]
-    fn shard_mut(&mut self, pid: ProcessId) -> &mut Shard<N::Msg> {
-        let s = self.shard_of(pid);
-        &mut self.shards[s]
+        world.log_buf = log;
+        world.outbox_buf = outbox;
+        Ok(world)
     }
 
     /// Number of processes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.n
     }
 
     /// Whether the system is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.n == 0
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Worker-thread budget for [`ShardedWorld::run_until`].
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Current global time.
@@ -261,12 +870,14 @@ impl<N: Node> ShardedWorld<N> {
 
     /// Read access to a node's state.
     pub fn node(&self, pid: ProcessId) -> &N {
-        &self.nodes[pid.index()]
+        let k = self.shards.len();
+        &self.shards[pid.index() % k].nodes[pid.index() / k]
     }
 
     /// Whether `pid` has crashed already.
     pub fn is_crashed(&self, pid: ProcessId) -> bool {
-        self.crashed[pid.index()]
+        let k = self.shards.len();
+        self.shards[pid.index() % k].crashed[pid.index() / k]
     }
 
     /// The recorded trace so far.
@@ -300,10 +911,18 @@ impl<N: Node> ShardedWorld<N> {
         &self.global_depth
     }
 
+    /// Per-worker busy/barrier-wait wall-clock from parallel runs; empty
+    /// when every run so far was sequential. Wall-clock is inherently
+    /// nondeterministic, which is why these never enter
+    /// [`ShardedWorld::metrics_map`].
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.worker_stats
+    }
+
     /// Merged metric export. Counters and histograms are exact sums over
     /// shards; `queue_depth_high_water` / `queue_depth_final` come from
     /// the global gauge, so the whole map is byte-identical across shard
-    /// counts for a fixed seed.
+    /// counts — and thread counts — for a fixed seed.
     pub fn metrics_map(&self) -> MetricMap {
         let mut merged = SimMetrics::new();
         for s in &self.shards {
@@ -331,20 +950,26 @@ impl<N: Node> ShardedWorld<N> {
         };
         debug_assert!(t >= self.now, "time must not run backwards");
         self.now = t;
-        let mut batch = std::mem::take(&mut self.batch_buf);
-        debug_assert!(batch.is_empty());
+        let mut log = std::mem::take(&mut self.log_buf);
+        let mut outbox = std::mem::take(&mut self.outbox_buf);
+        debug_assert!(log.is_empty() && outbox.is_empty());
         for s in &mut self.shards {
-            while s.queue.peek_time() == Some(t) {
-                batch.push(s.queue.pop().expect("peeked event exists").1);
+            if s.queue.peek_time() == Some(t) {
+                s.run_instant(t, &mut log, &mut outbox);
             }
         }
-        // The deterministic merge: canonical keys are unique, so this
-        // order is total and shard-count independent.
-        batch.sort_by_key(|a| (a.0, a.1, a.2));
-        for (_, _, _, kind) in batch.drain(..) {
-            self.execute(kind);
+        for (dest, at, p) in outbox.drain(..) {
+            self.shards[dest].queue.push(at, p);
         }
-        self.batch_buf = batch;
+        // The deterministic merge: stable-sorting the shard-ordered log
+        // concatenation by the unique canonical keys reproduces the order
+        // a single global key-sorted execution would emit.
+        log.sort_by_key(|e| e.0);
+        for (_, e) in log.drain(..) {
+            replay_entry(&mut self.trace, &mut self.obs_sink, self.record_observations, t, e);
+        }
+        self.log_buf = log;
+        self.outbox_buf = outbox;
         self.update_depth_gauges();
         true
     }
@@ -355,248 +980,174 @@ impl<N: Node> ShardedWorld<N> {
     }
 
     /// Runs until all queues are empty or global time exceeds `deadline`.
-    pub fn run_until(&mut self, deadline: Time) {
-        while let Some(t) = self.peek_time() {
-            if t > deadline {
-                break;
+    ///
+    /// With [`WorldConfig::threads`] ≥ 2 and at least two shards the
+    /// instants execute on the shard-worker pool (byte-identical results;
+    /// see the module docs), which is why this — unlike
+    /// [`ShardedWorld::step_instant`] — asks the node type to be `Send`.
+    pub fn run_until(&mut self, deadline: Time)
+    where
+        N: Send,
+        N::Msg: Send,
+        N::Obs: Send,
+    {
+        if self.threads >= 2 && self.shards.len() >= 2 {
+            self.run_parallel(deadline);
+        } else {
+            while let Some(t) = self.peek_time() {
+                if t > deadline {
+                    break;
+                }
+                self.step_instant();
             }
-            self.step_instant();
         }
         if self.now < deadline {
             self.now = deadline;
         }
     }
 
-    /// Runs for `d` more ticks of virtual time.
-    pub fn run_for(&mut self, d: u64) {
+    /// Runs for `d` more ticks of virtual time (see [`ShardedWorld::run_until`]).
+    pub fn run_for(&mut self, d: u64)
+    where
+        N: Send,
+        N::Msg: Send,
+        N::Obs: Send,
+    {
         let deadline = self.now + d;
         self.run_until(deadline);
     }
 
-    fn execute(&mut self, kind: EventKind<N::Msg>) {
-        match kind {
-            EventKind::Crash { pid } => {
-                if !self.crashed[pid.index()] {
-                    self.crashed[pid.index()] = true;
-                    let at = self.now;
-                    self.shard_mut(pid).metrics.crash_events.inc();
-                    self.trace.push(TraceEvent::Crash { at, pid });
-                }
-            }
-            EventKind::Timer { pid, id } => {
-                if !self.crashed[pid.index()] {
-                    self.shard_mut(pid).metrics.timer_fires.inc();
-                    self.dispatch_timer(pid, id);
-                }
-            }
-            EventKind::Deliver { from, to, msg } => {
-                if !self.crashed[to.index()] {
-                    self.shard_mut(to).metrics.messages_delivered.inc();
-                    if self.trace.records_messages {
-                        let at = self.now;
-                        self.trace.push(TraceEvent::Deliver { at, from, to, msg: msg.clone() });
+    /// The parallel driver: moves the shard states onto pool workers and
+    /// runs the instant-barrier protocol from the module docs until the
+    /// deadline passes or the system drains, then reinstalls the states.
+    fn run_parallel(&mut self, deadline: Time)
+    where
+        N: Send,
+        N::Msg: Send,
+        N::Obs: Send,
+    {
+        match self.peek_time() {
+            Some(t) if t <= deadline => {}
+            _ => return,
+        }
+        let k = self.shards.len();
+        let workers = self.threads.min(k);
+        let mut qmin: Vec<Option<Time>> = Vec::with_capacity(k);
+        let mut qlen: Vec<usize> = Vec::with_capacity(k);
+        let mut depth_shadow: Vec<Gauge> = Vec::with_capacity(k);
+        let mut states: Vec<Option<ShardState<N>>> = Vec::with_capacity(k);
+        for s in self.shards.drain(..) {
+            qmin.push(s.queue.peek_time());
+            qlen.push(s.queue.len());
+            depth_shadow.push(s.metrics.queue_depth);
+            states.push(Some(s));
+        }
+        let mut step_txs = Vec::with_capacity(workers);
+        let mut done_rxs = Vec::with_capacity(workers);
+        let mut tasks: Vec<pool::WorkerFn<'_, WorkerReturn<N>>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (step_tx, step_rx) = mpsc::channel::<StepMsg<N::Msg>>();
+            let (done_tx, done_rx) = mpsc::channel::<Vec<ShardReport<N::Msg, N::Obs>>>();
+            step_txs.push(step_tx);
+            done_rxs.push(done_rx);
+            let owned: Vec<(usize, ShardState<N>)> = (w..k)
+                .step_by(workers)
+                .map(|s| (s, states[s].take().expect("each shard assigned to one worker")))
+                .collect();
+            tasks.push(Box::new(move || worker_loop(owned, step_rx, done_tx)));
+        }
+        let mut inbox: Vec<Inbox<N::Msg>> = (0..k).map(|_| Vec::new()).collect();
+        let mut global_shadow = self.global_depth;
+        let now = &mut self.now;
+        let trace = &mut self.trace;
+        let obs_sink = &mut self.obs_sink;
+        let record_observations = self.record_observations;
+        let (results, (inbox, depth_shadow, global_shadow)) =
+            pool::run_with_coordinator(tasks, move || {
+                let mut logs_by_shard: Vec<Vec<LogEntry<N::Msg, N::Obs>>> =
+                    (0..k).map(|_| Vec::new()).collect();
+                let mut merged: Vec<LogEntry<N::Msg, N::Obs>> = Vec::new();
+                'run: loop {
+                    // The effective shard minimum counts undelivered inbox
+                    // entries — they are wheel entries the worker just has
+                    // not folded in yet.
+                    let t = (0..k)
+                        .filter_map(|s| {
+                            let inbox_min = inbox[s].iter().map(|&(at, _)| at).min();
+                            match (qmin[s], inbox_min) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, b) => a.or(b),
+                            }
+                        })
+                        .min();
+                    let Some(t) = t else { break };
+                    if t > deadline {
+                        break;
                     }
-                    self.dispatch_message(to, from, msg);
-                } else {
-                    self.shard_mut(to).metrics.messages_dropped.inc();
-                }
-            }
-            EventKind::Envelope { from, to, mut msgs } => {
-                if !self.crashed[to.index()] {
-                    for msg in msgs.drain(..) {
-                        self.shard_mut(to).metrics.messages_delivered.inc();
-                        if self.trace.records_messages {
-                            let at = self.now;
-                            self.trace.push(TraceEvent::Deliver { at, from, to, msg: msg.clone() });
+                    *now = t;
+                    for (w, tx) in step_txs.iter().enumerate() {
+                        let mut inboxes = Vec::new();
+                        for s in (w..k).step_by(workers) {
+                            if !inbox[s].is_empty() {
+                                inboxes.push((s, std::mem::take(&mut inbox[s])));
+                            }
                         }
-                        self.dispatch_message(to, from, msg);
+                        if tx.send(StepMsg { t, inboxes }).is_err() {
+                            break 'run;
+                        }
                     }
-                } else {
-                    self.shard_mut(to).metrics.messages_dropped.add(msgs.len() as u64);
-                    msgs.clear();
+                    for rx in &done_rxs {
+                        let Ok(reports) = rx.recv() else { break 'run };
+                        for rep in reports {
+                            qmin[rep.shard] = rep.qmin;
+                            qlen[rep.shard] = rep.qlen;
+                            logs_by_shard[rep.shard] = rep.log;
+                            for (dest, at, p) in rep.outbox {
+                                inbox[dest].push((at, p));
+                            }
+                        }
+                    }
+                    for shard_log in &mut logs_by_shard {
+                        merged.append(shard_log);
+                    }
+                    merged.sort_by_key(|e| e.0);
+                    for (_, e) in merged.drain(..) {
+                        replay_entry(trace, obs_sink, record_observations, t, e);
+                    }
+                    // Depth accounting identical to the sequential path: a
+                    // shard's undelivered inbox entries are part of its
+                    // backlog.
+                    let mut total = 0u64;
+                    for s in 0..k {
+                        let depth = (qlen[s] + inbox[s].len()) as u64;
+                        depth_shadow[s].set(depth);
+                        total += depth;
+                    }
+                    global_shadow.set(total);
                 }
-                self.envelope_pool.push(msgs);
+                drop(step_txs);
+                (inbox, depth_shadow, global_shadow)
+            });
+        let mut slots: Vec<Option<ShardState<N>>> = (0..k).map(|_| None).collect();
+        for (w, (owned, stats)) in results.into_iter().enumerate() {
+            if self.worker_stats.len() <= w {
+                self.worker_stats.resize_with(w + 1, WorkerStats::new);
+            }
+            self.worker_stats[w].absorb(&stats);
+            for (s, st) in owned {
+                slots[s] = Some(st);
             }
         }
-    }
-
-    fn dispatch_start(&mut self, pid: ProcessId) {
-        let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[pid.index()],
-            };
-            self.nodes[pid.index()].on_start(&mut ctx);
-            (
-                std::mem::take(&mut self.sends_buf),
-                std::mem::take(&mut self.timers_buf),
-                std::mem::take(&mut self.obs_buf),
-            )
-        };
-        self.route_effects(pid, sends, timers, obs);
-    }
-
-    fn dispatch_message(&mut self, pid: ProcessId, from: ProcessId, msg: N::Msg) {
-        let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[pid.index()],
-            };
-            self.nodes[pid.index()].on_message(&mut ctx, from, msg);
-            (
-                std::mem::take(&mut self.sends_buf),
-                std::mem::take(&mut self.timers_buf),
-                std::mem::take(&mut self.obs_buf),
-            )
-        };
-        self.route_effects(pid, sends, timers, obs);
-    }
-
-    fn dispatch_timer(&mut self, pid: ProcessId, id: TimerId) {
-        let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[pid.index()],
-            };
-            self.nodes[pid.index()].on_timer(&mut ctx, id);
-            (
-                std::mem::take(&mut self.sends_buf),
-                std::mem::take(&mut self.timers_buf),
-                std::mem::take(&mut self.obs_buf),
-            )
-        };
-        self.route_effects(pid, sends, timers, obs);
-    }
-
-    /// Next canonical-key sequence number for effects of `pid`.
-    #[inline]
-    fn next_effect_seq(&mut self, pid: ProcessId) -> u64 {
-        let seq = self.effect_seq[pid.index()];
-        self.effect_seq[pid.index()] = seq + 1;
-        seq
-    }
-
-    /// Resolves an effect's absolute instant; overflow past the clock
-    /// horizon is a hard error (see `World::schedule_at`).
-    #[inline]
-    fn schedule_at(now: Time, delay: u64, what: &str) -> Time {
-        match now.checked_add(delay) {
-            Some(at) => at,
-            None => panic!("{what} scheduled past the clock horizon (t{now} + {delay} ticks)"),
-        }
-    }
-
-    fn route_effects(
-        &mut self,
-        pid: ProcessId,
-        mut sends: Vec<(ProcessId, N::Msg)>,
-        mut timers: Vec<(u64, TimerId)>,
-        mut obs: Vec<N::Obs>,
-    ) {
-        self.shard_mut(pid).metrics.steps.inc();
-        for o in obs.drain(..) {
-            self.shard_mut(pid).metrics.observations.inc();
-            if let Some(sink) = self.obs_sink.as_mut() {
-                sink.on_obs(self.now, pid, &o);
-            }
-            if self.record_observations {
-                let at = self.now;
-                self.trace.push(TraceEvent::Obs { at, pid, obs: o });
+        self.shards = slots.into_iter().map(|s| s.expect("workers returned every shard")).collect();
+        for (s, entries) in inbox.into_iter().enumerate() {
+            for (at, p) in entries {
+                self.shards[s].queue.push(at, p);
             }
         }
-        if self.batch_envelopes {
-            self.route_sends_batched(pid, &mut sends);
-        } else {
-            for (to, msg) in sends.drain(..) {
-                assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
-                if self.trace.records_messages {
-                    let at = self.now;
-                    self.trace.push(TraceEvent::Send { at, from: pid, to, msg: msg.clone() });
-                }
-                let d = self.send_delays[pid.index()].sample(
-                    pid,
-                    to,
-                    self.now,
-                    &mut self.send_rngs[pid.index()],
-                );
-                let sender = self.shard_mut(pid);
-                sender.metrics.messages_sent.inc();
-                sender.metrics.envelopes_sent.inc();
-                sender.metrics.delay_ticks.record(d);
-                let at = Self::schedule_at(self.now, d, "delivery");
-                let seq = self.next_effect_seq(pid);
-                let shard = self.shard_of(to);
-                self.shards[shard].queue.push(
-                    at,
-                    (CLASS_EFFECT, pid.0, seq, EventKind::Deliver { from: pid, to, msg }),
-                );
-            }
+        for (s, g) in depth_shadow.into_iter().enumerate() {
+            self.shards[s].metrics.queue_depth = g;
         }
-        for (delay, id) in timers.drain(..) {
-            self.shard_mut(pid).metrics.timers_set.inc();
-            let at = Self::schedule_at(self.now, delay, "timer");
-            let seq = self.next_effect_seq(pid);
-            let shard = self.shard_of(pid);
-            self.shards[shard]
-                .queue
-                .push(at, (CLASS_EFFECT, pid.0, seq, EventKind::Timer { pid, id }));
-        }
-        self.sends_buf = sends;
-        self.timers_buf = timers;
-        self.obs_buf = obs;
-    }
-
-    /// Envelope batching, as in `World::route_sends_batched`, with pooled
-    /// payload vectors and canonical-key stamping.
-    fn route_sends_batched(&mut self, pid: ProcessId, sends: &mut Vec<(ProcessId, N::Msg)>) {
-        let mut groups = std::mem::take(&mut self.groups_buf);
-        for (to, msg) in sends.drain(..) {
-            assert!(to.index() < self.nodes.len(), "send to unknown process {to}");
-            self.shard_mut(pid).metrics.messages_sent.inc();
-            if self.trace.records_messages {
-                let at = self.now;
-                self.trace.push(TraceEvent::Send { at, from: pid, to, msg: msg.clone() });
-            }
-            match groups.iter_mut().find(|(t, _)| *t == to) {
-                Some((_, msgs)) => msgs.push(msg),
-                None => {
-                    let mut msgs = self.envelope_pool.pop().unwrap_or_default();
-                    msgs.push(msg);
-                    groups.push((to, msgs));
-                }
-            }
-        }
-        for (to, msgs) in groups.drain(..) {
-            let d = self.send_delays[pid.index()].sample(
-                pid,
-                to,
-                self.now,
-                &mut self.send_rngs[pid.index()],
-            );
-            let sender = self.shard_mut(pid);
-            sender.metrics.envelopes_sent.inc();
-            sender.metrics.envelope_occupancy.record(msgs.len() as u64);
-            sender.metrics.delay_ticks.record(d);
-            let at = Self::schedule_at(self.now, d, "envelope");
-            let seq = self.next_effect_seq(pid);
-            let shard = self.shard_of(to);
-            self.shards[shard]
-                .queue
-                .push(at, (CLASS_EFFECT, pid.0, seq, EventKind::Envelope { from: pid, to, msgs }));
-        }
-        self.groups_buf = groups;
+        self.global_depth = global_shadow;
     }
 }
 
@@ -676,6 +1227,65 @@ mod tests {
         assert_ne!(run(90, 4, false).1, run(91, 4, false).1);
     }
 
+    /// Drives the run through `run_until` with a thread budget; the
+    /// deadline drains the ring workload completely, so the artifacts are
+    /// comparable across shard *and* thread counts.
+    fn run_threaded(
+        seed: u64,
+        shards: usize,
+        threads: usize,
+        batch: bool,
+    ) -> (Time, String, MetricMap) {
+        let n = 6;
+        let mut w = ShardedWorld::new(ring(n, 300), cfg(seed, n, batch).threads(threads), shards);
+        w.run_until(Time(1_000_000));
+        (w.now(), format!("{:?}", w.trace().events()), w.metrics_map())
+    }
+
+    /// The ISSUE 8 determinism matrix: the parallel instant-barrier run is
+    /// byte-identical to the sequential one — trace, metrics, and the
+    /// exported depth gauges — for every thread × shard combination,
+    /// including a mid-run crash (t=150) and envelope batching.
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        for batch in [false, true] {
+            let reference = run_threaded(90, 4, 1, batch);
+            for threads in [2, 4, 8] {
+                for shards in [2, 4, 8] {
+                    let got = run_threaded(90, shards, threads, batch);
+                    assert_eq!(got, reference, "threads={threads} shards={shards} batch={batch}");
+                }
+            }
+        }
+    }
+
+    /// Deadline-bounded parallel runs resume exactly like sequential ones:
+    /// pending cross-shard inbox entries are flushed back into the wheels
+    /// at shutdown, so a later `run_for` continues the same schedule.
+    #[test]
+    fn parallel_resume_matches_sequential() {
+        let drive = |threads: usize| {
+            let mut w = ShardedWorld::new(ring(6, 300), cfg(11, 6, false).threads(threads), 4);
+            w.run_until(Time(120));
+            w.run_for(600);
+            (w.now(), format!("{:?}", w.trace().events()), w.metrics_map())
+        };
+        assert_eq!(drive(4), drive(1));
+    }
+
+    #[test]
+    fn parallel_runs_record_worker_stats() {
+        let mut w = ShardedWorld::new(ring(6, 300), cfg(90, 6, false).threads(4), 4);
+        w.run_until(Time(1_000_000));
+        assert_eq!(w.worker_stats().len(), 4);
+        let instants: u64 = w.worker_stats().iter().map(|s| s.instants.get()).sum();
+        assert!(instants > 0, "workers must have stepped instants");
+        // Sequential runs leave no worker stats.
+        let mut seq = ShardedWorld::new(ring(6, 300), cfg(90, 6, false), 4);
+        seq.run_until(Time(1_000_000));
+        assert!(seq.worker_stats().is_empty());
+    }
+
     #[test]
     fn global_high_water_is_bounded_by_summed_shard_marks() {
         let n = 6;
@@ -737,6 +1347,22 @@ mod tests {
         ShardedWorld::new(ring(2, 1), cfg, 2);
     }
 
+    /// The fallible constructors surface the same conditions as values.
+    #[test]
+    fn try_new_reports_build_errors() {
+        use crate::net::ChannelStaller;
+        assert_eq!(
+            ShardedWorld::try_new(ring(2, 1), WorldConfig::new(1), 0).err(),
+            Some(ShardBuildError::NoShards)
+        );
+        let staller = ChannelStaller { stalled: vec![], release_at: Time(1), benign_hi: 1 };
+        let cfg = WorldConfig::new(1).delays(DelayModel::Scripted(Box::new(staller)));
+        assert_eq!(
+            ShardedWorld::try_new(ring(2, 1), cfg, 2).err(),
+            Some(ShardBuildError::UncloneableDelayModel)
+        );
+    }
+
     /// A sink observing through the sharded coordinator sees the exact
     /// trace stream, as with `World`.
     #[derive(Debug, Default)]
@@ -766,5 +1392,40 @@ mod tests {
             w.trace().observations().map(|(t, p, &o)| (t, p, o)).collect();
         assert!(!from_trace.is_empty());
         assert_eq!(sink.borrow().seen, from_trace);
+    }
+
+    /// Per-shard sinks riding worker threads each see exactly the
+    /// sequential observation stream's projection onto their shard's pids.
+    #[test]
+    fn shard_sinks_see_their_pids_in_trace_order() {
+        use std::sync::{Arc, Mutex};
+        let shards = 3;
+        let handles: Vec<Arc<Mutex<FoldSink>>> =
+            (0..shards).map(|_| Arc::new(Mutex::new(FoldSink::default()))).collect();
+        let sinks: Vec<Box<dyn ObsSink<u32> + Send>> = handles
+            .iter()
+            .map(|h| Box::new(Arc::clone(h)) as Box<dyn ObsSink<u32> + Send>)
+            .collect();
+        let mut w = ShardedWorld::try_new_with_shard_sinks(
+            ring(4, 23),
+            WorldConfig::new(9).threads(2),
+            shards,
+            sinks,
+        )
+        .expect("buildable");
+        w.run_until(Time(1_000_000));
+        let mut total = 0;
+        for (s, handle) in handles.iter().enumerate() {
+            let expect: Vec<(Time, ProcessId, u32)> = w
+                .trace()
+                .observations()
+                .filter(|(_, p, _)| p.index() % shards == s)
+                .map(|(t, p, &o)| (t, p, o))
+                .collect();
+            let seen = &handle.lock().expect("sink").seen;
+            assert_eq!(seen, &expect, "shard {s} projection diverged");
+            total += seen.len();
+        }
+        assert!(total > 0, "the workload must observe something");
     }
 }

@@ -48,6 +48,17 @@ impl<O, S: ObsSink<O>> ObsSink<O> for std::rc::Rc<std::cell::RefCell<S>> {
     }
 }
 
+/// `Send`-able shared-handle convenience, for sinks that cross a thread
+/// boundary (the per-shard sinks of a parallel
+/// [`crate::shard::ShardedWorld`]). Each such sink is owned by exactly one
+/// shard worker, so the mutex is uncontended; it exists only to let the
+/// caller keep a recovery handle.
+impl<O, S: ObsSink<O>> ObsSink<O> for std::sync::Arc<std::sync::Mutex<S>> {
+    fn on_obs(&mut self, at: Time, pid: ProcessId, obs: &O) {
+        self.lock().expect("sink poisoned").on_obs(at, pid, obs);
+    }
+}
+
 /// Configuration of one run.
 #[derive(Debug)]
 pub struct WorldConfig {
@@ -74,6 +85,13 @@ pub struct WorldConfig {
     /// default; the heap is kept for differential runs (the two are
     /// asserted pop-identical, so this knob never changes a schedule).
     pub queue: QueueBackend,
+    /// Worker threads for [`crate::shard::ShardedWorld::run_until`]: with
+    /// `threads ≥ 2` *and* at least two shards, instants execute on a
+    /// persistent shard-worker pool behind a deterministic barrier merge —
+    /// byte-identical to the sequential run, so this knob only buys
+    /// wall-clock. The classic [`World`] ignores it. `1` (the default)
+    /// means fully sequential.
+    pub threads: usize,
 }
 
 impl WorldConfig {
@@ -87,6 +105,7 @@ impl WorldConfig {
             record_observations: true,
             batch_envelopes: false,
             queue: QueueBackend::default(),
+            threads: 1,
         }
     }
 
@@ -124,6 +143,13 @@ impl WorldConfig {
     /// Selects the event-queue backend (builder style).
     pub fn queue_backend(mut self, queue: QueueBackend) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Sets the sharded-world worker-thread count (builder style). Clamped
+    /// to at least 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }

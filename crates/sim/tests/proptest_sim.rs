@@ -188,3 +188,126 @@ proptest! {
         prop_assert!(w.messages_delivered() <= w.messages_sent());
     }
 }
+
+// ---------------- Parallel sharded worlds ----------------
+
+/// A gossiping node that also runs a periodic timer, so parallel runs
+/// exercise every merge class: deliveries, timer fires, and crashes.
+#[derive(Debug)]
+struct TimedGossip {
+    n: usize,
+    budget: u32,
+}
+
+impl Node for TimedGossip {
+    type Msg = u64;
+    type Obs = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+        let n = self.n;
+        let to = ProcessId::from_index(ctx.rng().below(n as u64) as usize);
+        if to != ctx.me() {
+            ctx.send(to, 1);
+        }
+        ctx.set_timer(7, dinefd_sim::TimerId(0));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64, u64>, _from: ProcessId, msg: u64) {
+        ctx.observe(msg);
+        if self.budget > 0 {
+            self.budget -= 1;
+            let n = self.n;
+            // Fan out two sends so same-instant envelope batching has
+            // something to coalesce.
+            for bump in 1..=2u64 {
+                let to = ProcessId::from_index(ctx.rng().below(n as u64) as usize);
+                if to != ctx.me() {
+                    ctx.send(to, msg + bump);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64, u64>, _timer: dinefd_sim::TimerId) {
+        let n = self.n;
+        let to = ProcessId::from_index(ctx.rng().below(n as u64) as usize);
+        if to != ctx.me() {
+            ctx.send(to, 100);
+        }
+        ctx.set_timer(7, dinefd_sim::TimerId(0));
+    }
+}
+
+fn delay_for(choice: u8) -> DelayModel {
+    match choice % 5 {
+        0 => DelayModel::Fixed(3),
+        1 => DelayModel::default_async(),
+        2 => DelayModel::harsh(),
+        3 => DelayModel::partially_synchronous(Time(300), 4),
+        _ => DelayModel::fifo(DelayModel::harsh()),
+    }
+}
+
+/// One sharded run folded to comparable bytes: final clock, the full debug
+/// trace, the streamed observation fold, and the exported metric map.
+fn sharded_fingerprint(
+    seed: u64,
+    n: usize,
+    shards: usize,
+    threads: usize,
+    delay: u8,
+    batch: bool,
+    crash: u64,
+) -> (Time, String, String, Vec<(String, u64)>) {
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Debug, Default)]
+    struct FoldSink(Vec<(Time, ProcessId, u64)>);
+    impl dinefd_sim::ObsSink<u64> for FoldSink {
+        fn on_obs(&mut self, at: Time, pid: ProcessId, obs: &u64) {
+            self.0.push((at, pid, *obs));
+        }
+    }
+
+    let sink = Arc::new(Mutex::new(FoldSink::default()));
+    let nodes: Vec<TimedGossip> = (0..n).map(|_| TimedGossip { n, budget: 40 }).collect();
+    let mut cfg = WorldConfig::new(seed)
+        .delays(delay_for(delay))
+        .crashes(CrashPlan::one(ProcessId(0), Time(crash)))
+        .threads(threads);
+    if batch {
+        cfg = cfg.batch_envelopes();
+    }
+    let mut w =
+        dinefd_sim::ShardedWorld::new_with_sink(nodes, cfg, shards, Box::new(Arc::clone(&sink)));
+    w.run_until(Time(3_000));
+    let metrics: Vec<(String, u64)> = w.metrics_map().into_iter().collect();
+    let now = w.now();
+    let trace = format!("{:?}", w.into_trace());
+    let folded = format!("{:?}", Arc::try_unwrap(sink).expect("sink held").into_inner().unwrap());
+    (now, trace, folded, metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole's contract: for any seed, shard count, delay model,
+    /// batching mode, and mid-run crash, a parallel run (t ∈ {2, 4, 8}) is
+    /// byte-identical to the sequential run of the same sharded world —
+    /// clock, trace, streamed observation fold, and metric export.
+    #[test]
+    fn parallel_shard_runs_match_sequential(
+        seed in any::<u64>(),
+        n in 4usize..10,
+        shards in 2usize..9,
+        delay in 0u8..5,
+        batch in any::<bool>(),
+        crash in 1u64..2_500,
+    ) {
+        let reference = sharded_fingerprint(seed, n, shards, 1, delay, batch, crash);
+        for threads in [2usize, 4, 8] {
+            let par = sharded_fingerprint(seed, n, shards, threads, delay, batch, crash);
+            prop_assert_eq!(&par, &reference, "threads={}", threads);
+        }
+    }
+}
