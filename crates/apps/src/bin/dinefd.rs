@@ -4,6 +4,7 @@
 //! dinefd analyze [FLAGS]      static analysis: lints + inductive checking
 //! dinefd fuzz [FLAGS]         coverage-guided schedule fuzzing
 //! dinefd extract [FLAGS]      one ◇P-extraction run over n processes
+//! dinefd live [FLAGS]         live loopback-TCP runtime: differential + soak
 //! ```
 //!
 //! `dinefd analyze` runs the `dinefd-analyze` pipeline on one model
@@ -59,7 +60,7 @@
 //! byte-identical for every thread count* (per-worker busy/barrier-wait
 //! wall-clock, which is inherently nondeterministic, goes to stderr), so
 //! `diff <(dinefd extract --shards 4 --threads 4) <(dinefd extract
-//! --shards 4 --threads 1)` is a direct determinism check; `--heap`
+//! --shards 4 --threads 1)` is a direct determinism check; `--queue heap`
 //! switches the event queue to the reference binary heap, which must
 //! reproduce the timer wheel byte-for-byte.
 //!
@@ -73,8 +74,32 @@
 //! --crash PID@TICK          crash PID at TICK (repeatable)
 //! --streaming               extract through the streaming sink
 //! --batch                   coalesce same-instant sends into envelopes
-//! --heap                    binary-heap event queue (default timer wheel)
+//! --queue wheel|heap        event queue backend     (default wheel)
+//! --heap                    deprecated alias for --queue heap
 //! --strict                  sequence-checked acks (hardened subject)
+//! ```
+//!
+//! `dinefd live` runs the identical heartbeat-◇P logic core on the live
+//! loopback-TCP runtime (`dinefd-live`): first the sim-vs-live
+//! differential matrix (crash × delay × GST; every cell must reach the
+//! same timing-free verdict on both substrates), then the sustained-load
+//! soak, which measures msgs/sec and the p99 crash-detection latency and
+//! gates on zero false suspicions surviving past GST and zero missed
+//! detections. Exit status is `0` when every matrix cell converges and the
+//! soak gate holds, `2` otherwise. With `--bench-out FILE` the soak
+//! numbers are written as a `dinefd-bench/v1` document whose measured
+//! values live in the `nondet`/`wall` sections — wall-clock figures,
+//! excluded from determinism diffs by construction.
+//!
+//! ```text
+//! --n N                     system size per trial   (default 4, min 2)
+//! --trials N                soak trials             (default 6, min 1)
+//! --seed N                  base seed               (default 0x50AB)
+//! --period-ms N             heartbeat period in ms  (default 8)
+//! --crash-at-ms N           crash instant per trial (default 150)
+//! --horizon-ms N            trial length in ms      (default 500)
+//! --skip-matrix             soak only, no differential matrix
+//! --bench-out FILE          write BENCH_live.json-style report to FILE
 //! ```
 
 use dinefd_analyze::induct::{render_summary, run_induction, InductOptions};
@@ -97,7 +122,10 @@ fn usage(err: &str) -> ExitCode {
          [--max-steps N] [--corpus-seeds N] [--time-budget-secs N] \
          [--strict] [--no-crash] [--subject-mutation NAME] [--model-mutation NAME]\n\
          \x20      dinefd extract [--n N] [--seed N] [--horizon N] [--shards K] \
-         [--threads T] [--crash PID@TICK] [--streaming] [--batch] [--heap] [--strict]"
+         [--threads T] [--crash PID@TICK] [--streaming] [--batch] \
+         [--queue wheel|heap] [--strict]\n\
+         \x20      dinefd live [--n N] [--trials N] [--seed N] [--period-ms N] \
+         [--crash-at-ms N] [--horizon-ms N] [--skip-matrix] [--bench-out FILE]"
     );
     ExitCode::from(64)
 }
@@ -108,6 +136,7 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("extract") => extract(&args[1..]),
+        Some("live") => live(&args[1..]),
         Some(other) => usage(&format!("unknown subcommand `{other}`")),
         None => usage("missing subcommand"),
     }
@@ -281,7 +310,20 @@ fn extract(args: &[String]) -> ExitCode {
             }
             "--streaming" => streaming = true,
             "--batch" => batch = true,
-            "--heap" => queue = QueueBackend::Heap,
+            "--queue" => {
+                let Some(name) = it.next() else {
+                    return usage("--queue needs a value (wheel | heap)");
+                };
+                queue = match name.as_str() {
+                    "wheel" => QueueBackend::Wheel,
+                    "heap" => QueueBackend::Heap,
+                    other => return usage(&format!("unknown queue backend `{other}`")),
+                };
+            }
+            "--heap" => {
+                eprintln!("warning: --heap is deprecated, use --queue heap");
+                queue = QueueBackend::Heap;
+            }
             "--strict" => strict = true,
             other => return usage(&format!("unknown flag `{other}`")),
         }
@@ -331,6 +373,181 @@ fn extract(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `BENCH_live.json` document: same shape as `dinefd-bench/v1` so tooling
+/// can ingest it, but everything measured is wall-clock — the soak numbers
+/// live in `nondet`/`wall` and are never baseline-diffed. Only structural
+/// facts (sizes, and the gates that must always hold) go in `metrics`.
+#[derive(Debug, serde::Serialize)]
+struct LiveBenchDoc {
+    schema: String,
+    profile: String,
+    metrics: dinefd_sim::MetricMap,
+    wall: std::collections::BTreeMap<String, String>,
+    nondet: dinefd_sim::MetricMap,
+}
+
+fn live(args: &[String]) -> ExitCode {
+    use dinefd_live::{run_differential, run_soak, DiffScenario, SoakConfig};
+    use dinefd_sim::ProcessId;
+
+    let mut cfg = SoakConfig::quick();
+    let mut matrix = true;
+    let mut bench_out: Option<String> = None;
+    let mut it = args.iter();
+    let parse_u64 = |name: &str, v: Option<&String>| -> Result<u64, String> {
+        let Some(v) = v else { return Err(format!("{name} needs a value")) };
+        v.parse::<u64>().map_err(|_| format!("{name}: `{v}` is not an integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n" => match parse_u64("--n", it.next()) {
+                Ok(v @ 2..=16) => cfg.n = v as usize,
+                Ok(v) => return usage(&format!("--n {v} out of range [2, 16]")),
+                Err(e) => return usage(&e),
+            },
+            "--trials" => match parse_u64("--trials", it.next()) {
+                Ok(v @ 1..=100) => cfg.trials = v as usize,
+                Ok(v) => return usage(&format!("--trials {v} out of range [1, 100]")),
+                Err(e) => return usage(&e),
+            },
+            "--seed" => match parse_u64("--seed", it.next()) {
+                Ok(v) => cfg.seed = v,
+                Err(e) => return usage(&e),
+            },
+            "--period-ms" => match parse_u64("--period-ms", it.next()) {
+                Ok(v @ 1..=1_000) => cfg.period_ms = v,
+                Ok(v) => return usage(&format!("--period-ms {v} out of range [1, 1000]")),
+                Err(e) => return usage(&e),
+            },
+            "--crash-at-ms" => match parse_u64("--crash-at-ms", it.next()) {
+                Ok(v) => cfg.crash_at_ms = v,
+                Err(e) => return usage(&e),
+            },
+            "--horizon-ms" => match parse_u64("--horizon-ms", it.next()) {
+                Ok(0) => return usage("--horizon-ms must be at least 1"),
+                Ok(v) => cfg.horizon_ms = v,
+                Err(e) => return usage(&e),
+            },
+            "--skip-matrix" => matrix = false,
+            "--bench-out" => {
+                let Some(path) = it.next() else {
+                    return usage("--bench-out needs a file path");
+                };
+                bench_out = Some(path.clone());
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.crash_at_ms >= cfg.horizon_ms {
+        return usage("--crash-at-ms must be below --horizon-ms");
+    }
+
+    let mut clean = true;
+    let mut cells = 0u64;
+    if matrix {
+        // Crash × delay × GST: the same cells the differential test suite
+        // asserts, driven here so a live box failure is reproducible from
+        // the command line.
+        let delay_cells: [(u64, u64, bool); 3] = [(0, 0, false), (150, 40, false), (150, 40, true)];
+        for (i, &(gst, delay, ramping)) in delay_cells.iter().enumerate() {
+            for crash in [None, Some((ProcessId::from_index(cfg.n - 1), 250))] {
+                let scenario = DiffScenario {
+                    crash,
+                    gst,
+                    delay,
+                    ramping,
+                    seed: cfg.seed.wrapping_add(i as u64),
+                    horizon: 700,
+                    ..DiffScenario::new(cfg.n, 0)
+                };
+                let report = run_differential(&scenario);
+                cells += 1;
+                let ok = report.converged() && report.sim.verdict.eventually_perfect;
+                println!(
+                    "live: matrix cell gst={gst} delay={delay} ramping={ramping} crash={} -> {}",
+                    crash.map_or("none".to_string(), |(p, at)| format!("{p}@{at}ms")),
+                    if ok { "converged" } else { "DIVERGED" },
+                );
+                if !ok {
+                    eprintln!("  sim:  {:?}", report.sim.verdict);
+                    eprintln!("  live: {:?}", report.live.verdict);
+                    clean = false;
+                }
+            }
+        }
+    }
+
+    let report = run_soak(&cfg);
+    println!(
+        "live: soak {} trials of n={} ({}ms each, crash at {}ms): \
+         {:.0} msgs/sec, p99 detection {}ms (max {}ms over {} samples)",
+        report.trials,
+        cfg.n,
+        cfg.horizon_ms,
+        cfg.crash_at_ms,
+        report.msgs_per_sec,
+        report.p99_detection_ms,
+        report.max_detection_ms,
+        report.detection_samples,
+    );
+    println!(
+        "live: gate {}: {} surviving false suspicions, {} missed detections, \
+         {} transient mistakes (allowed)",
+        if report.gate_ok() { "OK" } else { "FAILED" },
+        report.surviving_false_suspicions,
+        report.missed_detections,
+        report.transient_mistakes,
+    );
+    clean &= report.gate_ok();
+
+    if let Some(path) = bench_out {
+        let mut doc = LiveBenchDoc {
+            schema: "dinefd-bench/v1".to_string(),
+            profile: "live".to_string(),
+            metrics: dinefd_sim::MetricMap::new(),
+            wall: std::collections::BTreeMap::new(),
+            nondet: dinefd_sim::MetricMap::new(),
+        };
+        doc.metrics.insert("soak.n".into(), cfg.n as u64);
+        doc.metrics.insert("soak.trials".into(), report.trials as u64);
+        doc.metrics.insert("soak.gate_ok".into(), report.gate_ok() as u64);
+        doc.metrics.insert(
+            "soak.surviving_false_suspicions".into(),
+            report.surviving_false_suspicions as u64,
+        );
+        doc.metrics.insert("soak.missed_detections".into(), report.missed_detections as u64);
+        doc.metrics.insert("matrix.cells".into(), cells);
+        doc.metrics.insert("matrix.converged".into(), clean as u64);
+        doc.nondet.insert("soak.p99_detection_ms".into(), report.p99_detection_ms);
+        doc.nondet.insert("soak.max_detection_ms".into(), report.max_detection_ms);
+        doc.nondet.insert("soak.detection_samples".into(), report.detection_samples as u64);
+        doc.nondet.insert("soak.transient_mistakes".into(), report.transient_mistakes as u64);
+        doc.nondet.insert("soak.frames_delivered".into(), report.frames_delivered);
+        doc.nondet.insert("soak.wall_ms".into(), report.wall_ms);
+        doc.wall.insert("soak.msgs_per_sec".into(), format!("{:.6}", report.msgs_per_sec));
+        doc.wall.insert("soak.secs".into(), format!("{:.6}", report.wall_ms as f64 / 1_000.0));
+        let mut json = match serde_json::to_string_pretty(&doc) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot serialize bench report: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        json.push('\n');
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("live: wrote {path}");
+    }
+
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
 }
 
 fn analyze(args: &[String]) -> ExitCode {

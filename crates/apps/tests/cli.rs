@@ -1,0 +1,101 @@
+//! End-to-end tests of the `dinefd` binary's flag surface: the
+//! `--queue wheel|heap` backend selector (with its deprecated `--heap`
+//! alias) and the `live` subcommand's soak + bench-report path.
+
+use std::process::{Command, Output};
+
+fn dinefd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dinefd")).args(args).output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Stdout minus the first summary line, which echoes the selected backend
+/// (`queue=wheel` vs `queue=heap`) and so differs by construction; every
+/// simulation-derived line below it must be byte-identical.
+fn body(out: &Output) -> String {
+    let s = stdout(out);
+    s.split_once('\n').map(|(_, rest)| rest.to_owned()).unwrap_or(s)
+}
+
+const EXTRACT_BASE: [&str; 6] = ["extract", "--n", "4", "--horizon", "400", "--seed"];
+
+#[test]
+fn queue_heap_reproduces_the_wheel_byte_for_byte() {
+    let wheel = dinefd(&[&EXTRACT_BASE[..], &["7", "--queue", "wheel"]].concat());
+    let heap = dinefd(&[&EXTRACT_BASE[..], &["7", "--queue", "heap"]].concat());
+    assert!(wheel.status.success(), "wheel run failed: {}", stderr(&wheel));
+    assert!(heap.status.success(), "heap run failed: {}", stderr(&heap));
+    assert_eq!(body(&wheel), body(&heap), "queue backends must not diverge");
+    assert!(stdout(&wheel).contains("queue=wheel"));
+    assert!(stdout(&heap).contains("queue=heap"));
+    assert!(!stderr(&wheel).contains("deprecated"), "--queue must not warn");
+    assert!(!stderr(&heap).contains("deprecated"), "--queue must not warn");
+}
+
+#[test]
+fn deprecated_heap_alias_still_works_but_warns() {
+    let alias = dinefd(&[&EXTRACT_BASE[..], &["7", "--heap"]].concat());
+    let spelled = dinefd(&[&EXTRACT_BASE[..], &["7", "--queue", "heap"]].concat());
+    assert!(alias.status.success(), "--heap run failed: {}", stderr(&alias));
+    assert_eq!(stdout(&alias), stdout(&spelled), "alias must select the same backend");
+    assert!(stdout(&alias).contains("queue=heap"), "alias must report the heap backend");
+    assert!(
+        stderr(&alias).contains("--heap is deprecated"),
+        "alias must warn on stderr: {}",
+        stderr(&alias)
+    );
+}
+
+#[test]
+fn unknown_queue_backend_is_a_usage_error() {
+    let out = dinefd(&["extract", "--queue", "splay"]);
+    assert_eq!(out.status.code(), Some(64));
+    assert!(stderr(&out).contains("unknown queue backend"));
+
+    let missing = dinefd(&["extract", "--queue"]);
+    assert_eq!(missing.status.code(), Some(64));
+}
+
+#[test]
+fn live_soak_runs_and_writes_the_bench_report() {
+    let path = std::env::temp_dir().join(format!("dinefd_cli_bench_{}.json", std::process::id()));
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let out = dinefd(&[
+        "live",
+        "--skip-matrix",
+        "--n",
+        "3",
+        "--trials",
+        "2",
+        "--horizon-ms",
+        "300",
+        "--crash-at-ms",
+        "100",
+        "--bench-out",
+        path_s,
+    ]);
+    assert!(out.status.success(), "live run failed: {} {}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("msgs/sec"), "summary line missing: {text}");
+    assert!(text.contains("gate OK"), "gate line missing: {text}");
+    let json = std::fs::read_to_string(&path).expect("bench report written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"dinefd-bench/v1\""));
+    assert!(json.contains("soak.p99_detection_ms"));
+    assert!(json.contains("soak.msgs_per_sec"));
+    assert!(json.contains("\"soak.gate_ok\": 1"));
+}
+
+#[test]
+fn live_rejects_a_crash_outside_the_trial() {
+    let out = dinefd(&["live", "--horizon-ms", "100", "--crash-at-ms", "100"]);
+    assert_eq!(out.status.code(), Some(64));
+    assert!(stderr(&out).contains("--crash-at-ms must be below --horizon-ms"));
+}

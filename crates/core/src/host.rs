@@ -26,7 +26,7 @@ pub enum Role {
 }
 
 /// Messages of the reduction layer, tagged with their monitoring pair.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RedMsg {
     /// Traffic of dining instance `DX_instance` of pair `(watcher, subject)`.
     Dx {

@@ -52,6 +52,7 @@ pub mod host;
 pub mod machines;
 pub mod scenario;
 pub mod single_dx;
+pub mod wire;
 
 pub use detector::{suspicion_history, HistorySink, PairTimelines, SharedSuspicion};
 pub use fairness::{run_fair_over_extraction, FairOverExtractionNode, FairnessResult};

@@ -45,6 +45,7 @@ pub mod spec;
 pub mod state;
 pub mod unfair;
 pub mod wfdx;
+pub mod wire;
 
 pub use graph::ConflictGraph;
 pub use participant::{DiningEffects, DiningIo, DiningMsg, DiningParticipant};

@@ -1,0 +1,288 @@
+//! [`Wire`] codecs for the dining message family.
+//!
+//! The live transport (crate `dinefd-live`) carries messages as
+//! length-prefixed byte frames, so every message type that may cross a
+//! socket needs a canonical byte form. The vendored serde stub cannot
+//! derive fielded enums, hence these hand-written codecs: one tag byte per
+//! variant, fixed-width little-endian fields, no padding. Every codec is
+//! exact-roundtrip and canonical (one byte string per value) — the
+//! differential sim-vs-live harness depends on that.
+
+use dinefd_sim::{Wire, WireError, WireReader, WireWriter};
+
+use crate::abstract_dining::AbMsg;
+use crate::delayed::DcMsg;
+use crate::fair::FairMsg;
+use crate::ftme::FtMsg;
+use crate::hygienic::HyMsg;
+use crate::participant::DiningMsg;
+use crate::unfair::UfMsg;
+use crate::wfdx::{Ts, WxMsg};
+
+impl Wire for Ts {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.clock);
+        w.u32(self.id);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Ts { clock: r.u64()?, id: r.u32()? })
+    }
+}
+
+impl Wire for WxMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            WxMsg::Request(ts) => {
+                w.u8(0);
+                ts.encode(w);
+            }
+            WxMsg::Fork { clock } => {
+                w.u8(1);
+                w.u64(*clock);
+            }
+            WxMsg::TokenReturn { clock } => {
+                w.u8(2);
+                w.u64(*clock);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WxMsg::Request(Ts::decode(r)?)),
+            1 => Ok(WxMsg::Fork { clock: r.u64()? }),
+            2 => Ok(WxMsg::TokenReturn { clock: r.u64()? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for HyMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            HyMsg::ForkRequest => 0,
+            HyMsg::Fork => 1,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(HyMsg::ForkRequest),
+            1 => Ok(HyMsg::Fork),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for DcMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            DcMsg::Request => 0,
+            DcMsg::Grant => 1,
+            DcMsg::Release => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(DcMsg::Request),
+            1 => Ok(DcMsg::Grant),
+            2 => Ok(DcMsg::Release),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for AbMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            AbMsg::Request => 0,
+            AbMsg::Grant => 1,
+            AbMsg::Release => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(AbMsg::Request),
+            1 => Ok(AbMsg::Grant),
+            2 => Ok(AbMsg::Release),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for UfMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            UfMsg::Request => 0,
+            UfMsg::Grant => 1,
+            UfMsg::Release => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(UfMsg::Request),
+            1 => Ok(UfMsg::Grant),
+            2 => Ok(UfMsg::Release),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for FtMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            FtMsg::Request(ts) => {
+                w.u8(0);
+                ts.encode(w);
+            }
+            FtMsg::Fork { clock } => {
+                w.u8(1);
+                w.u64(*clock);
+            }
+            FtMsg::TokenReturn { clock } => {
+                w.u8(2);
+                w.u64(*clock);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(FtMsg::Request(Ts::decode(r)?)),
+            1 => Ok(FtMsg::Fork { clock: r.u64()? }),
+            2 => Ok(FtMsg::TokenReturn { clock: r.u64()? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for FairMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            FairMsg::Request(ts) => {
+                w.u8(0);
+                ts.encode(w);
+            }
+            FairMsg::Fork { clock } => {
+                w.u8(1);
+                w.u64(*clock);
+            }
+            FairMsg::TokenReturn { clock } => {
+                w.u8(2);
+                w.u64(*clock);
+            }
+            FairMsg::Hungry => w.u8(3),
+            FairMsg::Done => w.u8(4),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(FairMsg::Request(Ts::decode(r)?)),
+            1 => Ok(FairMsg::Fork { clock: r.u64()? }),
+            2 => Ok(FairMsg::TokenReturn { clock: r.u64()? }),
+            3 => Ok(FairMsg::Hungry),
+            4 => Ok(FairMsg::Done),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for DiningMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DiningMsg::Hygienic(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            DiningMsg::WfDx(m) => {
+                w.u8(1);
+                m.encode(w);
+            }
+            DiningMsg::Delayed(m) => {
+                w.u8(2);
+                m.encode(w);
+            }
+            DiningMsg::Abstract(m) => {
+                w.u8(3);
+                m.encode(w);
+            }
+            DiningMsg::Ftme(m) => {
+                w.u8(4);
+                m.encode(w);
+            }
+            DiningMsg::Fair(m) => {
+                w.u8(5);
+                m.encode(w);
+            }
+            DiningMsg::Unfair(m) => {
+                w.u8(6);
+                m.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(DiningMsg::Hygienic(HyMsg::decode(r)?)),
+            1 => Ok(DiningMsg::WfDx(WxMsg::decode(r)?)),
+            2 => Ok(DiningMsg::Delayed(DcMsg::decode(r)?)),
+            3 => Ok(DiningMsg::Abstract(AbMsg::decode(r)?)),
+            4 => Ok(DiningMsg::Ftme(FtMsg::decode(r)?)),
+            5 => Ok(DiningMsg::Fair(FairMsg::decode(r)?)),
+            6 => Ok(DiningMsg::Unfair(UfMsg::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: DiningMsg) {
+        let bytes = msg.to_bytes();
+        assert_eq!(DiningMsg::from_bytes(&bytes).unwrap(), msg, "roundtrip of {msg:?}");
+    }
+
+    #[test]
+    fn every_dining_variant_roundtrips() {
+        let ts = Ts { clock: u64::MAX - 1, id: 3 };
+        for msg in [
+            DiningMsg::Hygienic(HyMsg::ForkRequest),
+            DiningMsg::Hygienic(HyMsg::Fork),
+            DiningMsg::WfDx(WxMsg::Request(ts)),
+            DiningMsg::WfDx(WxMsg::Fork { clock: 0 }),
+            DiningMsg::WfDx(WxMsg::TokenReturn { clock: 9 }),
+            DiningMsg::Delayed(DcMsg::Request),
+            DiningMsg::Delayed(DcMsg::Grant),
+            DiningMsg::Delayed(DcMsg::Release),
+            DiningMsg::Abstract(AbMsg::Request),
+            DiningMsg::Abstract(AbMsg::Grant),
+            DiningMsg::Abstract(AbMsg::Release),
+            DiningMsg::Ftme(FtMsg::Request(ts)),
+            DiningMsg::Ftme(FtMsg::Fork { clock: 77 }),
+            DiningMsg::Ftme(FtMsg::TokenReturn { clock: 78 }),
+            DiningMsg::Fair(FairMsg::Request(ts)),
+            DiningMsg::Fair(FairMsg::Fork { clock: 1 }),
+            DiningMsg::Fair(FairMsg::TokenReturn { clock: 2 }),
+            DiningMsg::Fair(FairMsg::Hungry),
+            DiningMsg::Fair(FairMsg::Done),
+            DiningMsg::Unfair(UfMsg::Request),
+            DiningMsg::Unfair(UfMsg::Grant),
+            DiningMsg::Unfair(UfMsg::Release),
+        ] {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(DiningMsg::from_bytes(&[7]).is_err());
+        assert!(DiningMsg::from_bytes(&[0, 2]).is_err());
+        assert!(DiningMsg::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = DiningMsg::WfDx(WxMsg::Request(Ts { clock: 5, id: 6 })).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(DiningMsg::from_bytes(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+}

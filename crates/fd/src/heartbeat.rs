@@ -5,19 +5,43 @@
 //! every process periodically broadcasts `Alive`; each watcher counts its own
 //! periods since it last heard from each peer and suspects peers that exceed
 //! a per-peer timeout. On discovering a false suspicion (an `Alive` from a
-//! suspected peer) the watcher doubles that peer's timeout, so after the
+//! suspected peer) the watcher raises that peer's timeout, so after the
 //! global stabilization time the timeout eventually exceeds the real delay
 //! bound and mistakes stop — eventual strong accuracy. A crashed peer stops
 //! sending forever, so its counter grows without bound — strong completeness.
 //!
+//! The timeout adaptation is **measured**, not merely doubled: each watcher
+//! tracks the largest inter-arrival gap (in its own periods) it has ever
+//! observed per peer, and a false-suspicion recovery jumps the timeout to at
+//! least that measured gap plus slack. Under the simulator the "measurement"
+//! is of the `World`'s drawn delays; on the live transport it is of real
+//! socket latency — the identical code measures whichever asynchrony it is
+//! actually running under, which is what lets one logic core converge on
+//! both runtimes (the Kompics-style increasing-timeout ◇P).
+//!
 //! The node never reads global time: it counts its *own* timer firings,
 //! which is legitimate local step-counting.
 
-use dinefd_sim::{Context, Node, ProcessId, TimerId};
+use dinefd_sim::{Context, Node, ProcessId, TimerId, Wire, WireError, WireReader, WireWriter};
 
 /// Message type: a heartbeat.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Alive;
+
+/// Wire tag of [`Alive`] frames on the live transport.
+const ALIVE_TAG: u8 = 0xA1;
+
+impl Wire for Alive {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(ALIVE_TAG);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            ALIVE_TAG => Ok(Alive),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
 
 /// Observation emitted whenever the local output changes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,14 +72,21 @@ impl HeartbeatConfig {
 
 const TICK: TimerId = TimerId(0);
 
+/// Extra periods added on top of the measured gap when a false-suspicion
+/// recovery re-seeds the timeout from measurement.
+const MEASURED_SLACK_PERIODS: u64 = 1;
+
 /// One process's heartbeat-◇P module.
 #[derive(Clone, Debug)]
 pub struct HeartbeatFd {
     cfg: HeartbeatConfig,
     /// Periods elapsed since the last `Alive` from each peer.
     periods_since_heard: Vec<u64>,
-    /// Current per-peer timeout, in periods (doubles on each false suspicion).
+    /// Current per-peer timeout, in periods.
     timeout_periods: Vec<u64>,
+    /// Largest inter-arrival gap (periods) ever measured per peer — the
+    /// watcher's local estimate of the channel's worst observed asynchrony.
+    measured_gap_periods: Vec<u64>,
     /// Current output.
     suspected: Vec<bool>,
 }
@@ -66,6 +97,7 @@ impl HeartbeatFd {
         HeartbeatFd {
             periods_since_heard: vec![0; cfg.n],
             timeout_periods: vec![cfg.initial_timeout_periods.max(1); cfg.n],
+            measured_gap_periods: vec![0; cfg.n],
             suspected: vec![false; cfg.n],
             cfg,
         }
@@ -81,6 +113,11 @@ impl HeartbeatFd {
         self.timeout_periods[q.index()]
     }
 
+    /// The largest inter-arrival gap (periods) measured for `q` so far.
+    pub fn measured_gap_of(&self, q: ProcessId) -> u64 {
+        self.measured_gap_periods[q.index()]
+    }
+
     /// All peers this module heartbeats to.
     pub fn peers(&self, me: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
         ProcessId::all(self.cfg.n).filter(move |&q| q != me)
@@ -94,12 +131,22 @@ impl HeartbeatFd {
     /// Context-free handler: an `Alive` from `from` arrived. Returns the
     /// output change, if any.
     pub fn handle_alive(&mut self, from: ProcessId) -> Option<HbObs> {
-        self.periods_since_heard[from.index()] = 0;
-        if self.suspected[from.index()] {
-            // False suspicion discovered: repent and be more patient.
-            self.suspected[from.index()] = false;
-            self.timeout_periods[from.index()] =
-                self.timeout_periods[from.index()].saturating_mul(2);
+        let i = from.index();
+        // The gap that just closed is a *measurement* of the channel's real
+        // asynchrony (drawn delays under sim, socket latency under live).
+        self.measured_gap_periods[i] =
+            self.measured_gap_periods[i].max(self.periods_since_heard[i]);
+        self.periods_since_heard[i] = 0;
+        if self.suspected[i] {
+            // False suspicion discovered: repent and be more patient — at
+            // least double (the classical ◇P guarantee of unbounded growth),
+            // and at least the worst asynchrony actually measured plus
+            // slack, so one bad pre-GST spike is absorbed in a single jump
+            // instead of O(log spike) repeated mistakes.
+            self.suspected[i] = false;
+            self.timeout_periods[i] = self.timeout_periods[i]
+                .saturating_mul(2)
+                .max(self.measured_gap_periods[i].saturating_add(MEASURED_SLACK_PERIODS));
             Some(HbObs { subject: from, suspected: false })
         } else {
             None
@@ -233,6 +280,64 @@ mod tests {
             }
         }
         assert!(total_mistakes > 0, "no seed produced any false suspicion");
+    }
+
+    #[test]
+    fn alive_roundtrips_on_the_wire() {
+        let bytes = Alive.to_bytes();
+        assert_eq!(bytes.len(), 1);
+        assert_eq!(Alive::from_bytes(&bytes).unwrap(), Alive);
+        assert!(Alive::from_bytes(&[0x00]).is_err());
+        assert!(Alive::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn recovery_timeout_jumps_to_the_measured_gap() {
+        // Watcher 0, peer 1, initial timeout 4 periods. Let 20 silent
+        // periods elapse (suspicion fires after period 5), then deliver the
+        // late Alive: the measured gap is 20, so the recovered timeout must
+        // be ≥ 21 — one jump, not ceil(log2(20/4)) = 3 successive doublings.
+        let cfg = HeartbeatConfig::new(2);
+        let mut fd = HeartbeatFd::new(cfg);
+        let me = ProcessId(0);
+        let peer = ProcessId(1);
+        let mut suspected_at = None;
+        for p in 1..=20u64 {
+            for obs in fd.handle_period(me) {
+                assert_eq!(obs.subject, peer);
+                assert!(obs.suspected);
+                suspected_at = Some(p);
+            }
+        }
+        assert_eq!(suspected_at, Some(cfg.initial_timeout_periods + 1));
+        assert!(fd.suspects(peer));
+        let obs = fd.handle_alive(peer).expect("false suspicion must surface");
+        assert!(!obs.suspected);
+        assert_eq!(fd.measured_gap_of(peer), 20);
+        assert!(
+            fd.timeout_of(peer) >= 21,
+            "timeout {} must clear the measured 20-period gap",
+            fd.timeout_of(peer)
+        );
+        // A second, *smaller* spike is now absorbed without any mistake.
+        for _ in 0..20 {
+            assert!(fd.handle_period(me).is_empty(), "measured timeout must hold");
+        }
+        assert!(fd.handle_alive(peer).is_none());
+    }
+
+    #[test]
+    fn measured_gap_tracks_the_worst_interarrival_only() {
+        let mut fd = HeartbeatFd::new(HeartbeatConfig::new(2));
+        let me = ProcessId(0);
+        let peer = ProcessId(1);
+        for gap in [3u64, 1, 2] {
+            for _ in 0..gap {
+                let _ = fd.handle_period(me);
+            }
+            let _ = fd.handle_alive(peer);
+        }
+        assert_eq!(fd.measured_gap_of(peer), 3, "max of 3,1,2 gaps");
     }
 
     #[test]

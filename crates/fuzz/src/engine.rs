@@ -11,11 +11,12 @@
 //! space — a run that completes its iteration budget inside the time
 //! budget is unaffected by it.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use dinefd_explore::{ExploreConfig, TransitionLabel};
 use dinefd_sim::scenario_dsl::Scenario;
-use dinefd_sim::{MetricMap, SplitMix64};
+use dinefd_sim::{Clock, MetricMap, MonotonicClock, SplitMix64};
 
 use crate::corpus::Corpus;
 use crate::minimize::{lemma_key, minimize};
@@ -132,31 +133,43 @@ impl FuzzReport {
 #[derive(Debug)]
 pub struct Fuzzer {
     cfg: FuzzConfig,
-    deadline: Option<Instant>,
+    budget: Option<Duration>,
+    clock: Arc<dyn Clock>,
 }
 
 impl Fuzzer {
     /// A fuzzer with no wall-clock budget (fully deterministic output).
     pub fn new(cfg: FuzzConfig) -> Self {
-        Fuzzer { cfg, deadline: None }
+        Fuzzer { cfg, budget: None, clock: Arc::new(MonotonicClock::new()) }
     }
 
-    /// Caps the run's wall clock. The budget is checked between schedule
-    /// executions, so a run is over budget by at most one execution. With
-    /// a budget set, *which prefix* of the iteration space runs depends on
-    /// the host — use iteration budgets alone where determinism matters.
+    /// Caps the run's wall clock, measured from the moment [`Fuzzer::run`]
+    /// starts. The budget is checked between schedule executions, so a run
+    /// is over budget by at most one execution. With a budget set, *which
+    /// prefix* of the iteration space runs depends on the host — use
+    /// iteration budgets alone where determinism matters.
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
-        self.deadline = Some(Instant::now() + budget);
+        self.budget = Some(budget);
         self
     }
 
-    fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+    /// Replaces the wall-clock source the time budget reads. Production
+    /// uses the default [`MonotonicClock`]; tests hand-crank a
+    /// [`dinefd_sim::ManualClock`] so the timeout path is exercised
+    /// without sleeping.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    fn out_of_time(&self, deadline: Option<Duration>) -> bool {
+        deadline.is_some_and(|d| self.clock.elapsed() >= d)
     }
 
     /// Runs the configured fuzzing campaign.
     pub fn run(&self) -> FuzzReport {
         let cfg = &self.cfg;
+        let deadline = self.budget.map(|b| self.clock.elapsed().saturating_add(b));
         let mut rng = SplitMix64::new(cfg.seed);
         let mut corpus = Corpus::new();
         let mut report = FuzzReport::default();
@@ -193,7 +206,7 @@ impl Fuzzer {
 
         // Phase 1: seed the corpus with purely random schedules.
         for _ in 0..cfg.corpus_seeds {
-            if self.out_of_time() {
+            if self.out_of_time(deadline) {
                 report.timed_out = true;
                 break;
             }
@@ -203,7 +216,7 @@ impl Fuzzer {
 
         // Phase 2: coverage-guided mutation.
         for iter in 1..=cfg.iterations {
-            if self.out_of_time() {
+            if self.out_of_time(deadline) {
                 report.timed_out = true;
                 break;
             }
@@ -332,5 +345,58 @@ mod tests {
         let starved = Fuzzer::new(cfg).with_time_budget(Duration::ZERO).run();
         assert!(starved.timed_out);
         assert!(starved.executions <= 1);
+    }
+
+    #[test]
+    fn frozen_fake_clock_never_times_out() {
+        // With an injected clock that never advances, even a 1 ns budget
+        // leaves infinite room: the full iteration budget runs and the
+        // output matches the untimed run exactly.
+        let cfg = FuzzConfig { iterations: 50, corpus_seeds: 4, ..Default::default() };
+        let untimed = Fuzzer::new(cfg.clone()).run();
+        let frozen = Fuzzer::new(cfg)
+            .with_clock(Arc::new(dinefd_sim::ManualClock::new()))
+            .with_time_budget(Duration::from_nanos(1))
+            .run();
+        assert!(!frozen.timed_out);
+        assert_eq!(frozen.iterations_run, 50);
+        assert_eq!(frozen.corpus_digest, untimed.corpus_digest);
+    }
+
+    #[test]
+    fn budget_is_anchored_at_run_start_not_construction() {
+        // Time spent between constructing the fuzzer and calling `run`
+        // must not eat into the budget.
+        let cfg = FuzzConfig { iterations: 50, corpus_seeds: 4, ..Default::default() };
+        let clock = dinefd_sim::ManualClock::new();
+        let fuzzer = Fuzzer::new(cfg)
+            .with_clock(Arc::new(clock.clone()))
+            .with_time_budget(Duration::from_secs(30));
+        clock.advance(Duration::from_secs(3_600));
+        let report = fuzzer.run();
+        assert!(!report.timed_out);
+        assert_eq!(report.iterations_run, 50);
+    }
+
+    #[test]
+    fn fake_clock_timeout_fires_without_sleeping() {
+        // A self-ticking clock advances one second per read: the deadline
+        // anchors at t=0s+2s, the first budget check reads 1s (under), the
+        // second reads 2s (expired) — the CI timeout path, exercised
+        // deterministically and instantly.
+        #[derive(Debug, Default)]
+        struct TickingClock(std::sync::atomic::AtomicU64);
+        impl dinefd_sim::Clock for TickingClock {
+            fn elapsed(&self) -> Duration {
+                Duration::from_secs(self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
+            }
+        }
+        let cfg = FuzzConfig { iterations: 50, corpus_seeds: 4, ..Default::default() };
+        let report = Fuzzer::new(cfg)
+            .with_clock(Arc::new(TickingClock::default()))
+            .with_time_budget(Duration::from_secs(2))
+            .run();
+        assert!(report.timed_out);
+        assert_eq!(report.executions, 1, "exactly one execution fits a 2-tick budget");
     }
 }

@@ -1,0 +1,99 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message on the live transport travels as one frame: a `u32`
+//! little-endian payload length followed by that many payload bytes (the
+//! [`Wire`](dinefd_runtime::Wire) encoding of the message). The first frame
+//! on every link is a *hello* carrying the sender's [`ProcessId`], so the
+//! accepting side learns who is on the other end of an otherwise anonymous
+//! loopback connection.
+
+use std::io::{self, Read, Write};
+
+use dinefd_runtime::{ProcessId, Wire};
+
+/// Frames larger than this are treated as stream corruption. The largest
+/// legitimate payload (a reduction `Dx` frame) is a few dozen bytes; a
+/// million is comfortably past anything this workspace encodes while still
+/// rejecting garbage length prefixes before a doomed allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `None` on clean end-of-stream
+/// (the peer closed between frames — its crash or horizon exit).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length out of range"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes the link-opening hello frame identifying `who`.
+pub fn write_hello<W: Write>(w: &mut W, who: ProcessId) -> io::Result<()> {
+    write_frame(w, &who.to_bytes())
+}
+
+/// Reads the link-opening hello frame.
+pub fn read_hello<R: Read>(r: &mut R) -> io::Result<ProcessId> {
+    let payload = read_frame(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof before hello"))?;
+    ProcessId::from_bytes(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"omega").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"omega"[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn hello_identifies_the_peer() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, ProcessId(7)).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_hello(&mut r).unwrap(), ProcessId(7));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let mut r = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! The crash × delay × GST differential matrix: the identical heartbeat-◇P
+//! logic core must reach the same timing-free verdict on the deterministic
+//! simulator and on the live loopback-TCP runtime, in every cell.
+
+use dinefd_live::{run_differential, run_soak, DiffScenario, SoakConfig};
+use dinefd_runtime::ProcessId;
+
+/// Delay profiles (the "delay × GST" axes): each is
+/// `(gst, delay, ramping, drop‰, reorder‰)`.
+const DELAY_CELLS: [(u64, u64, bool, u16, u16); 4] = [
+    // Well-behaved from the start.
+    (0, 0, false, 0, 0),
+    // Fixed 40 ms per frame until GST = 150.
+    (150, 40, false, 0, 0),
+    // Ramping 40 → 0 ms until GST = 150.
+    (150, 40, true, 0, 0),
+    // Mild delay plus pre-GST loss and reordering (live side only — the
+    // sim's channels are reliable and already non-FIFO).
+    (150, 10, false, 150, 150),
+];
+
+fn matrix() -> Vec<DiffScenario> {
+    let mut cells = Vec::new();
+    for (i, &(gst, delay, ramping, drop, reorder)) in DELAY_CELLS.iter().enumerate() {
+        for crash in [None, Some((ProcessId(2), 250))] {
+            cells.push(DiffScenario {
+                crash,
+                gst,
+                delay,
+                ramping,
+                drop_per_mille: drop,
+                reorder_per_mille: reorder,
+                seed: 0xD1FF + i as u64,
+                horizon: 700,
+                ..DiffScenario::new(3, 0)
+            });
+        }
+    }
+    cells
+}
+
+#[test]
+fn sim_and_live_converge_across_the_whole_matrix() {
+    for scenario in matrix() {
+        let report = run_differential(&scenario);
+        report.assert_converged();
+        // The verdict itself must be the interesting one: ◇P extracted.
+        assert!(report.live.verdict.eventually_perfect, "live not ◇P on {scenario:?}");
+        assert!(report.sim.verdict.eventually_perfect, "sim not ◇P on {scenario:?}");
+    }
+}
+
+#[test]
+fn crashed_cells_agree_on_exactly_who_is_suspected() {
+    let scenario = DiffScenario {
+        crash: Some((ProcessId(2), 250)),
+        gst: 150,
+        delay: 40,
+        horizon: 700,
+        ..DiffScenario::new(3, 7)
+    };
+    let report = run_differential(&scenario);
+    report.assert_converged();
+    for (watcher, suspected) in &report.live.verdict.final_suspicions {
+        assert_eq!(
+            suspected,
+            &vec![ProcessId(2)],
+            "{watcher} must suspect exactly the crashed process"
+        );
+    }
+}
+
+#[test]
+fn quick_soak_gate_holds() {
+    let cfg = SoakConfig { trials: 3, horizon_ms: 400, ..SoakConfig::quick() };
+    let report = run_soak(&cfg);
+    assert!(report.gate_ok(), "soak gate failed: {report:?}");
+    assert!(report.msgs_per_sec > 0.0);
+    assert_eq!(report.detection_samples, cfg.trials * (cfg.n - 1));
+    assert!(report.p99_detection_ms <= report.max_detection_ms);
+}
+
+/// The tentpole's "one logic core" claim, applied to the paper's reduction:
+/// the identical `ReductionNode` (witness/subject banks over the WF-◇WX
+/// black box) runs on the live runtime via its `Wire` codec and extracts
+/// the same verdict the simulator extracts — every correct process
+/// eventually trusts every correct process.
+#[test]
+fn reduction_host_extracts_the_same_verdict_on_both_runtimes() {
+    use dinefd_core::scenario::{factory_for, BlackBox};
+    use dinefd_core::{all_ordered_pairs, suspicion_history, RedObs, ReductionNode};
+    use dinefd_dining::participant::NoOracle;
+    use dinefd_fd::SuspicionHistory;
+    use dinefd_live::{LiveCluster, LiveConfig};
+    use dinefd_runtime::{Runtime, Time};
+    use dinefd_sim::{CrashPlan, DelayModel, World, WorldConfig};
+    use std::sync::Arc;
+
+    let n = 3usize;
+    let horizon = 800u64;
+    let pairs = all_ordered_pairs(n);
+    let factory = factory_for(BlackBox::WfDx);
+    let nodes = |seed_shift: u32| -> Vec<ReductionNode> {
+        (0..n)
+            .map(|i| {
+                let _ = seed_shift;
+                ReductionNode::new(
+                    ProcessId(i as u32),
+                    &pairs,
+                    &factory,
+                    Arc::new(NoOracle(8)),
+                    false,
+                )
+            })
+            .collect()
+    };
+    let plan = CrashPlan::none();
+
+    // Simulator side: 1-tick links.
+    let mut world = World::new(nodes(0), WorldConfig::new(1).delays(DelayModel::Fixed(1)));
+    world.run_until(Time(horizon));
+    let sim_hist = suspicion_history(n, world.trace(), &pairs);
+    let sim_ok = sim_hist.eventual_strong_accuracy(&plan).is_ok();
+
+    // Live side: the same nodes over loopback TCP, RedMsg on the wire.
+    let mut cluster = LiveCluster::new(nodes(1), LiveConfig::new(1));
+    let obs = cluster.run_to_horizon(Time(horizon));
+    let mut live_hist = SuspicionHistory::new(n, true);
+    live_hist.restrict_to(&pairs);
+    for rec in &obs {
+        if let RedObs::Suspicion { subject, suspected } = rec.obs {
+            live_hist.record(rec.at, rec.who, subject, suspected);
+        }
+    }
+    let live_ok = live_hist.eventual_strong_accuracy(&plan).is_ok();
+
+    assert!(sim_ok, "sim reduction failed accuracy: {:?}", sim_hist.classify(&plan));
+    assert!(live_ok, "live reduction failed accuracy: {:?}", live_hist.classify(&plan));
+    assert!(
+        cluster.stats().frames_delivered > 0,
+        "reduction traffic must actually cross the sockets"
+    );
+}

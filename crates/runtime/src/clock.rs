@@ -1,0 +1,152 @@
+//! Wall-clock reads as an injectable capability.
+//!
+//! The deterministic simulator must stay free of ad-hoc `Instant::now()`
+//! calls, yet several subsystems legitimately need elapsed real time: the
+//! fuzzer's CI time budget, shard-worker busy/wait accounting, and the live
+//! runtime's timers. Those subsystems take a [`Clock`] instead of reading
+//! the system clock inline, so unit tests can drive them with a
+//! [`ManualClock`] and production code uses a [`MonotonicClock`].
+//!
+//! A clock reports a monotone [`Duration`] since its own origin (creation
+//! time for [`MonotonicClock`], zero for a fresh [`ManualClock`]). There is
+//! no absolute epoch anywhere — only differences of reads are meaningful,
+//! which is exactly the partial-synchrony stance of the paper: processes may
+//! own timers but share no global clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotone source of elapsed wall time.
+///
+/// Implementations must be cheap to clone/share and safe to read from many
+/// threads; successive reads on any one clone never go backwards.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Time elapsed since this clock's origin.
+    fn elapsed(&self) -> Duration;
+
+    /// Convenience: elapsed time in whole microseconds, saturating.
+    fn elapsed_micros(&self) -> u64 {
+        let d = self.elapsed();
+        d.as_secs().saturating_mul(1_000_000).saturating_add(u64::from(d.subsec_micros()))
+    }
+
+    /// Convenience: elapsed time in whole milliseconds, saturating.
+    fn elapsed_millis(&self) -> u64 {
+        let d = self.elapsed();
+        d.as_secs().saturating_mul(1_000).saturating_add(u64::from(d.subsec_millis()))
+    }
+}
+
+/// The production clock: wraps a [`std::time::Instant`] origin.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is the moment of this call.
+    pub fn new() -> Self {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn elapsed(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A hand-cranked test clock: time moves only when [`ManualClock::advance`]
+/// is called.
+///
+/// Clones share the same underlying counter, so a test can hold one handle
+/// while the code under test holds another.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock frozen at its origin (elapsed = 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d` (saturating at `u64::MAX` microseconds).
+    pub fn advance(&self, d: Duration) {
+        let add =
+            d.as_secs().saturating_mul(1_000_000).saturating_add(u64::from(d.subsec_micros()));
+        // fetch_update to saturate instead of wrapping on overflow.
+        let _ = self.micros.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(cur.saturating_add(add))
+        });
+    }
+
+    /// Advances the clock by whole milliseconds.
+    pub fn advance_millis(&self, ms: u64) {
+        self.advance(Duration::from_millis(ms));
+    }
+}
+
+impl Clock for ManualClock {
+    fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_starts_at_zero_and_advances() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.elapsed(), Duration::ZERO);
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.elapsed(), Duration::from_millis(250));
+        clock.advance_millis(750);
+        assert_eq!(clock.elapsed(), Duration::from_secs(1));
+        assert_eq!(clock.elapsed_millis(), 1_000);
+        assert_eq!(clock.elapsed_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_micros(42));
+        assert_eq!(b.elapsed(), Duration::from_micros(42));
+    }
+
+    #[test]
+    fn manual_clock_saturates() {
+        let clock = ManualClock::new();
+        clock.advance(Duration::from_micros(u64::MAX));
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(clock.elapsed_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.elapsed();
+        let b = clock.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_is_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(ManualClock::new()), Box::new(MonotonicClock::new())];
+        for c in &clocks {
+            let _ = c.elapsed();
+        }
+    }
+}

@@ -23,7 +23,8 @@ pub struct TimerId(pub u32);
 /// equivalent to `k` consecutive steps, which the model also allows).
 ///
 /// Handlers of crashed processes are never invoked again — crash semantics
-/// live entirely in the [`crate::world::World`].
+/// live entirely in the driving runtime (the simulator's `World`, or the
+/// live cluster's per-process crash schedule).
 pub trait Node {
     /// Message type exchanged between nodes of this system.
     type Msg: Clone + std::fmt::Debug;
@@ -52,12 +53,12 @@ pub trait Node {
 /// buffered effects (sends, timers, observations) after the handler returns,
 /// which makes each handler invocation atomic.
 pub struct Context<'a, M, O> {
-    pub(crate) me: ProcessId,
-    pub(crate) now: Time,
-    pub(crate) sends: &'a mut Vec<(ProcessId, M)>,
-    pub(crate) timers: &'a mut Vec<(u64, TimerId)>,
-    pub(crate) observations: &'a mut Vec<O>,
-    pub(crate) rng: &'a mut SplitMix64,
+    me: ProcessId,
+    now: Time,
+    sends: &'a mut Vec<(ProcessId, M)>,
+    timers: &'a mut Vec<(u64, TimerId)>,
+    observations: &'a mut Vec<O>,
+    rng: &'a mut SplitMix64,
 }
 
 impl<M, O> std::fmt::Debug for Context<'_, M, O> {
@@ -73,6 +74,23 @@ impl<M, O> std::fmt::Debug for Context<'_, M, O> {
 }
 
 impl<'a, M, O> Context<'a, M, O> {
+    /// Assembles a step context over runtime-owned effect buffers.
+    ///
+    /// Runtimes (not nodes) call this once per atomic step; the handler's
+    /// sends, timers and observations accumulate into the borrowed vectors
+    /// and are routed after the handler returns.
+    #[inline]
+    pub fn new(
+        me: ProcessId,
+        now: Time,
+        sends: &'a mut Vec<(ProcessId, M)>,
+        timers: &'a mut Vec<(u64, TimerId)>,
+        observations: &'a mut Vec<O>,
+        rng: &'a mut SplitMix64,
+    ) -> Self {
+        Context { me, now, sends, timers, observations, rng }
+    }
+
     /// The id of the process taking this step.
     #[inline]
     pub fn me(&self) -> ProcessId {
@@ -125,14 +143,8 @@ mod tests {
         let mut timers = Vec::new();
         let mut obs: Vec<u32> = Vec::new();
         let mut rng = SplitMix64::new(1);
-        let mut ctx = Context {
-            me: ProcessId(0),
-            now: Time(5),
-            sends: &mut sends,
-            timers: &mut timers,
-            observations: &mut obs,
-            rng: &mut rng,
-        };
+        let mut ctx =
+            Context::new(ProcessId(0), Time(5), &mut sends, &mut timers, &mut obs, &mut rng);
         ctx.send(ProcessId(1), "hello");
         ctx.set_timer(0, TimerId(9)); // clamped to 1
         ctx.observe(7);

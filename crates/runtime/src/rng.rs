@@ -11,7 +11,7 @@
 /// A SplitMix64 pseudo-random generator.
 ///
 /// ```
-/// use dinefd_sim::SplitMix64;
+/// use dinefd_runtime::SplitMix64;
 ///
 /// let mut a = SplitMix64::new(42);
 /// let mut b = SplitMix64::new(42);

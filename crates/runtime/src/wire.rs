@@ -1,0 +1,244 @@
+//! A minimal binary codec for messages that cross a real socket.
+//!
+//! The simulated runtime moves messages by `Clone`; the live runtime moves
+//! them as length-prefixed frames over loopback TCP, so message types need a
+//! byte representation. The vendored serde stub only derives plain structs
+//! and unit enums, which rules it out for the fielded protocol enums — so
+//! the codec is a small hand-rolled trait instead: fixed-width little-endian
+//! integers, no self-description, no versioning. Both ends of a link are
+//! always the same build, which is all a loopback cluster needs.
+//!
+//! Encoding must be **canonical** (one byte string per value) so the
+//! differential harness can compare histories without worrying about codec
+//! nondeterminism.
+
+use std::fmt;
+
+/// Decode failure: the byte stream did not contain a valid value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes mid-value.
+    Truncated,
+    /// An enum discriminant byte had no corresponding variant.
+    BadTag(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire value truncated"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one raw byte (enum tags).
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32` little-endian.
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a byte slice for decoding.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one raw byte.
+    #[inline]
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+}
+
+/// Types with a canonical byte representation for the live transport.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `w`.
+    fn encode(&self, w: &mut WireWriter);
+
+    /// Decodes one value from `r`, consuming exactly its bytes.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: encodes into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Convenience: decodes a value that must fill `bytes` exactly.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::Truncated);
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u32(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+impl Wire for crate::id::ProcessId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(crate::id::ProcessId(r.u32()?))
+    }
+}
+
+impl Wire for crate::time::Time {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(crate::time::Time(r.u64()?))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ProcessId;
+    use crate::time::Time;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(ProcessId(7));
+        roundtrip(Time(123_456_789));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = 0xDEAD_BEEFu32.to_bytes();
+        assert_eq!(u32::from_bytes(&bytes[..3]), Err(WireError::Truncated));
+        assert_eq!(u64::from_bytes(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert_eq!(u32::from_bytes(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_tag_is_an_error() {
+        assert_eq!(bool::from_bytes(&[2]), Err(WireError::BadTag(2)));
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        // Same value, same bytes — the differential harness depends on it.
+        assert_eq!(Time(9).to_bytes(), Time(9).to_bytes());
+        assert_eq!(ProcessId(3).to_bytes(), vec![3, 0, 0, 0]);
+    }
+}

@@ -64,21 +64,25 @@
 pub mod codec;
 pub mod event;
 pub mod fault;
-pub mod id;
 pub mod metrics;
 pub mod net;
-pub mod node;
 pub mod pool;
 pub mod props;
-pub mod rng;
 pub mod scenario_dsl;
 pub mod shard;
 pub mod stats;
-pub mod time;
 pub mod trace;
 pub mod wheel;
 pub mod world;
 
+// The runtime-neutral layer (process abstraction, virtual time, RNG, clock)
+// lives in `dinefd-runtime`; re-export its modules under the historical
+// paths so `dinefd_sim::id::ProcessId` etc. keep working.
+pub use dinefd_runtime::{clock, id, node, rng, time};
+
+pub use dinefd_runtime::{
+    Clock, ManualClock, MonotonicClock, ObsRecord, Runtime, Wire, WireError, WireReader, WireWriter,
+};
 pub use event::QueueBackend;
 pub use fault::CrashPlan;
 pub use id::ProcessId;

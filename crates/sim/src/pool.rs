@@ -113,11 +113,57 @@ mod tests {
     }
 
     #[test]
+    fn run_each_with_zero_tasks_returns_empty() {
+        let tasks: Vec<WorkerFn<'_, u32>> = Vec::new();
+        assert_eq!(run_each(tasks), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn run_with_coordinator_runs_with_zero_workers() {
+        let tasks: Vec<WorkerFn<'_, ()>> = Vec::new();
+        let (results, out) = run_with_coordinator(tasks, || 41 + 1);
+        assert!(results.is_empty());
+        assert_eq!(out, 42);
+    }
+
+    #[test]
     #[should_panic(expected = "worker exploded")]
     fn worker_panics_propagate_with_their_payload() {
         let tasks: Vec<WorkerFn<'_, ()>> =
             vec![Box::new(|| ()), Box::new(|| panic!("worker exploded"))];
         run_each(tasks);
+    }
+
+    #[test]
+    #[should_panic(expected = "first boom")]
+    fn first_worker_panic_in_input_order_is_the_one_reraised() {
+        // Both workers panic; the join loop walks handles in input order,
+        // so the caller observes worker 0's payload deterministically even
+        // if worker 1 panicked first on the wall clock.
+        let tasks: Vec<WorkerFn<'_, ()>> = vec![
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("first boom");
+            }),
+            Box::new(|| panic!("second boom")),
+        ];
+        run_each(tasks);
+    }
+
+    #[test]
+    fn worker_panic_payload_survives_as_owned_string() {
+        // Panics raised with format arguments carry a `String` payload, not
+        // a `&'static str`; re-raising must preserve that too.
+        let code = 7;
+        let tasks: Vec<WorkerFn<'_, ()>> = vec![Box::new(move || panic!("code {code}"))];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_each(tasks)));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert_eq!(msg, "code 7");
     }
 
     #[test]

@@ -93,8 +93,9 @@
 //! shutdown.
 
 use std::sync::mpsc;
-use std::time::Instant;
+use std::sync::Arc;
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::event::EventKind;
 use crate::id::ProcessId;
 use crate::metrics::{Gauge, MetricMap, SimMetrics, WorkerStats};
@@ -301,14 +302,14 @@ impl<N: Node> ShardState<N> {
     ) {
         let l = self.local(pid);
         let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[l],
-            };
+            let mut ctx = Context::new(
+                pid,
+                self.now,
+                &mut self.sends_buf,
+                &mut self.timers_buf,
+                &mut self.obs_buf,
+                &mut self.node_rngs[l],
+            );
             self.nodes[l].on_start(&mut ctx);
             (
                 std::mem::take(&mut self.sends_buf),
@@ -329,14 +330,14 @@ impl<N: Node> ShardState<N> {
     ) {
         let l = self.local(pid);
         let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[l],
-            };
+            let mut ctx = Context::new(
+                pid,
+                self.now,
+                &mut self.sends_buf,
+                &mut self.timers_buf,
+                &mut self.obs_buf,
+                &mut self.node_rngs[l],
+            );
             self.nodes[l].on_message(&mut ctx, from, msg);
             (
                 std::mem::take(&mut self.sends_buf),
@@ -356,14 +357,14 @@ impl<N: Node> ShardState<N> {
     ) {
         let l = self.local(pid);
         let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[l],
-            };
+            let mut ctx = Context::new(
+                pid,
+                self.now,
+                &mut self.sends_buf,
+                &mut self.timers_buf,
+                &mut self.obs_buf,
+                &mut self.node_rngs[l],
+            );
             self.nodes[l].on_timer(&mut ctx, id);
             (
                 std::mem::take(&mut self.sends_buf),
@@ -566,13 +567,14 @@ fn worker_loop<N: Node>(
     mut owned: Vec<(usize, ShardState<N>)>,
     step_rx: mpsc::Receiver<StepMsg<N::Msg>>,
     done_tx: mpsc::Sender<Vec<ShardReport<N::Msg, N::Obs>>>,
+    clock: Arc<dyn Clock>,
 ) -> WorkerReturn<N> {
     let mut stats = WorkerStats::new();
     loop {
-        let waiting = Instant::now();
+        let waiting = clock.elapsed_micros();
         let Ok(StepMsg { t, inboxes }) = step_rx.recv() else { break };
-        stats.barrier_wait_micros.record(waiting.elapsed().as_micros() as u64);
-        let busy = Instant::now();
+        stats.barrier_wait_micros.record(clock.elapsed_micros().saturating_sub(waiting));
+        let busy = clock.elapsed_micros();
         for (s, entries) in inboxes {
             let st =
                 &mut owned.iter_mut().find(|(i, _)| *i == s).expect("inbox for an owned shard").1;
@@ -596,7 +598,7 @@ fn worker_loop<N: Node>(
             });
         }
         stats.instants.inc();
-        stats.busy_micros.record(busy.elapsed().as_micros() as u64);
+        stats.busy_micros.record(clock.elapsed_micros().saturating_sub(busy));
         if done_tx.send(reports).is_err() {
             break;
         }
@@ -623,6 +625,9 @@ pub struct ShardedWorld<N: Node> {
     global_depth: Gauge,
     /// Per-worker wall-clock stats from parallel runs (empty otherwise).
     worker_stats: Vec<WorkerStats>,
+    /// Wall-clock source for worker accounting; injectable for tests so the
+    /// simulator itself contains no ad-hoc `Instant::now()` reads.
+    clock: Arc<dyn Clock>,
     // Reusable merge buffers for the sequential path.
     log_buf: Vec<LogEntry<N::Msg, N::Obs>>,
     outbox_buf: Vec<OutboxEntry<N::Msg>>,
@@ -780,6 +785,7 @@ impl<N: Node> ShardedWorld<N> {
             obs_sink,
             global_depth: Gauge::new(),
             worker_stats: Vec::new(),
+            clock: Arc::new(MonotonicClock::new()),
             log_buf: Vec::new(),
             outbox_buf: Vec::new(),
         };
@@ -919,6 +925,15 @@ impl<N: Node> ShardedWorld<N> {
         &self.worker_stats
     }
 
+    /// Replaces the wall-clock source used for worker accounting.
+    ///
+    /// Tests inject a [`crate::ManualClock`] here to make the recorded
+    /// [`WorkerStats`] durations exact; production code keeps the default
+    /// [`MonotonicClock`].
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
     /// Merged metric export. Counters and histograms are exact sums over
     /// shards; `queue_depth_high_water` / `queue_depth_final` come from
     /// the global gauge, so the whole map is byte-identical across shard
@@ -1054,7 +1069,8 @@ impl<N: Node> ShardedWorld<N> {
                 .step_by(workers)
                 .map(|s| (s, states[s].take().expect("each shard assigned to one worker")))
                 .collect();
-            tasks.push(Box::new(move || worker_loop(owned, step_rx, done_tx)));
+            let clock = Arc::clone(&self.clock);
+            tasks.push(Box::new(move || worker_loop(owned, step_rx, done_tx, clock)));
         }
         let mut inbox: Vec<Inbox<N::Msg>> = (0..k).map(|_| Vec::new()).collect();
         let mut global_shadow = self.global_depth;
@@ -1284,6 +1300,35 @@ mod tests {
         let mut seq = ShardedWorld::new(ring(6, 300), cfg(90, 6, false), 4);
         seq.run_until(Time(1_000_000));
         assert!(seq.worker_stats().is_empty());
+    }
+
+    /// More threads than shards: `run_until` clamps the worker pool to the
+    /// shard count (a shard is never split across workers), the run still
+    /// drains, and the artifacts stay byte-identical to sequential.
+    #[test]
+    fn more_threads_than_shards_clamps_to_shard_count() {
+        let mut w = ShardedWorld::new(ring(6, 300), cfg(90, 6, false).threads(16), 2);
+        w.run_until(Time(1_000_000));
+        assert_eq!(w.worker_stats().len(), 2, "worker pool must clamp to shard count");
+        let got = (w.now(), format!("{:?}", w.trace().events()), w.metrics_map());
+        assert_eq!(got, run_threaded(90, 2, 1, false));
+    }
+
+    /// The worker wall-clock accounting reads the injected [`Clock`]: with
+    /// a frozen [`crate::ManualClock`] every recorded duration is exactly
+    /// zero while the sample counts still advance.
+    #[test]
+    fn worker_stats_read_the_injected_clock() {
+        let mut w = ShardedWorld::new(ring(6, 300), cfg(90, 6, false).threads(2), 2);
+        w.set_clock(Arc::new(crate::ManualClock::new()));
+        w.run_until(Time(1_000_000));
+        assert_eq!(w.worker_stats().len(), 2);
+        for s in w.worker_stats() {
+            assert!(s.instants.get() > 0, "workers must have stepped instants");
+            assert!(s.busy_micros.count() > 0);
+            assert_eq!(s.busy_micros.sum(), 0, "frozen clock ⇒ zero busy time");
+            assert_eq!(s.barrier_wait_micros.sum(), 0, "frozen clock ⇒ zero wait time");
+        }
     }
 
     #[test]

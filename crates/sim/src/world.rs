@@ -422,14 +422,14 @@ impl<N: Node> World<N> {
 
     fn dispatch_start(&mut self, pid: ProcessId) {
         let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[pid.index()],
-            };
+            let mut ctx = Context::new(
+                pid,
+                self.now,
+                &mut self.sends_buf,
+                &mut self.timers_buf,
+                &mut self.obs_buf,
+                &mut self.node_rngs[pid.index()],
+            );
             self.nodes[pid.index()].on_start(&mut ctx);
             (
                 std::mem::take(&mut self.sends_buf),
@@ -442,14 +442,14 @@ impl<N: Node> World<N> {
 
     fn dispatch_message(&mut self, pid: ProcessId, from: ProcessId, msg: N::Msg) {
         let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[pid.index()],
-            };
+            let mut ctx = Context::new(
+                pid,
+                self.now,
+                &mut self.sends_buf,
+                &mut self.timers_buf,
+                &mut self.obs_buf,
+                &mut self.node_rngs[pid.index()],
+            );
             self.nodes[pid.index()].on_message(&mut ctx, from, msg);
             (
                 std::mem::take(&mut self.sends_buf),
@@ -462,14 +462,14 @@ impl<N: Node> World<N> {
 
     fn dispatch_timer(&mut self, pid: ProcessId, id: TimerId) {
         let (sends, timers, obs) = {
-            let mut ctx = Context {
-                me: pid,
-                now: self.now,
-                sends: &mut self.sends_buf,
-                timers: &mut self.timers_buf,
-                observations: &mut self.obs_buf,
-                rng: &mut self.node_rngs[pid.index()],
-            };
+            let mut ctx = Context::new(
+                pid,
+                self.now,
+                &mut self.sends_buf,
+                &mut self.timers_buf,
+                &mut self.obs_buf,
+                &mut self.node_rngs[pid.index()],
+            );
             self.nodes[pid.index()].on_timer(&mut ctx, id);
             (
                 std::mem::take(&mut self.sends_buf),
@@ -574,6 +574,21 @@ impl<N: Node> World<N> {
             self.queue.push(at, EventKind::Envelope { from: pid, to, msgs });
         }
         self.groups_buf = groups;
+    }
+}
+
+impl<N: Node> dinefd_runtime::Runtime<N> for World<N> {
+    /// The simulated backend of the runtime contract: `on_start` steps were
+    /// already dispatched at construction, so this drains the event queue to
+    /// `horizon` (virtual ticks) and projects the observation events out of
+    /// the recorded trace. Requires observation recording to be on (the
+    /// [`WorldConfig`] default).
+    fn run_to_horizon(&mut self, horizon: Time) -> Vec<dinefd_runtime::ObsRecord<N::Obs>> {
+        self.run_until(horizon);
+        self.trace()
+            .observations()
+            .map(|(at, who, obs)| dinefd_runtime::ObsRecord { at, who, obs: obs.clone() })
+            .collect()
     }
 }
 
