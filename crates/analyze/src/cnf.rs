@@ -1,0 +1,1037 @@
+//! Bit-blasting the guarded-command IR into CNF.
+//!
+//! This module compiles [`AbsState`]s, the lemma/strengthening clauses of
+//! [`crate::induct`], and one IR transition step into propositional logic
+//! over the solver of [`crate::sat`], via hash-consed Tseitin AND gates
+//! ([`CnfBuilder::and`]) with constant folding. The encoding is the
+//! symbolic twin of the explicit enumerator:
+//!
+//! * **State** ([`SymState`]): each boolean field is one literal; each
+//!   dining phase is a 2-bit vector (`Thinking = 00`, `Hungry = 01`,
+//!   `Eating = 10`, `11` excluded by a typed-domain clause); each wire
+//!   counter is a little-endian bit-vector of `⌈log₂(cap+1)⌉` bits with a
+//!   `≤ cap` typed-domain clause. The typed models of one `SymState` are
+//!   therefore exactly the states `for_each_typed_state_cap` enumerates.
+//! * **Guards and updates**: transcribed from [`Ir::enabled`] /
+//!   [`Ir::fire`] shape for shape ([`sym_enabled`], [`sym_fire`]); the
+//!   agreement suite checks the two byte-for-byte over the whole cap-2
+//!   domain. Saturated-decrement nondeterminism becomes one fresh *choice*
+//!   literal per action: `post = (at_cap ∧ χ) ? cap : count − 1`.
+//! * **Step relation** ([`encode_step`]): one *selector* literal per IR
+//!   action, an exactly-one constraint over the selectors, `sel ⇒ guard`,
+//!   and `sel ⇒ (post-field = fired-field)` for every field — so a model
+//!   of the step formula decodes to exactly one `(pre, action, post)`
+//!   triple of [`Ir::successors_into`].
+//!
+//! [`wire_sum`], [`busy_count`] and [`deviation_count`] expose the three
+//! numeric components of the enumerator's CTI `simplicity_key` as adder
+//! circuits, which is how [`crate::kinduct`] enumerates counterexamples in
+//! exactly the explicit checker's "simplest first" order.
+
+use crate::induct::Clause;
+use crate::ir::{AbsState, ActionId, Ir, IrConfig};
+use crate::sat::{Lit, Solver};
+use dinefd_core::machines::SubjectMutation;
+use dinefd_dining::DinerPhase;
+use dinefd_explore::ModelMutation;
+use std::collections::HashMap;
+
+/// A propositional value: a constant or a solver literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bit {
+    /// A compile-time constant (folded away, never reaches the solver).
+    Const(bool),
+    /// The value of a solver literal.
+    Is(Lit),
+}
+
+/// Shorthand for the constant true.
+pub const TRUE: Bit = Bit::Const(true);
+/// Shorthand for the constant false.
+pub const FALSE: Bit = Bit::Const(false);
+
+/// A little-endian bit-vector (used for phases, counters, and sums).
+pub type Bv = Vec<Bit>;
+
+/// The Tseitin circuit builder over a [`Solver`].
+#[derive(Debug)]
+pub struct CnfBuilder {
+    /// The underlying solver (exposed so callers can solve/enumerate).
+    pub solver: Solver,
+    /// Hash-consing cache for AND gates, keyed on normalized inputs.
+    and_cache: HashMap<(Lit, Lit), Lit>,
+}
+
+impl CnfBuilder {
+    /// An empty builder over a fresh solver.
+    pub fn new() -> Self {
+        CnfBuilder { solver: Solver::new(), and_cache: HashMap::new() }
+    }
+
+    /// A fresh unconstrained bit.
+    pub fn fresh(&mut self) -> Bit {
+        Bit::Is(Lit::pos(self.solver.new_var()))
+    }
+
+    /// Negation (free: flips the sign or the constant).
+    pub fn not(&mut self, a: Bit) -> Bit {
+        match a {
+            Bit::Const(c) => Bit::Const(!c),
+            Bit::Is(l) => Bit::Is(l.negate()),
+        }
+    }
+
+    /// Conjunction, with constant folding and hash-consing.
+    pub fn and(&mut self, a: Bit, b: Bit) -> Bit {
+        match (a, b) {
+            (Bit::Const(false), _) | (_, Bit::Const(false)) => FALSE,
+            (Bit::Const(true), x) | (x, Bit::Const(true)) => x,
+            (Bit::Is(la), Bit::Is(lb)) => {
+                if la == lb {
+                    return a;
+                }
+                if la == lb.negate() {
+                    return FALSE;
+                }
+                let key = (la.min(lb), la.max(lb));
+                if let Some(&o) = self.and_cache.get(&key) {
+                    return Bit::Is(o);
+                }
+                let o = Lit::pos(self.solver.new_var());
+                self.solver.add_clause(&[o.negate(), key.0]);
+                self.solver.add_clause(&[o.negate(), key.1]);
+                self.solver.add_clause(&[key.0.negate(), key.1.negate(), o]);
+                self.and_cache.insert(key, o);
+                Bit::Is(o)
+            }
+        }
+    }
+
+    /// Disjunction (De Morgan over [`CnfBuilder::and`]).
+    pub fn or(&mut self, a: Bit, b: Bit) -> Bit {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let c = self.and(na, nb);
+        self.not(c)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Bit, b: Bit) -> Bit {
+        let nb = self.not(b);
+        let na = self.not(a);
+        let t = self.and(a, nb);
+        let u = self.and(na, b);
+        self.or(t, u)
+    }
+
+    /// Equivalence.
+    pub fn iff(&mut self, a: Bit, b: Bit) -> Bit {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Multiplexer: `cond ? then_b : else_b`.
+    pub fn mux(&mut self, cond: Bit, then_b: Bit, else_b: Bit) -> Bit {
+        match cond {
+            Bit::Const(true) => then_b,
+            Bit::Const(false) => else_b,
+            _ => {
+                if then_b == else_b {
+                    return then_b;
+                }
+                let nc = self.not(cond);
+                let t = self.and(cond, then_b);
+                let e = self.and(nc, else_b);
+                self.or(t, e)
+            }
+        }
+    }
+
+    /// Conjunction of many bits.
+    pub fn and_many(&mut self, bits: &[Bit]) -> Bit {
+        bits.iter().fold(TRUE, |acc, &b| self.and(acc, b))
+    }
+
+    /// Disjunction of many bits.
+    pub fn or_many(&mut self, bits: &[Bit]) -> Bit {
+        bits.iter().fold(FALSE, |acc, &b| self.or(acc, b))
+    }
+
+    /// Asserts `b` as a hard unit constraint. Panics on constant false —
+    /// that is always an encoding bug, not a solver verdict.
+    pub fn assert_true(&mut self, b: Bit) {
+        match b {
+            Bit::Const(true) => {}
+            Bit::Const(false) => panic!("asserting constant false"),
+            Bit::Is(l) => {
+                self.solver.add_clause(&[l]);
+            }
+        }
+    }
+
+    /// Asserts `guard ⇒ b` as clauses (no gate variable needed).
+    pub fn assert_implies(&mut self, guard: Lit, b: Bit) {
+        match b {
+            Bit::Const(true) => {}
+            Bit::Const(false) => {
+                self.solver.add_clause(&[guard.negate()]);
+            }
+            Bit::Is(l) => {
+                self.solver.add_clause(&[guard.negate(), l]);
+            }
+        }
+    }
+
+    /// Asserts `guard ⇒ (a = b)`.
+    pub fn assert_eq_under(&mut self, guard: Lit, a: Bit, b: Bit) {
+        match (a, b) {
+            (Bit::Const(x), Bit::Const(y)) => {
+                if x != y {
+                    self.solver.add_clause(&[guard.negate()]);
+                }
+            }
+            (Bit::Const(c), Bit::Is(l)) | (Bit::Is(l), Bit::Const(c)) => {
+                let want = if c { l } else { l.negate() };
+                self.solver.add_clause(&[guard.negate(), want]);
+            }
+            (Bit::Is(la), Bit::Is(lb)) => {
+                if la == lb {
+                    return;
+                }
+                self.solver.add_clause(&[guard.negate(), la.negate(), lb]);
+                self.solver.add_clause(&[guard.negate(), la, lb.negate()]);
+            }
+        }
+    }
+
+    // ---- bit-vector circuits -------------------------------------------
+
+    /// The constant bit-vector of `value` over `width` bits.
+    pub fn bv_const(&self, value: u64, width: usize) -> Bv {
+        (0..width).map(|k| Bit::Const(value >> k & 1 == 1)).collect()
+    }
+
+    /// A fresh unconstrained bit-vector.
+    pub fn bv_fresh(&mut self, width: usize) -> Bv {
+        (0..width).map(|_| self.fresh()).collect()
+    }
+
+    /// `a = k` as a single bit.
+    pub fn bv_eq_const(&mut self, a: &Bv, k: u64) -> Bit {
+        let mut acc = TRUE;
+        for (i, &bit) in a.iter().enumerate() {
+            let want = k >> i & 1 == 1;
+            let matched = if want { bit } else { self.not(bit) };
+            acc = self.and(acc, matched);
+        }
+        if k >> a.len() != 0 {
+            return FALSE; // k does not fit in the width
+        }
+        acc
+    }
+
+    /// `a = b` (widths must match).
+    pub fn bv_eq(&mut self, a: &Bv, b: &Bv) -> Bit {
+        assert_eq!(a.len(), b.len());
+        let mut acc = TRUE;
+        for (&x, &y) in a.iter().zip(b) {
+            let e = self.iff(x, y);
+            acc = self.and(acc, e);
+        }
+        acc
+    }
+
+    /// `a ≠ 0`.
+    pub fn bv_nonzero(&mut self, a: &Bv) -> Bit {
+        let bits: Vec<Bit> = a.clone();
+        self.or_many(&bits)
+    }
+
+    /// `a ≤ k` (small-width disjunction of equalities — counters are ≤ 4
+    /// bits wide, so this stays tiny).
+    pub fn bv_le_const(&mut self, a: &Bv, k: u64) -> Bit {
+        let mut terms = Vec::with_capacity(k as usize + 1);
+        for v in 0..=k {
+            terms.push(self.bv_eq_const(a, v));
+        }
+        self.or_many(&terms)
+    }
+
+    /// `a + 1` over the same width (wraps; callers guard against it).
+    pub fn bv_inc(&mut self, a: &Bv) -> Bv {
+        let mut carry = TRUE;
+        let mut out = Vec::with_capacity(a.len());
+        for &bit in a {
+            out.push(self.xor(bit, carry));
+            carry = self.and(bit, carry);
+        }
+        out
+    }
+
+    /// `a − 1` over the same width (wraps at 0; callers guard).
+    pub fn bv_dec(&mut self, a: &Bv) -> Bv {
+        let mut borrow = TRUE;
+        let mut out = Vec::with_capacity(a.len());
+        for &bit in a {
+            out.push(self.xor(bit, borrow));
+            let nb = self.not(bit);
+            borrow = self.and(nb, borrow);
+        }
+        out
+    }
+
+    /// Ripple-carry addition, widened to hold the exact sum.
+    pub fn bv_add(&mut self, a: &Bv, b: &Bv) -> Bv {
+        let width = a.len().max(b.len()) + 1;
+        let get = |v: &Bv, k: usize| v.get(k).copied().unwrap_or(FALSE);
+        let mut carry = FALSE;
+        let mut out = Vec::with_capacity(width);
+        for k in 0..width {
+            let x = get(a, k);
+            let y = get(b, k);
+            let xy = self.xor(x, y);
+            out.push(self.xor(xy, carry));
+            let t = self.and(x, y);
+            let u = self.and(xy, carry);
+            carry = self.or(t, u);
+        }
+        out
+    }
+
+    /// Per-bit multiplexer over equal-width vectors.
+    pub fn bv_mux(&mut self, cond: Bit, then_v: &Bv, else_v: &Bv) -> Bv {
+        assert_eq!(then_v.len(), else_v.len());
+        then_v.iter().zip(else_v).map(|(&t, &e)| self.mux(cond, t, e)).collect()
+    }
+
+    /// Population count of `bits` as an exact-width sum.
+    pub fn popcount(&mut self, bits: &[Bit]) -> Bv {
+        let mut acc = self.bv_const(0, 1);
+        for &b in bits {
+            acc = self.bv_add(&acc, &vec![b]);
+        }
+        acc
+    }
+}
+
+impl Default for CnfBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bits needed for a counter saturating at `cap` (`⌈log₂(cap+1)⌉`).
+pub fn counter_width(cap: u8) -> usize {
+    (32 - (cap as u32).leading_zeros()) as usize
+}
+
+/// One symbolic [`AbsState`]: every field of the explicit struct as bits.
+#[derive(Clone, Debug)]
+pub struct SymState {
+    /// Phases of `p.w_0`, `p.w_1` (2 bits each).
+    pub w_phase: [Bv; 2],
+    /// Phases of `q.s_0`, `q.s_1`.
+    pub s_phase: [Bv; 2],
+    /// Alg. 1 `switch` (one bit; `true` = instance 1).
+    pub switch: Bit,
+    /// Alg. 1 `haveping_i`.
+    pub haveping: [Bit; 2],
+    /// Alg. 1 `suspect_q`.
+    pub suspect: Bit,
+    /// Alg. 2 `trigger` (one bit).
+    pub trigger: Bit,
+    /// Alg. 2 `ping_i`.
+    pub ping_enabled: [Bit; 2],
+    /// Whether ◇WX's exclusive suffix has begun.
+    pub converged: Bit,
+    /// Whether `q` has crashed.
+    pub crashed: Bit,
+    /// In-flight pings per instance.
+    pub pings: [Bv; 2],
+    /// In-flight acks per instance.
+    pub acks: [Bv; 2],
+    /// The saturation cap the counters were sized for.
+    pub cap: u8,
+}
+
+fn phase_const(b: &CnfBuilder, p: DinerPhase) -> Bv {
+    b.bv_const(p as u64, 2)
+}
+
+impl SymState {
+    /// Allocates a fresh symbolic state and asserts its typed-domain
+    /// constraints: phases ∈ {thinking, hungry, eating} (no `11` code, and
+    /// `Exiting` is excluded exactly as in `for_each_typed_state_cap`),
+    /// counters ≤ `cap`.
+    pub fn fresh(b: &mut CnfBuilder, cap: u8) -> SymState {
+        let phase = |b: &mut CnfBuilder| -> Bv {
+            let v = b.bv_fresh(2);
+            let both = b.and(v[0], v[1]);
+            let neither = b.not(both);
+            b.assert_true(neither);
+            v
+        };
+        let w_phase = [phase(b), phase(b)];
+        let s_phase = [phase(b), phase(b)];
+        let counter = |b: &mut CnfBuilder| -> Bv {
+            let v = b.bv_fresh(counter_width(cap));
+            let le = b.bv_le_const(&v, cap as u64);
+            b.assert_true(le);
+            v
+        };
+        let pings = [counter(b), counter(b)];
+        let acks = [counter(b), counter(b)];
+        SymState {
+            w_phase,
+            s_phase,
+            switch: b.fresh(),
+            haveping: [b.fresh(), b.fresh()],
+            suspect: b.fresh(),
+            trigger: b.fresh(),
+            ping_enabled: [b.fresh(), b.fresh()],
+            converged: b.fresh(),
+            crashed: b.fresh(),
+            pings,
+            acks,
+            cap,
+        }
+    }
+
+    /// `phase = p` as a bit.
+    pub fn phase_is(&self, b: &mut CnfBuilder, phase: &Bv, p: DinerPhase) -> Bit {
+        b.bv_eq_const(phase, p as u64)
+    }
+
+    /// `switch = i` / `trigger = i` helpers.
+    fn bin_is(&self, b: &mut CnfBuilder, bit: Bit, i: usize) -> Bit {
+        if i == 1 {
+            bit
+        } else {
+            b.not(bit)
+        }
+    }
+
+    /// Reads the concrete state out of a satisfying assignment.
+    pub fn decode(&self, solver: &Solver) -> AbsState {
+        let bit = |x: Bit| match x {
+            Bit::Const(c) => c,
+            Bit::Is(l) => solver.lit_value(l),
+        };
+        let bv = |v: &Bv| -> u8 {
+            v.iter().enumerate().fold(0u8, |acc, (k, &x)| acc | (u8::from(bit(x)) << k))
+        };
+        let phase = |v: &Bv| match bv(v) {
+            0 => DinerPhase::Thinking,
+            1 => DinerPhase::Hungry,
+            2 => DinerPhase::Eating,
+            other => unreachable!("excluded phase code {other}"),
+        };
+        AbsState {
+            w_phase: [phase(&self.w_phase[0]), phase(&self.w_phase[1])],
+            s_phase: [phase(&self.s_phase[0]), phase(&self.s_phase[1])],
+            switch: u8::from(bit(self.switch)),
+            haveping: [bit(self.haveping[0]), bit(self.haveping[1])],
+            suspect: bit(self.suspect),
+            trigger: u8::from(bit(self.trigger)),
+            ping_enabled: [bit(self.ping_enabled[0]), bit(self.ping_enabled[1])],
+            converged: bit(self.converged),
+            crashed: bit(self.crashed),
+            pings: [bv(&self.pings[0]), bv(&self.pings[1])],
+            acks: [bv(&self.acks[0]), bv(&self.acks[1])],
+        }
+    }
+
+    /// Every solver literal of the state (pre/post blocking clauses range
+    /// over exactly these).
+    pub fn literals(&self) -> Vec<Lit> {
+        let mut out = Vec::with_capacity(32);
+        let mut push = |b: Bit| {
+            if let Bit::Is(l) = b {
+                out.push(l);
+            }
+        };
+        for i in 0..2 {
+            self.w_phase[i].iter().for_each(|&b| push(b));
+            self.s_phase[i].iter().for_each(|&b| push(b));
+        }
+        push(self.switch);
+        push(self.haveping[0]);
+        push(self.haveping[1]);
+        push(self.suspect);
+        push(self.trigger);
+        push(self.ping_enabled[0]);
+        push(self.ping_enabled[1]);
+        push(self.converged);
+        push(self.crashed);
+        for i in 0..2 {
+            self.pings[i].iter().for_each(|&b| push(b));
+            self.acks[i].iter().for_each(|&b| push(b));
+        }
+        out
+    }
+
+    /// Assumption literals pinning this symbolic state to the concrete `s`.
+    pub fn assumptions_for(&self, s: &AbsState, out: &mut Vec<Lit>) {
+        fn pin(out: &mut Vec<Lit>, b: Bit, want: bool) {
+            match b {
+                Bit::Const(c) => debug_assert_eq!(c, want, "constant bit mismatch"),
+                Bit::Is(l) => out.push(if want { l } else { l.negate() }),
+            }
+        }
+        fn pin_bv(out: &mut Vec<Lit>, v: &Bv, want: u64) {
+            for (k, &b) in v.iter().enumerate() {
+                pin(out, b, want >> k & 1 == 1);
+            }
+        }
+        for i in 0..2 {
+            pin_bv(out, &self.w_phase[i], s.w_phase[i] as u64);
+            pin_bv(out, &self.s_phase[i], s.s_phase[i] as u64);
+        }
+        pin(out, self.switch, s.switch == 1);
+        pin(out, self.haveping[0], s.haveping[0]);
+        pin(out, self.haveping[1], s.haveping[1]);
+        pin(out, self.suspect, s.suspect);
+        pin(out, self.trigger, s.trigger == 1);
+        pin(out, self.ping_enabled[0], s.ping_enabled[0]);
+        pin(out, self.ping_enabled[1], s.ping_enabled[1]);
+        pin(out, self.converged, s.converged);
+        pin(out, self.crashed, s.crashed);
+        for i in 0..2 {
+            pin_bv(out, &self.pings[i], u64::from(s.pings[i]));
+            pin_bv(out, &self.acks[i], u64::from(s.acks[i]));
+        }
+    }
+}
+
+/// The guard of `id` on symbolic state `s` — the bit-level transcription of
+/// [`Ir::enabled`], constant-folded against `cfg`.
+pub fn sym_enabled(b: &mut CnfBuilder, cfg: &IrConfig, s: &SymState, id: ActionId) -> Bit {
+    use DinerPhase::{Eating, Hungry, Thinking};
+    let o = |i: usize| 1 - i;
+    let not_crashed = b.not(s.crashed);
+    match id {
+        ActionId::WitnessHungry(i) => {
+            let a = s.phase_is(b, &s.w_phase[i].clone(), Thinking);
+            let c = s.phase_is(b, &s.w_phase[o(i)].clone(), Thinking);
+            let sw = s.bin_is(b, s.switch, i);
+            b.and_many(&[a, c, sw])
+        }
+        ActionId::WitnessExit(i) => s.phase_is(b, &s.w_phase[i].clone(), Eating),
+        ActionId::SubjectHungry(i) => {
+            let thinking = s.phase_is(b, &s.s_phase[i].clone(), Thinking);
+            let trig = if cfg.subject_mutation == SubjectMutation::IgnoreTriggerGuard {
+                TRUE
+            } else {
+                s.bin_is(b, s.trigger, i)
+            };
+            b.and_many(&[not_crashed, thinking, trig])
+        }
+        ActionId::SubjectPing(i) => {
+            let eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+            let other_eat = s.phase_is(b, &s.s_phase[o(i)].clone(), Eating);
+            let other_ok = b.not(other_eat);
+            b.and_many(&[not_crashed, eat, other_ok, s.ping_enabled[i]])
+        }
+        ActionId::SubjectExit(i) => {
+            let eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+            let other_eat = s.phase_is(b, &s.s_phase[o(i)].clone(), Eating);
+            let trig = s.bin_is(b, s.trigger, o(i));
+            b.and_many(&[not_crashed, eat, other_eat, trig])
+        }
+        ActionId::DeliverPing(i) => b.bv_nonzero(&s.pings[i].clone()),
+        ActionId::DeliverAck(i) => {
+            let some = b.bv_nonzero(&s.acks[i].clone());
+            b.and(not_crashed, some)
+        }
+        ActionId::DeliverStaleAck(i) => {
+            let mode = Bit::Const(cfg.strict_seq);
+            let some = b.bv_nonzero(&s.acks[i].clone());
+            b.and_many(&[mode, not_crashed, some])
+        }
+        ActionId::DuplicateAck(i) => {
+            let mode = Bit::Const(cfg.model_mutation == ModelMutation::StaleAckReplay);
+            let some = b.bv_nonzero(&s.acks[i].clone());
+            b.and_many(&[mode, not_crashed, some])
+        }
+        ActionId::GrantWitness(i) => {
+            let hungry = s.phase_is(b, &s.w_phase[i].clone(), Hungry);
+            let s_eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+            let s_not_eat = b.not(s_eat);
+            let nc = b.not(s.converged);
+            let free = b.or_many(&[nc, s.crashed, s_not_eat]);
+            b.and(hungry, free)
+        }
+        ActionId::GrantSubject(i) => {
+            let hungry = s.phase_is(b, &s.s_phase[i].clone(), Hungry);
+            let w_eat = s.phase_is(b, &s.w_phase[i].clone(), Eating);
+            let w_not_eat = b.not(w_eat);
+            let nc = b.not(s.converged);
+            let free = b.or(nc, w_not_eat);
+            b.and_many(&[not_crashed, hungry, free])
+        }
+        ActionId::Converge => {
+            let mut overlap = FALSE;
+            for i in 0..2 {
+                let w_eat = s.phase_is(b, &s.w_phase[i].clone(), Eating);
+                let s_eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+                let both = b.and_many(&[not_crashed, w_eat, s_eat]);
+                overlap = b.or(overlap, both);
+            }
+            let nc = b.not(s.converged);
+            let no_overlap = b.not(overlap);
+            b.and(nc, no_overlap)
+        }
+        ActionId::CrashSubject => {
+            let mode = Bit::Const(cfg.allow_crash);
+            b.and(mode, not_crashed)
+        }
+    }
+}
+
+/// Saturating increment at the state's cap: `a = cap ? cap : a + 1`.
+fn sym_sat_inc(b: &mut CnfBuilder, a: &Bv, cap: u8) -> Bv {
+    let at_cap = b.bv_eq_const(a, cap as u64);
+    let inc = b.bv_inc(a);
+    let cap_v = b.bv_const(cap as u64, a.len());
+    b.bv_mux(at_cap, &cap_v, &inc)
+}
+
+/// Saturating decrement with the abstraction's nondeterministic stay-at-cap
+/// branch driven by the `choice` literal: `(a = cap ∧ χ) ? cap : a − 1`.
+fn sym_sat_dec(b: &mut CnfBuilder, a: &Bv, cap: u8, choice: Bit) -> Bv {
+    let at_cap = b.bv_eq_const(a, cap as u64);
+    let stay = b.and(at_cap, choice);
+    let dec = b.bv_dec(a);
+    let cap_v = b.bv_const(cap as u64, a.len());
+    b.bv_mux(stay, &cap_v, &dec)
+}
+
+/// The post-state expression of firing `id` from `s` — the bit-level
+/// transcription of [`Ir::fire`], with `choice` resolving saturated
+/// decrements. Fields an action leaves alone are the pre-state's own bits,
+/// which is what makes the frame condition exact.
+pub fn sym_fire(
+    b: &mut CnfBuilder,
+    cfg: &IrConfig,
+    s: &SymState,
+    id: ActionId,
+    choice: Bit,
+) -> SymState {
+    use DinerPhase::{Eating, Hungry, Thinking};
+    let o = |i: usize| 1 - i;
+    let cap = s.cap;
+    let mut t = s.clone();
+    match id {
+        ActionId::WitnessHungry(i) => {
+            t.w_phase[i] = phase_const(b, Hungry);
+        }
+        ActionId::WitnessExit(i) => {
+            t.suspect = b.not(s.haveping[i]);
+            t.haveping[i] = FALSE;
+            t.switch = Bit::Const(o(i) == 1);
+            t.w_phase[i] = phase_const(b, Thinking);
+        }
+        ActionId::SubjectHungry(i) => {
+            t.s_phase[i] = phase_const(b, Hungry);
+        }
+        ActionId::SubjectPing(i) => {
+            if cfg.subject_mutation != SubjectMutation::SkipPingDisable {
+                t.ping_enabled[i] = FALSE;
+            }
+            if cfg.model_mutation != ModelMutation::DropPingSend {
+                t.pings[i] = sym_sat_inc(b, &s.pings[i], cap);
+            }
+        }
+        ActionId::SubjectExit(i) => {
+            t.ping_enabled[i] = TRUE;
+            t.s_phase[i] = phase_const(b, Thinking);
+        }
+        ActionId::DeliverPing(i) => {
+            t.haveping[i] = TRUE;
+            let inc = sym_sat_inc(b, &s.acks[i], cap);
+            t.acks[i] = b.bv_mux(s.crashed, &s.acks[i], &inc);
+            t.pings[i] = sym_sat_dec(b, &s.pings[i], cap, choice);
+        }
+        ActionId::DeliverAck(i) => {
+            if cfg.subject_mutation != SubjectMutation::SkipTriggerUpdate {
+                t.trigger = Bit::Const(o(i) == 1);
+            }
+            t.acks[i] = sym_sat_dec(b, &s.acks[i], cap, choice);
+        }
+        ActionId::DeliverStaleAck(i) => {
+            t.acks[i] = sym_sat_dec(b, &s.acks[i], cap, choice);
+        }
+        ActionId::DuplicateAck(i) => {
+            t.acks[i] = sym_sat_inc(b, &s.acks[i], cap);
+        }
+        ActionId::GrantWitness(i) => {
+            t.w_phase[i] = phase_const(b, Eating);
+        }
+        ActionId::GrantSubject(i) => {
+            t.s_phase[i] = phase_const(b, Eating);
+        }
+        ActionId::Converge => {
+            t.converged = TRUE;
+        }
+        ActionId::CrashSubject => {
+            t.crashed = TRUE;
+            let zero = b.bv_const(0, s.acks[0].len());
+            t.acks = [zero.clone(), zero];
+        }
+    }
+    t
+}
+
+/// One encoded action of a step: its selector and choice literals.
+#[derive(Clone, Copy, Debug)]
+pub struct SymAction {
+    /// The action.
+    pub id: ActionId,
+    /// True in a model iff this action is the one fired.
+    pub select: Lit,
+    /// Resolves the saturated-decrement nondeterminism when fired.
+    pub choice: Lit,
+}
+
+/// The encoded transition relation between two symbolic states.
+#[derive(Clone, Debug)]
+pub struct SymStep {
+    /// One entry per action of the IR's table, same order.
+    pub actions: Vec<SymAction>,
+}
+
+impl SymStep {
+    /// The action selected in the current model.
+    pub fn selected(&self, solver: &Solver) -> ActionId {
+        self.actions
+            .iter()
+            .find(|a| solver.lit_value(a.select))
+            .map(|a| a.id)
+            .expect("exactly-one selector constraint")
+    }
+}
+
+/// Encodes `post = fire(pre, a)` for exactly one action `a` of `ir`:
+/// per-action selector literals with an exactly-one constraint,
+/// `sel ⇒ guard`, and `sel ⇒` field-wise equality of `post` with the fired
+/// expression.
+pub fn encode_step(b: &mut CnfBuilder, ir: &Ir, pre: &SymState, post: &SymState) -> SymStep {
+    let cfg = ir.cfg;
+    let mut actions = Vec::with_capacity(ir.actions().len());
+    for a in ir.actions() {
+        let select = Lit::pos(b.solver.new_var());
+        let choice = Lit::pos(b.solver.new_var());
+        let guard = sym_enabled(b, &cfg, pre, a.id);
+        b.assert_implies(select, guard);
+        let fired = sym_fire(b, &cfg, pre, a.id, Bit::Is(choice));
+        for i in 0..2 {
+            for k in 0..2 {
+                b.assert_eq_under(select, post.w_phase[i][k], fired.w_phase[i][k]);
+                b.assert_eq_under(select, post.s_phase[i][k], fired.s_phase[i][k]);
+            }
+            for k in 0..pre.pings[i].len() {
+                b.assert_eq_under(select, post.pings[i][k], fired.pings[i][k]);
+                b.assert_eq_under(select, post.acks[i][k], fired.acks[i][k]);
+            }
+        }
+        b.assert_eq_under(select, post.switch, fired.switch);
+        b.assert_eq_under(select, post.haveping[0], fired.haveping[0]);
+        b.assert_eq_under(select, post.haveping[1], fired.haveping[1]);
+        b.assert_eq_under(select, post.suspect, fired.suspect);
+        b.assert_eq_under(select, post.trigger, fired.trigger);
+        b.assert_eq_under(select, post.ping_enabled[0], fired.ping_enabled[0]);
+        b.assert_eq_under(select, post.ping_enabled[1], fired.ping_enabled[1]);
+        b.assert_eq_under(select, post.converged, fired.converged);
+        b.assert_eq_under(select, post.crashed, fired.crashed);
+        actions.push(SymAction { id: a.id, select, choice });
+    }
+    // Exactly one action fires: at-least-one + pairwise at-most-one.
+    let alo: Vec<Lit> = actions.iter().map(|a| a.select).collect();
+    b.solver.add_clause(&alo);
+    for i in 0..actions.len() {
+        for j in i + 1..actions.len() {
+            b.solver.add_clause(&[actions[i].select.negate(), actions[j].select.negate()]);
+        }
+    }
+    SymStep { actions }
+}
+
+/// The symbolic value of one invariant clause on `s` — the bit-level twin
+/// of [`Clause::holds`] (which itself delegates to the shared predicates of
+/// `dinefd_explore::invariants`).
+pub fn sym_clause(b: &mut CnfBuilder, s: &SymState, clause: Clause) -> Bit {
+    use DinerPhase::{Eating, Hungry, Thinking};
+    let per_instance = |b: &mut CnfBuilder, f: &mut dyn FnMut(&mut CnfBuilder, usize) -> Bit| {
+        let x = f(b, 0);
+        let y = f(b, 1);
+        b.and(x, y)
+    };
+    let in_flight = |b: &mut CnfBuilder, s: &SymState, i: usize| {
+        let p = b.bv_nonzero(&s.pings[i].clone());
+        let a = b.bv_nonzero(&s.acks[i].clone());
+        b.or(p, a)
+    };
+    match clause {
+        Clause::L2 => per_instance(b, &mut |b, i| {
+            let eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+            b.or_many(&[s.crashed, eat, s.ping_enabled[i]])
+        }),
+        Clause::L3 => per_instance(b, &mut |b, i| {
+            let eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+            let npe = b.not(s.ping_enabled[i]);
+            let fl = in_flight(b, s, i);
+            let nfl = b.not(fl);
+            b.or_many(&[s.crashed, eat, npe, nfl])
+        }),
+        Clause::L4 => per_instance(b, &mut |b, i| {
+            let hungry = s.phase_is(b, &s.s_phase[i].clone(), Hungry);
+            let nh = b.not(hungry);
+            let trig = s.bin_is(b, s.trigger, i);
+            b.or_many(&[s.crashed, nh, trig])
+        }),
+        Clause::L9 => {
+            let t0 = s.phase_is(b, &s.w_phase[0].clone(), Thinking);
+            let t1 = s.phase_is(b, &s.w_phase[1].clone(), Thinking);
+            b.or(t0, t1)
+        }
+        Clause::Excl => per_instance(b, &mut |b, i| {
+            let w_eat = s.phase_is(b, &s.w_phase[i].clone(), Eating);
+            let s_eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+            let both = b.and(w_eat, s_eat);
+            let nboth = b.not(both);
+            let nconv = b.not(s.converged);
+            b.or_many(&[nconv, s.crashed, nboth])
+        }),
+        Clause::WTurn => {
+            // w_{1-switch} thinking: switch=0 ⇒ w_1 thinking, switch=1 ⇒ w_0.
+            let t0 = s.phase_is(b, &s.w_phase[0].clone(), Thinking);
+            let t1 = s.phase_is(b, &s.w_phase[1].clone(), Thinking);
+            b.mux(s.switch, t0, t1)
+        }
+        Clause::R1 => per_instance(b, &mut |b, i| {
+            // pings[i] + acks[i] ≤ 1.
+            let sum = b.bv_add(&s.pings[i].clone(), &s.acks[i].clone());
+            b.bv_le_const(&sum, 1)
+        }),
+        Clause::R2 => per_instance(b, &mut |b, i| {
+            let fl = in_flight(b, s, i);
+            let nfl = b.not(fl);
+            let npe = b.not(s.ping_enabled[i]);
+            b.or(nfl, npe)
+        }),
+        Clause::RegimeTrig => per_instance(b, &mut |b, i| {
+            let fl = in_flight(b, s, i);
+            let nfl = b.not(fl);
+            let trig = s.bin_is(b, s.trigger, i);
+            b.or(nfl, trig)
+        }),
+        Clause::R6 => per_instance(b, &mut |b, i| {
+            let npe = b.not(s.ping_enabled[i]);
+            let eat = s.phase_is(b, &s.s_phase[i].clone(), Eating);
+            let neat = b.not(eat);
+            let trig = s.bin_is(b, s.trigger, i);
+            b.or_many(&[s.crashed, npe, neat, trig])
+        }),
+    }
+}
+
+/// Membership in the Theorem-1 completeness closure, symbolically: `q`
+/// crashed, no pings in flight, no banked ping.
+pub fn sym_in_closure(b: &mut CnfBuilder, s: &SymState) -> Bit {
+    let p0 = b.bv_nonzero(&s.pings[0].clone());
+    let p1 = b.bv_nonzero(&s.pings[1].clone());
+    let np0 = b.not(p0);
+    let np1 = b.not(p1);
+    let nh0 = b.not(s.haveping[0]);
+    let nh1 = b.not(s.haveping[1]);
+    b.and_many(&[s.crashed, np0, np1, nh0, nh1])
+}
+
+/// Total messages in flight (`pings[0] + pings[1] + acks[0] + acks[1]`) —
+/// the first component of the enumerator's CTI simplicity key.
+pub fn wire_sum(b: &mut CnfBuilder, s: &SymState) -> Bv {
+    let p = b.bv_add(&s.pings[0].clone(), &s.pings[1].clone());
+    let a = b.bv_add(&s.acks[0].clone(), &s.acks[1].clone());
+    b.bv_add(&p, &a)
+}
+
+/// Count of non-thinking threads — the key's second component.
+pub fn busy_count(b: &mut CnfBuilder, s: &SymState) -> Bv {
+    let mut bits = Vec::with_capacity(4);
+    for i in 0..2 {
+        let wt = s.phase_is(b, &s.w_phase[i].clone(), DinerPhase::Thinking);
+        bits.push(b.not(wt));
+    }
+    for i in 0..2 {
+        let st = s.phase_is(b, &s.s_phase[i].clone(), DinerPhase::Thinking);
+        bits.push(b.not(st));
+    }
+    b.popcount(&bits)
+}
+
+/// Count of scalar fields deviating from the initial state (`suspect` and
+/// the ping flags start *true*) — the key's third component.
+pub fn deviation_count(b: &mut CnfBuilder, s: &SymState) -> Bv {
+    let nsusp = b.not(s.suspect);
+    let npe0 = b.not(s.ping_enabled[0]);
+    let npe1 = b.not(s.ping_enabled[1]);
+    let bits = [
+        s.haveping[0],
+        s.haveping[1],
+        nsusp,
+        s.converged,
+        s.crashed,
+        npe0,
+        npe1,
+        s.trigger,
+        s.switch,
+    ];
+    b.popcount(&bits)
+}
+
+/// Assumption literals pinning bit-vector `v` to the constant `value`.
+/// Returns `false` when a constant bit contradicts `value` (the stratum is
+/// structurally empty).
+pub fn pin_bv(v: &Bv, value: u64, out: &mut Vec<Lit>) -> bool {
+    for (k, &b) in v.iter().enumerate() {
+        let want = value >> k & 1 == 1;
+        match b {
+            Bit::Const(c) => {
+                if c != want {
+                    return false;
+                }
+            }
+            Bit::Is(l) => out.push(if want { l } else { l.negate() }),
+        }
+    }
+    value >> v.len() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induct::{clause_mask, ALL_CLAUSES};
+    use crate::sat::SolveOutcome;
+
+    fn faithful() -> IrConfig {
+        IrConfig::faithful()
+    }
+
+    #[test]
+    fn counter_widths_cover_the_cap_range() {
+        assert_eq!(counter_width(2), 2);
+        assert_eq!(counter_width(3), 2);
+        assert_eq!(counter_width(4), 3);
+        assert_eq!(counter_width(7), 3);
+        assert_eq!(counter_width(8), 4);
+    }
+
+    #[test]
+    fn fresh_state_round_trips_through_assumptions() {
+        let mut b = CnfBuilder::new();
+        let sym = SymState::fresh(&mut b, 2);
+        let mut s = AbsState::initial();
+        s.pings[0] = 2;
+        s.s_phase[1] = DinerPhase::Eating;
+        s.trigger = 1;
+        let mut assumptions = Vec::new();
+        sym.assumptions_for(&s, &mut assumptions);
+        assert_eq!(b.solver.solve(&assumptions), SolveOutcome::Sat);
+        assert_eq!(sym.decode(&b.solver), s);
+    }
+
+    #[test]
+    fn typed_constraints_exclude_invalid_phase_and_overflow() {
+        let mut b = CnfBuilder::new();
+        let sym = SymState::fresh(&mut b, 2);
+        // Pin w_phase[0] to the excluded code 3.
+        let mut bad = Vec::new();
+        assert!(pin_bv(&sym.w_phase[0], 3, &mut bad));
+        assert_eq!(b.solver.solve(&bad), SolveOutcome::Unsat);
+        // Pin pings[0] to 3 > cap.
+        let mut bad = Vec::new();
+        assert!(pin_bv(&sym.pings[0], 3, &mut bad));
+        assert_eq!(b.solver.solve(&bad), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn symbolic_clauses_agree_with_explicit_on_sampled_states() {
+        let mut b = CnfBuilder::new();
+        let sym = SymState::fresh(&mut b, 2);
+        let clause_bits: Vec<(Clause, Bit)> =
+            ALL_CLAUSES.iter().map(|&c| (c, sym_clause(&mut b, &sym, c))).collect();
+        // A deterministic scatter of states across the typed domain.
+        let mut k = 0u64;
+        let mut checked = 0u64;
+        crate::induct::for_each_typed_state(|s| {
+            k = k.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            if !k.is_multiple_of(4096) {
+                return;
+            }
+            checked += 1;
+            let mut assumptions = Vec::new();
+            sym.assumptions_for(s, &mut assumptions);
+            assert_eq!(b.solver.solve(&assumptions), SolveOutcome::Sat);
+            let mask = clause_mask(s);
+            for (j, &(c, bit)) in clause_bits.iter().enumerate() {
+                let sym_val = match bit {
+                    Bit::Const(v) => v,
+                    Bit::Is(l) => b.solver.lit_value(l),
+                };
+                assert_eq!(sym_val, mask >> j & 1 == 1, "clause {c:?} on {s:?}");
+            }
+        });
+        assert!(checked > 500, "sample too small: {checked}");
+    }
+
+    #[test]
+    fn encoded_step_agrees_with_successors_on_sampled_states() {
+        let cfg = faithful();
+        let ir = Ir::new(cfg);
+        let mut b = CnfBuilder::new();
+        let pre = SymState::fresh(&mut b, cfg.wire_cap);
+        let post = SymState::fresh(&mut b, cfg.wire_cap);
+        let step = encode_step(&mut b, &ir, &pre, &post);
+        let mut k = 0u64;
+        let mut checked = 0u64;
+        let mut succ = Vec::new();
+        crate::induct::for_each_typed_state(|s| {
+            k = k.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            if !k.is_multiple_of(32768) {
+                return;
+            }
+            checked += 1;
+            succ.clear();
+            ir.successors_into(s, &mut succ);
+            let expected: std::collections::BTreeSet<String> =
+                succ.iter().map(|(id, t)| format!("{id:?}|{t:?}")).collect();
+            // Enumerate all models of the step with this pre-state pinned.
+            let mut assumptions = Vec::new();
+            pre.assumptions_for(s, &mut assumptions);
+            let mut got = std::collections::BTreeSet::new();
+            while b.solver.solve(&assumptions) == SolveOutcome::Sat {
+                let id = step.selected(&b.solver);
+                let t = post.decode(&b.solver);
+                got.insert(format!("{id:?}|{t:?}"));
+                // Block this (pre, selector, post) triple. Including the
+                // pre-state literals keeps the clause sample-local (it is
+                // auto-satisfied under any other pre-state); leaving the
+                // choice literals out collapses the don't-care choice
+                // assignments into one model per triple.
+                let mut block: Vec<Lit> = Vec::new();
+                for l in pre.literals().into_iter().chain(post.literals()) {
+                    block.push(if b.solver.lit_value(l) { l.negate() } else { l });
+                }
+                for a in &step.actions {
+                    if b.solver.lit_value(a.select) {
+                        block.push(a.select.negate());
+                    }
+                }
+                b.solver.add_clause(&block);
+                assert!(got.len() <= 64, "runaway enumeration");
+            }
+            assert_eq!(got, expected, "successor mismatch out of {s:?}");
+        });
+        assert!(checked > 50, "sample too small: {checked}");
+    }
+}

@@ -48,6 +48,7 @@
 use crate::ir::{AbsState, ActionId, Ir, IrConfig, WIRE_CAP};
 use dinefd_dining::DinerPhase;
 use dinefd_explore::{self as explore, explore_seeded, find_reachable, in_completeness_closure};
+use std::collections::HashMap;
 
 /// One atomic clause of a candidate invariant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -173,7 +174,7 @@ pub const LEMMA_SPECS: [LemmaSpec; 5] = [
     LemmaSpec { name: "exclusion", target: Clause::Excl, clauses: &[Clause::Excl] },
 ];
 
-fn spec_mask(spec: &LemmaSpec) -> u16 {
+pub(crate) fn spec_mask(spec: &LemmaSpec) -> u16 {
     spec.clauses.iter().fold(0, |m, &c| m | c.bit())
 }
 
@@ -298,6 +299,11 @@ pub struct InductionRun {
     pub lemmas: Vec<LemmaVerdict>,
     /// The Theorem-1 closure verdict.
     pub closure: ClosureVerdict,
+    /// Concrete replay classifications actually executed.
+    pub classify_replays: u64,
+    /// Classifications answered from the pre-state fingerprint cache
+    /// (distinct lemma clauses often fail out of the same pre-state).
+    pub classify_cache_hits: u64,
 }
 
 impl InductionRun {
@@ -312,13 +318,21 @@ impl InductionRun {
     }
 }
 
-/// Enumerates the full typed abstract domain: phases range over
-/// {thinking, hungry, eating}, wire counters over `0..=WIRE_CAP`, every
-/// boolean/binary field over both values. 3 359 232 states.
-pub fn for_each_typed_state(mut f: impl FnMut(&AbsState)) {
+/// Enumerates the full typed abstract domain at the default cap:
+/// 3 359 232 states. See [`for_each_typed_state_cap`].
+pub fn for_each_typed_state(f: impl FnMut(&AbsState)) {
+    for_each_typed_state_cap(WIRE_CAP, f);
+}
+
+/// Enumerates the full typed abstract domain at wire cap `cap`: phases
+/// range over {thinking, hungry, eating}, wire counters over `0..=cap`,
+/// every boolean/binary field over both values — `41 472 · (cap + 1)⁴`
+/// states (3 359 232 at cap 2, 25 920 000 at cap 4; cap 8's 272M is why
+/// [`crate::kinduct`] exists).
+pub fn for_each_typed_state_cap(cap: u8, mut f: impl FnMut(&AbsState)) {
     const PHASES: [DinerPhase; 3] = [DinerPhase::Thinking, DinerPhase::Hungry, DinerPhase::Eating];
     let bools = [false, true];
-    let wire: Vec<u8> = (0..=WIRE_CAP).collect();
+    let wire: Vec<u8> = (0..=cap).collect();
     for &w0 in &PHASES {
         for &w1 in &PHASES {
             for &s0 in &PHASES {
@@ -376,7 +390,7 @@ pub fn for_each_typed_state(mut f: impl FnMut(&AbsState)) {
 /// for distance-from-initial, so classification tries the most plausibly
 /// reachable CTI first. The full field tuple is the tiebreak, making the
 /// order total and the retained set rerun-deterministic.
-fn simplicity_key(c: &Cti) -> (u32, u32, u32, String) {
+pub(crate) fn simplicity_key(c: &Cti) -> (u32, u32, u32, String) {
     let s = &c.pre;
     let init = AbsState::initial();
     let wire = (s.pings[0] + s.pings[1] + s.acks[0] + s.acks[1]) as u32;
@@ -433,7 +447,7 @@ pub fn run_induction(cfg: &IrConfig, opts: &InductOptions) -> InductionRun {
 
     let mut states_total = 0u64;
     let mut succ: Vec<(ActionId, AbsState)> = Vec::with_capacity(32);
-    for_each_typed_state(|s| {
+    for_each_typed_state_cap(cfg.wire_cap, |s| {
         states_total += 1;
         let m_pre = clause_mask(s);
         let in_closure = in_completeness_closure(s);
@@ -486,19 +500,27 @@ pub fn run_induction(cfg: &IrConfig, opts: &InductOptions) -> InductionRun {
         }
     });
 
+    let mut classifier = CtiClassifier::default();
     if opts.classify > 0 {
         for v in &mut verdicts {
             for cti in v.ctis.iter_mut().take(opts.classify) {
-                cti.class = Some(classify_cti(cfg, cti, opts));
+                cti.class = Some(classifier.classify(cfg, cti, opts));
             }
         }
     }
 
-    InductionRun { cfg: *cfg, states_total, lemmas: verdicts, closure }
+    InductionRun {
+        cfg: *cfg,
+        states_total,
+        lemmas: verdicts,
+        closure,
+        classify_replays: classifier.replays,
+        classify_cache_hits: classifier.cache_hits,
+    }
 }
 
 /// Keeps `ctis` sorted by [`simplicity_key`] and capped at `cap`.
-fn insert_capped(ctis: &mut Vec<Cti>, cti: Cti, cap: usize) {
+pub(crate) fn insert_capped(ctis: &mut Vec<Cti>, cti: Cti, cap: usize) {
     if cap == 0 {
         return;
     }
@@ -517,7 +539,7 @@ fn insert_capped(ctis: &mut Vec<Cti>, cti: Cti, cap: usize) {
 pub fn classify_cti(cfg: &IrConfig, cti: &Cti, opts: &InductOptions) -> CtiClass {
     let ecfg = cfg.explore_config(opts.reach_depth, opts.reach_states);
     let target = cti.pre;
-    match find_reachable(&ecfg, |s| AbsState::abstract_of(s) == target) {
+    match find_reachable(&ecfg, |s| AbsState::abstract_of_with_cap(s, cfg.wire_cap) == target) {
         None => CtiClass::Spurious,
         Some(path) => {
             let mut replay_cfg = cfg.explore_config(opts.confirm_depth, opts.reach_states);
@@ -526,6 +548,37 @@ pub fn classify_cti(cfg: &IrConfig, cti: &Cti, opts: &InductOptions) -> CtiClass
             let report = explore_seeded(seed, &replay_cfg);
             CtiClass::Real { path_len: path.len(), confirmed: !report.violations.is_empty() }
         }
+    }
+}
+
+/// A memoizing wrapper around [`classify_cti`]: the classification of a
+/// CTI depends only on the configuration and the *pre-state* (reachability
+/// plus seeded replay), so CTIs sharing a pre-state — common when several
+/// clauses of one cluster break out of the same state, or when the explicit
+/// and symbolic engines both classify — are replayed once and served from
+/// an exact [`AbsState::pack_key`] fingerprint cache afterwards.
+#[derive(Debug, Default)]
+pub struct CtiClassifier {
+    cache: HashMap<u64, CtiClass>,
+    /// Concrete replays executed (cache misses).
+    pub replays: u64,
+    /// Classifications served from the cache.
+    pub cache_hits: u64,
+}
+
+impl CtiClassifier {
+    /// Classifies `cti`, reusing a cached verdict for its pre-state if one
+    /// exists. Must only be shared across CTIs of the *same* `cfg`/`opts`.
+    pub fn classify(&mut self, cfg: &IrConfig, cti: &Cti, opts: &InductOptions) -> CtiClass {
+        let key = cti.pre.pack_key();
+        if let Some(class) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            return class.clone();
+        }
+        let class = classify_cti(cfg, cti, opts);
+        self.replays += 1;
+        self.cache.insert(key, class.clone());
+        class
     }
 }
 

@@ -37,16 +37,29 @@ use dinefd_core::machines::SubjectMutation;
 use dinefd_dining::DinerPhase;
 use dinefd_explore::{ExploreConfig, InvariantView, ModelMutation, PairState};
 
-/// Saturation cap of the abstract wire counters: the value `WIRE_CAP`
-/// denotes "at least `WIRE_CAP` messages in flight". `2` distinguishes
-/// exactly the counts the lemma invariants and the duplicate-suppression
-/// regime talk about: none, exactly one, more than one.
+/// Default saturation cap of the abstract wire counters: the value
+/// `WIRE_CAP` denotes "at least `WIRE_CAP` messages in flight". `2`
+/// distinguishes exactly the counts the lemma invariants and the
+/// duplicate-suppression regime talk about: none, exactly one, more than
+/// one. [`IrConfig::wire_cap`] lifts the cap to a per-run parameter
+/// (validated range [`MIN_WIRE_CAP`]..=[`MAX_WIRE_CAP`]); this constant is
+/// its default and the cap the explicit enumerator is tuned for.
 pub const WIRE_CAP: u8 = 2;
+
+/// Smallest admissible [`IrConfig::wire_cap`]: below 2 the abstraction
+/// cannot distinguish "exactly one" from "more than one" in flight, which
+/// the strengthening clauses rely on.
+pub const MIN_WIRE_CAP: u8 = 2;
+
+/// Largest admissible [`IrConfig::wire_cap`]: keeps counters within 4 bits
+/// for the bit-blasted encoding ([`crate::cnf`]) and the packed
+/// [`AbsState::pack_key`].
+pub const MAX_WIRE_CAP: u8 = 8;
 
 /// Configuration of the IR: which machine variant and which seeded bugs the
 /// action system models. Mirrors the knobs of
-/// [`dinefd_explore::ExploreConfig`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// [`dinefd_explore::ExploreConfig`], plus the abstract wire depth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IrConfig {
     /// Harden the subject with sequence-checked acks (ack deliveries gain a
     /// nondeterministic "stale, ignored" branch).
@@ -57,6 +70,23 @@ pub struct IrConfig {
     pub subject_mutation: SubjectMutation,
     /// Seeded wire-level bug (`None` = the faithful wire).
     pub model_mutation: ModelMutation,
+    /// Saturation cap of the abstract wire counters
+    /// ([`MIN_WIRE_CAP`]..=[`MAX_WIRE_CAP`]). The typed domain grows as
+    /// `(cap + 1)⁴`, so caps above [`WIRE_CAP`] are practical only through
+    /// the symbolic engine ([`crate::kinduct`]).
+    pub wire_cap: u8,
+}
+
+impl Default for IrConfig {
+    fn default() -> Self {
+        IrConfig {
+            strict_seq: false,
+            allow_crash: false,
+            subject_mutation: SubjectMutation::default(),
+            model_mutation: ModelMutation::default(),
+            wire_cap: WIRE_CAP,
+        }
+    }
 }
 
 impl IrConfig {
@@ -127,11 +157,17 @@ impl AbsState {
         }
     }
 
-    /// The abstraction function: forgets message identities/sequence
-    /// numbers, keeps per-class counts (saturated at [`WIRE_CAP`]).
+    /// The abstraction function at the default cap: forgets message
+    /// identities/sequence numbers, keeps per-class counts (saturated at
+    /// [`WIRE_CAP`]).
     pub fn abstract_of(s: &PairState) -> Self {
+        Self::abstract_of_with_cap(s, WIRE_CAP)
+    }
+
+    /// The abstraction function at an explicit saturation cap.
+    pub fn abstract_of_with_cap(s: &PairState, cap: u8) -> Self {
         let count = |queue: &[(u8, u64)], i: u8| {
-            (queue.iter().filter(|&&(j, _)| j == i).count() as u64).min(WIRE_CAP as u64) as u8
+            (queue.iter().filter(|&&(j, _)| j == i).count() as u64).min(cap as u64) as u8
         };
         AbsState {
             w_phase: s.w_phase,
@@ -181,6 +217,34 @@ impl AbsState {
             converged: self.converged,
             crashed: self.crashed,
         }
+    }
+
+    /// Packs the state into one `u64` key, injective for wire caps up to
+    /// [`MAX_WIRE_CAP`] (counters occupy 4 bits each). Used as the exact
+    /// fingerprint for deduplicating CTI replay classification — in the
+    /// spirit of the explorer's `StateCodec`, but lossless by construction
+    /// so cache hits can never conflate two distinct pre-states.
+    pub fn pack_key(&self) -> u64 {
+        let phase = |p: DinerPhase| p as u64 & 0x3;
+        let mut k = 0u64;
+        for i in 0..2 {
+            k = k << 2 | phase(self.w_phase[i]);
+            k = k << 2 | phase(self.s_phase[i]);
+        }
+        k = k << 1 | u64::from(self.switch & 1);
+        k = k << 1 | u64::from(self.haveping[0]);
+        k = k << 1 | u64::from(self.haveping[1]);
+        k = k << 1 | u64::from(self.suspect);
+        k = k << 1 | u64::from(self.trigger & 1);
+        k = k << 1 | u64::from(self.ping_enabled[0]);
+        k = k << 1 | u64::from(self.ping_enabled[1]);
+        k = k << 1 | u64::from(self.converged);
+        k = k << 1 | u64::from(self.crashed);
+        for i in 0..2 {
+            k = k << 4 | u64::from(self.pings[i] & 0xf);
+            k = k << 4 | u64::from(self.acks[i] & 0xf);
+        }
+        k
     }
 }
 
@@ -296,7 +360,16 @@ impl Ir {
     /// ([`ActionId::DeliverStaleAck`]) appear only when the configuration
     /// enables them, so "every listed action is somewhere enabled" is a
     /// meaningful lint.
+    ///
+    /// Panics if `cfg.wire_cap` is outside
+    /// [`MIN_WIRE_CAP`]..=[`MAX_WIRE_CAP`] (CLI callers validate first and
+    /// exit 64 instead).
     pub fn new(cfg: IrConfig) -> Self {
+        assert!(
+            (MIN_WIRE_CAP..=MAX_WIRE_CAP).contains(&cfg.wire_cap),
+            "wire_cap {} outside {MIN_WIRE_CAP}..={MAX_WIRE_CAP}",
+            cfg.wire_cap
+        );
         let mut actions = vec![
             Action { id: ActionId::WitnessHungry(0), name: "W_h(0)", doc: "Alg.1 l.2" },
             Action { id: ActionId::WitnessHungry(1), name: "W_h(1)", doc: "Alg.1 l.2" },
@@ -465,7 +538,7 @@ impl Ir {
                     t.ping_enabled[i] = false;
                 }
                 if self.cfg.model_mutation != ModelMutation::DropPingSend {
-                    t.pings[i] = sat_inc(t.pings[i]);
+                    t.pings[i] = sat_inc(t.pings[i], self.cfg.wire_cap);
                 }
                 out.push(t);
             }
@@ -480,9 +553,9 @@ impl Ir {
                 // corpse, in which case the ack is dropped on the floor.
                 t.haveping[i] = true;
                 if !t.crashed {
-                    t.acks[i] = sat_inc(t.acks[i]);
+                    t.acks[i] = sat_inc(t.acks[i], self.cfg.wire_cap);
                 }
-                for dec in sat_dec(s.pings[i]) {
+                for dec in sat_dec(s.pings[i], self.cfg.wire_cap) {
                     let mut u = t;
                     u.pings[i] = dec;
                     out.push(u);
@@ -493,7 +566,7 @@ impl Ir {
                 if self.cfg.subject_mutation != SubjectMutation::SkipTriggerUpdate {
                     t.trigger = o(i) as u8;
                 }
-                for dec in sat_dec(s.acks[i]) {
+                for dec in sat_dec(s.acks[i], self.cfg.wire_cap) {
                     let mut u = t;
                     u.acks[i] = dec;
                     out.push(u);
@@ -501,14 +574,14 @@ impl Ir {
             }
             ActionId::DeliverStaleAck(i) => {
                 // Hardened S_a(i), sequence mismatch: consumed, ignored.
-                for dec in sat_dec(s.acks[i]) {
+                for dec in sat_dec(s.acks[i], self.cfg.wire_cap) {
                     let mut u = t;
                     u.acks[i] = dec;
                     out.push(u);
                 }
             }
             ActionId::DuplicateAck(i) => {
-                t.acks[i] = sat_inc(t.acks[i]);
+                t.acks[i] = sat_inc(t.acks[i], self.cfg.wire_cap);
                 out.push(t);
             }
             ActionId::GrantWitness(i) => {
@@ -557,17 +630,17 @@ impl Ir {
 
 /// Saturating increment on the abstract wire domain.
 #[inline]
-fn sat_inc(c: u8) -> u8 {
-    (c + 1).min(WIRE_CAP)
+fn sat_inc(c: u8, cap: u8) -> u8 {
+    (c + 1).min(cap)
 }
 
 /// Abstract decrement: exact below the cap; at the cap the true count is
-/// only known to be `≥ WIRE_CAP`, so the post-count is `WIRE_CAP - 1` *or*
-/// still `WIRE_CAP`.
+/// only known to be `≥ cap`, so the post-count is `cap - 1` *or* still
+/// `cap`.
 #[inline]
-fn sat_dec(c: u8) -> impl Iterator<Item = u8> {
+fn sat_dec(c: u8, cap: u8) -> impl Iterator<Item = u8> {
     debug_assert!(c > 0, "delivering from an empty pool");
-    let second = if c == WIRE_CAP { Some(WIRE_CAP) } else { None };
+    let second = if c == cap { Some(cap) } else { None };
     std::iter::once(c - 1).chain(second)
 }
 

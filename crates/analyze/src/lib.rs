@@ -18,24 +18,44 @@
 //! both directions: safety-breaking mutations must produce real CTIs,
 //! safety-silent ones must still pass induction.
 //!
-//! [`lints`] adds four cheap semantic audits of the IR and the machine
-//! codecs (guard disjointness, dead guards, duplicate-delivery idempotence,
-//! pack/unpack codomain completeness).
+//! The explicit sweep scales as `(wire_cap + 1)⁴` and is practical only at
+//! the default cap 2. The **symbolic engine** ([`kinduct`]) proves the same
+//! obligations by SAT: [`cnf`] bit-blasts the typed domain and the guarded
+//! transition relation (Tseitin encoding), [`sat`] is a self-contained
+//! deterministic CDCL solver, and [`run_kinduction`] discharges base and
+//! step cases as (un)satisfiability queries — at cap 2 byte-for-byte
+//! agreeing with the enumerator (verdicts *and* retained CTI sets), at caps
+//! up to 8 reaching domains the enumerator cannot. [`tla`] exports the same
+//! IR as a deterministic TLA+ module for cross-validation with TLC.
 //!
-//! Entry points: [`run_induction`] and [`run_lints`]; the `dinefd analyze`
-//! CLI subcommand (`crates/apps`) and bench experiment E11 wrap both.
+//! [`lints`] adds five cheap semantic audits of the IR and the machine
+//! codecs (guard disjointness, dead guards, duplicate-delivery idempotence,
+//! pack/unpack codomain completeness, guard/handler completeness).
+//!
+//! Entry points: [`run_induction`], [`run_kinduction`], [`run_lints`], and
+//! [`tla::render_tla`]; the `dinefd analyze` CLI subcommand (`crates/apps`)
+//! and bench experiments E11/E13 wrap them.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod cnf;
 pub mod induct;
 pub mod ir;
+pub mod kinduct;
 pub mod lints;
+pub mod sat;
+pub mod tla;
 
 pub use induct::{
-    clause_mask, run_induction, Clause, ClosureVerdict, Cti, CtiClass, InductOptions, InductionRun,
-    LemmaSpec, LemmaVerdict, ALL_CLAUSES, LEMMA_SPECS,
+    clause_mask, run_induction, Clause, ClosureVerdict, Cti, CtiClass, CtiClassifier,
+    InductOptions, InductionRun, LemmaSpec, LemmaVerdict, ALL_CLAUSES, LEMMA_SPECS,
 };
-pub use ir::{AbsState, Action, ActionId, Ir, IrConfig, WIRE_CAP};
+pub use ir::{AbsState, Action, ActionId, Ir, IrConfig, MAX_WIRE_CAP, MIN_WIRE_CAP, WIRE_CAP};
+pub use kinduct::{
+    agrees_with_explicit, render_kinduct_summary, run_kinduction, KinductOptions, KinductRun,
+    SymbolicLemmaVerdict,
+};
 pub use lints::{run_lints, LintReport};
+pub use tla::render_tla;

@@ -1,6 +1,6 @@
 //! Static lint passes over the guarded-command IR and the machines' codecs.
 //!
-//! Four independent checks, each a semantic property the correctness
+//! Five independent checks, each a semantic property the correctness
 //! argument quietly assumes but nothing else in the repo verifies:
 //!
 //! 1. **Guard disjointness** — within each *machine-local* action family
@@ -22,6 +22,20 @@
 //! 4. **Codec codomain completeness** — `WitnessMachine::unpack` accepts
 //!    exactly the 16 packed bytes `pack` can produce, the subject's flag
 //!    byte exactly the 64 valid patterns, and both round-trip.
+//! 5. **Guard completeness** — the dual of disjointness: on every
+//!    invariant-satisfying typed state, (a) an in-flight ping has its
+//!    delivery action enabled (the witness is always live to receive), (b)
+//!    an in-flight ack has *some* consumer enabled — a live subject accepts
+//!    or (strict mode) rejects it, and a crashed subject is the documented
+//!    drop rule — and (c) **crashed progress**: once `q` has crashed, some
+//!    action is still enabled — the witness side must never wedge, because
+//!    its continued cycling is what drives eventual suspicion (Theorem 1's
+//!    completeness direction). (The unrestricted no-deadlock claim is
+//!    deliberately *not* checked: the typed invariant set over-approximates
+//!    reachability and contains wedged-modulo-crash states no concrete run
+//!    visits.) A completeness hole means the transition relation
+//!    under-approximates the wire, which would let the inductive checker
+//!    "prove" lemmas the real system can still break.
 //!
 //! Lints are *warnings with evidence*: each finding carries a concrete
 //! witness state, so a red lint is directly debuggable.
@@ -84,7 +98,20 @@ impl CodecFindings {
     }
 }
 
-/// The combined outcome of all four lint passes.
+/// A guard-completeness finding: an obligation the transition relation
+/// fails to discharge on an invariant-satisfying state.
+#[derive(Clone, Debug)]
+pub struct CompletenessFinding {
+    /// Which completeness rule broke (`"ping-without-handler"`,
+    /// `"ack-without-consumer"`, or `"crashed-deadlock"`).
+    pub rule: &'static str,
+    /// The instance index, where the rule is per-instance.
+    pub instance: Option<usize>,
+    /// The first witness state in enumeration order.
+    pub witness: AbsState,
+}
+
+/// The combined outcome of all five lint passes.
 #[derive(Clone, Debug)]
 pub struct LintReport {
     /// Guard overlaps within machine-local families.
@@ -95,6 +122,8 @@ pub struct LintReport {
     pub idempotence: Vec<IdempotenceFinding>,
     /// Codec codomain audit.
     pub codec: CodecFindings,
+    /// Guard-completeness holes (undeliverable messages, deadlocks).
+    pub completeness: Vec<CompletenessFinding>,
 }
 
 impl LintReport {
@@ -104,6 +133,7 @@ impl LintReport {
             && self.dead_guards.is_empty()
             && self.idempotence.is_empty()
             && self.codec.clean()
+            && self.completeness.is_empty()
     }
 
     /// Total finding count (the metric the bench table reports).
@@ -115,46 +145,94 @@ impl LintReport {
             + u64::from(self.codec.witness_missing)
             + u64::from(self.codec.subject_extra)
             + u64::from(self.codec.subject_missing)
+            + self.completeness.len() as u64
     }
 }
 
 /// The machine-local families whose two instance guards must be disjoint.
 const EXCLUSIVE_FAMILIES: [&str; 5] = ["W_h", "W_x", "S_h", "S_p", "S_x"];
 
-/// Runs all four lint passes for `cfg`.
+/// Runs all five lint passes for `cfg`.
 pub fn run_lints(cfg: &IrConfig) -> LintReport {
     let ir = Ir::new(*cfg);
-    let (overlaps, dead_guards) = guard_lints(&ir);
-    LintReport { overlaps, dead_guards, idempotence: idempotence_lint(cfg), codec: codec_lint() }
+    let (overlaps, dead_guards, completeness) = guard_lints(&ir);
+    LintReport {
+        overlaps,
+        dead_guards,
+        idempotence: idempotence_lint(cfg),
+        codec: codec_lint(),
+        completeness,
+    }
 }
 
-/// One sweep of the typed domain computing both guard lints: for each
+/// One sweep of the typed domain computing the guard lints: for each
 /// exclusive family, the first invariant state with both instances enabled;
-/// for each action, whether any invariant state enables it.
-fn guard_lints(ir: &Ir) -> (Vec<OverlapFinding>, Vec<DeadGuardFinding>) {
+/// for each action, whether any invariant state enables it; and for each
+/// completeness rule, the first invariant state violating it. (The first
+/// two resolve early; completeness is a universal claim, so a clean run
+/// necessarily visits the whole invariant set.)
+fn guard_lints(ir: &Ir) -> (Vec<OverlapFinding>, Vec<DeadGuardFinding>, Vec<CompletenessFinding>) {
     let all: u16 = (1 << ALL_CLAUSES.len()) - 1;
     let mut overlap: Vec<Option<AbsState>> = vec![None; EXCLUSIVE_FAMILIES.len()];
     let mut alive: Vec<bool> = vec![false; ir.actions().len()];
     let mut outstanding = EXCLUSIVE_FAMILIES.len() + ir.actions().len();
-    crate::induct::for_each_typed_state(|s| {
-        if outstanding == 0 || clause_mask(s) != all {
+    // Completeness witnesses: ping-without-handler per instance,
+    // ack-without-consumer per instance, crashed-state deadlock.
+    let mut no_ping_handler: [Option<AbsState>; 2] = [None, None];
+    let mut no_ack_consumer: [Option<AbsState>; 2] = [None, None];
+    let mut deadlock: Option<AbsState> = None;
+    crate::induct::for_each_typed_state_cap(ir.cfg.wire_cap, |s| {
+        if clause_mask(s) != all {
             return;
         }
-        for (k, a) in ir.actions().iter().enumerate() {
-            if !alive[k] && ir.enabled(s, a.id) {
-                alive[k] = true;
-                outstanding -= 1;
+        if outstanding > 0 {
+            for (k, a) in ir.actions().iter().enumerate() {
+                if !alive[k] && ir.enabled(s, a.id) {
+                    alive[k] = true;
+                    outstanding -= 1;
+                }
+            }
+            for (k, fam) in EXCLUSIVE_FAMILIES.iter().enumerate() {
+                if overlap[k].is_some() {
+                    continue;
+                }
+                let both = ir
+                    .actions()
+                    .iter()
+                    .filter(|a| family(a.id) == *fam && ir.enabled(s, a.id))
+                    .count();
+                if both >= 2 {
+                    overlap[k] = Some(*s);
+                    outstanding -= 1;
+                }
             }
         }
-        for (k, fam) in EXCLUSIVE_FAMILIES.iter().enumerate() {
-            if overlap[k].is_some() {
-                continue;
+        if s.crashed && deadlock.is_none() {
+            let mut any_enabled = false;
+            for a in ir.actions() {
+                if ir.enabled(s, a.id) {
+                    any_enabled = true;
+                    break;
+                }
             }
-            let both =
-                ir.actions().iter().filter(|a| family(a.id) == *fam && ir.enabled(s, a.id)).count();
-            if both >= 2 {
-                overlap[k] = Some(*s);
-                outstanding -= 1;
+            if !any_enabled {
+                deadlock = Some(*s);
+            }
+        }
+        for i in 0..2usize {
+            if s.pings[i] > 0
+                && no_ping_handler[i].is_none()
+                && !ir.enabled(s, ActionId::DeliverPing(i))
+            {
+                no_ping_handler[i] = Some(*s);
+            }
+            if s.acks[i] > 0 && no_ack_consumer[i].is_none() && !s.crashed {
+                let consumed = ir.enabled(s, ActionId::DeliverAck(i))
+                    || ir.enabled(s, ActionId::DeliverStaleAck(i))
+                    || ir.enabled(s, ActionId::DuplicateAck(i));
+                if !consumed {
+                    no_ack_consumer[i] = Some(*s);
+                }
             }
         }
     });
@@ -170,7 +248,33 @@ fn guard_lints(ir: &Ir) -> (Vec<OverlapFinding>, Vec<DeadGuardFinding>) {
         .filter(|&(_, &ok)| !ok)
         .map(|(a, _)| DeadGuardFinding { action: a.id, name: a.name })
         .collect();
-    (overlaps, dead)
+    let mut completeness = Vec::new();
+    for (i, w) in no_ping_handler.iter().enumerate() {
+        if let Some(witness) = w {
+            completeness.push(CompletenessFinding {
+                rule: "ping-without-handler",
+                instance: Some(i),
+                witness: *witness,
+            });
+        }
+    }
+    for (i, w) in no_ack_consumer.iter().enumerate() {
+        if let Some(witness) = w {
+            completeness.push(CompletenessFinding {
+                rule: "ack-without-consumer",
+                instance: Some(i),
+                witness: *witness,
+            });
+        }
+    }
+    if let Some(witness) = deadlock {
+        completeness.push(CompletenessFinding {
+            rule: "crashed-deadlock",
+            instance: None,
+            witness,
+        });
+    }
+    (overlaps, dead, completeness)
 }
 
 /// Double-delivery idempotence of the machine handlers, swept over the
@@ -305,6 +409,10 @@ pub fn render_lints(report: &LintReport) -> String {
     if !report.codec.clean() {
         out.push_str(&format!("  codec: {:?}\n", report.codec));
     }
+    for c in &report.completeness {
+        let inst = c.instance.map_or(String::new(), |i| format!("({i})"));
+        out.push_str(&format!("  incomplete: {}{} at {:?}\n", c.rule, inst, c.witness));
+    }
     if report.clean() {
         out.push_str("  all clean\n");
     }
@@ -320,6 +428,32 @@ mod tests {
     fn codec_codomains_are_exact() {
         let f = codec_lint();
         assert!(f.clean(), "{f:?}");
+    }
+
+    #[test]
+    fn guard_completeness_is_clean_across_the_config_matrix() {
+        use dinefd_explore::ModelMutation;
+        let configs = [
+            IrConfig::faithful(),
+            IrConfig { strict_seq: true, ..IrConfig::faithful() },
+            IrConfig { allow_crash: false, ..IrConfig::default() },
+            IrConfig { subject_mutation: SubjectMutation::SkipPingDisable, ..IrConfig::faithful() },
+            IrConfig {
+                subject_mutation: SubjectMutation::IgnoreTriggerGuard,
+                ..IrConfig::faithful()
+            },
+            IrConfig {
+                subject_mutation: SubjectMutation::SkipTriggerUpdate,
+                ..IrConfig::faithful()
+            },
+            IrConfig { model_mutation: ModelMutation::DropPingSend, ..IrConfig::faithful() },
+            IrConfig { model_mutation: ModelMutation::StaleAckReplay, ..IrConfig::faithful() },
+        ];
+        for cfg in configs {
+            let ir = Ir::new(cfg);
+            let (_, _, completeness) = guard_lints(&ir);
+            assert!(completeness.is_empty(), "{cfg:?}: {completeness:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,695 @@
+//! A small, self-contained CDCL SAT solver.
+//!
+//! The symbolic induction engine ([`crate::kinduct`]) needs incremental
+//! SAT — solve the same transition formula under many different assumption
+//! sets (per-lemma negated-property literals, stratum cardinality pins,
+//! model-blocking clauses) — and the workspace is offline with no vendored
+//! solver, so this module implements the classic conflict-driven clause
+//! learning loop directly: two-watched-literal propagation, first-UIP
+//! conflict analysis with non-chronological backjumping, VSIDS-style
+//! activity decision order, Luby restarts, and phase saving. Everything is
+//! safe Rust (the workspace forbids `unsafe`) and **deterministic**: ties
+//! in the activity order break on variable index, activities rescale at a
+//! fixed threshold, and no randomization is used anywhere, so conflict and
+//! decision counts are stable bench metrics ([`SatStats`] feeds the
+//! `e13.*` keys).
+//!
+//! The solver is MiniSat-shaped but deliberately minimal: no clause
+//! deletion (our formulas are a few hundred thousand clauses at worst and
+//! queries are short), no literal-block-distance tracking, no
+//! preprocessing. Assumptions are handled as pseudo-decisions below the
+//! real decision levels, which is exactly what incremental k-induction
+//! queries need.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: variable plus sign, packed as `var << 1 | negated`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v << 1 | 1)
+    }
+
+    /// The literal of `v` with explicit sign (`true` = positive).
+    pub fn with_sign(v: Var, sign: bool) -> Lit {
+        if sign {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index for watch lists.
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+/// Outcome of one [`Solver::solve`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A model exists (readable via [`Solver::value`]).
+    Sat,
+    /// No model under the given assumptions.
+    Unsat,
+}
+
+/// Deterministic solver counters, cumulative across `solve` calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// `solve` invocations.
+    pub solves: u64,
+    /// Decision literals picked.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts hit.
+    pub conflicts: u64,
+    /// Clauses learned from conflicts.
+    pub learned: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+const UNASSIGNED: i8 = 0;
+
+/// Index of a clause in the arena; doubles as a propagation reason.
+type ClauseRef = u32;
+
+const NO_REASON: ClauseRef = u32::MAX;
+
+/// The CDCL solver. Clauses are added incrementally with
+/// [`Solver::add_clause`]; [`Solver::solve`] may be called repeatedly with
+/// different assumptions, and clauses may be added between calls.
+pub struct Solver {
+    /// Clause arena: literal slices, learned and original alike.
+    clauses: Vec<Vec<Lit>>,
+    /// For each literal index, the clauses watching it.
+    watches: Vec<Vec<ClauseRef>>,
+    /// Assignment per variable: +1 true, -1 false, 0 unassigned.
+    assign: Vec<i8>,
+    /// Decision level per variable (valid when assigned).
+    level: Vec<u32>,
+    /// Propagation reason per variable ([`NO_REASON`] for decisions).
+    reason: Vec<ClauseRef>,
+    /// Assignment trail, in order.
+    trail: Vec<Lit>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate from.
+    prop_head: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    /// Current activity increment.
+    act_inc: f64,
+    /// Saved phase per variable (for phase-saving decisions).
+    phase: Vec<bool>,
+    /// Scratch flags for conflict analysis.
+    seen: Vec<bool>,
+    /// `false` once the clause set is unsatisfiable at level 0.
+    ok: bool,
+    /// Cumulative statistics.
+    pub stats: SatStats,
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("vars", &self.num_vars())
+            .field("clauses", &self.clauses.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses in the arena (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Truth value of `v` in the current assignment (meaningful after a
+    /// [`SolveOutcome::Sat`] answer). Unassigned variables — possible when
+    /// a model was found before every variable got a value — read as
+    /// their saved phase, which is a consistent completion.
+    pub fn value(&self, v: Var) -> bool {
+        match self.assign[v as usize] {
+            0 => self.phase[v as usize],
+            a => a > 0,
+        }
+    }
+
+    /// Truth value of a literal under [`Solver::value`].
+    pub fn lit_value(&self, l: Lit) -> bool {
+        self.value(l.var()) != l.is_neg()
+    }
+
+    fn lit_assign(&self, l: Lit) -> i8 {
+        let a = self.assign[l.var() as usize];
+        if l.is_neg() {
+            -a
+        } else {
+            a
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the clause set is now known
+    /// unsatisfiable at level 0. Must be called with the solver at decision
+    /// level 0 (i.e. not from inside a solve; between solves is fine —
+    /// `solve` resets to level 0 on exit).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "add_clause above level 0");
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort/dedup, drop tautologies and false-at-level-0
+        // literals, detect satisfied-at-level-0 clauses.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!((l.var() as usize) < self.num_vars(), "literal without variable");
+            match self.lit_assign(l) {
+                1 => return true, // already satisfied forever
+                -1 => continue,   // already false forever
+                _ => c.push(l),
+            }
+        }
+        c.sort_unstable();
+        c.dedup();
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true; // tautology: x ∨ ¬x
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.clauses.len() as ClauseRef;
+                self.watches[c[0].index()].push(cref);
+                self.watches[c[1].index()].push(cref);
+                self.clauses.push(c);
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_assign(l), UNASSIGNED);
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_neg() { -1 } else { 1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = !l.is_neg();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.stats.propagations += 1;
+            let falsified = l.negate();
+            // Scan the clauses watching ¬l; move watches where possible.
+            let mut ws = std::mem::take(&mut self.watches[falsified.index()]);
+            let mut keep = 0usize;
+            let mut conflict = None;
+            'clauses: for wi in 0..ws.len() {
+                let cref = ws[wi];
+                let ci = cref as usize;
+                // Ensure the falsified literal is in slot 1.
+                if self.clauses[ci][0] == falsified {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.lit_assign(first) == 1 {
+                    ws[keep] = cref;
+                    keep += 1;
+                    continue;
+                }
+                for k in 2..self.clauses[ci].len() {
+                    let cand = self.clauses[ci][k];
+                    if self.lit_assign(cand) != -1 {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[cand.index()].push(cref);
+                        continue 'clauses;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[keep] = cref;
+                keep += 1;
+                if self.lit_assign(first) == -1 {
+                    // Conflict: keep remaining watches untouched and stop.
+                    for k in wi + 1..ws.len() {
+                        ws[keep] = ws[k];
+                        keep += 1;
+                    }
+                    conflict = Some(cref);
+                    break;
+                }
+                self.enqueue(first, cref);
+            }
+            ws.truncate(keep);
+            self.watches[falsified.index()] = ws;
+            if conflict.is_some() {
+                self.prop_head = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        let a = &mut self.activity[v as usize];
+        *a += self.act_inc;
+        if *a > 1e100 {
+            for x in &mut self.activity {
+                *x *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(0)]; // slot 0 = asserting lit
+        let mut counter = 0usize;
+        let mut trail_pos = self.trail.len();
+        let mut asserting = None;
+        loop {
+            let start = usize::from(asserting.is_some());
+            for k in start..self.clauses[conflict as usize].len() {
+                let q = self.clauses[conflict as usize][k];
+                let v = q.var() as usize;
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                self.seen[v] = true;
+                self.bump(q.var());
+                if self.level[v] == self.decision_level() {
+                    counter += 1;
+                } else {
+                    learned.push(q);
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_pos -= 1;
+                if self.seen[self.trail[trail_pos].var() as usize] {
+                    break;
+                }
+            }
+            let p = self.trail[trail_pos];
+            self.seen[p.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = p.negate();
+                break;
+            }
+            conflict = self.reason[p.var() as usize];
+            debug_assert_ne!(conflict, NO_REASON);
+            asserting = Some(p);
+        }
+        for l in learned.iter().skip(1) {
+            self.seen[l.var() as usize] = false;
+        }
+        // Backjump to the second-highest level in the learned clause.
+        let mut bt = 0u32;
+        let mut swap_with = 1usize;
+        for (k, l) in learned.iter().enumerate().skip(1) {
+            let lv = self.level[l.var() as usize];
+            if lv > bt {
+                bt = lv;
+                swap_with = k;
+            }
+        }
+        if learned.len() > 1 {
+            learned.swap(1, swap_with);
+        }
+        (learned, bt)
+    }
+
+    fn backtrack_to(&mut self, lvl: u32) {
+        while self.decision_level() > lvl {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            for k in (lim..self.trail.len()).rev() {
+                let v = self.trail[k].var() as usize;
+                self.assign[v] = UNASSIGNED;
+                self.reason[v] = NO_REASON;
+            }
+            self.trail.truncate(lim);
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    /// Highest-activity unassigned variable, index as tiebreak. Linear
+    /// scan — formulas here are tens of thousands of variables at most and
+    /// the scan is branch-friendly; a heap is not worth the determinism
+    /// bookkeeping.
+    fn pick_branch(&self) -> Option<Var> {
+        let mut best: Option<Var> = None;
+        let mut best_act = -1.0f64;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == UNASSIGNED && self.activity[v] > best_act {
+                best_act = self.activity[v];
+                best = Some(v as Var);
+            }
+        }
+        best
+    }
+
+    /// Solves the clause set under `assumptions` (treated as forced
+    /// first decisions). Leaves the solver at decision level 0 afterwards;
+    /// on [`SolveOutcome::Sat`] the model remains readable via
+    /// [`Solver::value`] until the next `add_clause`/`solve`.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        self.stats.solves += 1;
+        self.backtrack_to(0);
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        if let Some(conflict) = self.propagate() {
+            let _ = conflict;
+            self.ok = false;
+            return SolveOutcome::Unsat;
+        }
+        let mut conflicts_until_restart = luby(self.stats.restarts) * 64;
+        loop {
+            if let Some(outcome) = self.search_step(assumptions) {
+                match outcome {
+                    SolveOutcome::Sat => {
+                        // Record the model in saved phases so `value` stays
+                        // meaningful after the reset, then reset.
+                        for v in 0..self.num_vars() {
+                            if self.assign[v] != UNASSIGNED {
+                                self.phase[v] = self.assign[v] > 0;
+                            }
+                        }
+                        self.backtrack_to(0);
+                        return SolveOutcome::Sat;
+                    }
+                    SolveOutcome::Unsat => {
+                        self.backtrack_to(0);
+                        return SolveOutcome::Unsat;
+                    }
+                }
+            }
+            // One conflict processed: spend restart budget.
+            conflicts_until_restart -= 1;
+            if conflicts_until_restart == 0 {
+                self.stats.restarts += 1;
+                conflicts_until_restart = luby(self.stats.restarts) * 64;
+                self.backtrack_to(0);
+            }
+        }
+    }
+
+    /// Runs decide/propagate until SAT, UNSAT, or one conflict was
+    /// processed and learned from (returning `None` so [`Solver::solve`]
+    /// can meter restarts per conflict).
+    fn search_step(&mut self, assumptions: &[Lit]) -> Option<SolveOutcome> {
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveOutcome::Unsat);
+                }
+                let (learned, bt) = self.analyze(conflict);
+                // A conflict that backjumps into the assumption prefix can
+                // still be resolved by re-propagating the learned clause;
+                // UNSAT-under-assumptions surfaces when an assumption
+                // itself is falsified (checked at decision time below).
+                self.backtrack_to(bt);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    self.backtrack_to(0);
+                    self.enqueue(asserting, NO_REASON);
+                } else {
+                    let cref = self.clauses.len() as ClauseRef;
+                    self.watches[learned[0].index()].push(cref);
+                    self.watches[learned[1].index()].push(cref);
+                    self.clauses.push(learned);
+                    self.stats.learned += 1;
+                    self.enqueue(asserting, cref);
+                }
+                self.act_inc *= 1.0 / 0.95;
+                return None;
+            }
+            // Assumptions act as pseudo-decisions at the lowest levels.
+            if (self.decision_level() as usize) < assumptions.len() {
+                let a = assumptions[self.decision_level() as usize];
+                match self.lit_assign(a) {
+                    1 => self.trail_lim.push(self.trail.len()), // already true
+                    -1 => return Some(SolveOutcome::Unsat),     // failed assumption
+                    _ => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, NO_REASON);
+                    }
+                }
+                continue;
+            }
+            match self.pick_branch() {
+                None => return Some(SolveOutcome::Sat),
+                Some(v) => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(Lit::with_sign(v, self.phase[v as usize]), NO_REASON);
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(i: u64) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) < i + 2 {
+        k += 1;
+    }
+    let mut i = i;
+    let mut kk = k;
+    loop {
+        if (1u64 << kk) - 1 == i + 1 {
+            return 1u64 << (kk - 1);
+        }
+        kk -= 1;
+        if i + 2 > 1u64 << kk {
+            i -= (1u64 << kk) - 1;
+            kk = {
+                let mut j = 1u32;
+                while (1u64 << j) < i + 2 {
+                    j += 1;
+                }
+                j
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&[Lit::pos(v[0])]));
+        assert_eq!(s.solve(&[]), SolveOutcome::Sat);
+        assert!(s.value(v[0]));
+        assert!(!s.add_clause(&[Lit::neg(v[0])]));
+        assert_eq!(s.solve(&[]), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn unit_chain_propagates() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause(&[Lit::pos(v[0])]);
+        for w in v.windows(2) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        assert_eq!(s.solve(&[]), SolveOutcome::Sat);
+        assert!(v.iter().all(|&x| s.value(x)));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p0h0, p1h0 with at-most-one.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::pos(v[1])]);
+        assert!(!s.add_clause(&[Lit::neg(v[0]), Lit::neg(v[1])]));
+        assert_eq!(s.solve(&[]), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat_via_search() {
+        // 3 pigeons, 2 holes: requires actual conflict-driven search.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    s.add_clause(&[Lit::neg(p[i][h]), Lit::neg(p[j][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveOutcome::Unsat);
+        assert!(s.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_flip_satisfiability_incrementally() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.solve(&[Lit::pos(v[0]), Lit::neg(v[2])]), SolveOutcome::Unsat);
+        assert_eq!(s.solve(&[Lit::pos(v[0])]), SolveOutcome::Sat);
+        assert!(s.value(v[2]));
+        assert_eq!(s.solve(&[Lit::neg(v[2]), Lit::pos(v[0])]), SolveOutcome::Unsat);
+        assert_eq!(s.solve(&[Lit::neg(v[2])]), SolveOutcome::Sat);
+        assert!(!s.value(v[0]));
+    }
+
+    #[test]
+    fn model_enumeration_via_blocking_clauses_counts_assignments() {
+        // x ∨ y over 2 vars has exactly 3 models.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        let mut models = 0;
+        while s.solve(&[]) == SolveOutcome::Sat {
+            models += 1;
+            assert!(models <= 3, "enumeration must terminate");
+            let block: Vec<Lit> = v.iter().map(|&x| Lit::with_sign(x, !s.value(x))).collect();
+            s.add_clause(&block);
+        }
+        assert_eq!(models, 3);
+    }
+
+    #[test]
+    fn xor_chain_is_deterministic_across_reruns() {
+        let run = || {
+            let mut s = Solver::new();
+            let v = vars(&mut s, 12);
+            // Chain of xors x_{i+1} = ¬x_i, plus a contradiction at the end.
+            for w in v.windows(2) {
+                s.add_clause(&[Lit::pos(w[0]), Lit::pos(w[1])]);
+                s.add_clause(&[Lit::neg(w[0]), Lit::neg(w[1])]);
+            }
+            s.add_clause(&[Lit::pos(v[0])]);
+            s.add_clause(&[Lit::pos(v[11])]);
+            let out = s.solve(&[]);
+            (out, s.stats)
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, SolveOutcome::Unsat, "odd xor chain with pinned ends");
+        assert_eq!(a, b);
+        assert_eq!(sa, sb, "solver must be rerun-deterministic");
+    }
+}

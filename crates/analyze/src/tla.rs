@@ -1,0 +1,422 @@
+//! TLA+ export of the guarded-command IR.
+//!
+//! [`render_tla`] pretty-prints the action system of one [`IrConfig`] as a
+//! self-contained TLA+ module (`DineFD`), in the style of the classic
+//! failure-detector specs: flat `VARIABLES`, one definition per guarded
+//! action with an explicit `UNCHANGED` frame, a disjunctive `Next`, and the
+//! strengthened lemma conjunction as a checkable invariant `Inv`. The
+//! module is generated from the *same* per-config guard and update
+//! structure the explicit enumerator and the SAT encoding use, so feeding
+//! it to TLC cross-validates all three against an independent engine:
+//! `TLC -invariant Inv DineFD` explores exactly the typed abstract
+//! reachable set at `WireCap`.
+//!
+//! The rendering is **deterministic** — a pure function of the
+//! configuration, no timestamps, no hash-ordered iteration — and the
+//! faithful-configuration output is committed as a golden file
+//! (`golden/DineFD.tla`); `dinefd analyze --emit-tla` must reproduce it
+//! byte-for-byte (checked in the test below and in CI).
+//!
+//! Abstraction nondeterminism carries over: a delivery out of a saturated
+//! counter chooses its post-count from `SatDecs`, exactly mirroring
+//! [`crate::ir`]'s `sat_dec` and the choice literal of [`crate::cnf`].
+
+use crate::ir::IrConfig;
+use dinefd_core::machines::SubjectMutation;
+use dinefd_explore::ModelMutation;
+use std::fmt::Write as _;
+
+/// Variable names in declaration order (the order is part of the golden
+/// surface: `vars`, every `UNCHANGED` frame, and `TypeOK` all follow it).
+const VARS: [&str; 11] = [
+    "wPhase",
+    "sPhase",
+    "switch",
+    "haveping",
+    "suspect",
+    "trigger",
+    "pingEnabled",
+    "converged",
+    "crashed",
+    "pings",
+    "acks",
+];
+
+/// One rendered action definition: name, optional instance parameter,
+/// guard conjuncts, update conjuncts, and the set of variables updated
+/// (everything else lands in `UNCHANGED`).
+struct TlaAction {
+    name: &'static str,
+    parametric: bool,
+    guard: Vec<String>,
+    updates: Vec<String>,
+    updated: Vec<&'static str>,
+}
+
+fn unchanged_frame(updated: &[&str]) -> String {
+    let rest: Vec<&str> = VARS.iter().copied().filter(|v| !updated.contains(v)).collect();
+    format!("UNCHANGED << {} >>", rest.join(", "))
+}
+
+fn push_action(out: &mut String, a: &TlaAction) {
+    let head = if a.parametric { format!("{}(i)", a.name) } else { a.name.to_string() };
+    let _ = writeln!(out, "{head} ==");
+    for g in &a.guard {
+        let _ = writeln!(out, "    /\\ {g}");
+    }
+    for u in &a.updates {
+        let _ = writeln!(out, "    /\\ {u}");
+    }
+    let _ = writeln!(out, "    /\\ {}", unchanged_frame(&a.updated));
+    let _ = writeln!(out);
+}
+
+/// Builds the per-config action list, in the IR's table order (families
+/// collapsed to one parametric definition each).
+fn actions_for(cfg: &IrConfig) -> Vec<TlaAction> {
+    let mut acts = Vec::new();
+
+    acts.push(TlaAction {
+        name: "WHungry",
+        parametric: true,
+        guard: vec![
+            r#"wPhase[i] = "thinking""#.into(),
+            r#"wPhase[1 - i] = "thinking""#.into(),
+            "switch = i".into(),
+        ],
+        updates: vec![r#"wPhase' = [wPhase EXCEPT ![i] = "hungry"]"#.into()],
+        updated: vec!["wPhase"],
+    });
+
+    acts.push(TlaAction {
+        name: "WExit",
+        parametric: true,
+        guard: vec![r#"wPhase[i] = "eating""#.into()],
+        updates: vec![
+            "suspect' = ~haveping[i]".into(),
+            "haveping' = [haveping EXCEPT ![i] = FALSE]".into(),
+            "switch' = 1 - i".into(),
+            r#"wPhase' = [wPhase EXCEPT ![i] = "thinking"]"#.into(),
+        ],
+        updated: vec!["wPhase", "switch", "haveping", "suspect"],
+    });
+
+    let mut s_hungry_guard = vec!["~crashed".into(), r#"sPhase[i] = "thinking""#.into()];
+    if cfg.subject_mutation != SubjectMutation::IgnoreTriggerGuard {
+        s_hungry_guard.push("trigger = i".into());
+    }
+    acts.push(TlaAction {
+        name: "SHungry",
+        parametric: true,
+        guard: s_hungry_guard,
+        updates: vec![r#"sPhase' = [sPhase EXCEPT ![i] = "hungry"]"#.into()],
+        updated: vec!["sPhase"],
+    });
+
+    let mut s_ping_updates = Vec::new();
+    let mut s_ping_updated = Vec::new();
+    if cfg.subject_mutation != SubjectMutation::SkipPingDisable {
+        s_ping_updates.push("pingEnabled' = [pingEnabled EXCEPT ![i] = FALSE]".into());
+        s_ping_updated.push("pingEnabled");
+    }
+    if cfg.model_mutation != ModelMutation::DropPingSend {
+        s_ping_updates.push("pings' = [pings EXCEPT ![i] = SatInc(pings[i])]".into());
+        s_ping_updated.push("pings");
+    }
+    acts.push(TlaAction {
+        name: "SPing",
+        parametric: true,
+        guard: vec![
+            "~crashed".into(),
+            r#"sPhase[i] = "eating""#.into(),
+            r#"sPhase[1 - i] # "eating""#.into(),
+            "pingEnabled[i]".into(),
+        ],
+        updates: s_ping_updates,
+        updated: s_ping_updated,
+    });
+
+    acts.push(TlaAction {
+        name: "SExit",
+        parametric: true,
+        guard: vec![
+            "~crashed".into(),
+            r#"sPhase[i] = "eating""#.into(),
+            r#"sPhase[1 - i] = "eating""#.into(),
+            "trigger = 1 - i".into(),
+        ],
+        updates: vec![
+            "pingEnabled' = [pingEnabled EXCEPT ![i] = TRUE]".into(),
+            r#"sPhase' = [sPhase EXCEPT ![i] = "thinking"]"#.into(),
+        ],
+        updated: vec!["sPhase", "pingEnabled"],
+    });
+
+    acts.push(TlaAction {
+        name: "DeliverPing",
+        parametric: true,
+        guard: vec!["pings[i] > 0".into()],
+        updates: vec![
+            "haveping' = [haveping EXCEPT ![i] = TRUE]".into(),
+            "acks' = [acks EXCEPT ![i] = IF crashed THEN acks[i] ELSE SatInc(acks[i])]".into(),
+            "\\E d \\in SatDecs(pings[i]) : pings' = [pings EXCEPT ![i] = d]".into(),
+        ],
+        updated: vec!["haveping", "pings", "acks"],
+    });
+
+    let mut ack_updates = Vec::new();
+    let mut ack_updated = Vec::new();
+    if cfg.subject_mutation != SubjectMutation::SkipTriggerUpdate {
+        ack_updates.push("trigger' = 1 - i".into());
+        ack_updated.push("trigger");
+    }
+    ack_updates.push("\\E d \\in SatDecs(acks[i]) : acks' = [acks EXCEPT ![i] = d]".into());
+    ack_updated.push("acks");
+    acts.push(TlaAction {
+        name: "DeliverAck",
+        parametric: true,
+        guard: vec!["~crashed".into(), "acks[i] > 0".into()],
+        updates: ack_updates,
+        updated: ack_updated,
+    });
+
+    acts.push(TlaAction {
+        name: "GrantW",
+        parametric: true,
+        guard: vec![
+            r#"wPhase[i] = "hungry""#.into(),
+            r#"~converged \/ crashed \/ sPhase[i] # "eating""#.into(),
+        ],
+        updates: vec![r#"wPhase' = [wPhase EXCEPT ![i] = "eating"]"#.into()],
+        updated: vec!["wPhase"],
+    });
+
+    acts.push(TlaAction {
+        name: "GrantS",
+        parametric: true,
+        guard: vec![
+            "~crashed".into(),
+            r#"sPhase[i] = "hungry""#.into(),
+            r#"~converged \/ wPhase[i] # "eating""#.into(),
+        ],
+        updates: vec![r#"sPhase' = [sPhase EXCEPT ![i] = "eating"]"#.into()],
+        updated: vec!["sPhase"],
+    });
+
+    acts.push(TlaAction {
+        name: "Converge",
+        parametric: false,
+        guard: vec![
+            "~converged".into(),
+            r#"\A i \in I : crashed \/ ~(wPhase[i] = "eating" /\ sPhase[i] = "eating")"#.into(),
+        ],
+        updates: vec!["converged' = TRUE".into()],
+        updated: vec!["converged"],
+    });
+
+    if cfg.strict_seq {
+        acts.push(TlaAction {
+            name: "DeliverStaleAck",
+            parametric: true,
+            guard: vec!["~crashed".into(), "acks[i] > 0".into()],
+            updates: vec!["\\E d \\in SatDecs(acks[i]) : acks' = [acks EXCEPT ![i] = d]".into()],
+            updated: vec!["acks"],
+        });
+    }
+
+    if cfg.model_mutation == ModelMutation::StaleAckReplay {
+        acts.push(TlaAction {
+            name: "DuplicateAck",
+            parametric: true,
+            guard: vec!["~crashed".into(), "acks[i] > 0".into()],
+            updates: vec!["acks' = [acks EXCEPT ![i] = SatInc(acks[i])]".into()],
+            updated: vec!["acks"],
+        });
+    }
+
+    if cfg.allow_crash {
+        acts.push(TlaAction {
+            name: "Crash",
+            parametric: false,
+            guard: vec!["~crashed".into()],
+            updates: vec!["crashed' = TRUE".into(), "acks' = [i \\in I |-> 0]".into()],
+            updated: vec!["crashed", "acks"],
+        });
+    }
+
+    acts
+}
+
+/// Renders `cfg`'s action system as the TLA+ module `DineFD`. Pure and
+/// deterministic: identical configurations render identical bytes.
+pub fn render_tla(cfg: &IrConfig) -> String {
+    let acts = actions_for(cfg);
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "---------------------------- MODULE DineFD ----------------------------");
+    let _ = writeln!(out, "(* Generated by dinefd-analyze from the guarded-command IR.");
+    let _ = writeln!(
+        out,
+        "   Configuration: strict_seq={} allow_crash={} subject_mutation={:?}",
+        cfg.strict_seq, cfg.allow_crash, cfg.subject_mutation
+    );
+    let _ = writeln!(
+        out,
+        "                  model_mutation={:?} wire_cap={}",
+        cfg.model_mutation, cfg.wire_cap
+    );
+    let _ =
+        writeln!(out, "   The abstract closed pair model of the corrigendum: witness p (Alg. 1)");
+    let _ =
+        writeln!(out, "   and subject q (Alg. 2) over two dining instances DX_0, DX_1, with the");
+    let _ =
+        writeln!(out, "   in-flight DX_i pings/acks abstracted to counters saturating at WireCap.");
+    let _ = writeln!(out, "   Check with:  TLC -invariant Inv DineFD  *)");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "EXTENDS Integers, FiniteSets");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "I == 0..1");
+    let _ = writeln!(out, "WireCap == {}", cfg.wire_cap);
+    let _ = writeln!(out, "Phase == {{ \"thinking\", \"hungry\", \"eating\" }}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "VARIABLES {}", VARS.join(", "));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "vars == << {} >>", VARS.join(", "));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "(* Saturating wire arithmetic: WireCap means \"at least WireCap in");
+    let _ = writeln!(out, "   flight\", so a delivery out of a saturated counter may leave it");
+    let _ = writeln!(out, "   saturated -- the abstraction's only nondeterminism. *)");
+    let _ = writeln!(out, "SatInc(c) == IF c < WireCap THEN c + 1 ELSE WireCap");
+    let _ = writeln!(
+        out,
+        "SatDecs(c) == IF c = WireCap THEN {{ WireCap - 1, WireCap }} ELSE {{ c - 1 }}"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "TypeOK ==");
+    let _ = writeln!(out, "    /\\ wPhase \\in [I -> Phase]");
+    let _ = writeln!(out, "    /\\ sPhase \\in [I -> Phase]");
+    let _ = writeln!(out, "    /\\ switch \\in I");
+    let _ = writeln!(out, "    /\\ haveping \\in [I -> BOOLEAN]");
+    let _ = writeln!(out, "    /\\ suspect \\in BOOLEAN");
+    let _ = writeln!(out, "    /\\ trigger \\in I");
+    let _ = writeln!(out, "    /\\ pingEnabled \\in [I -> BOOLEAN]");
+    let _ = writeln!(out, "    /\\ converged \\in BOOLEAN");
+    let _ = writeln!(out, "    /\\ crashed \\in BOOLEAN");
+    let _ = writeln!(out, "    /\\ pings \\in [I -> 0..WireCap]");
+    let _ = writeln!(out, "    /\\ acks \\in [I -> 0..WireCap]");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Init ==");
+    let _ = writeln!(out, "    /\\ wPhase = [i \\in I |-> \"thinking\"]");
+    let _ = writeln!(out, "    /\\ sPhase = [i \\in I |-> \"thinking\"]");
+    let _ = writeln!(out, "    /\\ switch = 0");
+    let _ = writeln!(out, "    /\\ haveping = [i \\in I |-> FALSE]");
+    let _ = writeln!(out, "    /\\ suspect = TRUE");
+    let _ = writeln!(out, "    /\\ trigger = 0");
+    let _ = writeln!(out, "    /\\ pingEnabled = [i \\in I |-> TRUE]");
+    let _ = writeln!(out, "    /\\ converged = FALSE");
+    let _ = writeln!(out, "    /\\ crashed = FALSE");
+    let _ = writeln!(out, "    /\\ pings = [i \\in I |-> 0]");
+    let _ = writeln!(out, "    /\\ acks = [i \\in I |-> 0]");
+    let _ = writeln!(out);
+    for a in &acts {
+        push_action(&mut out, a);
+    }
+    let _ = writeln!(out, "Next ==");
+    for a in &acts {
+        if a.parametric {
+            let _ = writeln!(out, "    \\/ \\E i \\in I : {}(i)", a.name);
+        } else {
+            let _ = writeln!(out, "    \\/ {}", a.name);
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "(* The paper's safety lemmas (Lemmas 2-4, 9, exclusion soundness) and");
+    let _ = writeln!(out, "   the strengthening clauses that make them inductive -- the same");
+    let _ = writeln!(out, "   conjunction crates/analyze proves by enumeration and by SAT. *)");
+    let _ = writeln!(out, "DxInFlight(i) == pings[i] > 0 \\/ acks[i] > 0");
+    let _ = writeln!(out);
+    let _ =
+        writeln!(out, "L2 == \\A i \\in I : crashed \\/ sPhase[i] = \"eating\" \\/ pingEnabled[i]");
+    let _ = writeln!(out, "L3 == \\A i \\in I : crashed \\/ sPhase[i] = \"eating\" \\/ ~pingEnabled[i] \\/ ~DxInFlight(i)");
+    let _ =
+        writeln!(out, "L4 == \\A i \\in I : crashed \\/ sPhase[i] # \"hungry\" \\/ trigger = i");
+    let _ = writeln!(out, "L9 == \\E i \\in I : wPhase[i] = \"thinking\"");
+    let _ = writeln!(out, "Excl == \\A i \\in I : ~converged \\/ crashed \\/ ~(wPhase[i] = \"eating\" /\\ sPhase[i] = \"eating\")");
+    let _ = writeln!(out, "WTurn == wPhase[1 - switch] = \"thinking\"");
+    let _ = writeln!(out, "R1 == \\A i \\in I : pings[i] + acks[i] <= 1");
+    let _ = writeln!(out, "R2 == \\A i \\in I : ~DxInFlight(i) \\/ ~pingEnabled[i]");
+    let _ = writeln!(out, "RegimeTrig == \\A i \\in I : ~DxInFlight(i) \\/ trigger = i");
+    let _ = writeln!(out, "R6 == \\A i \\in I : crashed \\/ ~pingEnabled[i] \\/ sPhase[i] # \"eating\" \\/ trigger = i");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Inv == TypeOK /\\ L2 /\\ L3 /\\ L4 /\\ L9 /\\ Excl /\\ WTurn /\\ R1 /\\ R2 /\\ RegimeTrig /\\ R6");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Spec == Init /\\ [][Next]_vars");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "THEOREM Spec => []Inv");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "============================================================================="
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed golden module for the faithful configuration: the CLI's
+    /// `--emit-tla` output and CI both diff against it byte-for-byte.
+    const GOLDEN: &str = include_str!("../golden/DineFD.tla");
+
+    #[test]
+    fn faithful_module_matches_the_committed_golden() {
+        let rendered = render_tla(&IrConfig::faithful());
+        if std::env::var_os("DINEFD_REGEN_GOLDEN").is_some() {
+            // Regeneration hook: write the new module, then re-run without
+            // the variable so the compiled-in copy is compared fresh.
+            std::fs::write(concat!(env!("CARGO_MANIFEST_DIR"), "/golden/DineFD.tla"), &rendered)
+                .expect("write golden");
+        }
+        assert_eq!(rendered, GOLDEN, "golden drift: rerun with DINEFD_REGEN_GOLDEN=1");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let cfg = IrConfig::faithful();
+        assert_eq!(render_tla(&cfg), render_tla(&cfg));
+    }
+
+    #[test]
+    fn config_knobs_change_the_module() {
+        use dinefd_core::machines::SubjectMutation;
+        let faithful = render_tla(&IrConfig::faithful());
+        let strict = render_tla(&IrConfig { strict_seq: true, ..IrConfig::faithful() });
+        assert!(strict.contains("DeliverStaleAck"));
+        assert!(!faithful.contains("DeliverStaleAck"));
+        let mutated = render_tla(&IrConfig {
+            subject_mutation: SubjectMutation::SkipTriggerUpdate,
+            ..IrConfig::faithful()
+        });
+        assert!(!mutated.contains("trigger' = 1 - i"));
+        assert!(faithful.contains("trigger' = 1 - i"));
+        let cap4 = render_tla(&IrConfig { wire_cap: 4, ..IrConfig::faithful() });
+        assert!(cap4.contains("WireCap == 4"));
+    }
+
+    #[test]
+    fn every_variable_is_framed_in_every_action() {
+        // Each action definition must mention every variable exactly once as
+        // either primed or UNCHANGED (a malformed frame is how TLA+ specs rot).
+        let module = render_tla(&IrConfig::faithful());
+        for block in module.split("\n\n").filter(|b| b.contains("UNCHANGED")) {
+            for v in super::VARS {
+                let primed = block.contains(&format!("{v}' ="));
+                let frame_line =
+                    block.lines().find(|l| l.contains("UNCHANGED")).expect("frame line");
+                let framed = frame_line.contains(v);
+                assert!(primed ^ framed, "variable {v} must be primed XOR framed in:\n{block}");
+            }
+        }
+    }
+}

@@ -64,7 +64,11 @@ fn arb_abs_state() -> impl Strategy<Value = AbsState> {
 
 fn arb_cfg() -> impl Strategy<Value = IrConfig> {
     (0u8..4, 0u8..3, any::<bool>(), any::<bool>()).prop_map(|(sm, mm, strict_seq, allow_crash)| {
+        // Conformance is stated against the executable machines, whose
+        // abstraction saturates at the default cap — the IR's wider caps
+        // are covered by the CNF round-trip and agreement suites instead.
         IrConfig {
+            wire_cap: WIRE_CAP,
             strict_seq,
             allow_crash,
             subject_mutation: match sm {

@@ -1,0 +1,171 @@
+//! The symbolic engine's acceptance gate: at the default wire cap the SAT
+//! pipeline must be **observationally identical** to the explicit
+//! enumerator — same verdicts, same base-case results, same retained CTI
+//! triples in the same order, same real/spurious classifications — across
+//! the whole seeded-mutation matrix. Anything less and "k-induction says
+//! PROVED" would mean something different from "enumeration says
+//! INDUCTIVE".
+//!
+//! Also proves the bit-blasting itself round-trips: pinning an arbitrary
+//! typed state into the CNF via assumptions and decoding the model yields
+//! the state back, for every admissible wire cap (a proptest, since the
+//! encode/decode pair touches every field packing in `cnf::SymState`).
+
+use dinefd_analyze::induct::{run_induction, InductOptions};
+use dinefd_analyze::ir::{AbsState, IrConfig, MAX_WIRE_CAP, MIN_WIRE_CAP};
+use dinefd_analyze::kinduct::{agrees_with_explicit, run_kinduction, KinductOptions};
+use dinefd_analyze::{cnf, sat};
+use dinefd_core::machines::SubjectMutation;
+use dinefd_dining::DinerPhase;
+use dinefd_explore::ModelMutation;
+use proptest::prelude::*;
+
+/// Identical classification settings on both sides — the agreement check
+/// compares `CtiClass` values, so the replay budgets must match.
+fn explicit_opts() -> InductOptions {
+    InductOptions { keep_ctis: 4, classify: 1, ..InductOptions::default() }
+}
+
+fn symbolic_opts() -> KinductOptions {
+    KinductOptions { keep_ctis: 4, classify: explicit_opts(), ..KinductOptions::default() }
+}
+
+fn assert_engines_agree(cfg: IrConfig) {
+    let exp = run_induction(&cfg, &explicit_opts());
+    let sym = run_kinduction(&cfg, &symbolic_opts());
+    if let Err(diff) = agrees_with_explicit(&sym, &exp) {
+        panic!(
+            "engines disagree on {cfg:?}:\n{diff}\n--- explicit ---\n{}\n--- symbolic ---\n{}",
+            dinefd_analyze::induct::render_summary(&exp),
+            dinefd_analyze::kinduct::render_kinduct_summary(&sym),
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_the_faithful_configuration() {
+    assert_engines_agree(IrConfig::faithful());
+}
+
+#[test]
+fn engines_agree_on_the_strict_seq_configuration() {
+    assert_engines_agree(IrConfig { strict_seq: true, ..IrConfig::faithful() });
+}
+
+#[test]
+fn engines_agree_on_the_safety_silent_mutations() {
+    // Both are inductive despite the seeded bug (liveness-only damage);
+    // both engines must say so.
+    assert_engines_agree(IrConfig {
+        model_mutation: ModelMutation::DropPingSend,
+        ..IrConfig::faithful()
+    });
+    assert_engines_agree(IrConfig {
+        subject_mutation: SubjectMutation::SkipTriggerUpdate,
+        ..IrConfig::faithful()
+    });
+}
+
+#[test]
+fn engines_agree_on_skip_ping_disable() {
+    // Real CTIs on lemma3's cluster: the retained triples and their REAL
+    // classifications must match, not just the FAILS verdict.
+    assert_engines_agree(IrConfig {
+        subject_mutation: SubjectMutation::SkipPingDisable,
+        ..IrConfig::faithful()
+    });
+}
+
+#[test]
+fn engines_agree_on_ignore_trigger_guard() {
+    assert_engines_agree(IrConfig {
+        subject_mutation: SubjectMutation::IgnoreTriggerGuard,
+        ..IrConfig::faithful()
+    });
+}
+
+#[test]
+fn engines_agree_on_stale_ack_replay() {
+    assert_engines_agree(IrConfig {
+        model_mutation: ModelMutation::StaleAckReplay,
+        ..IrConfig::faithful()
+    });
+}
+
+#[test]
+fn symbolic_engine_proves_the_faithful_lemmas_at_every_cap() {
+    // Beyond-enumeration territory: the whole point of the symbolic engine.
+    for cap in [MIN_WIRE_CAP, 4, MAX_WIRE_CAP] {
+        let cfg = IrConfig { wire_cap: cap, ..IrConfig::faithful() };
+        let run = run_kinduction(&cfg, &KinductOptions::default());
+        assert!(
+            run.all_proved(),
+            "cap {cap}:\n{}",
+            dinefd_analyze::kinduct::render_kinduct_summary(&run)
+        );
+    }
+}
+
+fn phase_of(bits: u8) -> DinerPhase {
+    match bits % 3 {
+        0 => DinerPhase::Thinking,
+        1 => DinerPhase::Hungry,
+        _ => DinerPhase::Eating,
+    }
+}
+
+fn arb_state_and_cap() -> impl Strategy<Value = (AbsState, u8)> {
+    (
+        (any::<u8>(), 0u8..2, any::<bool>(), any::<bool>(), any::<bool>()),
+        (0u8..2, any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        (0u8..=MAX_WIRE_CAP, 0u8..=MAX_WIRE_CAP, 0u8..=MAX_WIRE_CAP, 0u8..=MAX_WIRE_CAP),
+        MIN_WIRE_CAP..=MAX_WIRE_CAP,
+    )
+        .prop_map(
+            |(
+                (phases, switch, hp0, hp1, suspect),
+                (trigger, pe0, pe1, converged, crashed),
+                (p0, p1, a0, a1),
+                cap,
+            )| {
+                let s = AbsState {
+                    w_phase: [phase_of(phases), phase_of(phases / 3)],
+                    s_phase: [phase_of(phases / 9), phase_of(phases / 27)],
+                    switch,
+                    haveping: [hp0, hp1],
+                    suspect,
+                    trigger,
+                    ping_enabled: [pe0, pe1],
+                    converged,
+                    crashed,
+                    pings: [p0.min(cap), p1.min(cap)],
+                    acks: [a0.min(cap), a1.min(cap)],
+                };
+                (s, cap)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CNF encode/decode round-trip: pin any typed state via assumption
+    /// literals, solve, decode the model — the state must come back intact
+    /// at every admissible cap.
+    #[test]
+    fn cnf_encoding_round_trips_typed_states(sc in arb_state_and_cap()) {
+        let (s, cap) = sc;
+        let mut b = cnf::CnfBuilder::new();
+        let sym = cnf::SymState::fresh(&mut b, cap);
+        let mut assumptions = Vec::new();
+        sym.assumptions_for(&s, &mut assumptions);
+        prop_assert_eq!(b.solver.solve(&assumptions), sat::SolveOutcome::Sat);
+        prop_assert_eq!(sym.decode(&b.solver), s);
+
+        // And the packed fingerprint used by the CTI classification cache
+        // is injective on what assumptions can express: decoding a state
+        // with a different pack_key can never yield this state.
+        let other = AbsState { suspect: !s.suspect, ..s };
+        prop_assert!(other.pack_key() != s.pack_key());
+    }
+}

@@ -8,16 +8,30 @@
 //! ```
 //!
 //! `dinefd analyze` runs the `dinefd-analyze` pipeline on one model
-//! configuration: the four IR lint passes, then the inductive invariant
-//! checker over the full typed abstract domain, classifying any
-//! counterexamples-to-induction against the concrete explorer. Exit status
-//! is `0` when every lemma is inductive and every lint is clean, `2`
-//! otherwise (so the faithful configuration doubles as a CI gate, and a
-//! mutated configuration's nonzero exit is the expected demonstration).
+//! configuration: the five IR lint passes, then the invariant checker —
+//! the explicit enumerator over the full typed abstract domain and/or the
+//! symbolic k-induction engine (SAT over the bit-blasted IR), classifying
+//! any counterexamples-to-induction against the concrete explorer. At the
+//! default wire cap both engines are byte-for-byte interchangeable;
+//! `--engine both` asserts that on every run. `--emit-tla` additionally
+//! writes the configuration's transition system as a TLA+ module.
+//!
+//! Exit status: `0` when every checked obligation holds and every lint is
+//! clean, `2` when any lemma fails, any lint is red, or `--engine both`
+//! disagrees, `64` for bad usage (unknown flag, out-of-range value). So
+//! the faithful configuration doubles as a CI gate, and a mutated
+//! configuration's exit 2 is the expected demonstration.
 //!
 //! Flags (all optional):
 //!
 //! ```text
+//! --wire-cap N              wire-counter saturation cap, 2..=8 (default 2;
+//!                           the typed domain grows as (N+1)^4)
+//! --engine NAME             auto | explicit | symbolic | both (default
+//!                           auto: explicit at cap 2, symbolic above;
+//!                           explicit is refused above cap 4)
+//! --max-k N                 symbolic induction depth, 1..=8 (default 1)
+//! --emit-tla FILE           write the TLA+ module for this configuration
 //! --strict                  sequence-checked acks (hardened subject)
 //! --no-crash                forbid the subject crash transition
 //! --subject-mutation NAME   skip-ping-disable | ignore-trigger-guard |
@@ -26,6 +40,7 @@
 //! --no-classify             skip concrete CTI classification (faster)
 //! --skip-lints              induction only
 //! --skip-induction          lints only
+//! --help, -h                print usage on stdout and exit 0
 //! ```
 //!
 //! `dinefd fuzz` runs the `dinefd-fuzz` coverage-guided schedule fuzzer
@@ -103,7 +118,10 @@
 //! ```
 
 use dinefd_analyze::induct::{render_summary, run_induction, InductOptions};
-use dinefd_analyze::ir::IrConfig;
+use dinefd_analyze::ir::{IrConfig, MAX_WIRE_CAP, MIN_WIRE_CAP};
+use dinefd_analyze::kinduct::{
+    agrees_with_explicit, render_kinduct_summary, run_kinduction, KinductOptions,
+};
 use dinefd_analyze::lints::{render_lints, run_lints};
 use dinefd_core::machines::SubjectMutation;
 use dinefd_explore::ModelMutation;
@@ -112,26 +130,37 @@ use dinefd_sim::scenario_dsl::Scenario;
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// The full usage text, shared by `--help` (stdout, exit 0) and usage
+/// errors (stderr, exit 64) so the two can never drift apart.
+const USAGE: &str = "usage: dinefd analyze [--wire-cap N] [--engine auto|explicit|symbolic|both] \
+     [--max-k N] [--emit-tla FILE] [--strict] [--no-crash] \
+     [--subject-mutation NAME] [--model-mutation NAME] \
+     [--no-classify] [--skip-lints] [--skip-induction]\n\
+     \x20      dinefd fuzz [--scenario FILE] [--seed N] [--iterations N] \
+     [--max-steps N] [--corpus-seeds N] [--time-budget-secs N] \
+     [--strict] [--no-crash] [--subject-mutation NAME] [--model-mutation NAME]\n\
+     \x20      dinefd extract [--n N] [--seed N] [--horizon N] [--shards K] \
+     [--threads T] [--crash PID@TICK] [--streaming] [--batch] \
+     [--queue wheel|heap] [--strict]\n\
+     \x20      dinefd live [--n N] [--trials N] [--seed N] [--period-ms N] \
+     [--crash-at-ms N] [--horizon-ms N] [--skip-matrix] [--bench-out FILE]";
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!(
-        "usage: dinefd analyze [--strict] [--no-crash] \
-         [--subject-mutation NAME] [--model-mutation NAME] \
-         [--no-classify] [--skip-lints] [--skip-induction]\n\
-         \x20      dinefd fuzz [--scenario FILE] [--seed N] [--iterations N] \
-         [--max-steps N] [--corpus-seeds N] [--time-budget-secs N] \
-         [--strict] [--no-crash] [--subject-mutation NAME] [--model-mutation NAME]\n\
-         \x20      dinefd extract [--n N] [--seed N] [--horizon N] [--shards K] \
-         [--threads T] [--crash PID@TICK] [--streaming] [--batch] \
-         [--queue wheel|heap] [--strict]\n\
-         \x20      dinefd live [--n N] [--trials N] [--seed N] [--period-ms N] \
-         [--crash-at-ms N] [--horizon-ms N] [--skip-matrix] [--bench-out FILE]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(64)
+}
+
+fn help() -> ExitCode {
+    println!("{USAGE}");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return help();
+    }
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
@@ -550,11 +579,28 @@ fn live(args: &[String]) -> ExitCode {
     }
 }
 
+/// Which invariant-checking engine(s) an `analyze` run uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Explicit at the default cap, symbolic above it.
+    Auto,
+    /// Typed-domain enumeration only.
+    Explicit,
+    /// SAT-based k-induction only.
+    Symbolic,
+    /// Run both and assert they agree (cap 2 only — the agreement contract
+    /// compares retained CTI sets, which are enumeration-order-defined).
+    Both,
+}
+
 fn analyze(args: &[String]) -> ExitCode {
     let mut cfg = IrConfig::faithful();
     let mut classify = true;
     let mut do_lints = true;
     let mut do_induction = true;
+    let mut engine = Engine::Auto;
+    let mut max_k: u32 = 1;
+    let mut emit_tla: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -563,6 +609,38 @@ fn analyze(args: &[String]) -> ExitCode {
             "--no-classify" => classify = false,
             "--skip-lints" => do_lints = false,
             "--skip-induction" => do_induction = false,
+            "--wire-cap" => {
+                let Some(v) = it.next() else { return usage("--wire-cap needs a value") };
+                cfg.wire_cap = match v.parse::<u8>() {
+                    Ok(c) if (MIN_WIRE_CAP..=MAX_WIRE_CAP).contains(&c) => c,
+                    _ => {
+                        return usage(&format!(
+                            "--wire-cap `{v}` out of range [{MIN_WIRE_CAP}, {MAX_WIRE_CAP}]"
+                        ))
+                    }
+                };
+            }
+            "--engine" => {
+                let Some(name) = it.next() else { return usage("--engine needs a value") };
+                engine = match name.as_str() {
+                    "auto" => Engine::Auto,
+                    "explicit" => Engine::Explicit,
+                    "symbolic" => Engine::Symbolic,
+                    "both" => Engine::Both,
+                    other => return usage(&format!("unknown engine `{other}`")),
+                };
+            }
+            "--max-k" => {
+                let Some(v) = it.next() else { return usage("--max-k needs a value") };
+                max_k = match v.parse::<u32>() {
+                    Ok(k @ 1..=8) => k,
+                    _ => return usage(&format!("--max-k `{v}` out of range [1, 8]")),
+                };
+            }
+            "--emit-tla" => {
+                let Some(path) = it.next() else { return usage("--emit-tla needs a file path") };
+                emit_tla = Some(path.clone());
+            }
             "--subject-mutation" => {
                 let Some(name) = it.next() else {
                     return usage("--subject-mutation needs a value");
@@ -587,6 +665,35 @@ fn analyze(args: &[String]) -> ExitCode {
             other => return usage(&format!("unknown flag `{other}`")),
         }
     }
+    // Engine/cap compatibility: the explicit sweep is O((cap+1)^4) states
+    // and the both-engines agreement contract is defined at the default cap.
+    let resolved = match engine {
+        Engine::Auto if cfg.wire_cap == MIN_WIRE_CAP => Engine::Explicit,
+        Engine::Auto => Engine::Symbolic,
+        e => e,
+    };
+    if matches!(resolved, Engine::Explicit | Engine::Both) && cfg.wire_cap > 4 {
+        return usage(&format!(
+            "--engine {} is impractical above --wire-cap 4 (the typed domain has \
+             41472*(cap+1)^4 states); use --engine symbolic",
+            if resolved == Engine::Both { "both" } else { "explicit" },
+        ));
+    }
+    if resolved == Engine::Both && cfg.wire_cap != MIN_WIRE_CAP {
+        return usage("--engine both compares retained CTI sets, defined at --wire-cap 2 only");
+    }
+    if max_k > 1 && matches!(resolved, Engine::Explicit) {
+        return usage("--max-k applies to the symbolic engine (use --engine symbolic or both)");
+    }
+
+    if let Some(path) = &emit_tla {
+        let module = dinefd_analyze::tla::render_tla(&cfg);
+        if let Err(e) = std::fs::write(path, module) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("analyze: wrote TLA+ module to {path}");
+    }
 
     let mut clean = true;
     if do_lints {
@@ -597,9 +704,29 @@ fn analyze(args: &[String]) -> ExitCode {
     if do_induction {
         let opts =
             InductOptions { classify: if classify { 2 } else { 0 }, ..InductOptions::default() };
-        let run = run_induction(&cfg, &opts);
-        print!("{}", render_summary(&run));
-        clean &= run.all_inductive();
+        let explicit_run = if matches!(resolved, Engine::Explicit | Engine::Both) {
+            let run = run_induction(&cfg, &opts);
+            print!("{}", render_summary(&run));
+            clean &= run.all_inductive();
+            Some(run)
+        } else {
+            None
+        };
+        if matches!(resolved, Engine::Symbolic | Engine::Both) {
+            let kopts = KinductOptions { max_k, classify: opts, ..KinductOptions::default() };
+            let run = run_kinduction(&cfg, &kopts);
+            print!("{}", render_kinduct_summary(&run));
+            clean &= run.all_proved();
+            if let Some(exp) = &explicit_run {
+                match agrees_with_explicit(&run, exp) {
+                    Ok(()) => println!("analyze: engines agree (verdicts, CTIs, classifications)"),
+                    Err(diff) => {
+                        eprintln!("error: engine disagreement: {diff}");
+                        clean = false;
+                    }
+                }
+            }
+        }
     }
     if clean {
         ExitCode::SUCCESS

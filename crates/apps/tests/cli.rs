@@ -99,3 +99,83 @@ fn live_rejects_a_crash_outside_the_trial() {
     assert_eq!(out.status.code(), Some(64));
     assert!(stderr(&out).contains("--crash-at-ms must be below --horizon-ms"));
 }
+
+#[test]
+fn help_prints_usage_on_stdout_and_exits_zero() {
+    for args in [&["--help"][..], &["analyze", "--help"][..], &["-h"][..]] {
+        let out = dinefd(args);
+        assert_eq!(out.status.code(), Some(0), "{args:?} must exit 0");
+        assert!(stdout(&out).contains("usage: dinefd"), "{args:?}: usage on stdout");
+        assert!(stdout(&out).contains("--engine"), "{args:?}: analyze flags documented");
+        assert!(stderr(&out).is_empty(), "{args:?}: stderr must stay empty");
+    }
+}
+
+#[test]
+fn analyze_rejects_bad_engine_and_cap_combinations() {
+    for (args, needle) in [
+        (&["analyze", "--wire-cap", "9"][..], "out of range"),
+        (&["analyze", "--wire-cap", "1"][..], "out of range"),
+        (&["analyze", "--engine", "splay"][..], "unknown engine"),
+        (&["analyze", "--engine", "explicit", "--wire-cap", "8"][..], "impractical"),
+        (&["analyze", "--engine", "both", "--wire-cap", "4"][..], "--wire-cap 2 only"),
+        (&["analyze", "--engine", "explicit", "--max-k", "2"][..], "--max-k applies"),
+        (&["analyze", "--max-k", "9"][..], "out of range"),
+        (&["analyze", "--emit-tla"][..], "needs a file path"),
+    ] {
+        let out = dinefd(args);
+        assert_eq!(out.status.code(), Some(64), "{args:?} must be a usage error");
+        assert!(stderr(&out).contains(needle), "{args:?}: want `{needle}` in {}", stderr(&out));
+        assert!(stderr(&out).contains("usage: dinefd"), "{args:?}: usage echoed on stderr");
+    }
+}
+
+#[test]
+fn analyze_symbolic_proves_the_faithful_model_beyond_the_enumerable_cap() {
+    let out = dinefd(&["analyze", "--skip-lints", "--engine", "symbolic", "--wire-cap", "6"]);
+    assert_eq!(out.status.code(), Some(0), "faithful symbolic run: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("PROVED k=1"), "lemma verdicts missing: {text}");
+    assert!(text.contains("closure") && text.contains("PROVED"), "closure line missing: {text}");
+    assert!(!text.contains("FAILS"), "nothing may fail on the faithful model: {text}");
+}
+
+#[test]
+fn analyze_symbolic_reports_real_ctis_for_a_seeded_bug() {
+    let out = dinefd(&[
+        "analyze",
+        "--skip-lints",
+        "--engine",
+        "symbolic",
+        "--subject-mutation",
+        "ignore-trigger-guard",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "seeded bug must fail the run");
+    let text = stdout(&out);
+    assert!(text.contains("FAILS"), "mutated lemma must fail: {text}");
+    assert!(text.contains("REAL"), "CTIs must be replay-confirmed REAL: {text}");
+}
+
+#[test]
+fn analyze_engines_agree_when_asked_to_cross_check() {
+    let out = dinefd(&["analyze", "--skip-lints", "--engine", "both", "--no-classify"]);
+    assert_eq!(out.status.code(), Some(0), "both-engine run: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("analyze: engines agree"),
+        "agreement line missing: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn analyze_emit_tla_matches_the_committed_golden_byte_for_byte() {
+    let path = std::env::temp_dir().join(format!("dinefd_cli_tla_{}.tla", std::process::id()));
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let out = dinefd(&["analyze", "--skip-lints", "--skip-induction", "--emit-tla", path_s]);
+    assert_eq!(out.status.code(), Some(0), "emit-tla run: {}", stderr(&out));
+    assert!(stdout(&out).contains("wrote TLA+ module"), "confirmation line missing");
+    let written = std::fs::read_to_string(&path).expect("module written");
+    std::fs::remove_file(&path).ok();
+    let golden = include_str!("../../analyze/golden/DineFD.tla");
+    assert_eq!(written, golden, "CLI export must match the committed golden");
+}

@@ -1,9 +1,10 @@
-//! The experiment suite (E1–E12). Each module's `run` produces the report for
+//! The experiment suite (E1–E13). Each module's `run` produces the report for
 //! one EXPERIMENTS.md entry.
 
 pub mod e10_substrates;
 pub mod e11_induct;
 pub mod e12_fuzz;
+pub mod e13_symbolic;
 pub mod e1_completeness;
 pub mod e2_accuracy;
 pub mod e3_handoff;
@@ -32,10 +33,11 @@ pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Report> {
         "e10" => Some(e10_substrates::run(cfg)),
         "e11" => Some(e11_induct::run(cfg)),
         "e12" => Some(e12_fuzz::run(cfg)),
+        "e13" => Some(e13_symbolic::run(cfg)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
 pub const ALL: &[&str] =
-    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];

@@ -1,6 +1,6 @@
 //! # `dinefd-bench` — the experiment harness
 //!
-//! One module per experiment in `EXPERIMENTS.md` (E1–E10), each producing a
+//! One module per experiment in `EXPERIMENTS.md` (E1–E13), each producing a
 //! [`table::Report`] that the `tables` binary prints. Experiments sweep
 //! seeds/parameters in parallel across OS threads (each run builds its own
 //! single-threaded deterministic world, so parallelism never affects
